@@ -1,0 +1,32 @@
+//! Criterion bench for the NL2SQL360-AAS genetic search (paper §5.2–5.3):
+//! per-pipeline fitness evaluation and a miniature search run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::ModuleSet;
+use nl2sql360::{compose, gpt35, search, AasConfig, EvalContext};
+
+fn bench_aas(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(13));
+    let ctx = EvalContext::new(&corpus);
+
+    c.bench_function("aas/fitness_40_samples", |b| {
+        let model = compose("probe".into(), &gpt35(), ModuleSet::supersql());
+        b.iter(|| ctx.fitness_ex(black_box(&model), 40).expect("supported"))
+    });
+
+    c.bench_function("aas/search_tiny", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            search(black_box(&ctx), &gpt35(), &AasConfig::tiny(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aas
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the evaluation pipeline that regenerates the
+//! paper's accuracy tables (Tables 3/4, Figures 5–9): model translation,
+//! per-sample scoring, and full-log metric computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::{method_by_name, Nl2SqlModel, SimulatedModel};
+use nl2sql360::{metrics, EvalContext, Filter};
+
+fn bench_accuracy(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
+    let ctx = EvalContext::new(&corpus);
+    let prompt_model = SimulatedModel::new(method_by_name("DAILSQL").expect("registered"));
+    let local_model = SimulatedModel::new(method_by_name("RESDSQL-3B").expect("registered"));
+
+    c.bench_function("translate/prompt_llm", |b| {
+        let task = ctx.task(&corpus.dev[0], 0);
+        b.iter(|| prompt_model.translate(black_box(&task)).expect("spider supported"))
+    });
+    c.bench_function("translate/local_plm", |b| {
+        let task = ctx.task(&corpus.dev[0], 0);
+        b.iter(|| local_model.translate(black_box(&task)).expect("spider supported"))
+    });
+    c.bench_function("evaluate/20_samples", |b| {
+        b.iter(|| ctx.evaluate_subset(black_box(&local_model), 20).expect("supported"))
+    });
+
+    let log = ctx.evaluate(&local_model).expect("supported");
+    c.bench_function("metrics/ex_em_qvt_ves", |b| {
+        b.iter(|| {
+            let f = Filter::all();
+            (
+                metrics::ex(black_box(&log), &f),
+                metrics::em(&log, &f),
+                metrics::qvt(&log, &f),
+                metrics::ves(&log, &f),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_accuracy
+}
+criterion_main!(benches);

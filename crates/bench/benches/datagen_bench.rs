@@ -1,0 +1,38 @@
+//! Criterion bench for the synthetic benchmark generator: database
+//! generation (Table 2's substrate) and full corpus assembly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
+
+fn bench_datagen(c: &mut Criterion) {
+    let domain = datagen::domain_by_name("College").expect("domain exists");
+
+    c.bench_function("datagen/spider_db", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_db("db", black_box(domain), &SchemaProfile::spider(), seed)
+        })
+    });
+    c.bench_function("datagen/bird_db", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_db("db", black_box(domain), &SchemaProfile::bird(), seed)
+        })
+    });
+    c.bench_function("datagen/tiny_corpus", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_datagen
+}
+criterion_main!(benches);

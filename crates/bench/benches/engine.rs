@@ -1,0 +1,72 @@
+//! Criterion benches for the `minidb` execution engine — the substrate
+//! behind the EX and VES metrics (paper Tables 3/4/7). Measures scans,
+//! joins, grouping, and correlated subqueries on a generated database.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate_db, SchemaProfile};
+
+fn bench_engine(c: &mut Criterion) {
+    let domain = datagen::domain_by_name("Finance").expect("domain exists");
+    let g = generate_db("bench_db", domain, &SchemaProfile::bird(), 7);
+    let db = &g.database;
+
+    // pick concrete tables: first with an FK and its parent
+    let (child, fk_col, parent) = db
+        .tables()
+        .find_map(|t| {
+            t.schema.foreign_keys.first().map(|fk| {
+                (
+                    t.schema.name.clone(),
+                    t.schema.columns[fk.column].name.clone(),
+                    fk.ref_table.clone(),
+                )
+            })
+        })
+        .expect("bird profile generates FKs");
+
+    let scan = format!("SELECT * FROM {child}");
+    let filter = format!("SELECT id FROM {child} WHERE id > 20");
+    let join = format!(
+        "SELECT T1.id, T2.id FROM {child} AS T1 JOIN {parent} AS T2 ON T1.{fk_col} = T2.id"
+    );
+    let group = format!("SELECT {fk_col}, COUNT(*) FROM {child} GROUP BY {fk_col}");
+    let subquery = format!(
+        "SELECT id FROM {parent} WHERE id IN (SELECT {fk_col} FROM {child} WHERE id > 10)"
+    );
+
+    let mut group_bench = c.benchmark_group("minidb");
+    for (name, sql) in [
+        ("scan", &scan),
+        ("filter", &filter),
+        ("join", &join),
+        ("group_by", &group),
+        ("in_subquery", &subquery),
+    ] {
+        let query = sqlkit::parse_query(sql).expect("bench SQL parses");
+        group_bench.bench_function(name, |b| {
+            b.iter(|| {
+                let rs = db.run_query(black_box(&query)).expect("bench SQL executes");
+                black_box(rs.rows.len())
+            })
+        });
+    }
+    group_bench.finish();
+
+    c.bench_function("sqlkit/parse", |b| {
+        b.iter(|| sqlkit::parse_query(black_box(&join)).expect("parses"))
+    });
+    let parsed = sqlkit::parse_query(&join).unwrap();
+    c.bench_function("sqlkit/exact_match", |b| {
+        b.iter(|| sqlkit::exact_match(black_box(&parsed), black_box(&parsed)))
+    });
+    c.bench_function("sqlkit/features", |b| {
+        b.iter(|| sqlkit::SqlFeatures::of(black_box(&parsed)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_engine
+}
+criterion_main!(benches);

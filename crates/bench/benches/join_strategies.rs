@@ -1,0 +1,62 @@
+//! Ablation bench for the engine's join strategy (a DESIGN.md design
+//! choice): hash join vs. nested-loop join on the same equi-join query.
+//!
+//! The executor routes plain `a = b` ON conditions through a hash join;
+//! appending a tautological conjunct (`AND 1 = 1`) forces the general
+//! nested-loop path, so the two benches measure the same logical query
+//! under both strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_db, SchemaProfile};
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let domain = datagen::domain_by_name("Finance").expect("domain exists");
+
+    let mut group = c.benchmark_group("join_strategy");
+    for (label, profile) in
+        [("spider_sized", SchemaProfile::spider()), ("bird_sized", SchemaProfile::bird())]
+    {
+        let g = generate_db("jdb", domain, &profile, 11);
+        let db = &g.database;
+        let (child, fk_col, parent) = db
+            .tables()
+            .find_map(|t| {
+                t.schema.foreign_keys.first().map(|fk| {
+                    (
+                        t.schema.name.clone(),
+                        t.schema.columns[fk.column].name.clone(),
+                        fk.ref_table.clone(),
+                    )
+                })
+            })
+            .expect("profiles generate FKs");
+
+        let hash_sql = format!(
+            "SELECT COUNT(*) FROM {child} AS T1 JOIN {parent} AS T2 ON T1.{fk_col} = T2.id"
+        );
+        let nested_sql = format!(
+            "SELECT COUNT(*) FROM {child} AS T1 JOIN {parent} AS T2 ON T1.{fk_col} = T2.id AND 1 = 1"
+        );
+        let hash_q = sqlkit::parse_query(&hash_sql).expect("parses");
+        let nested_q = sqlkit::parse_query(&nested_sql).expect("parses");
+        // sanity: both paths agree before we measure them
+        let a = db.run_query(&hash_q).expect("runs");
+        let b = db.run_query(&nested_q).expect("runs");
+        assert_eq!(a.rows, b.rows, "strategies must agree");
+
+        group.bench_with_input(BenchmarkId::new("hash", label), &hash_q, |bch, q| {
+            bch.iter(|| db.run_query(black_box(q)).expect("runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("nested_loop", label), &nested_q, |bch, q| {
+            bch.iter(|| db.run_query(black_box(q)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_join_strategies
+}
+criterion_main!(benches);

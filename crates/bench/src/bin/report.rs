@@ -1,0 +1,46 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! report [experiment-id ...]     # default: all experiments
+//!
+//! Environment:
+//!   NL2SQL360_SCALE = full|quick   (default: full)
+//!   NL2SQL360_SEED  = <u64>        (default: 42)
+//! ```
+
+use nl2sql360_bench::{Harness, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        Harness::experiment_ids().to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !Harness::experiment_ids().contains(id) {
+            eprintln!("unknown experiment `{id}`; known: {:?}", Harness::experiment_ids());
+            std::process::exit(2);
+        }
+    }
+
+    let scale = Scale::from_env(Scale::Full);
+    let seed = std::env::var("NL2SQL360_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    eprintln!("building harness (scale={scale:?}, seed={seed}) ...");
+    let t0 = std::time::Instant::now();
+    let harness = Harness::new(scale, seed);
+    eprintln!(
+        "harness ready in {:.1?} (spider dev={}, bird dev={})",
+        t0.elapsed(),
+        harness.spider.dev.len(),
+        harness.bird.dev.len()
+    );
+
+    for id in ids {
+        let t = std::time::Instant::now();
+        let out = harness.experiment(id);
+        println!("================ {id} ================\n");
+        println!("{out}");
+        eprintln!("[{id} took {:.1?}]", t.elapsed());
+    }
+}

@@ -1,0 +1,94 @@
+//! §5.3: the NL2SQL360-AAS case study.
+//!
+//! Runs the genetic search with the paper's hyper-parameters (N=10, T=20,
+//! p_s=0.5, p_m=0.2, GPT-3.5 backbone on Spider/EX), reports the
+//! convergence curve and the winning composition, then re-bases the winner
+//! on GPT-4 and evaluates it on the full dev splits — the paper's path to
+//! SuperSQL.
+
+
+use crate::{Harness, Scale};
+use modelzoo::{ModuleSet, Nl2SqlModel};
+use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, search, AasConfig, EvalContext, Filter, TextTable};
+
+/// Render the case study.
+pub fn case_study(h: &Harness) -> String {
+    let ctx = EvalContext::new(&h.spider);
+    let cfg = match h.scale {
+        Scale::Full => AasConfig::paper(h.seed),
+        Scale::Quick => {
+            let mut c = AasConfig::tiny(h.seed);
+            c.generations = 6;
+            c.population = 8;
+            c
+        }
+    };
+    let result = search(&ctx, &gpt35(), &cfg);
+
+    let mut out = format!(
+        "NL2SQL360-AAS case study (N={}, T={}, p_s={}, p_m={}, backbone=GPT-3.5, metric=EX)\n\n",
+        cfg.population, cfg.generations, cfg.p_swap, cfg.p_mutation
+    );
+    let mut conv = TextTable::new(&["Generation", "Best EX", "Mean EX", "Worst EX"]);
+    for g in &result.history {
+        conv.row(vec![
+            g.generation.to_string(),
+            format!("{:.1}", g.best),
+            format!("{:.1}", g.mean),
+            format!("{:.1}", g.worst),
+        ]);
+    }
+    out.push_str(&conv.render());
+    out.push_str(&format!(
+        "\nDistinct pipelines evaluated: {}\nBest composition: {}\nSearch fitness (EX on {} samples): {:.1}\n",
+        result.evaluations,
+        describe(&result.best),
+        cfg.fitness_samples.min(h.spider.dev.len()),
+        result.best_fitness
+    ));
+
+    // re-base the winner on GPT-4 and evaluate on the full dev splits
+    let winner = compose("AAS winner (GPT-4)".into(), &gpt4(), result.best);
+    let spider_log = ctx.evaluate(&winner).expect("hybrid runs on Spider");
+    let bird_ctx = EvalContext::new(&h.bird);
+    let bird_log = bird_ctx.evaluate(&winner).expect("hybrid runs on BIRD");
+    out.push_str(&format!(
+        "\nWinner re-based on GPT-4:\n  Spider dev EX: {}\n  BIRD dev EX:   {}\n",
+        fmt_pct(metrics::ex(&spider_log, &Filter::all())),
+        fmt_pct(metrics::ex(&bird_log, &Filter::all())),
+    ));
+
+    // reference: the shipped SuperSQL composition
+    let supersql = compose("SuperSQL (shipped)".into(), &gpt4(), ModuleSet::supersql());
+    let ss_log = ctx.evaluate(&supersql).expect("SuperSQL runs on Spider");
+    out.push_str(&format!(
+        "  Shipped SuperSQL composition: {}\n  Shipped SuperSQL Spider dev EX: {} ({})\n",
+        describe(&ModuleSet::supersql()),
+        fmt_pct(metrics::ex(&ss_log, &Filter::all())),
+        supersql.name(),
+    ));
+    out
+}
+
+/// One-line description of a module composition.
+pub fn describe(m: &ModuleSet) -> String {
+    format!(
+        "schema_linking={} db_content={} few_shot={:?} multi_step={:?} ir={:?} decoding={:?} post={:?}",
+        m.schema_linking, m.db_content, m.few_shot, m.multi_step, m.intermediate, m.decoding, m.post
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn case_study_reports_convergence_and_winner() {
+        let h = crate::test_harness();
+        let s = super::case_study(h);
+        assert!(s.contains("Generation"));
+        assert!(s.contains("Best composition"));
+        assert!(s.contains("Winner re-based on GPT-4"));
+        assert!(s.contains("Shipped SuperSQL"));
+    }
+}

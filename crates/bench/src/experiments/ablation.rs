@@ -1,0 +1,94 @@
+//! Module ablation of the SuperSQL composition.
+//!
+//! The paper argues SuperSQL's strength comes from its searched module
+//! combination (§5.3). This experiment removes one module at a time from
+//! the shipped composition — and also re-bases it on GPT-3.5 — re-running
+//! the full evaluation each time, to show every module's marginal
+//! contribution through the same measurement stack as every other table.
+
+use crate::Harness;
+use modelzoo::{FewShot, ModuleSet, PostProcessing};
+use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, EvalContext, Filter, TextTable};
+
+/// The ablation variants: label + module set + backbone choice.
+fn variants() -> Vec<(&'static str, ModuleSet, bool)> {
+    let full = ModuleSet::supersql();
+    let mut no_schema_linking = full;
+    no_schema_linking.schema_linking = false;
+    let mut no_db_content = full;
+    no_db_content.db_content = false;
+    let mut zero_shot = full;
+    zero_shot.few_shot = FewShot::ZeroShot;
+    let mut no_self_consistency = full;
+    no_self_consistency.post = PostProcessing::None;
+    vec![
+        ("SuperSQL (full)", full, true),
+        ("- schema linking", no_schema_linking, true),
+        ("- DB content", no_db_content, true),
+        ("- few-shot (zero-shot)", zero_shot, true),
+        ("- self-consistency", no_self_consistency, true),
+        ("bare GPT-4", ModuleSet::bare(), true),
+        ("full on GPT-3.5", full, false),
+    ]
+}
+
+/// Render the ablation table: Spider EX/EM, tokens and cost per variant.
+pub fn ablation(h: &Harness) -> String {
+    let ctx = EvalContext::new(&h.spider);
+    let mut table =
+        TextTable::new(&["Variant", "Backbone", "EX", "EM", "Tok/Q", "$/Q"]);
+    for (label, modules, on_gpt4) in variants() {
+        let backbone = if on_gpt4 { gpt4() } else { gpt35() };
+        let model = compose(format!("ablation: {label}"), &backbone, modules);
+        let log = ctx.evaluate(&model).expect("hybrids run on Spider");
+        let f = Filter::all();
+        table.row(vec![
+            label.to_string(),
+            backbone.name.to_string(),
+            fmt_pct(metrics::ex(&log, &f)),
+            fmt_pct(metrics::em(&log, &f)),
+            nl2sql360::fmt_opt(metrics::avg_tokens(&log, &f), 0),
+            nl2sql360::fmt_opt(metrics::avg_cost(&log, &f), 4),
+        ]);
+    }
+    format!(
+        "Module ablation of the SuperSQL composition (Spider dev)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_lists_all_variants() {
+        let h = crate::test_harness();
+        let s = super::ablation(h);
+        for label in [
+            "SuperSQL (full)",
+            "- schema linking",
+            "- self-consistency",
+            "bare GPT-4",
+            "full on GPT-3.5",
+        ] {
+            assert!(s.contains(label), "{s}");
+        }
+    }
+
+    #[test]
+    fn full_composition_beats_bare_backbone() {
+        let h = crate::test_harness();
+        let s = super::ablation(h);
+        let ex_of = |label: &str| -> f64 {
+            let line = s.lines().find(|l| l.starts_with(label)).expect("row present");
+            // EX is the first numeric column after the backbone name
+            line.split_whitespace()
+                .filter_map(|tok| tok.parse::<f64>().ok())
+                .next()
+                .expect("EX value")
+        };
+        assert!(
+            ex_of("SuperSQL (full)") > ex_of("bare GPT-4"),
+            "modules must add accuracy:\n{s}"
+        );
+    }
+}

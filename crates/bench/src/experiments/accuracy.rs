@@ -1,0 +1,117 @@
+//! Exp-1: overall accuracy versus SQL complexity (Tables 3 and 4) and the
+//! introductory multi-angle comparison (Figure 3).
+
+use crate::Harness;
+use nl2sql360::{fmt_pct, metrics, CountBucket, Filter, TextTable};
+use sqlkit::hardness::{BirdDifficulty, Hardness};
+
+/// Render Table 3: EX and EM per Spider hardness bucket for every method.
+pub fn table3(h: &Harness) -> String {
+    let mut table = TextTable::new(&[
+        "Method", "Class", "Metric", "Easy", "Medium", "Hard", "Extra", "All",
+    ]);
+    for log in &h.spider_logs {
+        for (metric_name, metric) in [
+            ("EX", metrics::ex as fn(&_, &_) -> Option<f64>),
+            ("EM", metrics::em as fn(&_, &_) -> Option<f64>),
+        ] {
+            let mut cells = vec![log.method.clone(), log.class_label.clone(), metric_name.into()];
+            for hard in Hardness::ALL {
+                cells.push(fmt_pct(metric(log, &Filter::all().hardness(hard))));
+            }
+            cells.push(fmt_pct(metric(log, &Filter::all())));
+            table.row(cells);
+        }
+    }
+    format!("Table 3 — Accuracy vs. SQL complexity (Spider dev)\n\n{}", table.render())
+}
+
+/// Render Table 4: EX per BIRD difficulty bucket (methods that run on
+/// BIRD; DIN-SQL is absent as in the paper).
+pub fn table4(h: &Harness) -> String {
+    let mut table = TextTable::new(&[
+        "Method", "Class", "Simple", "Moderate", "Challenging", "All",
+    ]);
+    for log in &h.bird_logs {
+        let mut cells = vec![log.method.clone(), log.class_label.clone()];
+        for d in BirdDifficulty::ALL {
+            cells.push(fmt_pct(metrics::ex(log, &Filter::all().bird_difficulty(d))));
+        }
+        cells.push(fmt_pct(metrics::ex(log, &Filter::all())));
+        table.row(cells);
+    }
+    format!("Table 4 — Execution accuracy vs. SQL complexity (BIRD dev)\n\n{}", table.render())
+}
+
+/// Render Figure 3: the four introductory angles on Spider — (a) the
+/// Competition domain, (b) JOIN-only queries, (c) nested-only queries,
+/// (d) QVT.
+pub fn fig3(h: &Harness) -> String {
+    let angles: [(&str, Filter); 3] = [
+        ("(a) Competition domain, EX", Filter::all().domain("Competition")),
+        ("(b) SQL with JOIN, EX", Filter::all().joins(CountBucket::Any)),
+        ("(c) Nested SQL only, EX", Filter::all().subquery(true)),
+    ];
+    let mut out = String::from("Figure 3 — NL2SQL models on Spider from different angles\n\n");
+    for (title, filter) in angles {
+        let mut table = TextTable::new(&["Method", "Class", "EX"]);
+        let mut rows: Vec<(String, String, Option<f64>)> = h
+            .spider_logs
+            .iter()
+            .map(|l| (l.method.clone(), l.class_label.clone(), metrics::ex(l, &filter)))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.2.unwrap_or(f64::NEG_INFINITY)
+                .partial_cmp(&a.2.unwrap_or(f64::NEG_INFINITY))
+                .unwrap()
+        });
+        for (m, c, v) in rows {
+            table.row(vec![m, c, fmt_pct(v)]);
+        }
+        out.push_str(title);
+        out.push_str("\n");
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    // (d) QVT leaderboard
+    let mut table = TextTable::new(&["Method", "Class", "QVT"]);
+    let mut rows: Vec<(String, String, Option<f64>)> = h
+        .spider_logs
+        .iter()
+        .map(|l| (l.method.clone(), l.class_label.clone(), metrics::qvt(l, &Filter::all())))
+        .collect();
+    rows.sort_by(|a, b| {
+        b.2.unwrap_or(f64::NEG_INFINITY).partial_cmp(&a.2.unwrap_or(f64::NEG_INFINITY)).unwrap()
+    });
+    for (m, c, v) in rows {
+        table.row(vec![m, c, fmt_pct(v)]);
+    }
+    out.push_str("(d) Query Variance Testing\n");
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn tables_render_with_all_methods() {
+        let h = crate::test_harness();
+        let t3 = super::table3(h);
+        assert!(t3.contains("SuperSQL"));
+        assert!(t3.contains("RESDSQL-3B + NatSQL"));
+        let t4 = super::table4(h);
+        assert!(!t4.contains("DINSQL"), "DIN-SQL was not run on BIRD");
+        assert!(t4.contains("Challenging"));
+    }
+
+    #[test]
+    fn fig3_has_four_angles() {
+        let h = crate::test_harness();
+        let s = super::fig3(h);
+        for angle in ["(a)", "(b)", "(c)", "(d)"] {
+            assert!(s.contains(angle), "{s}");
+        }
+    }
+}

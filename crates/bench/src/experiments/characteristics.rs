@@ -1,0 +1,116 @@
+//! Exp-2: accuracy versus SQL characteristics (Figures 5, 6 and 7):
+//! subqueries, logical connectors, JOIN counts, ORDER BY.
+
+use crate::Harness;
+use nl2sql360::evaluator::class_mean;
+use nl2sql360::{fmt_pct, metrics, CountBucket, EvalLog, Filter, TextTable};
+
+/// The characteristic subsets of the heatmaps in Figures 6–7.
+fn subsets() -> Vec<(&'static str, Filter)> {
+    vec![
+        ("w/o Subquery", Filter::all().subquery(false)),
+        ("w/ Subquery", Filter::all().subquery(true)),
+        ("#Logical = 0", Filter::all().logical(CountBucket::Zero)),
+        ("#Logical = 1", Filter::all().logical(CountBucket::One)),
+        ("#Logical >= 2", Filter::all().logical(CountBucket::TwoPlus)),
+        ("#JOIN = 0", Filter::all().joins(CountBucket::Zero)),
+        ("#JOIN = 1", Filter::all().joins(CountBucket::One)),
+        ("#JOIN >= 2", Filter::all().joins(CountBucket::TwoPlus)),
+        ("w/o ORDER BY", Filter::all().order_by(false)),
+        ("w/ ORDER BY", Filter::all().order_by(true)),
+    ]
+}
+
+/// The coarse w/-vs-w/o views of Figure 5, averaged per method class.
+fn fig5_subsets() -> Vec<(&'static str, Filter)> {
+    vec![
+        ("w/o Subquery", Filter::all().subquery(false)),
+        ("w/ Subquery", Filter::all().subquery(true)),
+        ("w/o Logical Conn.", Filter::all().logical(CountBucket::Zero)),
+        ("w/ Logical Conn.", Filter::all().logical(CountBucket::Any)),
+        ("w/o JOIN", Filter::all().joins(CountBucket::Zero)),
+        ("w/ JOIN", Filter::all().joins(CountBucket::Any)),
+        ("w/o ORDER BY", Filter::all().order_by(false)),
+        ("w/ ORDER BY", Filter::all().order_by(true)),
+    ]
+}
+
+/// Render Figure 5: per-class mean EX over characteristic subsets, for
+/// Spider and BIRD.
+pub fn fig5(h: &Harness) -> String {
+    let mut out =
+        String::from("Figure 5 — EX vs. SQL characteristics, averaged per method class\n\n");
+    for (name, logs) in [("Spider", &h.spider_logs), ("BIRD", &h.bird_logs)] {
+        let mut table = TextTable::new(&["Subset", "LLM (P)", "LLM (FT)", "PLM (FT)"]);
+        for (label, filter) in fig5_subsets() {
+            table.row(vec![
+                label.to_string(),
+                fmt_pct(class_mean(logs, "LLM (P)", &filter, metrics::ex)),
+                fmt_pct(class_mean(logs, "LLM (FT)", &filter, metrics::ex)),
+                fmt_pct(class_mean(logs, "PLM (FT)", &filter, metrics::ex)),
+            ]);
+        }
+        out.push_str(name);
+        out.push('\n');
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn heatmap(title: &str, logs: &[EvalLog]) -> String {
+    let mut header: Vec<&str> = vec!["Subset"];
+    let names: Vec<String> = logs.iter().map(|l| l.method.clone()).collect();
+    for n in &names {
+        header.push(n);
+    }
+    let mut table = TextTable::new(&header);
+    // overall row first (the bar chart above the heatmap)
+    let mut overall = vec!["Overall".to_string()];
+    for log in logs {
+        overall.push(fmt_pct(metrics::ex(log, &Filter::all())));
+    }
+    table.row(overall);
+    for (label, filter) in subsets() {
+        let mut row = vec![label.to_string()];
+        for log in logs {
+            row.push(fmt_pct(metrics::ex(log, &filter)));
+        }
+        table.row(row);
+    }
+    format!("{title}\n\n{}", table.render())
+}
+
+/// Render Figure 6: the per-method × per-subset EX heatmap on Spider.
+pub fn fig6(h: &Harness) -> String {
+    heatmap("Figure 6 — EX vs. SQL characteristics on Spider", &h.spider_logs)
+}
+
+/// Render Figure 7: the per-method × per-subset EX heatmap on BIRD.
+pub fn fig7(h: &Harness) -> String {
+    heatmap("Figure 7 — EX vs. SQL characteristics on BIRD", &h.bird_logs)
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn fig5_covers_both_datasets_and_classes() {
+        let h = crate::test_harness();
+        let s = super::fig5(h);
+        assert!(s.contains("Spider"));
+        assert!(s.contains("BIRD"));
+        assert!(s.contains("w/ Subquery"));
+        assert!(s.contains("LLM (FT)"));
+    }
+
+    #[test]
+    fn heatmaps_have_all_subsets() {
+        let h = crate::test_harness();
+        let s = super::fig6(h);
+        for label in ["Overall", "#JOIN = 1", "w/ ORDER BY", "#Logical >= 2"] {
+            assert!(s.contains(label), "{s}");
+        }
+    }
+}

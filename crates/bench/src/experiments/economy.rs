@@ -1,0 +1,119 @@
+//! Exp-6 and Exp-7: economy of LLM-based methods (Table 5) and serving
+//! efficiency of PLM-based methods (Table 6).
+
+use crate::Harness;
+use modelzoo::{method_by_name, Serving};
+use nl2sql360::{fmt_opt, fmt_pct, metrics, Filter, TextTable};
+
+const PROMPT_METHODS: [&str; 5] = ["C3SQL", "DINSQL", "DAILSQL", "DAILSQL(SC)", "SuperSQL"];
+
+/// Render Table 5: average tokens/query, average cost/query, EX, and
+/// EX-per-cost for prompt-based methods on both datasets.
+pub fn table5(h: &Harness) -> String {
+    let mut table = TextTable::new(&[
+        "Method",
+        "LLM",
+        "Tok/Q Spider",
+        "Tok/Q BIRD",
+        "$/Q Spider",
+        "$/Q BIRD",
+        "EX Spider",
+        "EX BIRD",
+        "EX/$ Spider",
+        "EX/$ BIRD",
+    ]);
+    for name in PROMPT_METHODS {
+        let backbone =
+            method_by_name(name).map(|m| m.backbone.to_string()).unwrap_or_default();
+        let spider = h.spider_logs.iter().find(|l| l.method == name);
+        let bird = h.bird_logs.iter().find(|l| l.method == name);
+        let f = Filter::all();
+        let stat = |log: Option<&nl2sql360::EvalLog>,
+                    m: fn(&nl2sql360::EvalLog, &Filter) -> Option<f64>| {
+            log.and_then(|l| m(l, &f))
+        };
+        table.row(vec![
+            name.to_string(),
+            backbone,
+            fmt_opt(stat(spider, metrics::avg_tokens), 0),
+            fmt_opt(stat(bird, metrics::avg_tokens), 0),
+            fmt_opt(stat(spider, metrics::avg_cost), 4),
+            fmt_opt(stat(bird, metrics::avg_cost), 4),
+            fmt_pct(stat(spider, metrics::ex)),
+            fmt_pct(stat(bird, metrics::ex)),
+            fmt_opt(stat(spider, metrics::ex_per_cost), 0),
+            fmt_opt(stat(bird, metrics::ex_per_cost), 0),
+        ]);
+    }
+    format!("Table 5 — Accuracy vs. LLM economy (Spider / BIRD dev)\n\n{}", table.render())
+}
+
+/// Render Table 6: parameters, EX, latency per sample and GPU memory for
+/// the RESDSQL family (Spider dev; efficiency is dataset-agnostic, as the
+/// paper notes).
+pub fn table6(h: &Harness) -> String {
+    let family = [
+        "RESDSQL-Base",
+        "RESDSQL-Base + NatSQL",
+        "RESDSQL-Large",
+        "RESDSQL-Large + NatSQL",
+        "RESDSQL-3B",
+        "RESDSQL-3B + NatSQL",
+    ];
+    let mut table = TextTable::new(&[
+        "Method", "Parameters", "EX (%)", "Latency/sample (s)", "GPU memory (GiB)",
+    ]);
+    for name in family {
+        let spec = method_by_name(name).expect("family member registered");
+        let log = h.spider_logs.iter().find(|l| l.method == name);
+        let params = spec
+            .params_b
+            .map(|p| {
+                if p < 1.0 {
+                    format!("{:.0}M", p * 1000.0)
+                } else {
+                    format!("{p:.0}B")
+                }
+            })
+            .unwrap_or_default();
+        let (lat, mem) = match spec.serving {
+            Serving::Local(s) => (Some(s.latency_s), Some(s.gpu_mem_gib)),
+            Serving::Api(_) => (None, None),
+        };
+        // latency as actually measured over the evaluation log
+        let measured_lat = log.and_then(|l| metrics::avg_latency(l, &Filter::all()));
+        table.row(vec![
+            name.to_string(),
+            params,
+            fmt_pct(log.and_then(|l| metrics::ex(l, &Filter::all()))),
+            fmt_opt(measured_lat.or(lat), 2),
+            fmt_opt(mem, 2),
+        ]);
+    }
+    format!("Table 6 — Efficiency of PLM-based methods (Spider dev)\n\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn table5_has_cost_effectiveness() {
+        let h = crate::test_harness();
+        let s = super::table5(h);
+        assert!(s.contains("EX/$ Spider"));
+        assert!(s.contains("C3SQL"));
+        // DIN-SQL has no BIRD numbers
+        let din_line = s.lines().find(|l| l.starts_with("DINSQL")).unwrap();
+        assert!(din_line.contains('-'), "{din_line}");
+    }
+
+    #[test]
+    fn table6_lists_the_resdsql_family() {
+        let h = crate::test_harness();
+        let s = super::table6(h);
+        assert!(s.contains("220M"));
+        assert!(s.contains("3B"));
+        assert!(s.contains("GPU memory"));
+    }
+}

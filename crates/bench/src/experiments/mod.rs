@@ -1,0 +1,15 @@
+//! One module per paper experiment family.
+
+pub mod aas_case;
+pub mod ablation;
+pub mod accuracy;
+pub mod characteristics;
+pub mod domains;
+pub mod economy;
+pub mod qvt;
+pub mod robustness;
+pub mod sft;
+pub mod stats;
+pub mod taxonomy_table;
+pub mod timeline;
+pub mod ves;

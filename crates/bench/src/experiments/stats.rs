@@ -1,0 +1,60 @@
+//! Table 2: Spider vs. BIRD dataset statistics.
+
+use crate::Harness;
+use datagen::dataset_stats;
+use nl2sql360::TextTable;
+
+/// Render Table 2: min/max/avg of tables, columns, columns-per-table, PKs
+/// and FKs per database, for the train and dev splits of both corpora.
+pub fn table2(h: &Harness) -> String {
+    let mut table = TextTable::new(&[
+        "Split",
+        "#T/DB min",
+        "#T/DB max",
+        "#T/DB avg",
+        "#C/DB min",
+        "#C/DB max",
+        "#C/DB avg",
+        "#C/T avg",
+        "#PK/DB avg",
+        "#FK/DB avg",
+    ]);
+    let splits: [(&str, &datagen::Corpus, bool); 4] = [
+        ("Spider Train", &h.spider, true),
+        ("Spider Dev", &h.spider, false),
+        ("BIRD Train", &h.bird, true),
+        ("BIRD Dev", &h.bird, false),
+    ];
+    for (label, corpus, train) in splits {
+        let ids = if train { &corpus.train_db_ids } else { &corpus.dev_db_ids };
+        let dbs = ids.iter().map(|id| &corpus.databases[id]);
+        let s = dataset_stats(dbs);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.0}", s.tables_per_db.min),
+            format!("{:.0}", s.tables_per_db.max),
+            format!("{:.1}", s.tables_per_db.avg),
+            format!("{:.0}", s.columns_per_db.min),
+            format!("{:.0}", s.columns_per_db.max),
+            format!("{:.1}", s.columns_per_db.avg),
+            format!("{:.1}", s.columns_per_table.avg),
+            format!("{:.1}", s.pks_per_db.avg),
+            format!("{:.1}", s.fks_per_db.avg),
+        ]);
+    }
+    format!("Table 2 — Spider vs. BIRD dataset statistics\n\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn table2_lists_all_splits_and_bird_is_bigger() {
+        let h = crate::test_harness();
+        let s = super::table2(h);
+        for label in ["Spider Train", "Spider Dev", "BIRD Train", "BIRD Dev"] {
+            assert!(s.contains(label), "{s}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 2: evolution of PLM- and LLM-based NL2SQL models on the Spider
+//! leaderboard.
+
+use modelzoo::leaderboard_timeline;
+use nl2sql360::TextTable;
+
+/// Render the Figure 2 timeline as a chronological table with the
+/// widening LLM/PLM gap summarized underneath.
+pub fn fig2() -> String {
+    let mut points = leaderboard_timeline();
+    points.sort_by_key(|p| p.date);
+    let mut table = TextTable::new(&["Date", "Model", "Type", "Spider test EX"]);
+    for p in &points {
+        table.row(vec![
+            format!("{:04}-{:02}", p.date.0, p.date.1),
+            p.name.to_string(),
+            if p.llm_based { "LLM-based".into() } else { "PLM-based".into() },
+            format!("{:.1}", p.ex),
+        ]);
+    }
+    let best_plm = points.iter().filter(|p| !p.llm_based).map(|p| p.ex).fold(0.0, f64::max);
+    let best_llm = points.iter().filter(|p| p.llm_based).map(|p| p.ex).fold(0.0, f64::max);
+    format!(
+        "Figure 2 — PLM- vs LLM-based models on the Spider leaderboard\n\n{}\nBest PLM-based: {best_plm:.1}  Best LLM-based: {best_llm:.1}  Gap: {:.1}\n",
+        table.render(),
+        best_llm - best_plm
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig2_mentions_key_models() {
+        let s = super::fig2();
+        assert!(s.contains("DIN-SQL+CodeX"));
+        assert!(s.contains("SuperSQL"));
+        assert!(s.contains("Gap:"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Exp-8: Valid Efficiency Score (Table 7) on Spider and BIRD.
+
+use crate::Harness;
+use nl2sql360::{fmt_pct, metrics, Filter, TextTable};
+use sqlkit::hardness::{BirdDifficulty, Hardness};
+
+/// Render Table 7: VES per complexity bucket on Spider (a) and BIRD (b),
+/// using the engine's deterministic work-unit cost model (see
+/// EXPERIMENTS.md for the normalization note).
+pub fn table7(h: &Harness) -> String {
+    let mut out = String::from("Table 7 — Valid Efficiency Score\n\n(a) Spider dev\n");
+    let mut spider = TextTable::new(&["Method", "Class", "Easy", "Medium", "Hard", "Extra", "All"]);
+    for log in &h.spider_logs {
+        let mut row = vec![log.method.clone(), log.class_label.clone()];
+        for hard in Hardness::ALL {
+            row.push(fmt_pct(metrics::ves(log, &Filter::all().hardness(hard))));
+        }
+        row.push(fmt_pct(metrics::ves(log, &Filter::all())));
+        spider.row(row);
+    }
+    out.push_str(&spider.render());
+
+    out.push_str("\n(b) BIRD dev\n");
+    let mut bird =
+        TextTable::new(&["Method", "Class", "Simple", "Moderate", "Challenging", "All"]);
+    for log in &h.bird_logs {
+        let mut row = vec![log.method.clone(), log.class_label.clone()];
+        for d in BirdDifficulty::ALL {
+            row.push(fmt_pct(metrics::ves(log, &Filter::all().bird_difficulty(d))));
+        }
+        row.push(fmt_pct(metrics::ves(log, &Filter::all())));
+        bird.row(row);
+    }
+    out.push_str(&bird.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    
+
+    #[test]
+    fn table7_has_both_panels() {
+        let h = crate::test_harness();
+        let s = super::table7(h);
+        assert!(s.contains("(a) Spider dev"));
+        assert!(s.contains("(b) BIRD dev"));
+        assert!(s.contains("Challenging"));
+    }
+}

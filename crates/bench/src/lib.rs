@@ -1,0 +1,168 @@
+//! Benchmark harness for the NL2SQL360 reproduction.
+//!
+//! [`Harness`] generates the Spider-like and BIRD-like corpora, evaluates
+//! the full model zoo once, and exposes one function per paper table /
+//! figure that renders the corresponding report. The `report` binary
+//! drives it from the command line; the Criterion benches measure the
+//! underlying machinery.
+//!
+//! Scale is controlled by [`Scale`]: `Full` matches the paper's dataset
+//! sizes (1034 / 1534 dev samples); `Quick` is a small smoke configuration
+//! used by tests and CI.
+
+pub mod experiments;
+
+use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind};
+use modelzoo::SimulatedModel;
+use nl2sql360::{evaluate_all, EvalContext, EvalLog};
+
+/// Corpus / evaluation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized corpora (Spider: 140/20 DBs, 7000/1034 samples; BIRD:
+    /// 1534 dev samples).
+    Full,
+    /// Small smoke-test corpora.
+    Quick,
+}
+
+impl Scale {
+    /// Read the scale from the `NL2SQL360_SCALE` environment variable
+    /// (`full` / `quick`), defaulting to `default`.
+    pub fn from_env(default: Scale) -> Scale {
+        match std::env::var("NL2SQL360_SCALE").ok().as_deref() {
+            Some("full") => Scale::Full,
+            Some("quick") => Scale::Quick,
+            _ => default,
+        }
+    }
+
+    fn spider_config(self, seed: u64) -> CorpusConfig {
+        match self {
+            Scale::Full => CorpusConfig::spider(seed),
+            Scale::Quick => CorpusConfig {
+                train_dbs: 40,
+                dev_dbs: 8,
+                train_samples: 600,
+                dev_samples: 200,
+                variant_prob: 0.5,
+                seed,
+            },
+        }
+    }
+
+    fn bird_config(self, seed: u64) -> CorpusConfig {
+        match self {
+            Scale::Full => CorpusConfig::bird(seed),
+            Scale::Quick => CorpusConfig {
+                train_dbs: 12,
+                dev_dbs: 4,
+                train_samples: 300,
+                dev_samples: 150,
+                variant_prob: 0.08,
+                seed,
+            },
+        }
+    }
+}
+
+/// The shared experiment harness: corpora plus zoo-wide evaluation logs.
+pub struct Harness {
+    /// Scale the harness was built at.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Spider-like corpus.
+    pub spider: Corpus,
+    /// BIRD-like corpus.
+    pub bird: Corpus,
+    /// Zoo evaluation logs on Spider (all 16 methods).
+    pub spider_logs: Vec<EvalLog>,
+    /// Zoo evaluation logs on BIRD (methods that run on BIRD).
+    pub bird_logs: Vec<EvalLog>,
+}
+
+impl Harness {
+    /// Build the harness: generate corpora and evaluate the zoo on both.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let spider = generate_corpus(CorpusKind::Spider, &scale.spider_config(seed));
+        let bird = generate_corpus(CorpusKind::Bird, &scale.bird_config(seed ^ 0x5eed));
+        let zoo: Vec<SimulatedModel> = modelzoo::zoo();
+        let spider_logs = {
+            let ctx = EvalContext::new(&spider);
+            evaluate_all(&ctx, &zoo)
+        };
+        let bird_logs = {
+            let ctx = EvalContext::new(&bird);
+            evaluate_all(&ctx, &zoo)
+        };
+        Self { scale, seed, spider, bird, spider_logs, bird_logs }
+    }
+
+    /// All experiment identifiers, in paper order.
+    pub fn experiment_ids() -> &'static [&'static str] {
+        &[
+            "table1", "fig2", "table2", "fig3", "table3", "table4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig11", "fig12", "table5", "table6", "table7", "aas", "ablation", "robustness",
+        ]
+    }
+
+    /// Render one experiment by id.
+    ///
+    /// # Panics
+    /// Panics on an unknown id; use [`Harness::experiment_ids`] to
+    /// enumerate valid ones.
+    pub fn experiment(&self, id: &str) -> String {
+        match id {
+            "table1" => experiments::taxonomy_table::table1(),
+            "fig2" => experiments::timeline::fig2(),
+            "table2" => experiments::stats::table2(self),
+            "fig3" => experiments::accuracy::fig3(self),
+            "table3" => experiments::accuracy::table3(self),
+            "table4" => experiments::accuracy::table4(self),
+            "fig5" => experiments::characteristics::fig5(self),
+            "fig6" => experiments::characteristics::fig6(self),
+            "fig7" => experiments::characteristics::fig7(self),
+            "fig8" => experiments::qvt::fig8(self),
+            "fig9" => experiments::domains::fig9(self),
+            "fig11" => experiments::sft::fig11(self),
+            "fig12" => experiments::sft::fig12(self),
+            "table5" => experiments::economy::table5(self),
+            "table6" => experiments::economy::table6(self),
+            "table7" => experiments::ves::table7(self),
+            "aas" => experiments::aas_case::case_study(self),
+            "ablation" => experiments::ablation::ablation(self),
+            "robustness" => experiments::robustness::robustness(self),
+            other => panic!("unknown experiment `{other}`; known: {:?}", Self::experiment_ids()),
+        }
+    }
+}
+
+/// Shared lazily-built Quick-scale harness for this crate's tests (building
+/// one per test would re-run the zoo evaluation eight times over).
+#[cfg(test)]
+pub(crate) fn test_harness() -> &'static Harness {
+    use std::sync::OnceLock;
+    static H: OnceLock<Harness> = OnceLock::new();
+    H.get_or_init(|| Harness::new(Scale::Quick, 42))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_runs_every_experiment() {
+        let h = test_harness();
+        for id in Harness::experiment_ids() {
+            let out = h.experiment(id);
+            assert!(!out.trim().is_empty(), "{id} produced empty output");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let _ = test_harness().experiment("fig99");
+    }
+}

@@ -1,0 +1,507 @@
+//! Database generation: schemas and content.
+//!
+//! Given a [`DomainSpec`] and a [`SchemaProfile`], produces a populated
+//! [`minidb::Database`] whose shape statistics (tables per DB, columns per
+//! table, PKs, FKs) target the paper's Table 2 for Spider-like and BIRD-like
+//! corpora.
+
+use crate::domains::{DomainId, DomainSpec};
+use minidb::{ColumnDef, ColumnType, Database, ForeignKey, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape parameters for database generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemaProfile {
+    /// Minimum tables per database.
+    pub tables_min: usize,
+    /// Maximum tables per database.
+    pub tables_max: usize,
+    /// Minimum attribute columns per table (the id column is extra).
+    pub attrs_min: usize,
+    /// Maximum attribute columns per table.
+    pub attrs_max: usize,
+    /// Minimum rows per table.
+    pub rows_min: usize,
+    /// Maximum rows per table.
+    pub rows_max: usize,
+    /// Probability that a non-first table gains a foreign key to an earlier
+    /// table (evaluated per potential parent, capped at 2 FKs).
+    pub fk_prob: f64,
+}
+
+impl SchemaProfile {
+    /// Profile matching the Spider dev-set shape of Table 2
+    /// (2–11 tables, ~22 columns per DB, ~4-5 columns per table).
+    pub fn spider() -> Self {
+        Self {
+            tables_min: 2,
+            tables_max: 8,
+            attrs_min: 3,
+            attrs_max: 7,
+            rows_min: 12,
+            rows_max: 60,
+            fk_prob: 0.75,
+        }
+    }
+
+    /// Profile matching the BIRD dev-set shape of Table 2 (3–13 tables,
+    /// ~72 columns per DB, ~10 columns per table, denser FK graphs, larger
+    /// content).
+    pub fn bird() -> Self {
+        Self {
+            tables_min: 3,
+            tables_max: 12,
+            attrs_min: 6,
+            attrs_max: 14,
+            rows_min: 40,
+            rows_max: 160,
+            fk_prob: 0.9,
+        }
+    }
+}
+
+/// A generated, populated database plus its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedDb {
+    /// Unique database identifier (e.g. `college_0`).
+    pub db_id: String,
+    /// The domain this database belongs to.
+    pub domain: DomainId,
+    /// The populated database.
+    pub database: Database,
+}
+
+/// Generate one populated database for `domain` with the given profile.
+/// Deterministic in `seed`.
+pub fn generate_db(
+    db_id: impl Into<String>,
+    domain: DomainId,
+    profile: &SchemaProfile,
+    seed: u64,
+) -> GeneratedDb {
+    let db_id = db_id.into();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = domain.spec();
+
+    let n_tables = rng.gen_range(profile.tables_min..=profile.tables_max);
+    let schemas = generate_schemas(spec, n_tables, profile, &mut rng);
+
+    let mut database = Database::new(db_id.clone());
+    // Populate in declaration order so FK parents exist first.
+    let mut pk_values: Vec<Vec<i64>> = Vec::with_capacity(schemas.len());
+    for schema in &schemas {
+        let n_rows = rng.gen_range(profile.rows_min..=profile.rows_max);
+        let rows = populate(schema, n_rows, spec, &schemas, &pk_values, &mut rng);
+        pk_values.push((1..=n_rows as i64).collect());
+        let table = minidb::database::Table { schema: schema.clone(), rows };
+        database.add_table(table).expect("generated schema names are unique");
+    }
+    GeneratedDb { db_id, domain, database }
+}
+
+/// Regenerate a database's *content* under the same schema with a new
+/// seed — the mechanism behind Spider's test-suite execution accuracy,
+/// which compares query results on several database instances so that
+/// coincidental result matches on one instance don't count as correct.
+pub fn regenerate_content(db: &GeneratedDb, profile: &SchemaProfile, seed: u64) -> GeneratedDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = db.domain.spec();
+    // topological order: FK parents must be populated before their children
+    // (the catalog iterates by name, which need not respect dependencies)
+    let mut pending: Vec<TableSchema> =
+        db.database.tables().map(|t| t.schema.clone()).collect();
+    let mut schemas: Vec<TableSchema> = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        let placed: Vec<String> = schemas.iter().map(|s| s.name.clone()).collect();
+        let ready = pending
+            .iter()
+            .position(|s| s.foreign_keys.iter().all(|fk| placed.contains(&fk.ref_table)))
+            .expect("FK graph generated as a DAG");
+        schemas.push(pending.remove(ready));
+    }
+    let mut database = Database::new(db.database.name());
+    let mut pk_values: Vec<Vec<i64>> = Vec::with_capacity(schemas.len());
+    for schema in &schemas {
+        let n_rows = rng.gen_range(profile.rows_min..=profile.rows_max);
+        let rows = populate(schema, n_rows, spec, &schemas, &pk_values, &mut rng);
+        pk_values.push((1..=n_rows as i64).collect());
+        database
+            .add_table(minidb::database::Table { schema: schema.clone(), rows })
+            .expect("schema names unchanged");
+    }
+    GeneratedDb { db_id: db.db_id.clone(), domain: db.domain, database }
+}
+
+fn generate_schemas(
+    spec: &DomainSpec,
+    n_tables: usize,
+    profile: &SchemaProfile,
+    rng: &mut StdRng,
+) -> Vec<TableSchema> {
+    // Choose entity templates; reuse with numeric suffixes when the profile
+    // wants more tables than the domain has entities.
+    let mut entity_order: Vec<usize> = (0..spec.entities.len()).collect();
+    entity_order.shuffle(rng);
+    let mut schemas: Vec<TableSchema> = Vec::with_capacity(n_tables);
+    for t in 0..n_tables {
+        let ent = &spec.entities[entity_order[t % entity_order.len()]];
+        let name = if t < entity_order.len() {
+            ent.name.to_string()
+        } else {
+            format!("{}_{}", ent.name, t / entity_order.len() + 1)
+        };
+
+        let mut columns = vec![ColumnDef::new("id", ColumnType::Integer)];
+        let n_attrs = rng
+            .gen_range(profile.attrs_min..=profile.attrs_max)
+            .min(ent.attrs.len().max(profile.attrs_min));
+        let mut attrs: Vec<&str> = ent.attrs.to_vec();
+        attrs.shuffle(rng);
+        for a in attrs.iter().take(n_attrs) {
+            columns.push(ColumnDef::new(*a, column_type_for(a)));
+        }
+        // generic filler attributes if the entity ran out
+        let generic = ["code", "status", "notes", "category", "rank", "total"];
+        let mut gi = 0;
+        while columns.len() - 1 < n_attrs && gi < generic.len() {
+            let g = generic[gi];
+            gi += 1;
+            if columns.iter().any(|c| c.name == g) {
+                continue;
+            }
+            columns.push(ColumnDef::new(g, column_type_for(g)));
+        }
+
+        let mut schema = TableSchema::new(name, columns);
+        schema.primary_key = vec![0];
+
+        // foreign keys to earlier tables
+        if t > 0 {
+            let mut fk_count = 0;
+            let mut parents: Vec<usize> = (0..t).collect();
+            parents.shuffle(rng);
+            for p in parents {
+                if fk_count >= 2 {
+                    break;
+                }
+                if rng.gen_bool(profile.fk_prob / (fk_count + 1) as f64) {
+                    let parent_name = schemas[p].name.clone();
+                    let fk_col = format!("{parent_name}_id");
+                    if schema.column_index(&fk_col).is_some() {
+                        continue;
+                    }
+                    schema.columns.push(ColumnDef::new(fk_col, ColumnType::Integer));
+                    schema.foreign_keys.push(ForeignKey {
+                        column: schema.columns.len() - 1,
+                        ref_table: parent_name,
+                        ref_column: "id".into(),
+                    });
+                    fk_count += 1;
+                }
+            }
+        }
+        schemas.push(schema);
+    }
+    schemas
+}
+
+/// Column affinity heuristics from attribute names.
+fn column_type_for(name: &str) -> ColumnType {
+    const REAL_HINTS: [&str; 12] = [
+        "rating", "gpa", "rate", "score", "price", "gdp", "efficiency", "utilization",
+        "temperature", "humidity", "pressure", "factor",
+    ];
+    const INT_HINTS: [&str; 36] = [
+        "year", "age", "count", "capacity", "salary", "budget", "population", "sales",
+        "amount", "length", "height", "area", "distance", "duration", "stock", "wins",
+        "losses", "credits", "level", "number", "pages", "copies", "members", "followers",
+        "likes", "shares", "comments", "beds", "floor", "runways", "passengers", "quantity",
+        "total", "mileage", "hours", "votes",
+    ];
+    let lower = name.to_lowercase();
+    if REAL_HINTS.iter().any(|h| lower.contains(h)) {
+        ColumnType::Real
+    } else if INT_HINTS.iter().any(|h| lower.contains(h)) {
+        ColumnType::Integer
+    } else {
+        ColumnType::Text
+    }
+}
+
+/// Deterministic pseudo-name generator: alternating syllables.
+fn make_name(rng: &mut StdRng) -> String {
+    const ONSETS: [&str; 14] =
+        ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"];
+    const VOWELS: [&str; 6] = ["a", "e", "i", "o", "u", "ia"];
+    let syllables = rng.gen_range(2..=3);
+    let mut s = String::new();
+    for _ in 0..syllables {
+        s.push_str(ONSETS[rng.gen_range(0..ONSETS.len())]);
+        s.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+    }
+    // capitalize
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => s,
+    }
+}
+
+fn populate(
+    schema: &TableSchema,
+    n_rows: usize,
+    spec: &DomainSpec,
+    all_schemas: &[TableSchema],
+    pk_values: &[Vec<i64>],
+    rng: &mut StdRng,
+) -> Vec<Vec<Value>> {
+    let fk_cols: Vec<(usize, usize)> = schema
+        .foreign_keys
+        .iter()
+        .filter_map(|fk| {
+            all_schemas
+                .iter()
+                .position(|s| s.name == fk.ref_table)
+                .map(|parent| (fk.column, parent))
+        })
+        .collect();
+
+    (0..n_rows)
+        .map(|i| {
+            schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(ci, col)| {
+                    if ci == 0 {
+                        return Value::Int(i as i64 + 1);
+                    }
+                    if let Some(&(_, parent)) = fk_cols.iter().find(|(c, _)| *c == ci) {
+                        // referential integrity with a small chance of NULL
+                        if rng.gen_bool(0.05) {
+                            return Value::Null;
+                        }
+                        let parents = &pk_values[parent];
+                        return Value::Int(parents[rng.gen_range(0..parents.len())]);
+                    }
+                    value_for_column(&col.name, col.ty, spec, rng)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn value_for_column(
+    name: &str,
+    ty: ColumnType,
+    spec: &DomainSpec,
+    rng: &mut StdRng,
+) -> Value {
+    // occasional NULLs make COUNT(col) vs COUNT(*) distinguishable
+    if rng.gen_bool(0.03) {
+        return Value::Null;
+    }
+    let lower = name.to_lowercase();
+    match ty {
+        ColumnType::Integer => {
+            let v = if lower.contains("year") {
+                rng.gen_range(1960..=2024)
+            } else if lower.contains("age") {
+                rng.gen_range(16..=85)
+            } else if lower.contains("salary") || lower.contains("budget") {
+                rng.gen_range(20..=500) * 1000
+            } else if lower.contains("population") {
+                rng.gen_range(1..=9000) * 1000
+            } else if lower.contains("capacity") || lower.contains("count") {
+                rng.gen_range(5..=2000)
+            } else {
+                rng.gen_range(0..=1000)
+            };
+            Value::Int(v)
+        }
+        ColumnType::Real => {
+            let v = if lower.contains("rating") || lower.contains("score") {
+                rng.gen_range(0.0..10.0f64)
+            } else if lower.contains("gpa") {
+                rng.gen_range(1.0..4.0f64)
+            } else if lower.contains("rate") {
+                rng.gen_range(0.0..1.0f64)
+            } else {
+                rng.gen_range(0.0..1000.0f64)
+            };
+            Value::Real((v * 100.0).round() / 100.0)
+        }
+        ColumnType::Text => {
+            if lower.contains("name") || lower.contains("title") || lower.contains("username") {
+                Value::Text(make_name(rng))
+            } else if lower.contains("city") || lower.contains("location")
+                || lower.contains("address") || lower.contains("origin")
+                || lower.contains("destination")
+            {
+                Value::Text(format!("{} City", make_name(rng)))
+            } else {
+                // domain-flavoured categorical value
+                Value::Text(spec.values[rng.gen_range(0..spec.values.len())].to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::domain_by_name;
+
+    fn college() -> DomainId {
+        domain_by_name("College").unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
+        let b = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
+        assert_eq!(a.database.table_count(), b.database.table_count());
+        let ta: Vec<_> = a.database.tables().map(|t| (&t.schema.name, t.rows.len())).collect();
+        let tb: Vec<_> = b.database.tables().map(|t| (&t.schema.name, t.rows.len())).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
+        let b = generate_db("college_1", college(), &SchemaProfile::spider(), 8);
+        let ra: usize = a.database.tables().map(|t| t.rows.len()).sum();
+        let rb: usize = b.database.tables().map(|t| t.rows.len()).sum();
+        // extremely unlikely to coincide exactly on both counts and names
+        assert!(
+            ra != rb || a.database.table_count() != b.database.table_count(),
+            "seeds should produce different databases"
+        );
+    }
+
+    #[test]
+    fn shape_within_profile() {
+        let p = SchemaProfile::spider();
+        for seed in 0..20 {
+            let g = generate_db(format!("db{seed}"), college(), &p, seed);
+            let n = g.database.table_count();
+            assert!((p.tables_min..=p.tables_max).contains(&n), "tables {n}");
+            for t in g.database.tables() {
+                assert!(t.schema.columns.len() >= p.attrs_min + 1);
+                assert!((p.rows_min..=p.rows_max).contains(&t.rows.len()));
+                assert_eq!(t.schema.primary_key, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn fks_reference_existing_tables_and_rows() {
+        for seed in 0..10 {
+            let g = generate_db(format!("db{seed}"), college(), &SchemaProfile::bird(), seed);
+            for t in g.database.tables() {
+                for fk in &t.schema.foreign_keys {
+                    let parent = g.database.table(&fk.ref_table).expect("parent exists");
+                    let parent_ids: Vec<i64> = parent
+                        .rows
+                        .iter()
+                        .map(|r| match &r[0] {
+                            Value::Int(i) => *i,
+                            _ => panic!("pk not int"),
+                        })
+                        .collect();
+                    for row in &t.rows {
+                        match &row[fk.column] {
+                            Value::Null => {}
+                            Value::Int(v) => {
+                                assert!(parent_ids.contains(v), "dangling FK {v}");
+                            }
+                            other => panic!("fk value {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bird_profile_is_bigger_than_spider() {
+        // aggregate over seeds: BIRD databases should have more columns/rows
+        let mut spider_cols = 0usize;
+        let mut bird_cols = 0usize;
+        for seed in 0..12 {
+            let s = generate_db(format!("s{seed}"), college(), &SchemaProfile::spider(), seed);
+            let b = generate_db(format!("b{seed}"), college(), &SchemaProfile::bird(), seed);
+            spider_cols += s.database.tables().map(|t| t.schema.columns.len()).sum::<usize>();
+            bird_cols += b.database.tables().map(|t| t.schema.columns.len()).sum::<usize>();
+        }
+        assert!(bird_cols > spider_cols, "bird {bird_cols} vs spider {spider_cols}");
+    }
+
+    #[test]
+    fn generated_db_is_queryable() {
+        let g = generate_db("db0", college(), &SchemaProfile::spider(), 3);
+        let first = g.database.tables().next().unwrap().schema.name.clone();
+        let rs = g.database.run(&format!("SELECT COUNT(*) FROM {first}")).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn regenerated_content_same_schema_different_rows() {
+        let g = generate_db("db0", college(), &SchemaProfile::spider(), 3);
+        let r = regenerate_content(&g, &SchemaProfile::spider(), 99);
+        // schemas identical
+        let a: Vec<_> = g.database.tables().map(|t| t.schema.clone()).collect();
+        let b: Vec<_> = r.database.tables().map(|t| t.schema.clone()).collect();
+        assert_eq!(a, b);
+        // content differs somewhere
+        let differs = g
+            .database
+            .tables()
+            .zip(r.database.tables())
+            .any(|(x, y)| x.rows.len() != y.rows.len() || x.rows != y.rows);
+        assert!(differs, "new seed must change content");
+        // referential integrity holds in the regenerated instance
+        for t in r.database.tables() {
+            for fk in &t.schema.foreign_keys {
+                let parent = r.database.table(&fk.ref_table).expect("parent exists");
+                let ids: Vec<i64> = parent
+                    .rows
+                    .iter()
+                    .map(|row| match &row[0] {
+                        Value::Int(i) => *i,
+                        other => panic!("pk {other:?}"),
+                    })
+                    .collect();
+                for row in &t.rows {
+                    if let Value::Int(v) = &row[fk.column] {
+                        assert!(ids.contains(v), "dangling FK after regeneration");
+                    }
+                }
+            }
+        }
+        // gold-style queries still run
+        let first = r.database.tables().next().unwrap().schema.name.clone();
+        r.database.run(&format!("SELECT COUNT(*) FROM {first}")).unwrap();
+    }
+
+    #[test]
+    fn regeneration_is_deterministic() {
+        let g = generate_db("db0", college(), &SchemaProfile::bird(), 5);
+        let a = regenerate_content(&g, &SchemaProfile::bird(), 7);
+        let b = regenerate_content(&g, &SchemaProfile::bird(), 7);
+        let ra: Vec<usize> = a.database.tables().map(|t| t.rows.len()).collect();
+        let rb: Vec<usize> = b.database.tables().map(|t| t.rows.len()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn column_types_heuristics() {
+        assert_eq!(column_type_for("year"), ColumnType::Integer);
+        assert_eq!(column_type_for("rating"), ColumnType::Real);
+        assert_eq!(column_type_for("name"), ColumnType::Text);
+        assert_eq!(column_type_for("enrollment_year"), ColumnType::Integer);
+    }
+}

@@ -1,0 +1,592 @@
+//! Domain catalog.
+//!
+//! The paper (Exp-4) classifies the 140 Spider training databases and 20 dev
+//! databases into **33 domains** and studies per-domain accuracy. This
+//! module defines those 33 domains with entity/attribute vocabularies used
+//! by the schema generator and value pools used by the content generator.
+//!
+//! `train_db_weight` controls how many training databases a domain receives;
+//! the paper's Figure 9(b) highlights College / Competition / Transportation
+//! as the domains with the most training databases, so they get the largest
+//! weights here.
+
+use serde::{Deserialize, Serialize};
+
+/// One entity template: a table base name plus candidate attribute columns.
+#[derive(Debug, Clone, Copy)]
+pub struct EntitySpec {
+    /// Table base name (singular noun).
+    pub name: &'static str,
+    /// Candidate attribute column names (beyond the generated id/FK columns).
+    pub attrs: &'static [&'static str],
+}
+
+/// A data domain: entities, a text-value pool, and a training-DB weight.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Domain name as shown in the paper's Figure 9.
+    pub name: &'static str,
+    /// Entity templates available to the schema generator.
+    pub entities: &'static [EntitySpec],
+    /// Pool of domain-flavoured text values.
+    pub values: &'static [&'static str],
+    /// Relative number of training databases assigned to this domain.
+    pub train_db_weight: u32,
+}
+
+/// Identifier of a domain within [`DOMAINS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DomainId(pub usize);
+
+impl DomainId {
+    /// The domain spec this id refers to.
+    pub fn spec(&self) -> &'static DomainSpec {
+        &DOMAINS[self.0]
+    }
+}
+
+macro_rules! entity {
+    ($name:literal, [$($attr:literal),* $(,)?]) => {
+        EntitySpec { name: $name, attrs: &[$($attr),*] }
+    };
+}
+
+/// The 33 domains of the paper's domain-adaptation experiment.
+pub static DOMAINS: &[DomainSpec] = &[
+    DomainSpec {
+        name: "College",
+        entities: &[
+            entity!("student", ["name", "age", "gpa", "major", "city", "enrollment_year"]),
+            entity!("professor", ["name", "department", "salary", "tenure_year", "office"]),
+            entity!("course", ["title", "credits", "level", "department", "capacity"]),
+            entity!("department", ["name", "building", "budget", "head_count"]),
+            entity!("enrollment", ["grade", "semester", "year"]),
+        ],
+        values: &[
+            "Computer Science", "Mathematics", "Physics", "History", "Biology", "Economics",
+            "Chemistry", "Philosophy", "Engineering", "Linguistics",
+        ],
+        train_db_weight: 14,
+    },
+    DomainSpec {
+        name: "Competition",
+        entities: &[
+            entity!("contestant", ["name", "age", "country", "ranking", "score"]),
+            entity!("match_event", ["round", "year", "location", "audience", "prize"]),
+            entity!("judge", ["name", "experience_years", "specialty"]),
+            entity!("team", ["name", "city", "founded_year", "wins", "losses"]),
+            entity!("award", ["title", "prize_money", "year"]),
+        ],
+        values: &[
+            "Final", "Semifinal", "Quarterfinal", "Gold", "Silver", "Bronze", "Regional",
+            "National", "International", "Qualifier",
+        ],
+        train_db_weight: 12,
+    },
+    DomainSpec {
+        name: "Transportation",
+        entities: &[
+            entity!("vehicle", ["model", "capacity", "year", "fuel_type", "mileage"]),
+            entity!("route", ["origin", "destination", "distance", "duration"]),
+            entity!("driver", ["name", "age", "license_type", "experience_years", "rating"]),
+            entity!("station", ["name", "city", "platforms", "opened_year"]),
+            entity!("trip", ["departure", "arrival", "fare", "passengers"]),
+        ],
+        values: &[
+            "Downtown", "Airport", "Harbor", "Central", "Northside", "Express", "Local",
+            "Diesel", "Electric", "Hybrid",
+        ],
+        train_db_weight: 10,
+    },
+    DomainSpec {
+        name: "Music",
+        entities: &[
+            entity!("singer", ["name", "age", "country", "genre", "net_worth"]),
+            entity!("album", ["title", "year", "sales", "label", "rating"]),
+            entity!("concert", ["venue", "year", "attendance", "revenue"]),
+            entity!("song", ["title", "duration", "plays", "chart_position"]),
+        ],
+        values: &[
+            "Rock", "Pop", "Jazz", "Classical", "Hip Hop", "Country", "Electronic", "Blues",
+            "Folk", "Reggae",
+        ],
+        train_db_weight: 7,
+    },
+    DomainSpec {
+        name: "Movie",
+        entities: &[
+            entity!("film", ["title", "year", "budget", "gross", "rating", "runtime"]),
+            entity!("director", ["name", "age", "country", "awards_won"]),
+            entity!("actor", ["name", "age", "country", "films_count"]),
+            entity!("studio", ["name", "city", "founded_year", "market_share"]),
+        ],
+        values: &[
+            "Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance",
+            "Animation", "Sci-Fi", "Western",
+        ],
+        train_db_weight: 6,
+    },
+    DomainSpec {
+        name: "Sports",
+        entities: &[
+            entity!("player", ["name", "age", "position", "goals", "salary", "height"]),
+            entity!("club", ["name", "city", "founded_year", "stadium_capacity", "titles"]),
+            entity!("season", ["year", "matches_played", "points"]),
+            entity!("stadium", ["name", "city", "capacity", "opened_year"]),
+        ],
+        values: &[
+            "Forward", "Midfielder", "Defender", "Goalkeeper", "Captain", "Rookie", "Veteran",
+            "First League", "Second League", "Premier",
+        ],
+        train_db_weight: 6,
+    },
+    DomainSpec {
+        name: "Medical",
+        entities: &[
+            entity!("patient", ["name", "age", "blood_type", "city", "insurance"]),
+            entity!("doctor", ["name", "specialty", "experience_years", "salary"]),
+            entity!("appointment", ["year", "cost", "duration", "status"]),
+            entity!("medication", ["name", "dosage", "price", "stock"]),
+            entity!("ward", ["name", "beds", "floor"]),
+        ],
+        values: &[
+            "Cardiology", "Neurology", "Pediatrics", "Oncology", "Surgery", "Radiology",
+            "General", "Emergency", "Scheduled", "Completed",
+        ],
+        train_db_weight: 5,
+    },
+    DomainSpec {
+        name: "Geography",
+        entities: &[
+            entity!("country", ["name", "population", "area", "gdp", "continent"]),
+            entity!("city", ["name", "population", "elevation", "founded_year"]),
+            entity!("river", ["name", "length", "discharge"]),
+            entity!("mountain", ["name", "height", "range"]),
+        ],
+        values: &[
+            "Asia", "Europe", "Africa", "Americas", "Oceania", "Coastal", "Inland", "Alpine",
+            "Tropical", "Temperate",
+        ],
+        train_db_weight: 5,
+    },
+    DomainSpec {
+        name: "Government",
+        entities: &[
+            entity!("politician", ["name", "age", "party", "votes", "term_start"]),
+            entity!("election", ["year", "turnout", "registered_voters"]),
+            entity!("region", ["name", "population", "area", "budget"]),
+            entity!("policy", ["title", "year", "budget", "status"]),
+        ],
+        values: &[
+            "Liberal", "Conservative", "Green", "Independent", "Federal", "State", "Municipal",
+            "Passed", "Pending", "Rejected",
+        ],
+        train_db_weight: 5,
+    },
+    DomainSpec {
+        name: "Finance",
+        entities: &[
+            entity!("account", ["holder_name", "balance", "opened_year", "branch", "status"]),
+            entity!("loan", ["amount", "interest_rate", "duration", "status"]),
+            entity!("customer", ["name", "age", "city", "credit_score", "income"]),
+            entity!("transaction_record", ["amount", "year", "category"]),
+            entity!("branch", ["name", "city", "assets", "employees"]),
+        ],
+        values: &[
+            "Checking", "Savings", "Credit", "Mortgage", "Active", "Closed", "Approved",
+            "Deposit", "Withdrawal", "Transfer",
+        ],
+        train_db_weight: 5,
+    },
+    DomainSpec {
+        name: "Retail",
+        entities: &[
+            entity!("product", ["name", "price", "stock", "category", "rating"]),
+            entity!("store", ["name", "city", "opened_year", "revenue", "staff_count"]),
+            entity!("order_record", ["quantity", "total", "year", "status"]),
+            entity!("supplier", ["name", "city", "reliability", "lead_time"]),
+        ],
+        values: &[
+            "Electronics", "Clothing", "Grocery", "Furniture", "Toys", "Garden", "Shipped",
+            "Delivered", "Returned", "Pending",
+        ],
+        train_db_weight: 5,
+    },
+    DomainSpec {
+        name: "Restaurant",
+        entities: &[
+            entity!("restaurant", ["name", "city", "rating", "capacity", "cuisine"]),
+            entity!("dish", ["name", "price", "calories", "category"]),
+            entity!("chef", ["name", "experience_years", "specialty", "salary"]),
+            entity!("reservation", ["party_size", "year", "status"]),
+        ],
+        values: &[
+            "Italian", "Chinese", "Mexican", "Indian", "French", "Japanese", "Vegan",
+            "Seafood", "Steakhouse", "Bistro",
+        ],
+        train_db_weight: 4,
+    },
+    DomainSpec {
+        name: "Aviation",
+        entities: &[
+            entity!("airport", ["name", "city", "runways", "passengers", "opened_year"]),
+            entity!("airline", ["name", "country", "fleet_size", "founded_year"]),
+            entity!("flight", ["distance", "duration", "price", "status"]),
+            entity!("aircraft", ["model", "capacity", "range", "year"]),
+        ],
+        values: &[
+            "International", "Domestic", "Regional", "On Time", "Delayed", "Cancelled",
+            "Boeing", "Airbus", "Embraer", "Charter",
+        ],
+        train_db_weight: 4,
+    },
+    DomainSpec {
+        name: "Education",
+        entities: &[
+            entity!("school", ["name", "city", "students", "founded_year", "ranking"]),
+            entity!("teacher", ["name", "age", "subject", "salary", "experience_years"]),
+            entity!("classroom", ["building", "capacity", "floor"]),
+            entity!("exam", ["subject", "year", "avg_score", "participants"]),
+        ],
+        values: &[
+            "Mathematics", "Science", "English", "Art", "Music", "Primary", "Secondary",
+            "Public", "Private", "Charter",
+        ],
+        train_db_weight: 4,
+    },
+    DomainSpec {
+        name: "Technology",
+        entities: &[
+            entity!("device", ["name", "price", "release_year", "weight", "battery_life"]),
+            entity!("company", ["name", "city", "founded_year", "revenue", "employees"]),
+            entity!("software", ["name", "version", "downloads", "rating"]),
+            entity!("repository", ["name", "stars", "forks", "language"]),
+        ],
+        values: &[
+            "Laptop", "Phone", "Tablet", "Server", "Python", "Rust", "JavaScript", "Beta",
+            "Stable", "Deprecated",
+        ],
+        train_db_weight: 4,
+    },
+    DomainSpec {
+        name: "Gaming",
+        entities: &[
+            entity!("game", ["title", "genre", "price", "release_year", "rating"]),
+            entity!("gamer", ["username", "age", "country", "hours_played", "level"]),
+            entity!("tournament", ["name", "year", "prize_pool", "participants"]),
+            entity!("guild", ["name", "members", "founded_year", "score"]),
+        ],
+        values: &[
+            "RPG", "Strategy", "Shooter", "Puzzle", "Racing", "Simulation", "Casual",
+            "Competitive", "Indie", "AAA",
+        ],
+        train_db_weight: 4,
+    },
+    DomainSpec {
+        name: "Weather",
+        entities: &[
+            entity!("weather_station", ["name", "city", "elevation", "installed_year"]),
+            entity!("reading", ["temperature", "humidity", "pressure", "year"]),
+            entity!("storm", ["name", "category", "damage", "year"]),
+        ],
+        values: &[
+            "Sunny", "Rainy", "Cloudy", "Snowy", "Windy", "Tropical", "Hurricane", "Typhoon",
+            "Blizzard", "Drought",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "Agriculture",
+        entities: &[
+            entity!("farm", ["name", "area", "founded_year", "revenue"]),
+            entity!("crop", ["name", "yield_amount", "price", "season"]),
+            entity!("farmer", ["name", "age", "experience_years"]),
+            entity!("harvest", ["quantity", "year", "quality"]),
+        ],
+        values: &[
+            "Wheat", "Corn", "Rice", "Soybean", "Barley", "Spring", "Summer", "Autumn",
+            "Organic", "Conventional",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "RealEstate",
+        entities: &[
+            entity!("property", ["address", "price", "bedrooms", "area", "built_year"]),
+            entity!("agent", ["name", "sales_count", "commission", "rating"]),
+            entity!("listing", ["price", "days_on_market", "status", "year"]),
+            entity!("neighborhood", ["name", "avg_price", "population", "schools"]),
+        ],
+        values: &[
+            "Apartment", "House", "Condo", "Townhouse", "Studio", "Listed", "Sold",
+            "Pending", "Suburban", "Urban",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "Insurance",
+        entities: &[
+            entity!("policy", ["premium", "coverage", "start_year", "status"]),
+            entity!("claim", ["amount", "year", "status"]),
+            entity!("policyholder", ["name", "age", "city", "risk_score"]),
+            entity!("adjuster", ["name", "cases_handled", "approval_rate"]),
+        ],
+        values: &[
+            "Auto", "Home", "Life", "Health", "Travel", "Approved", "Denied", "Open",
+            "Settled", "Expired",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "Library",
+        entities: &[
+            entity!("book", ["title", "year", "pages", "copies", "rating"]),
+            entity!("author", ["name", "country", "books_written", "birth_year"]),
+            entity!("member", ["name", "age", "joined_year", "books_borrowed"]),
+            entity!("loan_record", ["year", "duration", "status"]),
+        ],
+        values: &[
+            "Fiction", "Non-fiction", "Mystery", "Biography", "Poetry", "Reference",
+            "Children", "Returned", "Overdue", "Reserved",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "Museum",
+        entities: &[
+            entity!("museum", ["name", "city", "founded_year", "visitors", "budget"]),
+            entity!("exhibit", ["title", "year", "artifacts", "popularity"]),
+            entity!("artifact", ["name", "age_years", "value", "origin"]),
+            entity!("curator", ["name", "specialty", "experience_years"]),
+        ],
+        values: &[
+            "Ancient", "Modern", "Renaissance", "Egyptian", "Asian", "European", "Permanent",
+            "Traveling", "Restored", "On Loan",
+        ],
+        train_db_weight: 3,
+    },
+    DomainSpec {
+        name: "Theater",
+        entities: &[
+            entity!("play", ["title", "year", "duration", "rating"]),
+            entity!("performer", ["name", "age", "roles_count", "salary"]),
+            entity!("venue", ["name", "city", "capacity", "opened_year"]),
+            entity!("performance", ["year", "attendance", "revenue"]),
+        ],
+        values: &[
+            "Tragedy", "Comedy", "Musical", "Opera", "Ballet", "Matinee", "Evening",
+            "Premiere", "Revival", "Tour",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Television",
+        entities: &[
+            entity!("show", ["title", "seasons", "episodes", "rating", "premiere_year"]),
+            entity!("channel", ["name", "country", "launch_year", "viewers"]),
+            entity!("episode", ["title", "duration", "viewers", "year"]),
+            entity!("host", ["name", "age", "shows_count"]),
+        ],
+        values: &[
+            "News", "Reality", "Sitcom", "Documentary", "Talk Show", "Cable", "Streaming",
+            "Network", "Prime Time", "Syndicated",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Publishing",
+        entities: &[
+            entity!("publisher", ["name", "city", "founded_year", "titles_per_year"]),
+            entity!("magazine", ["title", "circulation", "frequency", "price"]),
+            entity!("journalist", ["name", "articles_count", "awards", "beat"]),
+            entity!("issue", ["number", "year", "pages", "sales"]),
+        ],
+        values: &[
+            "Weekly", "Monthly", "Quarterly", "Politics", "Science", "Fashion", "Sports",
+            "Business", "Culture", "Travel",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Manufacturing",
+        entities: &[
+            entity!("factory", ["name", "city", "capacity", "opened_year", "workers"]),
+            entity!("machine", ["model", "year", "efficiency", "maintenance_cost"]),
+            entity!("product_line", ["name", "output", "defect_rate"]),
+            entity!("shift", ["start_hour", "workers", "output"]),
+        ],
+        values: &[
+            "Assembly", "Packaging", "Quality Control", "Welding", "Molding", "Day",
+            "Night", "Automated", "Manual", "Certified",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Energy",
+        entities: &[
+            entity!("power_plant", ["name", "capacity", "built_year", "output"]),
+            entity!("grid_region", ["name", "demand", "population"]),
+            entity!("turbine", ["model", "capacity", "efficiency", "installed_year"]),
+        ],
+        values: &[
+            "Solar", "Wind", "Hydro", "Nuclear", "Coal", "Gas", "Geothermal", "Peak",
+            "Off-Peak", "Renewable",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Telecom",
+        entities: &[
+            entity!("subscriber", ["name", "age", "city", "monthly_bill", "data_usage"]),
+            entity!("plan", ["name", "price", "data_limit", "minutes"]),
+            entity!("tower", ["location", "height", "coverage_radius", "installed_year"]),
+        ],
+        values: &[
+            "Prepaid", "Postpaid", "Unlimited", "Family", "Business", "5G", "4G", "Fiber",
+            "Active", "Suspended",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Tourism",
+        entities: &[
+            entity!("hotel", ["name", "city", "stars", "rooms", "price_per_night"]),
+            entity!("tour", ["name", "duration", "price", "capacity"]),
+            entity!("tourist", ["name", "age", "country", "trips_count"]),
+            entity!("attraction", ["name", "city", "rating", "annual_visitors"]),
+        ],
+        values: &[
+            "Beach", "Mountain", "City Break", "Safari", "Cruise", "Luxury", "Budget",
+            "Guided", "Self-Guided", "All-Inclusive",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Logistics",
+        entities: &[
+            entity!("warehouse", ["name", "city", "capacity", "utilization"]),
+            entity!("shipment", ["weight", "distance", "cost", "status", "year"]),
+            entity!("carrier", ["name", "fleet_size", "on_time_rate"]),
+            entity!("package", ["weight", "value", "priority"]),
+        ],
+        values: &[
+            "Express", "Standard", "Overnight", "Freight", "In Transit", "Delivered",
+            "Processing", "Ground", "Air", "Sea",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "SocialMedia",
+        entities: &[
+            entity!("user_profile", ["username", "age", "country", "followers", "posts_count"]),
+            entity!("post", ["likes", "shares", "comments", "year"]),
+            entity!("hashtag", ["tag", "usage_count", "trending_score"]),
+            entity!("community", ["name", "members", "created_year"]),
+        ],
+        values: &[
+            "Photo", "Video", "Text", "Story", "Live", "Public", "Private", "Verified",
+            "Trending", "Archived",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Law",
+        entities: &[
+            entity!("case_record", ["title", "year", "duration_days", "status"]),
+            entity!("lawyer", ["name", "cases_won", "experience_years", "fee"]),
+            entity!("court", ["name", "city", "judges_count", "established_year"]),
+            entity!("verdict", ["year", "damages", "outcome"]),
+        ],
+        values: &[
+            "Civil", "Criminal", "Corporate", "Family", "Appeal", "Settled", "Dismissed",
+            "Guilty", "Not Guilty", "Pending",
+        ],
+        train_db_weight: 2,
+    },
+    DomainSpec {
+        name: "Science",
+        entities: &[
+            entity!("experiment", ["title", "year", "budget", "duration_months", "success_rate"]),
+            entity!("researcher", ["name", "field", "publications", "citations", "h_index"]),
+            entity!("laboratory", ["name", "city", "equipment_count", "funding"]),
+            entity!("publication", ["title", "year", "citations", "impact_factor"]),
+        ],
+        values: &[
+            "Biology", "Chemistry", "Physics", "Genetics", "Astronomy", "Peer Reviewed",
+            "Preprint", "Funded", "Completed", "Ongoing",
+        ],
+        train_db_weight: 2,
+    },
+];
+
+/// Number of domains (33, matching the paper).
+pub fn domain_count() -> usize {
+    DOMAINS.len()
+}
+
+/// Look up a domain by name (case-insensitive).
+pub fn domain_by_name(name: &str) -> Option<DomainId> {
+    DOMAINS.iter().position(|d| d.name.eq_ignore_ascii_case(name)).map(DomainId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_33_domains() {
+        assert_eq!(domain_count(), 33);
+    }
+
+    #[test]
+    fn domain_names_unique() {
+        let mut names: Vec<&str> = DOMAINS.iter().map(|d| d.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), DOMAINS.len());
+    }
+
+    #[test]
+    fn every_domain_has_entities_and_values() {
+        for d in DOMAINS {
+            assert!(d.entities.len() >= 3, "{} too few entities", d.name);
+            assert!(d.values.len() >= 8, "{} too few values", d.name);
+            assert!(d.train_db_weight >= 1);
+            for e in d.entities {
+                assert!(!e.attrs.is_empty(), "{}:{} has no attrs", d.name, e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn college_competition_transportation_have_most_weight() {
+        let weight = |n: &str| domain_by_name(n).unwrap().spec().train_db_weight;
+        let top3 = ["College", "Competition", "Transportation"];
+        let max_other = DOMAINS
+            .iter()
+            .filter(|d| !top3.contains(&d.name))
+            .map(|d| d.train_db_weight)
+            .max()
+            .unwrap();
+        for n in top3 {
+            assert!(weight(n) > max_other, "{n} should outweigh all others");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(domain_by_name("college").is_some());
+        assert!(domain_by_name("College").is_some());
+        assert!(domain_by_name("NoSuchDomain").is_none());
+    }
+
+    #[test]
+    fn entity_table_names_unique_within_domain() {
+        for d in DOMAINS {
+            let mut names: Vec<&str> = d.entities.iter().map(|e| e.name).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), d.entities.len(), "{}", d.name);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Natural-language question templating.
+//!
+//! Every generated SQL query carries a structured [`NlParts`] description;
+//! [`render_variants`] turns it into several distinct English surface forms.
+//! The variety (question vs. imperative style, synonym substitution for
+//! comparators) is what the paper's Query Variance Testing (QVT, Eq. 1)
+//! exercises: different NL phrasings of the same target SQL.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Structured pieces of a question, produced by the query generator.
+#[derive(Debug, Clone, Default)]
+pub struct NlParts {
+    /// What is selected ("the name and the age", "the number of singers").
+    pub selection: String,
+    /// The subject relation(s) ("singers", "students and their departments").
+    pub subject: String,
+    /// Condition descriptions ("age is greater than 30").
+    pub conditions: Vec<String>,
+    /// Grouping description ("for each country").
+    pub grouping: Option<String>,
+    /// Ordering description ("sorted by age from highest").
+    pub ordering: Option<String>,
+    /// Limit description ("top 3").
+    pub limit: Option<String>,
+}
+
+/// Comparator phrases with synonyms; index 0 is the canonical phrasing.
+pub fn comparator_phrases(op: &str) -> &'static [&'static str] {
+    match op {
+        ">" => &["greater than", "more than", "above", "over"],
+        ">=" => &["at least", "no less than", "greater than or equal to"],
+        "<" => &["less than", "smaller than", "below", "under"],
+        "<=" => &["at most", "no more than", "less than or equal to"],
+        "=" => &["equal to", "exactly", ""],
+        "!=" => &["not equal to", "different from", "other than"],
+        _ => &["matching"],
+    }
+}
+
+/// Humanize an identifier: underscores to spaces.
+pub fn humanize(ident: &str) -> String {
+    ident.replace('_', " ")
+}
+
+const QUESTION_TEMPLATES: usize = 6;
+
+/// Render `n` distinct surface variants of the question described by
+/// `parts`. The first returned string is the canonical question. All
+/// rendering is deterministic in `rng`.
+pub fn render_variants(parts: &NlParts, n: usize, rng: &mut StdRng) -> Vec<String> {
+    let n = n.clamp(1, QUESTION_TEMPLATES);
+    let mut out = Vec::with_capacity(n);
+    let offset = rng.gen_range(0..QUESTION_TEMPLATES);
+    for i in 0..n {
+        out.push(render(parts, (offset + i) % QUESTION_TEMPLATES));
+    }
+    out
+}
+
+fn render(parts: &NlParts, template: usize) -> String {
+    let mut tail = String::new();
+    if let Some(g) = &parts.grouping {
+        tail.push(' ');
+        tail.push_str(g);
+    }
+    if !parts.conditions.is_empty() {
+        tail.push_str(" where ");
+        tail.push_str(&parts.conditions.join(" and "));
+    }
+    if let Some(o) = &parts.ordering {
+        tail.push_str(", ");
+        tail.push_str(o);
+    }
+    if let Some(l) = &parts.limit {
+        tail.push_str(", ");
+        tail.push_str(l);
+    }
+    let sel = &parts.selection;
+    let subj = &parts.subject;
+    match template {
+        0 => format!("What are {sel} of {subj}{tail}?"),
+        1 => format!("Return {sel} of {subj}{tail}."),
+        2 => format!("List {sel} for all {subj}{tail}."),
+        3 => format!("Show me {sel} of the {subj}{tail}."),
+        4 => format!("Find {sel} of {subj}{tail}."),
+        _ => format!("Give {sel} from the {subj}{tail}."),
+    }
+}
+
+/// Canonical paraphrase key: the question with surface template markers
+/// (question/imperative verbs, determiners, connector prepositions) and
+/// punctuation stripped. All `render_variants` outputs of the same
+/// [`NlParts`] share one key, so a *query rewriter* (paper §6, "Handling
+/// ambiguous and underspecified NL queries") can detect that two phrasings
+/// ask the same thing.
+pub fn paraphrase_key(question: &str) -> String {
+    const STOPWORDS: [&str; 12] =
+        ["what", "are", "return", "list", "show", "find", "give", "me", "the", "a", "for", "all",];
+    question
+        .split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .filter(|w| !STOPWORDS.contains(&w.as_str()) && w != "of" && w != "from")
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paraphrase_key_unifies_all_variants() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = NlParts {
+                selection: "the name and the age".into(),
+                subject: "singers".into(),
+                conditions: vec!["the country is 'US'".into()],
+                grouping: Some("for each country".into()),
+                ordering: Some("sorted by age from highest to lowest".into()),
+                limit: Some("return only the top 3".into()),
+            };
+            let variants = render_variants(&p, 6, &mut rng);
+            let keys: Vec<String> = variants.iter().map(|v| paraphrase_key(v)).collect();
+            for k in &keys {
+                assert_eq!(k, &keys[0], "variants must share a paraphrase key: {variants:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paraphrase_key_separates_different_questions() {
+        let a = paraphrase_key("What are the names of singers where the age is greater than 30?");
+        let b = paraphrase_key("What are the names of singers where the age is less than 30?");
+        assert_ne!(a, b);
+    }
+
+    fn parts() -> NlParts {
+        NlParts {
+            selection: "the name".into(),
+            subject: "singers".into(),
+            conditions: vec!["the age is greater than 30".into()],
+            grouping: None,
+            ordering: Some("sorted by age from highest to lowest".into()),
+            limit: Some("return only the top 3".into()),
+        }
+    }
+
+    #[test]
+    fn variants_are_distinct_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = render_variants(&parts(), 3, &mut rng);
+        assert_eq!(a.len(), 3);
+        assert!(a[0] != a[1] && a[1] != a[2]);
+
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let b = render_variants(&parts(), 3, &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_parts_appear() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = &render_variants(&parts(), 1, &mut rng)[0];
+        assert!(q.contains("the name"), "{q}");
+        assert!(q.contains("singers"), "{q}");
+        assert!(q.contains("greater than 30"), "{q}");
+        assert!(q.contains("top 3"), "{q}");
+    }
+
+    #[test]
+    fn humanize_replaces_underscores() {
+        assert_eq!(humanize("enrollment_year"), "enrollment year");
+    }
+
+    #[test]
+    fn comparator_synonyms_nonempty() {
+        for op in [">", ">=", "<", "<=", "=", "!="] {
+            assert!(!comparator_phrases(op).is_empty());
+        }
+    }
+
+    #[test]
+    fn more_variants_than_templates_dedupes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = render_variants(&parts(), 10, &mut rng);
+        assert!(v.len() <= QUESTION_TEMPLATES);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), v.len(), "no duplicates");
+    }
+}

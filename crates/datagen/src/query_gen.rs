@@ -1,0 +1,980 @@
+//! SQL query generation over a generated database.
+//!
+//! Each [`Recipe`] builds one structural family of queries (flat lookups,
+//! joins, grouping, nesting, set operations, CASE projections) directly as a
+//! `sqlkit` AST together with structured NL parts. The corpus builder mixes
+//! recipes to hit the Spider / BIRD hardness distributions; the resulting
+//! hardness label always comes from the real [`Hardness::classify`], never
+//! from the recipe.
+
+use crate::dbgen::GeneratedDb;
+use crate::nl::{comparator_phrases, humanize, NlParts};
+use minidb::{ColumnType, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sqlkit::ast::*;
+use sqlkit::Hardness;
+
+/// A generated (SQL, NL) pair before corpus assembly.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The gold query AST.
+    pub query: Query,
+    /// The gold SQL text.
+    pub sql: String,
+    /// Structured NL description (rendered to variants by the corpus
+    /// builder).
+    pub parts: NlParts,
+    /// Spider hardness of the generated query.
+    pub hardness: Hardness,
+}
+
+/// Structural families of generated queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Recipe {
+    /// `SELECT col(s) FROM t`
+    SimpleSelect,
+    /// `SELECT COUNT(*) FROM t [WHERE ...]`
+    CountAll,
+    /// `SELECT col FROM t WHERE cond`
+    FilterSelect,
+    /// `SELECT c1, c2 FROM t WHERE cond [AND cond]`
+    MultiColFilter,
+    /// `SELECT col FROM t ORDER BY k [DESC] LIMIT n`
+    OrderLimit,
+    /// `SELECT c, COUNT(*) FROM t GROUP BY c`
+    GroupCount,
+    /// `SELECT a.c FROM a JOIN b ON ...`
+    JoinSelect,
+    /// join + WHERE
+    JoinFilter,
+    /// join + GROUP BY (+ HAVING)
+    JoinGroup,
+    /// `WHERE num > (SELECT AVG(num) FROM t)`
+    ScalarSubquery,
+    /// `WHERE id [NOT] IN (SELECT fk FROM child WHERE ...)`
+    InSubquery,
+    /// GROUP BY + HAVING + ORDER BY agg + LIMIT
+    GroupHavingOrder,
+    /// two joins + filters + grouping + order
+    MultiJoinComplex,
+    /// `SELECT c FROM t WHERE x UNION/INTERSECT/EXCEPT SELECT c FROM t WHERE y`
+    SetOp,
+    /// CASE/IIF in the projection (BIRD-style)
+    CaseProjection,
+}
+
+impl Recipe {
+    /// All recipes.
+    pub const ALL: [Recipe; 15] = [
+        Recipe::SimpleSelect,
+        Recipe::CountAll,
+        Recipe::FilterSelect,
+        Recipe::MultiColFilter,
+        Recipe::OrderLimit,
+        Recipe::GroupCount,
+        Recipe::JoinSelect,
+        Recipe::JoinFilter,
+        Recipe::JoinGroup,
+        Recipe::ScalarSubquery,
+        Recipe::InSubquery,
+        Recipe::GroupHavingOrder,
+        Recipe::MultiJoinComplex,
+        Recipe::SetOp,
+        Recipe::CaseProjection,
+    ];
+}
+
+/// Generates queries against one database.
+pub struct QueryGenerator<'a> {
+    db: &'a GeneratedDb,
+    /// Include CASE/IIF projections and harder mixes (BIRD style).
+    pub bird_flavor: bool,
+}
+
+struct TableInfo<'a> {
+    name: &'a str,
+    table: &'a minidb::database::Table,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// Create a generator for a database.
+    pub fn new(db: &'a GeneratedDb) -> Self {
+        Self { db, bird_flavor: false }
+    }
+
+    /// Generate one query for the given recipe, or `None` when the database
+    /// shape cannot support it (e.g. no FK edges for a join recipe).
+    pub fn generate(&self, recipe: Recipe, rng: &mut StdRng) -> Option<GeneratedQuery> {
+        let built = match recipe {
+            Recipe::SimpleSelect => self.simple_select(rng),
+            Recipe::CountAll => self.count_all(rng),
+            Recipe::FilterSelect => self.filter_select(rng),
+            Recipe::MultiColFilter => self.multi_col_filter(rng),
+            Recipe::OrderLimit => self.order_limit(rng),
+            Recipe::GroupCount => self.group_count(rng),
+            Recipe::JoinSelect => self.join_select(rng, false, false),
+            Recipe::JoinFilter => self.join_select(rng, true, false),
+            Recipe::JoinGroup => self.join_select(rng, false, true),
+            Recipe::ScalarSubquery => self.scalar_subquery(rng),
+            Recipe::InSubquery => self.in_subquery(rng),
+            Recipe::GroupHavingOrder => self.group_having_order(rng),
+            Recipe::MultiJoinComplex => self.multi_join_complex(rng),
+            Recipe::SetOp => self.set_op(rng),
+            Recipe::CaseProjection => self.case_projection(rng),
+        }?;
+        let (query, parts) = built;
+        let sql = sqlkit::to_sql(&query);
+        let hardness = Hardness::classify(&query);
+        Some(GeneratedQuery { query, sql, parts, hardness })
+    }
+
+    // ---- table / column helpers ----
+
+    fn tables(&self) -> Vec<TableInfo<'a>> {
+        self.db
+            .database
+            .tables()
+            .map(|t| TableInfo { name: &t.schema.name, table: t })
+            .collect()
+    }
+
+    fn pick_table(&self, rng: &mut StdRng) -> TableInfo<'a> {
+        let ts = self.tables();
+        let i = rng.gen_range(0..ts.len());
+        ts.into_iter().nth(i).expect("non-empty database")
+    }
+
+    /// Pick an attribute column index (never the id / FK columns) matching
+    /// `want` type, if any.
+    fn pick_column(
+        &self,
+        t: &TableInfo<'_>,
+        want: Option<ColumnType>,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        let fk_cols: Vec<usize> = t.table.schema.foreign_keys.iter().map(|f| f.column).collect();
+        let mut candidates: Vec<usize> = t
+            .table
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                *i != 0
+                    && !fk_cols.contains(i)
+                    && want.map(|w| c.ty == w).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.shuffle(rng);
+        Some(candidates[0])
+    }
+
+    fn pick_numeric_column(&self, t: &TableInfo<'_>, rng: &mut StdRng) -> Option<usize> {
+        self.pick_column(t, Some(ColumnType::Integer), rng)
+            .or_else(|| self.pick_column(t, Some(ColumnType::Real), rng))
+    }
+
+    /// Sample an existing non-null value from a column.
+    fn sample_value(&self, t: &TableInfo<'_>, col: usize, rng: &mut StdRng) -> Option<Value> {
+        let non_null: Vec<&Value> =
+            t.table.rows.iter().map(|r| &r[col]).filter(|v| !v.is_null()).collect();
+        if non_null.is_empty() {
+            return None;
+        }
+        Some(non_null[rng.gen_range(0..non_null.len())].clone())
+    }
+
+    /// Build a WHERE condition over one column of `t`, plus its NL phrase.
+    /// `qualify` adds a table qualifier to the column reference.
+    fn condition(
+        &self,
+        t: &TableInfo<'_>,
+        qualifier: Option<&str>,
+        rng: &mut StdRng,
+    ) -> Option<(Expr, String)> {
+        let col = self.pick_column(t, None, rng)?;
+        let cdef = &t.table.schema.columns[col];
+        let value = self.sample_value(t, col, rng)?;
+        let colref = Expr::Column {
+            table: qualifier.map(str::to_string),
+            column: cdef.name.clone(),
+        };
+        let h = humanize(&cdef.name);
+        match (&cdef.ty, value) {
+            (ColumnType::Text, Value::Text(s)) => {
+                if rng.gen_bool(0.2) && s.len() > 3 {
+                    let frag: String = s.chars().take(3).collect();
+                    let pat = format!("%{frag}%");
+                    Some((
+                        Expr::Like {
+                            expr: Box::new(colref),
+                            negated: false,
+                            pattern: Box::new(Expr::str(pat)),
+                        },
+                        format!("the {h} contains '{frag}'"),
+                    ))
+                } else {
+                    Some((
+                        Expr::binary(BinOp::Eq, colref, Expr::str(s.clone())),
+                        format!("the {h} is '{s}'"),
+                    ))
+                }
+            }
+            (_, v) => {
+                let ops = [">", "<", ">=", "<=", "="];
+                let op_s = ops[rng.gen_range(0..ops.len())];
+                let op = match op_s {
+                    ">" => BinOp::Gt,
+                    "<" => BinOp::Lt,
+                    ">=" => BinOp::GtEq,
+                    "<=" => BinOp::LtEq,
+                    _ => BinOp::Eq,
+                };
+                let lit = match &v {
+                    Value::Int(i) => Expr::int(*i),
+                    Value::Real(r) => Expr::Literal(Literal::Float(*r)),
+                    Value::Text(s) => Expr::str(s.clone()),
+                    Value::Null => return None,
+                };
+                let phrase = comparator_phrases(op_s)[0];
+                let rendered = v.render();
+                let nl = if phrase.is_empty() {
+                    format!("the {h} is {rendered}")
+                } else {
+                    format!("the {h} is {phrase} {rendered}")
+                };
+                Some((Expr::binary(op, colref, lit), nl))
+            }
+        }
+    }
+
+    /// Find a FK edge: (child table, fk column name, parent table).
+    fn fk_edges(&self) -> Vec<(String, String, String)> {
+        let mut edges = Vec::new();
+        for t in self.db.database.tables() {
+            for fk in &t.schema.foreign_keys {
+                edges.push((
+                    t.schema.name.clone(),
+                    t.schema.columns[fk.column].name.clone(),
+                    fk.ref_table.clone(),
+                ));
+            }
+        }
+        edges
+    }
+
+    fn table_info(&self, name: &str) -> TableInfo<'a> {
+        let t = self.db.database.table(name).expect("table exists");
+        TableInfo { name: &t.schema.name, table: t }
+    }
+
+    // ---- recipes ----
+
+    fn simple_select(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let col = self.pick_column(&t, None, rng)?;
+        let cname = &t.table.schema.columns[col].name;
+        let distinct = rng.gen_bool(0.2);
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::col(cname.clone()))]);
+        core.distinct = distinct;
+        core.from = Some(FromClause::table(t.name));
+        let parts = NlParts {
+            selection: format!(
+                "{}the {}",
+                if distinct { "the distinct values of " } else { "" },
+                humanize(cname)
+            ),
+            subject: plural(t.name),
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+
+    fn count_all(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::AggWildcard(AggFunc::Count))]);
+        core.from = Some(FromClause::table(t.name));
+        let mut parts = NlParts {
+            selection: "the number".into(),
+            subject: plural(t.name),
+            ..Default::default()
+        };
+        if rng.gen_bool(0.5) {
+            if let Some((cond, nl)) = self.condition(&t, None, rng) {
+                core.where_clause = Some(cond);
+                parts.conditions.push(nl);
+            }
+        }
+        Some((Query::simple(core), parts))
+    }
+
+    fn filter_select(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let col = self.pick_column(&t, None, rng)?;
+        let cname = t.table.schema.columns[col].name.clone();
+        let (cond, nl) = self.condition(&t, None, rng)?;
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::col(cname.clone()))]);
+        core.from = Some(FromClause::table(t.name));
+        core.where_clause = Some(cond);
+        let parts = NlParts {
+            selection: format!("the {}", humanize(&cname)),
+            subject: plural(t.name),
+            conditions: vec![nl],
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+
+    fn multi_col_filter(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let c1 = self.pick_column(&t, None, rng)?;
+        let c2 = self.pick_column(&t, None, rng)?;
+        if c1 == c2 {
+            return None;
+        }
+        let n1 = t.table.schema.columns[c1].name.clone();
+        let n2 = t.table.schema.columns[c2].name.clone();
+        let (cond1, nl1) = self.condition(&t, None, rng)?;
+        let mut core = SelectCore::new(vec![
+            SelectItem::expr(Expr::col(n1.clone())),
+            SelectItem::expr(Expr::col(n2.clone())),
+        ]);
+        core.from = Some(FromClause::table(t.name));
+        let mut conditions = vec![nl1];
+        let mut where_clause = cond1;
+        if rng.gen_bool(0.5) {
+            if let Some((cond2, nl2)) = self.condition(&t, None, rng) {
+                let op = if rng.gen_bool(0.25) { BinOp::Or } else { BinOp::And };
+                if op == BinOp::Or {
+                    let last = conditions.pop().expect("one condition present");
+                    conditions.push(format!("{last} or {nl2}"));
+                } else {
+                    conditions.push(nl2);
+                }
+                where_clause = Expr::binary(op, where_clause, cond2);
+            }
+        }
+        core.where_clause = Some(where_clause);
+        let parts = NlParts {
+            selection: format!("the {} and the {}", humanize(&n1), humanize(&n2)),
+            subject: plural(t.name),
+            conditions,
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+
+    fn order_limit(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let sel = self.pick_column(&t, None, rng)?;
+        let key = self.pick_numeric_column(&t, rng)?;
+        let sname = t.table.schema.columns[sel].name.clone();
+        let kname = t.table.schema.columns[key].name.clone();
+        let desc = rng.gen_bool(0.6);
+        let limit = rng.gen_range(1..=5u64);
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::col(sname.clone()))]);
+        core.from = Some(FromClause::table(t.name));
+        let query = Query {
+            body: core,
+            set_ops: vec![],
+            order_by: vec![OrderKey { expr: Expr::col(kname.clone()), desc }],
+            limit: Some(Limit { count: limit, offset: 0 }),
+        };
+        let parts = NlParts {
+            selection: format!("the {}", humanize(&sname)),
+            subject: plural(t.name),
+            ordering: Some(format!(
+                "sorted by {} from {}",
+                humanize(&kname),
+                if desc { "highest to lowest" } else { "lowest to highest" }
+            )),
+            limit: Some(format!("return only the top {limit}")),
+            ..Default::default()
+        };
+        Some((query, parts))
+    }
+
+    fn group_count(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let g = self.pick_column(&t, Some(ColumnType::Text), rng)?;
+        let gname = t.table.schema.columns[g].name.clone();
+        let mut core = SelectCore::new(vec![
+            SelectItem::expr(Expr::col(gname.clone())),
+            SelectItem::expr(Expr::AggWildcard(AggFunc::Count)),
+        ]);
+        core.from = Some(FromClause::table(t.name));
+        core.group_by = vec![Expr::col(gname.clone())];
+        let parts = NlParts {
+            selection: format!("each {} and the number", humanize(&gname)),
+            subject: plural(t.name),
+            grouping: Some(format!("for each {}", humanize(&gname))),
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+
+    /// Shared machinery for join recipes. `filter` adds WHERE; `group` adds
+    /// GROUP BY + COUNT(*).
+    fn join_select(
+        &self,
+        rng: &mut StdRng,
+        filter: bool,
+        group: bool,
+    ) -> Option<(Query, NlParts)> {
+        let edges = self.fk_edges();
+        if edges.is_empty() {
+            return None;
+        }
+        let (child, fk_col, parent) = edges[rng.gen_range(0..edges.len())].clone();
+        let ct = self.table_info(&child);
+        let pt = self.table_info(&parent);
+        // select one column from each side, qualified with aliases
+        let pc = self.pick_column(&pt, None, rng)?;
+        let pname = pt.table.schema.columns[pc].name.clone();
+
+        let from = FromClause {
+            base: TableRef::Named { name: child.clone(), alias: Some("T1".into()) },
+            joins: vec![Join {
+                kind: JoinKind::Inner,
+                table: TableRef::Named { name: parent.clone(), alias: Some("T2".into()) },
+                on: Some(Expr::binary(
+                    BinOp::Eq,
+                    Expr::qcol("T1", fk_col.clone()),
+                    Expr::qcol("T2", "id"),
+                )),
+            }],
+        };
+
+        let mut parts = NlParts {
+            subject: format!("{} and their {}", plural(&child), plural(&parent)),
+            ..Default::default()
+        };
+
+        let mut core;
+        if group {
+            core = SelectCore::new(vec![
+                SelectItem::Expr {
+                    expr: Expr::qcol("T2", pname.clone()),
+                    alias: None,
+                },
+                SelectItem::expr(Expr::AggWildcard(AggFunc::Count)),
+            ]);
+            core.group_by = vec![Expr::qcol("T2", pname.clone())];
+            parts.selection = format!("each {} and the number of {}", humanize(&pname), plural(&child));
+            parts.grouping = Some(format!("for each {}", humanize(&pname)));
+        } else {
+            let cc = self.pick_column(&ct, None, rng)?;
+            let cname = ct.table.schema.columns[cc].name.clone();
+            core = SelectCore::new(vec![
+                SelectItem::expr(Expr::qcol("T1", cname.clone())),
+                SelectItem::expr(Expr::qcol("T2", pname.clone())),
+            ]);
+            parts.selection =
+                format!("the {} and the {}", humanize(&cname), humanize(&pname));
+        }
+        core.from = Some(from);
+        if filter {
+            let side = rng.gen_bool(0.5);
+            let (ti, alias) = if side { (&ct, "T1") } else { (&pt, "T2") };
+            let (cond, nl) = self.condition(ti, Some(alias), rng)?;
+            core.where_clause = Some(cond);
+            parts.conditions.push(nl);
+        }
+        Some((Query::simple(core), parts))
+    }
+
+    fn scalar_subquery(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let num = self.pick_numeric_column(&t, rng)?;
+        let sel = self.pick_column(&t, None, rng)?;
+        let nname = t.table.schema.columns[num].name.clone();
+        let sname = t.table.schema.columns[sel].name.clone();
+        let agg = if rng.gen_bool(0.7) { AggFunc::Avg } else { AggFunc::Max };
+        let mut sub_core = SelectCore::new(vec![SelectItem::expr(Expr::Agg {
+            func: agg,
+            distinct: false,
+            arg: Box::new(Expr::col(nname.clone())),
+        })]);
+        sub_core.from = Some(FromClause::table(t.name));
+        let op = if agg == AggFunc::Max { BinOp::GtEq } else { BinOp::Gt };
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::col(sname.clone()))]);
+        core.from = Some(FromClause::table(t.name));
+        core.where_clause = Some(Expr::binary(
+            op,
+            Expr::col(nname.clone()),
+            Expr::Subquery(Box::new(Query::simple(sub_core))),
+        ));
+        let agg_nl = match agg {
+            AggFunc::Avg => "average",
+            AggFunc::Max => "maximum",
+            _ => "aggregate",
+        };
+        let parts = NlParts {
+            selection: format!("the {}", humanize(&sname)),
+            subject: plural(t.name),
+            conditions: vec![format!(
+                "the {} is {} the {agg_nl} {} over all {}",
+                humanize(&nname),
+                if op == BinOp::Gt { "greater than" } else { "at least" },
+                humanize(&nname),
+                plural(t.name)
+            )],
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+
+    fn in_subquery(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let edges = self.fk_edges();
+        if edges.is_empty() {
+            return None;
+        }
+        let (child, fk_col, parent) = edges[rng.gen_range(0..edges.len())].clone();
+        let ct = self.table_info(&child);
+        let pt = self.table_info(&parent);
+        let sel = self.pick_column(&pt, None, rng)?;
+        let sname = pt.table.schema.columns[sel].name.clone();
+        let negated = rng.gen_bool(0.35);
+
+        let mut sub_core =
+            SelectCore::new(vec![SelectItem::expr(Expr::col(fk_col.clone()))]);
+        sub_core.from = Some(FromClause::table(&child));
+        let mut sub_nl = format!("appear in the {}", plural(&child));
+        if rng.gen_bool(0.5) {
+            if let Some((cond, nl)) = self.condition(&ct, None, rng) {
+                sub_core.where_clause = Some(cond);
+                sub_nl = format!("appear in the {} where {}", plural(&child), nl);
+            }
+        }
+
+        let mut core = SelectCore::new(vec![SelectItem::expr(Expr::col(sname.clone()))]);
+        core.from = Some(FromClause::table(&parent));
+        let in_pred = Expr::InSubquery {
+            expr: Box::new(Expr::col("id")),
+            negated,
+            query: Box::new(Query::simple(sub_core)),
+        };
+        let mut parts = NlParts {
+            selection: format!("the {}", humanize(&sname)),
+            subject: plural(&parent),
+            conditions: vec![format!(
+                "they {}{}",
+                if negated { "do not " } else { "" },
+                sub_nl
+            )],
+            ..Default::default()
+        };
+        // Optionally harden: an extra outer condition and/or ORDER BY+LIMIT
+        // push the query into Spider's Extra bucket.
+        let mut where_clause = in_pred;
+        if rng.gen_bool(0.5) {
+            if let Some((cond, nl)) = self.condition(&pt, None, rng) {
+                where_clause = Expr::binary(BinOp::And, where_clause, cond);
+                parts.conditions.push(nl);
+            }
+        }
+        core.where_clause = Some(where_clause);
+        let mut query = Query::simple(core);
+        if rng.gen_bool(0.4) {
+            if let Some(key) = self.pick_numeric_column(&pt, rng) {
+                let kname = pt.table.schema.columns[key].name.clone();
+                let desc = rng.gen_bool(0.5);
+                let limit = rng.gen_range(1..=5u64);
+                query.order_by = vec![OrderKey { expr: Expr::col(kname.clone()), desc }];
+                query.limit = Some(Limit { count: limit, offset: 0 });
+                parts.ordering = Some(format!(
+                    "sorted by {} from {}",
+                    humanize(&kname),
+                    if desc { "highest to lowest" } else { "lowest to highest" }
+                ));
+                parts.limit = Some(format!("return only the top {limit}"));
+            }
+        }
+        Some((query, parts))
+    }
+
+    fn group_having_order(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let g = self.pick_column(&t, Some(ColumnType::Text), rng)?;
+        let gname = t.table.schema.columns[g].name.clone();
+        let threshold = rng.gen_range(1..=3i64);
+        let mut core = SelectCore::new(vec![
+            SelectItem::expr(Expr::col(gname.clone())),
+            SelectItem::expr(Expr::AggWildcard(AggFunc::Count)),
+        ]);
+        core.from = Some(FromClause::table(t.name));
+        core.group_by = vec![Expr::col(gname.clone())];
+        core.having = Some(Expr::binary(
+            BinOp::Gt,
+            Expr::AggWildcard(AggFunc::Count),
+            Expr::int(threshold),
+        ));
+        let limit = rng.gen_range(1..=5u64);
+        let query = Query {
+            body: core,
+            set_ops: vec![],
+            order_by: vec![OrderKey { expr: Expr::AggWildcard(AggFunc::Count), desc: true }],
+            limit: Some(Limit { count: limit, offset: 0 }),
+        };
+        let parts = NlParts {
+            selection: format!("each {} and its count", humanize(&gname)),
+            subject: plural(t.name),
+            grouping: Some(format!("for each {}", humanize(&gname))),
+            conditions: vec![format!("the count is greater than {threshold}")],
+            ordering: Some("sorted by the count from highest to lowest".into()),
+            limit: Some(format!("return only the top {limit}")),
+            ..Default::default()
+        };
+        Some((query, parts))
+    }
+
+    fn multi_join_complex(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        // chain two FK edges sharing a table
+        let edges = self.fk_edges();
+        for _ in 0..8 {
+            if edges.len() < 2 {
+                return None;
+            }
+            let e1 = &edges[rng.gen_range(0..edges.len())];
+            // find a second edge touching e1's parent or child
+            let second: Vec<&(String, String, String)> = edges
+                .iter()
+                .filter(|e2| {
+                    *e2 != e1
+                        && (e2.0 == e1.2 || e2.2 == e1.2 || e2.0 == e1.0 && e2.2 != e1.2)
+                })
+                .collect();
+            if second.is_empty() {
+                continue;
+            }
+            let e2 = second[rng.gen_range(0..second.len())];
+
+            // layout: T1 = e1.child, T2 = e1.parent; T3 joins against T1/T2
+            let (t3_name, on3) = if e2.0 == e1.2 {
+                // e1.parent has fk e2 to e2.parent? no: e2.child == e1.parent
+                (
+                    e2.2.clone(),
+                    Expr::binary(
+                        BinOp::Eq,
+                        Expr::qcol("T2", e2.1.clone()),
+                        Expr::qcol("T3", "id"),
+                    ),
+                )
+            } else if e2.2 == e1.2 {
+                // another child of the same parent
+                (
+                    e2.0.clone(),
+                    Expr::binary(
+                        BinOp::Eq,
+                        Expr::qcol("T3", e2.1.clone()),
+                        Expr::qcol("T2", "id"),
+                    ),
+                )
+            } else {
+                // same child, different parent
+                (
+                    e2.2.clone(),
+                    Expr::binary(
+                        BinOp::Eq,
+                        Expr::qcol("T1", e2.1.clone()),
+                        Expr::qcol("T3", "id"),
+                    ),
+                )
+            };
+            if t3_name == e1.0 || t3_name == e1.2 {
+                continue;
+            }
+
+            let ct = self.table_info(&e1.0);
+            let pt = self.table_info(&e1.2);
+            let pc = self.pick_column(&pt, Some(ColumnType::Text), rng)
+                .or_else(|| self.pick_column(&pt, None, rng))?;
+            let pname = pt.table.schema.columns[pc].name.clone();
+
+            let from = FromClause {
+                base: TableRef::Named { name: e1.0.clone(), alias: Some("T1".into()) },
+                joins: vec![
+                    Join {
+                        kind: JoinKind::Inner,
+                        table: TableRef::Named { name: e1.2.clone(), alias: Some("T2".into()) },
+                        on: Some(Expr::binary(
+                            BinOp::Eq,
+                            Expr::qcol("T1", e1.1.clone()),
+                            Expr::qcol("T2", "id"),
+                        )),
+                    },
+                    Join {
+                        kind: JoinKind::Inner,
+                        table: TableRef::Named { name: t3_name.clone(), alias: Some("T3".into()) },
+                        on: Some(on3),
+                    },
+                ],
+            };
+            let mut core = SelectCore::new(vec![
+                SelectItem::expr(Expr::qcol("T2", pname.clone())),
+                SelectItem::expr(Expr::AggWildcard(AggFunc::Count)),
+            ]);
+            core.from = Some(from);
+            core.group_by = vec![Expr::qcol("T2", pname.clone())];
+            let mut parts = NlParts {
+                selection: format!("each {} and the number of linked records", humanize(&pname)),
+                subject: format!(
+                    "{}, their {} and the related {}",
+                    plural(&e1.0),
+                    plural(&e1.2),
+                    plural(&t3_name)
+                ),
+                grouping: Some(format!("for each {}", humanize(&pname))),
+                ..Default::default()
+            };
+            if let Some((cond, nl)) = self.condition(&ct, Some("T1"), rng) {
+                core.where_clause = Some(cond);
+                parts.conditions.push(nl);
+            }
+            let query = Query {
+                body: core,
+                set_ops: vec![],
+                order_by: vec![OrderKey {
+                    expr: Expr::AggWildcard(AggFunc::Count),
+                    desc: true,
+                }],
+                limit: if rng.gen_bool(0.6) {
+                    Some(Limit { count: rng.gen_range(1..=5), offset: 0 })
+                } else {
+                    None
+                },
+            };
+            let mut parts = parts;
+            parts.ordering = Some("sorted by the count from highest to lowest".into());
+            if let Some(l) = query.limit {
+                parts.limit = Some(format!("return only the top {}", l.count));
+            }
+            return Some((query, parts));
+        }
+        None
+    }
+
+    fn set_op(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let sel = self.pick_column(&t, None, rng)?;
+        let sname = t.table.schema.columns[sel].name.clone();
+        let (c1, nl1) = self.condition(&t, None, rng)?;
+        let (c2, nl2) = self.condition(&t, None, rng)?;
+        let op = match rng.gen_range(0..3) {
+            0 => SetOp::Union,
+            1 => SetOp::Intersect,
+            _ => SetOp::Except,
+        };
+        let mut left = SelectCore::new(vec![SelectItem::expr(Expr::col(sname.clone()))]);
+        left.from = Some(FromClause::table(t.name));
+        left.where_clause = Some(c1);
+        let mut right = SelectCore::new(vec![SelectItem::expr(Expr::col(sname.clone()))]);
+        right.from = Some(FromClause::table(t.name));
+        right.where_clause = Some(c2);
+        let query = Query {
+            body: left,
+            set_ops: vec![(op, right)],
+            order_by: vec![],
+            limit: None,
+        };
+        let joiner = match op {
+            SetOp::Union | SetOp::UnionAll => "or",
+            SetOp::Intersect => "and also",
+            SetOp::Except => "but not",
+        };
+        let parts = NlParts {
+            selection: format!("the {}", humanize(&sname)),
+            subject: plural(t.name),
+            conditions: vec![format!("{nl1} {joiner} {nl2}")],
+            ..Default::default()
+        };
+        Some((query, parts))
+    }
+
+    fn case_projection(&self, rng: &mut StdRng) -> Option<(Query, NlParts)> {
+        let t = self.pick_table(rng);
+        let num = self.pick_numeric_column(&t, rng)?;
+        let sel = self.pick_column(&t, Some(ColumnType::Text), rng)?;
+        let nname = t.table.schema.columns[num].name.clone();
+        let sname = t.table.schema.columns[sel].name.clone();
+        let threshold = self.sample_value(&t, num, rng)?;
+        let lit = match &threshold {
+            Value::Int(i) => Expr::int(*i),
+            Value::Real(r) => Expr::Literal(Literal::Float(*r)),
+            _ => return None,
+        };
+        let cond = Expr::binary(BinOp::Gt, Expr::col(nname.clone()), lit);
+        let case = if self.bird_flavor && rng.gen_bool(0.5) {
+            Expr::Func {
+                name: "IIF".into(),
+                args: vec![cond, Expr::str("high"), Expr::str("low")],
+            }
+        } else {
+            Expr::Case {
+                operand: None,
+                branches: vec![(cond, Expr::str("high"))],
+                else_expr: Some(Box::new(Expr::str("low"))),
+            }
+        };
+        let mut core = SelectCore::new(vec![
+            SelectItem::expr(Expr::col(sname.clone())),
+            SelectItem::Expr { expr: case, alias: Some("bucket".into()) },
+        ]);
+        core.from = Some(FromClause::table(t.name));
+        let parts = NlParts {
+            selection: format!(
+                "the {} and whether the {} is above {}",
+                humanize(&sname),
+                humanize(&nname),
+                threshold.render()
+            ),
+            subject: plural(t.name),
+            ..Default::default()
+        };
+        Some((Query::simple(core), parts))
+    }
+}
+
+/// Naive pluralization for table names used in NL ("singer" → "singers").
+pub fn plural(noun: &str) -> String {
+    let h = humanize(noun);
+    if h.ends_with('s') || h.ends_with("sh") || h.ends_with("ch") || h.ends_with('x') {
+        format!("{h}es")
+    } else if h.ends_with('y') && !h.ends_with("ay") && !h.ends_with("ey") && !h.ends_with("oy")
+    {
+        format!("{}ies", &h[..h.len() - 1])
+    } else {
+        format!("{h}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{generate_db, SchemaProfile};
+    use crate::domains::domain_by_name;
+    use rand::SeedableRng;
+
+    fn gen_db() -> GeneratedDb {
+        generate_db(
+            "college_0",
+            domain_by_name("College").unwrap(),
+            &SchemaProfile::spider(),
+            11,
+        )
+    }
+
+    #[test]
+    fn every_recipe_eventually_produces_a_query() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        for recipe in Recipe::ALL {
+            let mut produced = false;
+            for seed in 0..40u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if qg.generate(recipe, &mut rng).is_some() {
+                    produced = true;
+                    break;
+                }
+            }
+            assert!(produced, "{recipe:?} never produced a query");
+        }
+    }
+
+    #[test]
+    fn generated_sql_parses_and_executes() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        let mut executed = 0;
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let recipe = Recipe::ALL[(seed as usize) % Recipe::ALL.len()];
+            if let Some(g) = qg.generate(recipe, &mut rng) {
+                let reparsed = sqlkit::parse_query(&g.sql)
+                    .unwrap_or_else(|e| panic!("{:?}: `{}`: {e}", recipe, g.sql));
+                assert_eq!(reparsed, g.query, "print/parse roundtrip");
+                db.database
+                    .run_query(&g.query)
+                    .unwrap_or_else(|e| panic!("{:?}: `{}` failed: {e}", recipe, g.sql));
+                executed += 1;
+            }
+        }
+        assert!(executed > 30, "only {executed} queries executed");
+    }
+
+    #[test]
+    fn recipes_cover_all_hardness_buckets() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        let mut buckets = std::collections::HashSet::new();
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let recipe = Recipe::ALL[(seed as usize) % Recipe::ALL.len()];
+            if let Some(g) = qg.generate(recipe, &mut rng) {
+                buckets.insert(g.hardness);
+            }
+        }
+        for h in Hardness::ALL {
+            assert!(buckets.contains(&h), "missing hardness {h}");
+        }
+    }
+
+    #[test]
+    fn recipes_cover_key_sql_characteristics() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        let (mut subq, mut join, mut order, mut logic) = (0, 0, 0, 0);
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let recipe = Recipe::ALL[(seed as usize) % Recipe::ALL.len()];
+            if let Some(g) = qg.generate(recipe, &mut rng) {
+                let f = sqlkit::SqlFeatures::of(&g.query);
+                subq += usize::from(f.has_subquery());
+                join += usize::from(f.has_join());
+                order += usize::from(f.has_order_by());
+                logic += usize::from(f.has_logical_connector());
+            }
+        }
+        assert!(subq > 10, "subqueries: {subq}");
+        assert!(join > 10, "joins: {join}");
+        assert!(order > 10, "order by: {order}");
+        assert!(logic > 5, "logical connectors: {logic}");
+    }
+
+    #[test]
+    fn nl_parts_are_filled() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = qg.generate(Recipe::FilterSelect, &mut rng).unwrap();
+        assert!(!g.parts.selection.is_empty());
+        assert!(!g.parts.subject.is_empty());
+        assert!(!g.parts.conditions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let db = gen_db();
+        let qg = QueryGenerator::new(&db);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let ga = qg.generate(Recipe::GroupHavingOrder, &mut a).unwrap();
+        let gb = qg.generate(Recipe::GroupHavingOrder, &mut b).unwrap();
+        assert_eq!(ga.sql, gb.sql);
+    }
+
+    #[test]
+    fn pluralization() {
+        assert_eq!(plural("singer"), "singers");
+        assert_eq!(plural("match"), "matches");
+        assert_eq!(plural("city"), "cities");
+        assert_eq!(plural("bus"), "buses");
+        assert_eq!(plural("case_record"), "case records");
+    }
+}

@@ -1,0 +1,126 @@
+//! Dataset statistics — the paper's Table 2.
+//!
+//! Computes per-database shape statistics (tables, columns, columns per
+//! table, primary keys, foreign keys) with Min/Max/Avg aggregation over a
+//! set of databases, matching the columns of Table 2 ("Spider vs. BIRD
+//! Dataset Statistics").
+
+use crate::dbgen::GeneratedDb;
+use serde::{Deserialize, Serialize};
+
+/// Min / Max / Avg triple over a per-database quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxAvg {
+    /// Minimum over databases.
+    pub min: f64,
+    /// Maximum over databases.
+    pub max: f64,
+    /// Mean over databases.
+    pub avg: f64,
+}
+
+impl MinMaxAvg {
+    fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "statistics over empty set");
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        Self { min, max, avg }
+    }
+}
+
+impl std::fmt::Display for MinMaxAvg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:>4} {:>5} {:>6.1}", self.min, self.max, self.avg)
+    }
+}
+
+/// One row of Table 2: shape statistics over a database split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Tables per database.
+    pub tables_per_db: MinMaxAvg,
+    /// Columns per database (summed over tables).
+    pub columns_per_db: MinMaxAvg,
+    /// Columns per table (averaged within each database first).
+    pub columns_per_table: MinMaxAvg,
+    /// Primary keys per database.
+    pub pks_per_db: MinMaxAvg,
+    /// Foreign keys per database.
+    pub fks_per_db: MinMaxAvg,
+}
+
+/// Compute Table 2 statistics over a set of databases.
+pub fn dataset_stats<'a>(dbs: impl IntoIterator<Item = &'a GeneratedDb>) -> DatasetStats {
+    let mut tables = Vec::new();
+    let mut columns = Vec::new();
+    let mut cols_per_table = Vec::new();
+    let mut pks = Vec::new();
+    let mut fks = Vec::new();
+    for g in dbs {
+        let db = &g.database;
+        let n_tables = db.table_count();
+        let n_columns: usize = db.tables().map(|t| t.schema.columns.len()).sum();
+        let n_pks: usize = db.tables().filter(|t| !t.schema.primary_key.is_empty()).count();
+        let n_fks: usize = db.tables().map(|t| t.schema.foreign_keys.len()).sum();
+        tables.push(n_tables as f64);
+        columns.push(n_columns as f64);
+        cols_per_table.push(n_columns as f64 / n_tables as f64);
+        pks.push(n_pks as f64);
+        fks.push(n_fks as f64);
+    }
+    DatasetStats {
+        tables_per_db: MinMaxAvg::of(&tables),
+        columns_per_db: MinMaxAvg::of(&columns),
+        columns_per_table: MinMaxAvg::of(&cols_per_table),
+        pks_per_db: MinMaxAvg::of(&pks),
+        fks_per_db: MinMaxAvg::of(&fks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{generate_db, SchemaProfile};
+    use crate::domains::domain_by_name;
+
+    fn dbs(profile: &SchemaProfile, n: usize) -> Vec<GeneratedDb> {
+        let dom = domain_by_name("Finance").unwrap();
+        (0..n)
+            .map(|i| generate_db(format!("db{i}"), dom, profile, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn min_max_avg_basics() {
+        let m = MinMaxAvg::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 3.0);
+        assert!((m.avg - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_respect_profile_bounds() {
+        let p = SchemaProfile::spider();
+        let v = dbs(&p, 15);
+        let s = dataset_stats(v.iter());
+        assert!(s.tables_per_db.min >= p.tables_min as f64);
+        assert!(s.tables_per_db.max <= p.tables_max as f64);
+        assert!(s.pks_per_db.min >= 1.0, "every table has a PK");
+    }
+
+    #[test]
+    fn bird_bigger_than_spider_like_table2() {
+        let s = dataset_stats(dbs(&SchemaProfile::spider(), 15).iter());
+        let b = dataset_stats(dbs(&SchemaProfile::bird(), 15).iter());
+        assert!(b.columns_per_db.avg > s.columns_per_db.avg);
+        assert!(b.columns_per_table.avg > s.columns_per_table.avg);
+        assert!(b.fks_per_db.avg > s.fks_per_db.avg);
+    }
+
+    #[test]
+    #[should_panic(expected = "statistics over empty set")]
+    fn empty_set_panics() {
+        let _ = dataset_stats(std::iter::empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the benchmark generator: across arbitrary
+//! seeds, every recipe's output must parse, execute, classify, and
+//! round-trip; corpora must keep their invariants under perturbation and
+//! augmentation.
+
+use datagen::{
+    augment_corpus, generate_corpus, generate_db, perturb_corpus, CorpusConfig, CorpusKind,
+    Perturbation, QueryGenerator, Recipe, SchemaProfile, DOMAINS,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // corpus-level cases are expensive; keep the count modest
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every query any recipe produces, on any database, parses back from
+    /// its printed SQL and executes on its database.
+    #[test]
+    fn recipes_produce_valid_sql_for_any_seed(seed in any::<u64>(), domain_idx in 0usize..33) {
+        let domain = datagen::DomainId(domain_idx);
+        let db = generate_db("pdb", domain, &SchemaProfile::spider(), seed);
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        for recipe in Recipe::ALL {
+            if let Some(g) = qg.generate(recipe, &mut rng) {
+                let reparsed = sqlkit::parse_query(&g.sql)
+                    .unwrap_or_else(|e| panic!("{recipe:?}: `{}`: {e}", g.sql));
+                prop_assert_eq!(&reparsed, &g.query);
+                db.database
+                    .run_query(&g.query)
+                    .unwrap_or_else(|e| panic!("{recipe:?}: `{}`: {e}", g.sql));
+            }
+        }
+    }
+
+    /// Tiny corpora keep their invariants for any seed: split sizes, gold
+    /// executability, unique ids, variant non-emptiness.
+    #[test]
+    fn corpus_invariants_for_any_seed(seed in any::<u64>()) {
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(seed));
+        prop_assert_eq!(c.dev.len(), 60);
+        prop_assert_eq!(c.train.len(), 120);
+        for (i, s) in c.dev.iter().enumerate() {
+            prop_assert_eq!(s.id, i);
+            prop_assert!(!s.variants.is_empty());
+            prop_assert!(s.perturbation.is_none());
+            c.db(s).database.run_query(&s.query)
+                .unwrap_or_else(|e| panic!("gold `{}`: {e}", s.sql));
+        }
+    }
+
+    /// Perturbations preserve gold executability and tag every dev sample.
+    #[test]
+    fn perturbations_preserve_gold(seed in any::<u64>(), kind_idx in 0usize..3) {
+        let kind = Perturbation::ALL[kind_idx];
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(seed));
+        let p = perturb_corpus(&c, kind, seed ^ 1);
+        for s in &p.dev {
+            prop_assert_eq!(s.perturbation, Some(kind));
+            p.db(s).database.run_query(&s.query)
+                .unwrap_or_else(|e| panic!("{kind:?} gold `{}`: {e}", s.sql));
+        }
+    }
+
+    /// Augmentation grows exactly the requested split and keeps it valid.
+    #[test]
+    fn augmentation_invariants(seed in any::<u64>(), domain_idx in 0usize..33, extra in 1usize..4) {
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(seed));
+        let domain = datagen::DomainId(domain_idx);
+        let a = augment_corpus(&c, domain, extra, 5, seed ^ 2);
+        prop_assert_eq!(a.train.len(), c.train.len() + extra * 5);
+        prop_assert_eq!(a.dev.len(), c.dev.len());
+        prop_assert_eq!(a.train_db_ids.len(), c.train_db_ids.len() + extra);
+        for s in a.train.iter().skip(c.train.len()) {
+            prop_assert_eq!(s.domain, domain);
+            a.db(s).database.run_query(&s.query)
+                .unwrap_or_else(|e| panic!("augmented gold `{}`: {e}", s.sql));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Database generation never panics and respects profile bounds for any
+    /// seed/domain combination.
+    #[test]
+    fn db_generation_total(seed in any::<u64>(), domain_idx in 0usize..33, bird in any::<bool>()) {
+        let profile = if bird { SchemaProfile::bird() } else { SchemaProfile::spider() };
+        let db = generate_db("db", datagen::DomainId(domain_idx), &profile, seed);
+        let n = db.database.table_count();
+        prop_assert!(n >= profile.tables_min && n <= profile.tables_max);
+        for t in db.database.tables() {
+            prop_assert!(!t.rows.is_empty());
+            prop_assert_eq!(t.schema.primary_key.as_slice(), &[0][..]);
+        }
+        let _ = DOMAINS[domain_idx].name;
+    }
+
+    /// NL rendering is total and deterministic for any seed.
+    #[test]
+    fn nl_rendering_total(seed in any::<u64>()) {
+        use datagen::nl::{paraphrase_key, render_variants, NlParts};
+        let parts = NlParts {
+            selection: "the name".into(),
+            subject: "items".into(),
+            conditions: vec!["the value is greater than 3".into()],
+            grouping: None,
+            ordering: None,
+            limit: None,
+        };
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let va = render_variants(&parts, 4, &mut a);
+        let vb = render_variants(&parts, 4, &mut b);
+        prop_assert_eq!(&va, &vb);
+        let keys: Vec<String> = va.iter().map(|v| paraphrase_key(v)).collect();
+        for k in &keys {
+            prop_assert_eq!(k, &keys[0]);
+        }
+    }
+}

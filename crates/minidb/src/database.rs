@@ -1,0 +1,238 @@
+//! Database catalog and storage.
+
+use crate::error::{ExecError, ExecResult};
+use crate::result::ResultSet;
+use crate::schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One stored table: schema plus row data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table schema.
+    pub schema: TableSchema,
+    /// Row-major data; every row has `schema.columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An in-memory database: a named collection of tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), tables: BTreeMap::new() }
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register a table (schema + rows). Fails on duplicate names or rows
+    /// whose width disagrees with the schema.
+    pub fn add_table(&mut self, table: Table) -> ExecResult<()> {
+        let key = table.schema.name.to_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(ExecError::DuplicateTable(table.schema.name.clone()));
+        }
+        let width = table.schema.columns.len();
+        for (i, row) in table.rows.iter().enumerate() {
+            if row.len() != width {
+                return Err(ExecError::Arity(format!(
+                    "table {} row {} has {} values, schema has {} columns",
+                    table.schema.name,
+                    i,
+                    row.len(),
+                    width
+                )));
+            }
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> ExecResult<&Table> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| ExecError::UnknownTable(name.to_string()))
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Append rows to an existing table.
+    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> ExecResult<()> {
+        let t = self
+            .tables
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| ExecError::UnknownTable(table.to_string()))?;
+        let width = t.schema.columns.len();
+        for row in &rows {
+            if row.len() != width {
+                return Err(ExecError::Arity(format!(
+                    "insert into {table}: row width {} != {width}",
+                    row.len()
+                )));
+            }
+        }
+        t.rows.extend(rows);
+        Ok(())
+    }
+
+    /// Parse and execute a SELECT statement.
+    pub fn run(&self, sql: &str) -> ExecResult<ResultSet> {
+        let query = sqlkit::parse_query(sql)?;
+        crate::exec::execute(self, &query)
+    }
+
+    /// Execute an already-parsed query.
+    pub fn run_query(&self, query: &sqlkit::Query) -> ExecResult<ResultSet> {
+        crate::exec::execute(self, query)
+    }
+
+    /// All `CREATE TABLE` statements, for prompt construction.
+    pub fn schema_sql(&self) -> String {
+        let mut out = String::new();
+        for t in self.tables.values() {
+            out.push_str(&t.schema.create_table_sql());
+            out.push_str("\n\n");
+        }
+        out
+    }
+}
+
+/// Fluent builder for tables, used heavily by tests and the data generator.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { schema: TableSchema::new(name, Vec::new()), rows: Vec::new() }
+    }
+
+    /// Add an INTEGER column.
+    pub fn column_int(mut self, name: impl Into<String>) -> Self {
+        self.schema.columns.push(ColumnDef::new(name, ColumnType::Integer));
+        self
+    }
+
+    /// Add a REAL column.
+    pub fn column_real(mut self, name: impl Into<String>) -> Self {
+        self.schema.columns.push(ColumnDef::new(name, ColumnType::Real));
+        self
+    }
+
+    /// Add a TEXT column.
+    pub fn column_text(mut self, name: impl Into<String>) -> Self {
+        self.schema.columns.push(ColumnDef::new(name, ColumnType::Text));
+        self
+    }
+
+    /// Declare the primary key by column names (unknown names are ignored).
+    pub fn primary_key(mut self, names: &[&str]) -> Self {
+        self.schema.primary_key =
+            names.iter().filter_map(|n| self.schema.column_index(n)).collect();
+        self
+    }
+
+    /// Declare a foreign key from `column` to `ref_table.ref_column`.
+    pub fn foreign_key(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        if let Some(idx) = self.schema.column_index(column) {
+            self.schema.foreign_keys.push(ForeignKey {
+                column: idx,
+                ref_table: ref_table.to_string(),
+                ref_column: ref_column.to_string(),
+            });
+        }
+        self
+    }
+
+    /// Append one row.
+    pub fn row(mut self, row: Vec<Value>) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Append many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Table {
+        Table { schema: self.schema, rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Database {
+        let mut db = Database::new("demo");
+        db.add_table(
+            TableBuilder::new("t")
+                .column_int("a")
+                .column_text("b")
+                .row(vec![Value::Int(1), Value::text("x")])
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = demo();
+        let t = TableBuilder::new("T").column_int("z").build();
+        assert!(matches!(db.add_table(t), Err(ExecError::DuplicateTable(_))));
+    }
+
+    #[test]
+    fn row_width_checked() {
+        let mut db = Database::new("d");
+        let t = TableBuilder::new("t").column_int("a").row(vec![]).build();
+        assert!(matches!(db.add_table(t), Err(ExecError::Arity(_))));
+    }
+
+    #[test]
+    fn insert_appends() {
+        let mut db = demo();
+        db.insert("t", vec![vec![Value::Int(2), Value::text("y")]]).unwrap();
+        assert_eq!(db.table("t").unwrap().rows.len(), 2);
+        assert!(db.insert("t", vec![vec![Value::Int(3)]]).is_err());
+        assert!(db.insert("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let db = demo();
+        assert!(db.table("T").is_ok());
+        assert!(matches!(db.table("u"), Err(ExecError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn schema_sql_lists_tables() {
+        let db = demo();
+        assert!(db.schema_sql().contains("CREATE TABLE t ("));
+    }
+}

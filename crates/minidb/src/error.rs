@@ -1,0 +1,79 @@
+//! Execution error type.
+
+use std::fmt;
+
+/// Result alias for execution.
+pub type ExecResult<T> = std::result::Result<T, ExecError>;
+
+/// An error raised while executing a query.
+///
+/// Predicted SQL from NL2SQL systems frequently references unknown columns or
+/// tables; such failures simply count as wrong under the EX metric, so the
+/// variants carry enough context for error analysis without aborting an
+/// evaluation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The SQL text failed to parse.
+    Parse(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in scope.
+    UnknownColumn(String),
+    /// A column reference matched more than one table in scope.
+    AmbiguousColumn(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Mismatched arity (inserted row width, set-operation widths, ...).
+    Arity(String),
+    /// Type error during evaluation (e.g. SUM over text).
+    Type(String),
+    /// Unsupported construct reached the executor.
+    Unsupported(String),
+    /// Scalar subquery returned more than one row/column.
+    CardinalityViolation(String),
+    /// Resource guard tripped (row budget exceeded; runaway cross joins).
+    ResourceExhausted(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Parse(m) => write!(f, "parse error: {m}"),
+            ExecError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            ExecError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            ExecError::DuplicateTable(t) => write!(f, "duplicate table: {t}"),
+            ExecError::Arity(m) => write!(f, "arity error: {m}"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ExecError::CardinalityViolation(m) => write!(f, "cardinality violation: {m}"),
+            ExecError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<sqlkit::Error> for ExecError {
+    fn from(e: sqlkit::Error) -> Self {
+        ExecError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(ExecError::UnknownTable("t".into()).to_string(), "unknown table: t");
+        assert_eq!(ExecError::UnknownColumn("c".into()).to_string(), "unknown column: c");
+    }
+
+    #[test]
+    fn from_parse_error() {
+        let pe = sqlkit::Error::new(3, "boom");
+        let ee: ExecError = pe.into();
+        assert!(matches!(ee, ExecError::Parse(_)));
+    }
+}

@@ -1,0 +1,719 @@
+//! Expression evaluation with scopes, three-valued logic, and aggregates.
+
+use crate::database::Database;
+use crate::error::{ExecError, ExecResult};
+use crate::value::Value;
+use sqlkit::ast::*;
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Shared execution counters: deterministic work units plus a budget guard
+/// against runaway cross joins in corrupted predictions.
+#[derive(Debug)]
+pub(crate) struct Counters {
+    work: Cell<u64>,
+    budget: u64,
+}
+
+impl Counters {
+    pub(crate) fn new(budget: u64) -> Self {
+        Self { work: Cell::new(0), budget }
+    }
+
+    /// Charge `n` work units; errors when the budget is exhausted.
+    pub(crate) fn charge(&self, n: u64) -> ExecResult<()> {
+        let w = self.work.get().saturating_add(n);
+        self.work.set(w);
+        if w > self.budget {
+            Err(ExecError::ResourceExhausted(format!("work budget {} exceeded", self.budget)))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn work(&self) -> u64 {
+        self.work.get()
+    }
+}
+
+/// One FROM binding: an optional binding name (table name or alias) and the
+/// column names it contributes, at `offset` within the concatenated row.
+#[derive(Debug, Clone)]
+pub(crate) struct Binding {
+    pub(crate) name: Option<String>,
+    pub(crate) columns: Vec<String>,
+    pub(crate) offset: usize,
+}
+
+/// A name-resolution scope: bindings + the current concatenated row, chained
+/// to an optional outer scope for correlated subqueries.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Scope<'a> {
+    pub(crate) bindings: &'a [Binding],
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Scope<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Resolve a (possibly qualified) column to its value, walking outward
+    /// through parent scopes.
+    fn resolve(&self, table: Option<&str>, column: &str) -> Option<Value> {
+        for b in self.bindings {
+            if let Some(t) = table {
+                let matches_binding =
+                    b.name.as_deref().map(|n| n.eq_ignore_ascii_case(t)).unwrap_or(false);
+                if !matches_binding {
+                    continue;
+                }
+            }
+            if let Some(ci) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(column)) {
+                return Some(self.row[b.offset + ci].clone());
+            }
+        }
+        self.parent.and_then(|p| p.resolve(table, column))
+    }
+}
+
+/// Evaluation context: database (for subqueries), scope, optional group rows
+/// (aggregate mode), and the shared counters.
+#[derive(Clone, Copy)]
+pub(crate) struct EvalCtx<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) scope: &'a Scope<'a>,
+    /// In aggregate mode, the full rows of the current group.
+    pub(crate) group: Option<&'a [Vec<Value>]>,
+    pub(crate) counters: &'a Counters,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn with_row<'b>(&'b self, scope: &'b Scope<'b>) -> EvalCtx<'b> {
+        EvalCtx { db: self.db, scope, group: None, counters: self.counters }
+    }
+}
+
+/// Evaluate an expression to a value.
+pub(crate) fn eval(ctx: &EvalCtx<'_>, expr: &Expr) -> ExecResult<Value> {
+    match expr {
+        Expr::Literal(lit) => Ok(literal_value(lit)),
+        Expr::Column { table, column } => ctx
+            .scope
+            .resolve(table.as_deref(), column)
+            .ok_or_else(|| ExecError::UnknownColumn(render_col(table.as_deref(), column))),
+        Expr::AggWildcard(func) => eval_aggregate(ctx, *func, None, false),
+        Expr::Agg { func, distinct, arg } => eval_aggregate(ctx, *func, Some(arg), *distinct),
+        Expr::Func { name, args } => eval_function(ctx, name, args),
+        Expr::Binary { op, left, right } => eval_binary(ctx, *op, left, right),
+        Expr::Unary { op, expr } => {
+            let v = eval(ctx, expr)?;
+            match op {
+                UnOp::Not => Ok(match v.truth() {
+                    None => Value::Null,
+                    Some(b) => Value::Int(i64::from(!b)),
+                }),
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Real(r) => Ok(Value::Real(-r)),
+                    Value::Text(s) => Ok(s
+                        .trim()
+                        .parse::<f64>()
+                        .map(|f| Value::Real(-f))
+                        .unwrap_or(Value::Int(0))),
+                },
+            }
+        }
+        Expr::Between { expr, negated, low, high } => {
+            let v = eval(ctx, expr)?;
+            let lo = eval(ctx, low)?;
+            let hi = eval(ctx, high)?;
+            let ge = v.sql_ord(&lo).map(|o| o != Ordering::Less);
+            let le = v.sql_ord(&hi).map(|o| o != Ordering::Greater);
+            Ok(bool3_to_value(and3(ge, le).map(|b| b ^ negated)))
+        }
+        Expr::InList { expr, negated, list } => {
+            let v = eval(ctx, expr)?;
+            let mut saw_null = v.is_null();
+            let mut found = false;
+            for item in list {
+                let iv = eval(ctx, item)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            let r = if found {
+                Some(true)
+            } else if saw_null {
+                None
+            } else {
+                Some(false)
+            };
+            Ok(bool3_to_value(r.map(|b| b ^ negated)))
+        }
+        Expr::InSubquery { expr, negated, query } => {
+            let v = eval(ctx, expr)?;
+            let rs = crate::exec::execute_query(ctx.db, query, Some(ctx.scope), ctx.counters)?;
+            if rs.columns.len() != 1 {
+                return Err(ExecError::CardinalityViolation(format!(
+                    "IN subquery returns {} columns",
+                    rs.columns.len()
+                )));
+            }
+            let mut saw_null = v.is_null();
+            let mut found = false;
+            for row in &rs.rows {
+                match v.sql_eq(&row[0]) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            let r = if found {
+                Some(true)
+            } else if saw_null {
+                None
+            } else {
+                Some(false)
+            };
+            Ok(bool3_to_value(r.map(|b| b ^ negated)))
+        }
+        Expr::Exists { negated, query } => {
+            let rs = crate::exec::execute_query(ctx.db, query, Some(ctx.scope), ctx.counters)?;
+            Ok(Value::Int(i64::from(!rs.rows.is_empty() ^ negated)))
+        }
+        Expr::Subquery(query) => {
+            let rs = crate::exec::execute_query(ctx.db, query, Some(ctx.scope), ctx.counters)?;
+            if rs.columns.len() != 1 {
+                return Err(ExecError::CardinalityViolation(format!(
+                    "scalar subquery returns {} columns",
+                    rs.columns.len()
+                )));
+            }
+            // SQLite takes the first row and yields NULL on empty results.
+            Ok(rs.rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null))
+        }
+        Expr::Like { expr, negated, pattern } => {
+            let v = eval(ctx, expr)?;
+            let p = eval(ctx, pattern)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let matched = like_match(&p.render(), &v.render());
+            Ok(Value::Int(i64::from(matched ^ negated)))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(ctx, expr)?;
+            Ok(Value::Int(i64::from(v.is_null() ^ negated)))
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            for (when, then) in branches {
+                let hit = match operand {
+                    Some(op) => {
+                        let ov = eval(ctx, op)?;
+                        let wv = eval(ctx, when)?;
+                        ov.sql_eq(&wv) == Some(true)
+                    }
+                    None => eval(ctx, when)?.truth() == Some(true),
+                };
+                if hit {
+                    return eval(ctx, then);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(ctx, e),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Cast { expr, ty } => {
+            let v = eval(ctx, expr)?;
+            Ok(cast_value(v, ty))
+        }
+    }
+}
+
+fn render_col(table: Option<&str>, column: &str) -> String {
+    match table {
+        Some(t) => format!("{t}.{column}"),
+        None => column.to_string(),
+    }
+}
+
+fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Float(v) => Value::Real(*v),
+        Literal::Str(s) => Value::Text(s.clone()),
+        Literal::Bool(b) => Value::Int(i64::from(*b)),
+    }
+}
+
+fn bool3_to_value(b: Option<bool>) -> Value {
+    match b {
+        None => Value::Null,
+        Some(b) => Value::Int(i64::from(b)),
+    }
+}
+
+/// Three-valued AND.
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Three-valued OR.
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn eval_binary(ctx: &EvalCtx<'_>, op: BinOp, left: &Expr, right: &Expr) -> ExecResult<Value> {
+    match op {
+        BinOp::And => {
+            // short-circuit to avoid needless correlated-subquery execution
+            let l = eval(ctx, left)?.truth();
+            if l == Some(false) {
+                return Ok(Value::Int(0));
+            }
+            let r = eval(ctx, right)?.truth();
+            Ok(bool3_to_value(and3(l, r)))
+        }
+        BinOp::Or => {
+            let l = eval(ctx, left)?.truth();
+            if l == Some(true) {
+                return Ok(Value::Int(1));
+            }
+            let r = eval(ctx, right)?.truth();
+            Ok(bool3_to_value(or3(l, r)))
+        }
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let l = eval(ctx, left)?;
+            let r = eval(ctx, right)?;
+            let ord = l.sql_ord(&r);
+            let b = ord.map(|o| match op {
+                BinOp::Eq => o == Ordering::Equal,
+                BinOp::NotEq => o != Ordering::Equal,
+                BinOp::Lt => o == Ordering::Less,
+                BinOp::LtEq => o != Ordering::Greater,
+                BinOp::Gt => o == Ordering::Greater,
+                BinOp::GtEq => o != Ordering::Less,
+                _ => unreachable!(),
+            });
+            Ok(bool3_to_value(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let l = eval(ctx, left)?;
+            let r = eval(ctx, right)?;
+            eval_arith(op, l, r)
+        }
+        BinOp::Concat => {
+            let l = eval(ctx, left)?;
+            let r = eval(ctx, right)?;
+            if l.is_null() || r.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Text(format!("{}{}", l.render(), r.render())))
+            }
+        }
+    }
+}
+
+fn eval_arith(op: BinOp, l: Value, r: Value) -> ExecResult<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // SQLite: integer op integer stays integer (with / as int division);
+    // anything else is float. Non-numeric text coerces to 0.
+    let both_int = matches!((&l, &r), (Value::Int(_), Value::Int(_)));
+    if both_int {
+        let (a, b) = match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => (*a, *b),
+            _ => unreachable!(),
+        };
+        let v = match op {
+            BinOp::Add => a.checked_add(b).map(Value::Int),
+            BinOp::Sub => a.checked_sub(b).map(Value::Int),
+            BinOp::Mul => a.checked_mul(b).map(Value::Int),
+            BinOp::Div => {
+                if b == 0 {
+                    return Ok(Value::Null);
+                }
+                a.checked_div(b).map(Value::Int)
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return Ok(Value::Null);
+                }
+                a.checked_rem(b).map(Value::Int)
+            }
+            _ => unreachable!(),
+        };
+        // overflow degrades to float, as SQLite does
+        return Ok(v.unwrap_or_else(|| {
+            let (af, bf) = (a as f64, b as f64);
+            Value::Real(match op {
+                BinOp::Add => af + bf,
+                BinOp::Sub => af - bf,
+                BinOp::Mul => af * bf,
+                _ => unreachable!(),
+            })
+        }));
+    }
+    let a = l.as_f64().unwrap_or(0.0);
+    let b = r.as_f64().unwrap_or(0.0);
+    let v = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Ok(Value::Null);
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Real(v))
+}
+
+fn cast_value(v: Value, ty: &str) -> Value {
+    match ty.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(i),
+            Value::Real(r) => Value::Int(r as i64),
+            Value::Text(s) => Value::Int(parse_prefix_f64(&s) as i64),
+        },
+        "REAL" | "FLOAT" | "DOUBLE" | "NUMERIC" | "DECIMAL" => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Real(i as f64),
+            Value::Real(r) => Value::Real(r),
+            Value::Text(s) => Value::Real(parse_prefix_f64(&s)),
+        },
+        "TEXT" | "VARCHAR" | "CHAR" | "STRING" => match v {
+            Value::Null => Value::Null,
+            other => Value::Text(other.render()),
+        },
+        _ => v,
+    }
+}
+
+/// Parse the longest numeric prefix, as SQLite CAST does ("12abc" -> 12).
+fn parse_prefix_f64(s: &str) -> f64 {
+    let t = s.trim_start();
+    let mut end = 0;
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for (i, c) in t.char_indices() {
+        match c {
+            '+' | '-' if i == 0 => end = i + 1,
+            '0'..='9' => {
+                seen_digit = true;
+                end = i + 1;
+            }
+            '.' if !seen_dot => {
+                seen_dot = true;
+                end = i + 1;
+            }
+            _ => break,
+        }
+    }
+    if !seen_digit {
+        return 0.0;
+    }
+    t[..end].parse().unwrap_or(0.0)
+}
+
+/// SQL LIKE with `%` and `_`, ASCII case-insensitive (SQLite default).
+pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        if p.is_empty() {
+            return t.is_empty();
+        }
+        match p[0] {
+            b'%' => {
+                // try consuming 0..=len chars
+                for skip in 0..=t.len() {
+                    if inner(&p[1..], &t[skip..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            b'_' => !t.is_empty() && inner(&p[1..], &t[1..]),
+            c => {
+                !t.is_empty()
+                    && t[0].to_ascii_lowercase() == c.to_ascii_lowercase()
+                    && inner(&p[1..], &t[1..])
+            }
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Value> {
+    let arity = |n: usize| -> ExecResult<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ExecError::Arity(format!("{name} expects {n} args, got {}", args.len())))
+        }
+    };
+    match name {
+        "ABS" => {
+            arity(1)?;
+            match eval(ctx, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Real(r) => Ok(Value::Real(r.abs())),
+                Value::Text(s) => {
+                    Ok(Value::Real(s.trim().parse::<f64>().map(f64::abs).unwrap_or(0.0)))
+                }
+            }
+        }
+        "ROUND" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(ExecError::Arity("ROUND expects 1 or 2 args".into()));
+            }
+            let v = eval(ctx, &args[0])?;
+            let digits = if args.len() == 2 {
+                eval(ctx, &args[1])?.as_f64().unwrap_or(0.0) as i32
+            } else {
+                0
+            };
+            match v.as_f64() {
+                None => Ok(Value::Null),
+                Some(f) => {
+                    let m = 10f64.powi(digits);
+                    Ok(Value::Real((f * m).round() / m))
+                }
+            }
+        }
+        "LENGTH" => {
+            arity(1)?;
+            match eval(ctx, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                other => Ok(Value::Int(other.render().chars().count() as i64)),
+            }
+        }
+        "UPPER" => {
+            arity(1)?;
+            match eval(ctx, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                other => Ok(Value::Text(other.render().to_uppercase())),
+            }
+        }
+        "LOWER" => {
+            arity(1)?;
+            match eval(ctx, &args[0])? {
+                Value::Null => Ok(Value::Null),
+                other => Ok(Value::Text(other.render().to_lowercase())),
+            }
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(ExecError::Arity("SUBSTR expects 2 or 3 args".into()));
+            }
+            let s = match eval(ctx, &args[0])? {
+                Value::Null => return Ok(Value::Null),
+                other => other.render(),
+            };
+            let chars: Vec<char> = s.chars().collect();
+            let start = eval(ctx, &args[1])?.as_f64().unwrap_or(1.0) as i64;
+            let len = if args.len() == 3 {
+                eval(ctx, &args[2])?.as_f64().unwrap_or(0.0) as i64
+            } else {
+                chars.len() as i64
+            };
+            // SQLite: 1-based; negative start counts from the end
+            let begin = if start > 0 {
+                (start - 1) as usize
+            } else if start < 0 {
+                chars.len().saturating_sub((-start) as usize)
+            } else {
+                0
+            };
+            let take = len.max(0) as usize;
+            Ok(Value::Text(chars.iter().skip(begin).take(take).collect()))
+        }
+        "IIF" => {
+            arity(3)?;
+            if eval(ctx, &args[0])?.truth() == Some(true) {
+                eval(ctx, &args[1])
+            } else {
+                eval(ctx, &args[2])
+            }
+        }
+        "COALESCE" => {
+            for a in args {
+                let v = eval(ctx, a)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "NULLIF" => {
+            arity(2)?;
+            let a = eval(ctx, &args[0])?;
+            let b = eval(ctx, &args[1])?;
+            if a.sql_eq(&b) == Some(true) {
+                Ok(Value::Null)
+            } else {
+                Ok(a)
+            }
+        }
+        "INSTR" => {
+            arity(2)?;
+            let hay = eval(ctx, &args[0])?;
+            let needle = eval(ctx, &args[1])?;
+            if hay.is_null() || needle.is_null() {
+                return Ok(Value::Null);
+            }
+            let h = hay.render();
+            let n = needle.render();
+            Ok(Value::Int(h.find(&n).map(|i| i as i64 + 1).unwrap_or(0)))
+        }
+        other => Err(ExecError::Unsupported(format!("function {other}"))),
+    }
+}
+
+fn eval_aggregate(
+    ctx: &EvalCtx<'_>,
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+) -> ExecResult<Value> {
+    let group = ctx
+        .group
+        .ok_or_else(|| ExecError::Unsupported("aggregate outside GROUP context".to_string()))?;
+
+    // COUNT(*) is just the group size.
+    if arg.is_none() {
+        return Ok(Value::Int(group.len() as i64));
+    }
+    let arg = arg.expect("checked above");
+
+    // Evaluate the argument per group row.
+    let mut values = Vec::with_capacity(group.len());
+    for row in group {
+        ctx.counters.charge(1)?;
+        let scope = Scope { bindings: ctx.scope.bindings, row, parent: ctx.scope.parent };
+        let sub = ctx.with_row(&scope);
+        let v = eval(&sub, arg)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.canonical_key()));
+    }
+    match func {
+        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int {
+                let mut acc: i64 = 0;
+                let mut overflow = false;
+                for v in &values {
+                    if let Value::Int(i) = v {
+                        match acc.checked_add(*i) {
+                            Some(s) => acc = s,
+                            None => {
+                                overflow = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !overflow {
+                    return Ok(Value::Int(acc));
+                }
+            }
+            let sum: f64 = values.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
+            Ok(Value::Real(sum))
+        }
+        AggFunc::Avg => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = values.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
+            Ok(Value::Real(sum / values.len() as f64))
+        }
+        AggFunc::Min => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.sql_cmp(b))
+            .unwrap_or(Value::Null)),
+        AggFunc::Max => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.sql_cmp(b))
+            .unwrap_or(Value::Null)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("%ab%", "xxabyy"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abbc"));
+        assert!(like_match("%", ""));
+        assert!(like_match("ABC", "abc"), "ASCII case-insensitive");
+        assert!(!like_match("a%z", "abc"));
+        assert!(like_match("%end", "the end"));
+        assert!(like_match("start%", "starting"));
+    }
+
+    #[test]
+    fn three_valued_tables() {
+        assert_eq!(and3(Some(true), None), None);
+        assert_eq!(and3(Some(false), None), Some(false));
+        assert_eq!(or3(Some(true), None), Some(true));
+        assert_eq!(or3(Some(false), None), None);
+        assert_eq!(or3(None, None), None);
+    }
+
+    #[test]
+    fn prefix_parse() {
+        assert_eq!(parse_prefix_f64("12abc"), 12.0);
+        assert_eq!(parse_prefix_f64("-3.5x"), -3.5);
+        assert_eq!(parse_prefix_f64("abc"), 0.0);
+        assert_eq!(parse_prefix_f64("  7"), 7.0);
+    }
+
+    #[test]
+    fn counters_budget() {
+        let c = Counters::new(10);
+        assert!(c.charge(5).is_ok());
+        assert!(c.charge(5).is_ok());
+        assert!(c.charge(1).is_err());
+        assert_eq!(c.work(), 11);
+    }
+}

@@ -1,0 +1,151 @@
+//! Query results and the execution-accuracy equivalence check.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column names (aliases, rendered expressions, or `*`-expanded
+    /// column names).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Whether the query carried a top-level ORDER BY, making row order
+    /// semantically meaningful for equivalence checks.
+    pub ordered: bool,
+    /// Deterministic execution cost: rows touched while executing. Used by
+    /// the Valid Efficiency Score so results don't depend on wall-clock
+    /// noise.
+    pub work: u64,
+}
+
+impl ResultSet {
+    /// An empty result with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        Self { columns, rows: Vec::new(), ordered: false, work: 0 }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Canonical multiset signature of the rows (ignores column names).
+    fn multiset(&self) -> HashMap<String, usize> {
+        let mut m = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let key = row_key(row);
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+fn row_key(row: &[Value]) -> String {
+    let mut s = String::new();
+    for v in row {
+        s.push_str(&v.canonical_key());
+        s.push('\u{1}');
+    }
+    s
+}
+
+/// Execution-accuracy equivalence between a gold and a predicted result.
+///
+/// Mirrors the Spider/BIRD execution-match convention:
+/// * row **multisets** must match (duplicates matter);
+/// * when the *gold* query is ordered (top-level ORDER BY), the row
+///   **sequence** must match as well;
+/// * column names are ignored, but arity must agree;
+/// * `1` and `1.0` compare equal (numeric canonicalization).
+pub fn results_equivalent(gold: &ResultSet, pred: &ResultSet) -> bool {
+    if gold.rows.len() != pred.rows.len() {
+        return false;
+    }
+    if gold.columns.len() != pred.columns.len() {
+        return false;
+    }
+    if gold.ordered {
+        gold.rows.iter().zip(&pred.rows).all(|(g, p)| row_key(g) == row_key(p))
+    } else {
+        gold.multiset() == pred.multiset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<Value>>, ordered: bool) -> ResultSet {
+        let cols = rows.first().map(|r| r.len()).unwrap_or(1);
+        ResultSet {
+            columns: (0..cols).map(|i| format!("c{i}")).collect(),
+            rows,
+            ordered,
+            work: 0,
+        }
+    }
+
+    #[test]
+    fn unordered_multiset_semantics() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], false);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], false);
+        assert!(results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn duplicates_matter() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(1)]], false);
+        let b = rs(vec![vec![Value::Int(1)]], false);
+        assert!(!results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn ordered_sequence_semantics() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], true);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], true);
+        assert!(!results_equivalent(&a, &b));
+        let c = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], false);
+        assert!(results_equivalent(&a, &c), "only gold's ordered flag matters");
+    }
+
+    #[test]
+    fn numeric_canonicalization() {
+        let a = rs(vec![vec![Value::Int(1)]], false);
+        let b = rs(vec![vec![Value::Real(1.0)]], false);
+        assert!(results_equivalent(&a, &b));
+        let c = rs(vec![vec![Value::text("1")]], false);
+        assert!(!results_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn arity_must_agree() {
+        let a = rs(vec![vec![Value::Int(1)]], false);
+        let mut b = rs(vec![vec![Value::Int(1), Value::Int(2)]], false);
+        b.rows = vec![vec![Value::Int(1), Value::Int(2)]];
+        assert!(!results_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn empty_results_equal() {
+        let a = rs(vec![], false);
+        let b = rs(vec![], false);
+        assert!(results_equivalent(&a, &b));
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn null_rows_compare() {
+        let a = rs(vec![vec![Value::Null]], false);
+        let b = rs(vec![vec![Value::Null]], false);
+        assert!(results_equivalent(&a, &b));
+    }
+}

@@ -1,0 +1,162 @@
+//! Table schemas: column definitions, primary keys, foreign keys.
+//!
+//! Schemas carry the metadata NL2SQL360 needs beyond execution: the dataset
+//! statistics of the paper's Table 2 (#tables, #columns, #PKs, #FKs per
+//! database) are computed from these definitions, and the schema-linking
+//! modules in the model zoo consume column names and types.
+
+use serde::{Deserialize, Serialize};
+
+/// Declared column types (SQLite-style affinities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// INTEGER affinity.
+    Integer,
+    /// REAL affinity.
+    Real,
+    /// TEXT affinity.
+    Text,
+}
+
+impl ColumnType {
+    /// SQL spelling used when rendering `CREATE TABLE` prompts.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            ColumnType::Integer => "int",
+            ColumnType::Real => "real",
+            ColumnType::Text => "text",
+        }
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared affinity.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Create a column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// A foreign-key edge from a column of this table to a column of another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Index of the referencing column in this table.
+    pub column: usize,
+    /// Referenced table name.
+    pub ref_table: String,
+    /// Referenced column name.
+    pub ref_column: String,
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indices of primary-key columns.
+    pub primary_key: Vec<usize>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    /// Create a schema with no keys.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        Self { name: name.into(), columns, primary_key: Vec::new(), foreign_keys: Vec::new() }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Render a `CREATE TABLE` statement (the SQL-style prompt format of
+    /// Figure 10 in the paper).
+    pub fn create_table_sql(&self) -> String {
+        let mut out = format!("CREATE TABLE {} (\n", self.name);
+        for (i, col) in self.columns.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&col.name);
+            out.push(' ');
+            out.push_str(col.ty.sql_name());
+            if self.primary_key.len() == 1 && self.primary_key[0] == i {
+                out.push_str(" primary key");
+            }
+            if i + 1 < self.columns.len() || !self.foreign_keys.is_empty() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        for (i, fk) in self.foreign_keys.iter().enumerate() {
+            out.push_str(&format!(
+                "  foreign key ({}) references {}({})",
+                self.columns[fk.column].name, fk.ref_table, fk.ref_column
+            ));
+            if i + 1 < self.foreign_keys.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(')');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        let mut s = TableSchema::new(
+            "concert",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("name", ColumnType::Text),
+                ColumnDef::new("singer_id", ColumnType::Integer),
+            ],
+        );
+        s.primary_key = vec![0];
+        s.foreign_keys = vec![ForeignKey {
+            column: 2,
+            ref_table: "singer".into(),
+            ref_column: "id".into(),
+        }];
+        s
+    }
+
+    #[test]
+    fn column_lookup_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn create_table_rendering() {
+        let sql = schema().create_table_sql();
+        assert!(sql.starts_with("CREATE TABLE concert ("), "{sql}");
+        assert!(sql.contains("id int primary key"), "{sql}");
+        assert!(sql.contains("foreign key (singer_id) references singer(id)"), "{sql}");
+        assert!(sql.ends_with(')'), "{sql}");
+    }
+
+    #[test]
+    fn column_names_in_order() {
+        assert_eq!(schema().column_names(), vec!["id", "name", "singer_id"]);
+    }
+}

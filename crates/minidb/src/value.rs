@@ -1,0 +1,248 @@
+//! Runtime values with SQLite-flavoured dynamic typing.
+//!
+//! Values are `NULL`, 64-bit integers, 64-bit floats, or text. Comparison
+//! and arithmetic follow SQLite's affinity rules closely enough for the
+//! benchmark workloads: numeric types compare across Int/Real, NULL sorts
+//! first and never equals anything under predicate evaluation (three-valued
+//! logic lives in the evaluator; [`Value::sql_cmp`] is the deterministic
+//! total order used for ORDER BY and DISTINCT).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime SQL value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: Int and Real yield a float; text parses if numeric
+    /// (SQLite affinity); NULL and non-numeric text yield `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Real(v) => Some(*v),
+            Value::Text(s) => s.trim().parse::<f64>().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// SQL truthiness: NULL → None (unknown), numbers → non-zero,
+    /// text → parses-to-nonzero (SQLite semantics).
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(*v != 0),
+            Value::Real(v) => Some(*v != 0.0),
+            Value::Text(s) => Some(s.trim().parse::<f64>().map(|v| v != 0.0).unwrap_or(false)),
+        }
+    }
+
+    /// Deterministic total order for sorting / DISTINCT / grouping:
+    /// NULL < numbers < text; numbers compare numerically across Int/Real;
+    /// NaN sorts before all other reals.
+    pub fn sql_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Int(_) | Real(_) => 1,
+                Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Real(b)) => cmp_f64(*a as f64, *b),
+            (Real(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Real(a), Real(b)) => cmp_f64(*a, *b),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Three-valued SQL equality for predicates: `None` when either side is
+    /// NULL, otherwise whether the values compare equal (numeric across
+    /// Int/Real; text equality is exact).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.sql_cmp(other) == Ordering::Equal)
+    }
+
+    /// Three-valued SQL ordering comparison for predicates; `None` when
+    /// either side is NULL or the types are incomparable in a meaningful way
+    /// (number vs text compares by type rank, as SQLite does, so it still
+    /// yields a result).
+    pub fn sql_ord(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.sql_cmp(other))
+    }
+
+    /// Render the value the way a result cell prints (NULL as empty marker).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::Real(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    v.to_string()
+                }
+            }
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Canonical key for hashing/equivalence in multiset comparison: floats
+    /// that hold integral values collapse to the integer representation so
+    /// `1` and `1.0` compare equal, mirroring the Spider execution-match
+    /// convention.
+    pub fn canonical_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}NULL".to_string(),
+            Value::Int(v) => format!("n:{v}"),
+            Value::Real(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 9e15 {
+                    format!("n:{}", *v as i64)
+                } else {
+                    // round to 1e-6 to absorb float noise across plans
+                    format!("r:{:.6}", v)
+                }
+            }
+            Value::Text(s) => format!("t:{s}"),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        // NaN sorts before everything
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => unreachable!(),
+        }
+    })
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.sql_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_ordering() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), Ordering::Equal);
+        assert_eq!(Value::text("a").sql_cmp(&Value::Int(99)), Ordering::Greater);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Real(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Real(2.5)), Ordering::Less);
+        assert!(Value::Int(2) == Value::Real(2.0));
+    }
+
+    #[test]
+    fn three_valued_eq() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::text("a").sql_eq(&Value::text("b")), Some(false));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Int(0).truth(), Some(false));
+        assert_eq!(Value::Int(3).truth(), Some(true));
+        assert_eq!(Value::Null.truth(), None);
+        assert_eq!(Value::text("2").truth(), Some(true));
+        assert_eq!(Value::text("abc").truth(), Some(false));
+    }
+
+    #[test]
+    fn text_numeric_affinity() {
+        assert_eq!(Value::text(" 3.5 ").as_f64(), Some(3.5));
+        assert_eq!(Value::text("x").as_f64(), None);
+    }
+
+    #[test]
+    fn canonical_key_collapses_integral_floats() {
+        assert_eq!(Value::Int(1).canonical_key(), Value::Real(1.0).canonical_key());
+        assert_ne!(Value::Int(1).canonical_key(), Value::Real(1.5).canonical_key());
+        assert_ne!(Value::Int(1).canonical_key(), Value::text("1").canonical_key());
+    }
+
+    #[test]
+    fn nan_sorts_first_among_reals() {
+        assert_eq!(Value::Real(f64::NAN).sql_cmp(&Value::Real(0.0)), Ordering::Less);
+        assert_eq!(Value::Real(f64::NAN).sql_cmp(&Value::Real(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn render() {
+        assert_eq!(Value::Real(2.0).render(), "2.0");
+        assert_eq!(Value::Int(7).render(), "7");
+        assert_eq!(Value::Null.render(), "NULL");
+    }
+}

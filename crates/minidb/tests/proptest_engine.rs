@@ -1,0 +1,174 @@
+//! Property-based tests of the execution engine's SQL semantics on random
+//! table contents: filter soundness, aggregate identities, ORDER BY
+//! ordering, LIMIT bounds, set-operation algebra, and three-valued logic.
+
+use minidb::{results_equivalent, Database, TableBuilder, Value};
+use proptest::prelude::*;
+
+/// A random row: (id filled in separately, int value possibly NULL, text
+/// category, real score).
+fn row_strategy() -> impl Strategy<Value = (Option<i64>, String, f64)> {
+    (
+        proptest::option::of(-50i64..50),
+        prop_oneof![Just("red"), Just("green"), Just("blue")].prop_map(str::to_string),
+        0.0..100.0f64,
+    )
+}
+
+fn build_db(rows: &[(Option<i64>, String, f64)]) -> Database {
+    let mut db = Database::new("prop");
+    db.add_table(
+        TableBuilder::new("t")
+            .column_int("id")
+            .column_int("n")
+            .column_text("color")
+            .column_real("score")
+            .primary_key(&["id"])
+            .rows(rows.iter().enumerate().map(|(i, (n, c, s))| {
+                vec![
+                    Value::Int(i as i64 + 1),
+                    n.map(Value::Int).unwrap_or(Value::Null),
+                    Value::text(c.clone()),
+                    Value::Real(*s),
+                ]
+            }))
+            .build(),
+    )
+    .expect("fresh table");
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// WHERE is sound and complete for a simple comparison.
+    #[test]
+    fn filter_soundness(rows in prop::collection::vec(row_strategy(), 0..40), k in -60i64..60) {
+        let db = build_db(&rows);
+        let rs = db.run(&format!("SELECT n FROM t WHERE n > {k}")).expect("runs");
+        // soundness: every returned n is > k
+        for row in &rs.rows {
+            match &row[0] {
+                Value::Int(v) => prop_assert!(*v > k),
+                other => prop_assert!(false, "unexpected value {other:?}"),
+            }
+        }
+        // completeness: count matches a direct scan
+        let expected = rows.iter().filter(|(n, _, _)| n.map(|v| v > k).unwrap_or(false)).count();
+        prop_assert_eq!(rs.rows.len(), expected);
+    }
+
+    /// COUNT(*) equals the row count; COUNT(n) skips NULLs.
+    #[test]
+    fn count_identities(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let rs = db.run("SELECT COUNT(*), COUNT(n) FROM t").expect("runs");
+        prop_assert_eq!(&rs.rows[0][0], &Value::Int(rows.len() as i64));
+        let non_null = rows.iter().filter(|(n, _, _)| n.is_some()).count() as i64;
+        prop_assert_eq!(&rs.rows[0][1], &Value::Int(non_null));
+    }
+
+    /// SUM/AVG/MIN/MAX agree with direct computation over non-null values.
+    #[test]
+    fn aggregate_identities(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let rs = db.run("SELECT SUM(n), MIN(n), MAX(n) FROM t").expect("runs");
+        let vals: Vec<i64> = rows.iter().filter_map(|(n, _, _)| *n).collect();
+        if vals.is_empty() {
+            prop_assert!(rs.rows[0][0].is_null());
+            prop_assert!(rs.rows[0][1].is_null());
+            prop_assert!(rs.rows[0][2].is_null());
+        } else {
+            prop_assert_eq!(&rs.rows[0][0], &Value::Int(vals.iter().sum()));
+            prop_assert_eq!(&rs.rows[0][1], &Value::Int(*vals.iter().min().expect("non-empty")));
+            prop_assert_eq!(&rs.rows[0][2], &Value::Int(*vals.iter().max().expect("non-empty")));
+        }
+    }
+
+    /// ORDER BY really sorts; LIMIT really bounds.
+    #[test]
+    fn order_and_limit(rows in prop::collection::vec(row_strategy(), 0..40), limit in 0u64..10) {
+        let db = build_db(&rows);
+        let rs = db.run(&format!("SELECT score FROM t ORDER BY score DESC LIMIT {limit}")).expect("runs");
+        prop_assert!(rs.rows.len() <= limit as usize);
+        for w in rs.rows.windows(2) {
+            prop_assert!(w[0][0].sql_cmp(&w[1][0]) != std::cmp::Ordering::Less);
+        }
+    }
+
+    /// UNION ALL concatenates, UNION deduplicates, EXCEPT-self is empty,
+    /// INTERSECT-self equals DISTINCT.
+    #[test]
+    fn set_operation_algebra(rows in prop::collection::vec(row_strategy(), 0..30)) {
+        let db = build_db(&rows);
+        let all = db.run("SELECT color FROM t UNION ALL SELECT color FROM t").expect("runs");
+        prop_assert_eq!(all.rows.len(), rows.len() * 2);
+        let union = db.run("SELECT color FROM t UNION SELECT color FROM t").expect("runs");
+        let distinct = db.run("SELECT DISTINCT color FROM t").expect("runs");
+        prop_assert!(results_equivalent(&union, &distinct));
+        let except = db.run("SELECT color FROM t EXCEPT SELECT color FROM t").expect("runs");
+        prop_assert_eq!(except.rows.len(), 0);
+        let intersect = db.run("SELECT color FROM t INTERSECT SELECT color FROM t").expect("runs");
+        prop_assert!(results_equivalent(&intersect, &distinct));
+    }
+
+    /// Three-valued logic: `p` and `NOT p` partition the rows where `p` is
+    /// known; rows where `p` is unknown (NULL n) appear in neither.
+    #[test]
+    fn three_valued_partition(rows in prop::collection::vec(row_strategy(), 0..40), k in -60i64..60) {
+        let db = build_db(&rows);
+        let p = db.run(&format!("SELECT id FROM t WHERE n > {k}")).expect("runs");
+        let not_p = db.run(&format!("SELECT id FROM t WHERE NOT n > {k}")).expect("runs");
+        let unknown = rows.iter().filter(|(n, _, _)| n.is_none()).count();
+        prop_assert_eq!(p.rows.len() + not_p.rows.len() + unknown, rows.len());
+    }
+
+    /// GROUP BY partitions: per-group counts sum to the table size.
+    #[test]
+    fn group_by_partitions(rows in prop::collection::vec(row_strategy(), 0..40)) {
+        let db = build_db(&rows);
+        let rs = db.run("SELECT color, COUNT(*) FROM t GROUP BY color").expect("runs");
+        let total: i64 = rs
+            .rows
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Int(v) => *v,
+                other => panic!("count must be int, got {other:?}"),
+            })
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        prop_assert!(rs.rows.len() <= 3, "at most three colors");
+    }
+
+    /// Execution is deterministic: same query, same results, same work.
+    #[test]
+    fn deterministic_execution(rows in prop::collection::vec(row_strategy(), 0..30)) {
+        let db = build_db(&rows);
+        let q = sqlkit::parse_query(
+            "SELECT color, COUNT(*), AVG(score) FROM t WHERE n IS NOT NULL GROUP BY color ORDER BY color",
+        ).expect("parses");
+        let a = db.run_query(&q).expect("runs");
+        let b = db.run_query(&q).expect("runs");
+        prop_assert_eq!(&a.rows, &b.rows);
+        prop_assert_eq!(a.work, b.work);
+    }
+
+    /// Self-join row count equals the square of the table size.
+    #[test]
+    fn cross_join_cardinality(rows in prop::collection::vec(row_strategy(), 0..15)) {
+        let db = build_db(&rows);
+        let rs = db.run("SELECT a.id FROM t AS a, t AS b").expect("runs");
+        prop_assert_eq!(rs.rows.len(), rows.len() * rows.len());
+    }
+
+    /// IN-subquery matches the equivalent self-join semantics.
+    #[test]
+    fn in_subquery_equals_filter(rows in prop::collection::vec(row_strategy(), 0..30), k in -60i64..60) {
+        let db = build_db(&rows);
+        let via_sub = db
+            .run(&format!("SELECT id FROM t WHERE id IN (SELECT id FROM t WHERE n > {k})"))
+            .expect("runs");
+        let direct = db.run(&format!("SELECT id FROM t WHERE n > {k}")).expect("runs");
+        prop_assert!(results_equivalent(&via_sub, &direct));
+    }
+}

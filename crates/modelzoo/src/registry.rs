@@ -1,0 +1,585 @@
+//! The model zoo registry: every method the paper evaluates, with its
+//! Table 1 module taxonomy, calibrated capability profile (Tables 3/4),
+//! economy parameters (Tables 5/6), and release metadata (Figure 2).
+//!
+//! The profile numbers are the paper's reported per-subset accuracies; see
+//! DESIGN.md ("Substitutions") for how they parameterize the simulated
+//! translators. All other behaviour — prompts, token counts, corruption,
+//! restyling, metric computation — is executed for real.
+
+use crate::economy::{ApiPricing, LocalServing};
+use crate::profiles::CapabilityProfile;
+use crate::taxonomy::{
+    Decoding, FewShot, Intermediate, MethodClass, ModuleSet, MultiStep, PostProcessing,
+};
+
+/// Serving/economy description of a method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Serving {
+    /// Commercial API with per-token pricing.
+    Api(ApiPricing),
+    /// Locally-served model with latency/GPU cost.
+    Local(LocalServing),
+}
+
+/// One registered method.
+#[derive(Debug, Clone)]
+pub struct MethodSpec {
+    /// Method name as used in the paper's tables.
+    pub name: &'static str,
+    /// Method family.
+    pub class: MethodClass,
+    /// Backbone model name.
+    pub backbone: &'static str,
+    /// Parameter count in billions, for local models.
+    pub params_b: Option<f64>,
+    /// (year, month) of release — Figure 2's x-axis.
+    pub release: (u16, u8),
+    /// Module taxonomy (one row of Table 1).
+    pub modules: ModuleSet,
+    /// Calibrated capability profile.
+    pub profile: CapabilityProfile,
+    /// Serving economics.
+    pub serving: Serving,
+}
+
+fn prompt_llm_profile(
+    spider_ex: [f64; 4],
+    spider_em: [f64; 4],
+    bird_ex: Option<[f64; 3]>,
+    gpt4: bool,
+) -> CapabilityProfile {
+    CapabilityProfile {
+        spider_ex,
+        spider_em,
+        bird_ex,
+        // Finding 2: GPT-4 prompting shines on subqueries.
+        subquery_delta: if gpt4 { 5.0 } else { 3.0 },
+        join_delta: 1.5,
+        logical_delta: 2.0,
+        orderby_delta_spider: -2.5,
+        orderby_delta_bird: 2.0,
+        variant_instability: 0.12,
+        domain_sensitivity: 0.0,
+        domain_bias_scale: 2.5,
+        // prompting is fairly robust to content noise but loses linking
+        // accuracy on renamed schemas and drifts under paraphrase
+        perturb_penalty: [7.0, 9.0, 4.0],
+    }
+}
+
+fn ft_llm_profile(
+    spider_ex: [f64; 4],
+    spider_em: [f64; 4],
+    bird_ex: Option<[f64; 3]>,
+) -> CapabilityProfile {
+    CapabilityProfile {
+        spider_ex,
+        spider_em,
+        bird_ex,
+        subquery_delta: 1.0,
+        join_delta: 1.5,
+        logical_delta: 2.0,
+        orderby_delta_spider: -1.0,
+        orderby_delta_bird: 1.5,
+        variant_instability: 0.04,
+        domain_sensitivity: 0.6,
+        domain_bias_scale: 2.0,
+        perturb_penalty: [4.0, 9.0, 4.0],
+    }
+}
+
+fn plm_profile(
+    spider_ex: [f64; 4],
+    spider_em: [f64; 4],
+    bird_ex: Option<[f64; 3]>,
+    natsql: bool,
+) -> CapabilityProfile {
+    CapabilityProfile {
+        spider_ex,
+        spider_em,
+        bird_ex,
+        subquery_delta: -5.0,
+        // Finding 4: NatSQL eases JOIN prediction.
+        join_delta: if natsql { 2.0 } else { -3.0 },
+        logical_delta: -3.0,
+        orderby_delta_spider: 3.0,
+        orderby_delta_bird: -4.0,
+        variant_instability: 0.05,
+        domain_sensitivity: 0.6,
+        domain_bias_scale: 2.0,
+        // PLMs memorize exact schema tokens during fine-tuning — renames
+        // hit them hardest (Dr.Spider's headline result)
+        perturb_penalty: [6.0, 14.0, 6.0],
+    }
+}
+
+fn modules_c3() -> ModuleSet {
+    ModuleSet {
+        schema_linking: true,
+        db_content: false,
+        few_shot: FewShot::ZeroShot,
+        multi_step: MultiStep::None,
+        intermediate: Intermediate::None,
+        decoding: Decoding::Greedy,
+        post: PostProcessing::SelfConsistency,
+    }
+}
+
+fn modules_din() -> ModuleSet {
+    ModuleSet {
+        schema_linking: true,
+        db_content: false,
+        few_shot: FewShot::Manual,
+        multi_step: MultiStep::Decomposition,
+        intermediate: Intermediate::NatSql,
+        decoding: Decoding::Greedy,
+        post: PostProcessing::SelfCorrection,
+    }
+}
+
+fn modules_dail(sc: bool) -> ModuleSet {
+    ModuleSet {
+        schema_linking: false,
+        db_content: false,
+        few_shot: FewShot::SimilarityBased,
+        multi_step: MultiStep::None,
+        intermediate: Intermediate::None,
+        decoding: Decoding::Greedy,
+        post: if sc { PostProcessing::SelfConsistency } else { PostProcessing::None },
+    }
+}
+
+fn modules_codes() -> ModuleSet {
+    ModuleSet {
+        schema_linking: true,
+        db_content: true,
+        few_shot: FewShot::ZeroShot,
+        multi_step: MultiStep::None,
+        intermediate: Intermediate::None,
+        decoding: Decoding::Beam,
+        post: PostProcessing::ExecutionGuided,
+    }
+}
+
+fn modules_resdsql(natsql: bool) -> ModuleSet {
+    ModuleSet {
+        schema_linking: true,
+        db_content: true,
+        few_shot: FewShot::ZeroShot,
+        multi_step: MultiStep::SkeletonParsing,
+        intermediate: if natsql { Intermediate::NatSql } else { Intermediate::None },
+        decoding: Decoding::Beam,
+        post: PostProcessing::ExecutionGuided,
+    }
+}
+
+fn modules_graphix() -> ModuleSet {
+    ModuleSet {
+        schema_linking: true,
+        db_content: true,
+        few_shot: FewShot::ZeroShot,
+        multi_step: MultiStep::None,
+        intermediate: Intermediate::None,
+        decoding: Decoding::Picard,
+        post: PostProcessing::None,
+    }
+}
+
+/// RESDSQL per-hardness Spider profiles for sizes below 3B are scaled from
+/// the 3B row of Table 3 by the overall-EX ratios of Table 6.
+fn scale(base: [f64; 4], ratio: f64) -> [f64; 4] {
+    [base[0] * ratio, base[1] * ratio, base[2] * ratio, base[3] * ratio]
+}
+
+/// Build the full zoo.
+pub fn all_methods() -> Vec<MethodSpec> {
+    let resdsql3b_ex = [94.8, 87.7, 73.0, 56.0];
+    let resdsql3b_em = [94.0, 83.0, 66.7, 53.0];
+    let resdsql3b_nat_ex = [94.4, 87.9, 77.0, 66.3];
+    let resdsql3b_nat_em = [93.1, 83.0, 70.1, 65.7];
+
+    vec![
+        // ---- prompt-based LLMs ----
+        MethodSpec {
+            name: "C3SQL",
+            class: MethodClass::PromptLlm,
+            backbone: "GPT-3.5",
+            params_b: None,
+            release: (2023, 7),
+            modules: modules_c3(),
+            profile: prompt_llm_profile(
+                [92.7, 85.2, 77.6, 62.0],
+                [80.2, 43.5, 35.6, 18.1],
+                Some([58.9, 38.5, 31.9]),
+                false,
+            ),
+            serving: Serving::Api(ApiPricing::GPT35),
+        },
+        MethodSpec {
+            name: "DINSQL",
+            class: MethodClass::PromptLlm,
+            backbone: "GPT-4",
+            params_b: None,
+            release: (2023, 4),
+            modules: modules_din(),
+            profile: prompt_llm_profile(
+                [92.3, 87.4, 76.4, 62.7],
+                [82.7, 65.5, 42.0, 30.7],
+                None, // paper: not reproduced on BIRD (GPT-4 budget)
+                true,
+            ),
+            serving: Serving::Api(ApiPricing::GPT4),
+        },
+        MethodSpec {
+            name: "DAILSQL",
+            class: MethodClass::PromptLlm,
+            backbone: "GPT-4",
+            params_b: None,
+            release: (2023, 8),
+            modules: modules_dail(false),
+            profile: prompt_llm_profile(
+                [91.5, 89.2, 77.0, 60.2],
+                [89.5, 74.2, 55.5, 45.2],
+                Some([62.5, 43.2, 37.5]),
+                true,
+            ),
+            serving: Serving::Api(ApiPricing::GPT4),
+        },
+        MethodSpec {
+            name: "DAILSQL(SC)",
+            class: MethodClass::PromptLlm,
+            backbone: "GPT-4",
+            params_b: None,
+            release: (2023, 8),
+            modules: modules_dail(true),
+            profile: prompt_llm_profile(
+                [91.5, 90.1, 75.3, 62.7],
+                [88.3, 73.5, 54.0, 41.6],
+                Some([63.0, 45.6, 43.1]),
+                true,
+            ),
+            serving: Serving::Api(ApiPricing::GPT4),
+        },
+        // ---- fine-tuned LLMs ----
+        MethodSpec {
+            name: "SFT CodeS-1B",
+            class: MethodClass::FinetunedLlm,
+            backbone: "StarCoder",
+            params_b: Some(1.0),
+            release: (2024, 2),
+            modules: modules_codes(),
+            profile: ft_llm_profile(
+                [92.3, 83.6, 70.1, 49.4],
+                [91.5, 74.4, 65.5, 41.0],
+                Some([58.7, 37.6, 36.8]),
+            ),
+            serving: Serving::Local(LocalServing::from_params(1.0, false)),
+        },
+        MethodSpec {
+            name: "SFT CodeS-3B",
+            class: MethodClass::FinetunedLlm,
+            backbone: "StarCoder",
+            params_b: Some(3.0),
+            release: (2024, 2),
+            modules: modules_codes(),
+            profile: ft_llm_profile(
+                [94.8, 88.3, 75.3, 60.8],
+                [94.4, 80.7, 67.8, 49.4],
+                Some([62.8, 44.3, 38.2]),
+            ),
+            serving: Serving::Local(LocalServing::from_params(3.0, false)),
+        },
+        MethodSpec {
+            name: "SFT CodeS-7B",
+            class: MethodClass::FinetunedLlm,
+            backbone: "StarCoder",
+            params_b: Some(7.0),
+            release: (2024, 2),
+            modules: modules_codes(),
+            profile: ft_llm_profile(
+                [94.8, 91.0, 75.3, 66.9],
+                [92.7, 85.2, 67.8, 56.0],
+                Some([64.6, 46.9, 40.3]),
+            ),
+            serving: Serving::Local(LocalServing::from_params(7.0, false)),
+        },
+        MethodSpec {
+            name: "SFT CodeS-15B",
+            class: MethodClass::FinetunedLlm,
+            backbone: "StarCoder",
+            params_b: Some(15.0),
+            release: (2024, 2),
+            modules: modules_codes(),
+            profile: ft_llm_profile(
+                [95.6, 90.4, 78.2, 61.4],
+                [93.1, 83.4, 67.2, 54.2],
+                Some([65.8, 48.8, 42.4]),
+            ),
+            serving: Serving::Local(LocalServing::from_params(15.0, false)),
+        },
+        // ---- fine-tuned PLMs ----
+        MethodSpec {
+            name: "RESDSQL-Base",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(0.22),
+            release: (2023, 2),
+            modules: modules_resdsql(false),
+            profile: plm_profile(
+                scale(resdsql3b_ex, 77.9 / 81.8),
+                scale(resdsql3b_em, 77.9 / 81.8),
+                Some([42.3, 20.2, 16.0]),
+                false,
+            ),
+            serving: Serving::Local(LocalServing::from_params(0.22, false)),
+        },
+        MethodSpec {
+            name: "RESDSQL-Base + NatSQL",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(0.22),
+            release: (2023, 2),
+            modules: modules_resdsql(true),
+            profile: plm_profile(
+                scale(resdsql3b_nat_ex, 80.2 / 84.1),
+                scale(resdsql3b_nat_em, 80.2 / 84.1),
+                None,
+                true,
+            ),
+            serving: Serving::Local(LocalServing::from_params(0.22, true)),
+        },
+        MethodSpec {
+            name: "RESDSQL-Large",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(0.77),
+            release: (2023, 2),
+            modules: modules_resdsql(false),
+            profile: plm_profile(
+                scale(resdsql3b_ex, 80.1 / 81.8),
+                scale(resdsql3b_em, 80.1 / 81.8),
+                Some([46.5, 27.7, 22.9]),
+                false,
+            ),
+            serving: Serving::Local(LocalServing::from_params(0.77, false)),
+        },
+        MethodSpec {
+            name: "RESDSQL-Large + NatSQL",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(0.77),
+            release: (2023, 2),
+            modules: modules_resdsql(true),
+            profile: plm_profile(
+                scale(resdsql3b_nat_ex, 81.9 / 84.1),
+                scale(resdsql3b_nat_em, 81.9 / 84.1),
+                None,
+                true,
+            ),
+            serving: Serving::Local(LocalServing::from_params(0.77, true)),
+        },
+        MethodSpec {
+            name: "RESDSQL-3B",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(3.0),
+            release: (2023, 2),
+            modules: modules_resdsql(false),
+            profile: plm_profile(
+                resdsql3b_ex,
+                resdsql3b_em,
+                Some([53.5, 33.3, 16.7]),
+                false,
+            ),
+            serving: Serving::Local(LocalServing::from_params(3.0, false)),
+        },
+        MethodSpec {
+            name: "RESDSQL-3B + NatSQL",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(3.0),
+            release: (2023, 2),
+            modules: modules_resdsql(true),
+            profile: plm_profile(resdsql3b_nat_ex, resdsql3b_nat_em, None, true),
+            serving: Serving::Local(LocalServing::from_params(3.0, true)),
+        },
+        MethodSpec {
+            name: "Graphix-3B + PICARD",
+            class: MethodClass::FinetunedPlm,
+            backbone: "T5",
+            params_b: Some(3.0),
+            release: (2023, 1),
+            modules: modules_graphix(),
+            profile: {
+                let mut p = plm_profile(
+                    [92.3, 86.3, 73.6, 57.2],
+                    [91.9, 82.3, 65.5, 53.0],
+                    None,
+                    false,
+                );
+                p.variant_instability = 0.03; // Finding 6: Graphix tops QVT
+                p
+            },
+            serving: Serving::Local(LocalServing::from_params(3.0, false)),
+        },
+        // ---- hybrid ----
+        MethodSpec {
+            name: "SuperSQL",
+            class: MethodClass::Hybrid,
+            backbone: "GPT-4",
+            params_b: None,
+            release: (2024, 6),
+            modules: ModuleSet::supersql(),
+            profile: {
+                let mut p = prompt_llm_profile(
+                    [94.4, 91.3, 83.3, 68.7],
+                    [90.3, 76.7, 61.5, 44.0],
+                    Some([66.9, 46.5, 43.8]),
+                    true,
+                );
+                // schema linking + DB content stabilize linking errors a bit
+                p.variant_instability = 0.08;
+                p
+            },
+            serving: Serving::Api(ApiPricing::GPT4),
+        },
+    ]
+}
+
+/// Look up a method by exact name.
+pub fn method_by_name(name: &str) -> Option<MethodSpec> {
+    all_methods().into_iter().find(|m| m.name == name)
+}
+
+/// One point of the Figure 2 leaderboard-evolution timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Model name as on the Spider leaderboard.
+    pub name: &'static str,
+    /// (year, month).
+    pub date: (u16, u8),
+    /// True for LLM-based entries (green dots), false for PLM-based (blue).
+    pub llm_based: bool,
+    /// Spider test EX (leaderboard).
+    pub ex: f64,
+}
+
+/// The Figure 2 timeline: PLM- and LLM-based models on the Spider
+/// leaderboard over time (values as published on the leaderboard).
+pub fn leaderboard_timeline() -> Vec<TimelinePoint> {
+    vec![
+        TimelinePoint { name: "BRIDGE v2", date: (2020, 12), llm_based: false, ex: 68.3 },
+        TimelinePoint { name: "RATSQL+GAP+NatSQL", date: (2021, 5), llm_based: false, ex: 73.3 },
+        TimelinePoint { name: "T5-3B+PICARD", date: (2021, 9), llm_based: false, ex: 75.1 },
+        TimelinePoint { name: "RASAT+PICARD", date: (2022, 5), llm_based: false, ex: 75.5 },
+        TimelinePoint { name: "SHiP+PICARD", date: (2022, 8), llm_based: false, ex: 76.6 },
+        TimelinePoint { name: "N-best Rerankers+PICARD", date: (2022, 10), llm_based: false, ex: 77.2 },
+        TimelinePoint { name: "Graphix-3B+PICARD", date: (2023, 1), llm_based: false, ex: 77.6 },
+        TimelinePoint { name: "RESDSQL-3B+NatSQL", date: (2023, 2), llm_based: false, ex: 79.9 },
+        TimelinePoint { name: "T5+NatSQL+Token Prep", date: (2023, 5), llm_based: false, ex: 78.0 },
+        TimelinePoint { name: "DIN-SQL+CodeX", date: (2023, 2), llm_based: true, ex: 78.2 },
+        TimelinePoint { name: "C3+ChatGPT", date: (2023, 7), llm_based: true, ex: 82.3 },
+        TimelinePoint { name: "DIN-SQL+GPT-4", date: (2023, 4), llm_based: true, ex: 85.3 },
+        TimelinePoint { name: "DAIL-SQL+GPT-4", date: (2023, 8), llm_based: true, ex: 86.2 },
+        TimelinePoint { name: "DAIL-SQL+GPT-4+SC", date: (2023, 8), llm_based: true, ex: 86.6 },
+        TimelinePoint { name: "MAC-SQL+GPT-4", date: (2023, 12), llm_based: true, ex: 86.8 },
+        TimelinePoint { name: "SFT CodeS-15B", date: (2024, 2), llm_based: true, ex: 85.0 },
+        TimelinePoint { name: "SuperSQL", date: (2024, 6), llm_based: true, ex: 87.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_size_matches_paper_tables() {
+        let zoo = all_methods();
+        // 4 prompt + 4 SFT CodeS + 7 PLM rows + SuperSQL = 16 table rows
+        assert_eq!(zoo.len(), 16);
+        let prompt = zoo.iter().filter(|m| m.class == MethodClass::PromptLlm).count();
+        let ftllm = zoo.iter().filter(|m| m.class == MethodClass::FinetunedLlm).count();
+        let plm = zoo.iter().filter(|m| m.class == MethodClass::FinetunedPlm).count();
+        assert_eq!((prompt, ftllm, plm), (4, 4, 7));
+    }
+
+    #[test]
+    fn names_unique() {
+        let zoo = all_methods();
+        let mut names: Vec<&str> = zoo.iter().map(|m| m.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), zoo.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(method_by_name("SuperSQL").is_some());
+        assert!(method_by_name("DAILSQL(SC)").is_some());
+        assert!(method_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn dinsql_has_no_bird_profile() {
+        let din = method_by_name("DINSQL").unwrap();
+        assert!(din.profile.bird_ex.is_none(), "paper did not run DIN-SQL on BIRD");
+    }
+
+    #[test]
+    fn supersql_tops_spider_profile() {
+        let zoo = all_methods();
+        let best_overall = zoo
+            .iter()
+            .max_by(|a, b| {
+                let ma = a.profile.spider_ex.iter().sum::<f64>();
+                let mb = b.profile.spider_ex.iter().sum::<f64>();
+                ma.partial_cmp(&mb).unwrap()
+            })
+            .unwrap();
+        assert_eq!(best_overall.name, "SuperSQL");
+    }
+
+    #[test]
+    fn em_targets_below_ex_targets() {
+        for m in all_methods() {
+            for i in 0..4 {
+                assert!(
+                    m.profile.spider_em[i] <= m.profile.spider_ex[i] + 0.01,
+                    "{}: EM {} > EX {}",
+                    m.name,
+                    m.profile.spider_em[i],
+                    m.profile.spider_ex[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prompt_methods_have_api_pricing_locals_have_serving() {
+        for m in all_methods() {
+            match m.class {
+                MethodClass::PromptLlm | MethodClass::Hybrid => {
+                    assert!(matches!(m.serving, Serving::Api(_)), "{}", m.name)
+                }
+                _ => assert!(matches!(m.serving, Serving::Local(_)), "{}", m.name),
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_llms_eventually_dominate() {
+        let tl = leaderboard_timeline();
+        let best_plm = tl.iter().filter(|p| !p.llm_based).map(|p| p.ex).fold(0.0, f64::max);
+        let best_llm = tl.iter().filter(|p| p.llm_based).map(|p| p.ex).fold(0.0, f64::max);
+        assert!(best_llm > best_plm, "Figure 2: the LLM/PLM gap widened");
+    }
+
+    #[test]
+    fn natsql_variants_have_positive_join_delta() {
+        let with_nat = method_by_name("RESDSQL-3B + NatSQL").unwrap();
+        let without = method_by_name("RESDSQL-3B").unwrap();
+        assert!(with_nat.profile.join_delta > 0.0);
+        assert!(without.profile.join_delta < 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Supervised fine-tuning simulation (paper Exp-5 / Exp-9, Figures 11–12).
+//!
+//! Exp-5 fine-tunes five open-source 7B-class LLMs with the SQL-style
+//! zero-shot prompt of Figure 10 and finds post-SFT Spider EX correlates
+//! with the base model's HumanEval Pass@1 (Finding 8). Exp-9 retrains
+//! methods on Spider subsets of growing size and finds diminishing returns
+//! past ~4000 samples (Finding 12).
+//!
+//! Since we cannot run GPUs, this module provides: the published HumanEval
+//! scores, a code-ability → post-SFT-EX mapping reproducing the Figure 11
+//! correlation, a saturating learning curve reproducing Figure 12, and a
+//! constructor producing ready-to-evaluate [`SimulatedModel`]s whose
+//! calibrated profiles are scaled accordingly.
+
+use crate::economy::LocalServing;
+use crate::profiles::CapabilityProfile;
+use crate::registry::{MethodSpec, Serving};
+use crate::taxonomy::{
+    Decoding, FewShot, Intermediate, MethodClass, ModuleSet, MultiStep, PostProcessing,
+};
+use crate::translator::SimulatedModel;
+
+/// One open-source base LLM from Exp-5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseLlm {
+    /// Model name.
+    pub name: &'static str,
+    /// HumanEval Pass@1 of the base model (published).
+    pub humaneval: f64,
+    /// Whether the pre-training corpus is code-centric.
+    pub code_pretrained: bool,
+    /// Parameter count (billions).
+    pub params_b: f64,
+}
+
+/// The five base LLMs compared in Exp-5.
+pub const BASE_LLMS: [BaseLlm; 5] = [
+    BaseLlm { name: "Llama2-7B", humaneval: 12.8, code_pretrained: false, params_b: 7.0 },
+    BaseLlm { name: "StarCoder-7B", humaneval: 28.4, code_pretrained: true, params_b: 7.0 },
+    BaseLlm { name: "CodeLlama-7B", humaneval: 33.5, code_pretrained: true, params_b: 7.0 },
+    BaseLlm { name: "Deepseek-Coder-7B", humaneval: 47.6, code_pretrained: true, params_b: 7.0 },
+    BaseLlm { name: "Llama3-8B", humaneval: 62.2, code_pretrained: false, params_b: 8.0 },
+];
+
+/// Look up a base LLM by name.
+pub fn base_llm(name: &str) -> Option<BaseLlm> {
+    BASE_LLMS.iter().copied().find(|b| b.name == name)
+}
+
+/// Post-SFT Spider-dev EX (percent) as a function of the base model's code
+/// ability — the Figure 11 regression: a positive linear trend from ~68 to
+/// ~79 EX across the HumanEval range.
+pub fn post_sft_ex(base: &BaseLlm) -> f64 {
+    66.0 + 0.20 * base.humaneval
+}
+
+/// Learning curve for EX versus number of SFT samples (Figure 12):
+/// saturating exponential reaching ~96% of the asymptote at 4000 samples.
+pub fn learning_curve_ex(final_ex: f64, n_train: usize) -> f64 {
+    let n = n_train as f64;
+    final_ex * (1.0 - 0.55 * (-n / 1500.0).exp())
+}
+
+/// Spider-dev hardness mix used to convert overall EX targets into
+/// per-hardness profiles (approximate Spider dev proportions).
+const HARDNESS_MIX: [f64; 4] = [0.25, 0.43, 0.17, 0.15];
+
+fn overall(per_hardness: [f64; 4]) -> f64 {
+    per_hardness.iter().zip(HARDNESS_MIX).map(|(v, w)| v * w).sum()
+}
+
+/// Reference per-hardness shape for a fine-tuned LLM (SFT CodeS-7B row of
+/// Table 3), rescaled to hit a target overall EX.
+fn shaped_profile(target_overall_ex: f64) -> CapabilityProfile {
+    let ref_ex = [94.8, 91.0, 75.3, 66.9];
+    let ref_em = [92.7, 85.2, 67.8, 56.0];
+    let ratio = target_overall_ex / overall(ref_ex);
+    let scale = |a: [f64; 4]| {
+        [
+            (a[0] * ratio).min(99.0),
+            (a[1] * ratio).min(99.0),
+            (a[2] * ratio).min(99.0),
+            (a[3] * ratio).min(99.0),
+        ]
+    };
+    CapabilityProfile {
+        spider_ex: scale(ref_ex),
+        spider_em: scale(ref_em),
+        bird_ex: None,
+        subquery_delta: 1.0,
+        join_delta: 1.5,
+        logical_delta: 2.0,
+        orderby_delta_spider: -1.0,
+        orderby_delta_bird: 1.5,
+        variant_instability: 0.04,
+        domain_sensitivity: 0.6,
+        domain_bias_scale: 2.0,
+        perturb_penalty: [4.0, 9.0, 4.0],
+    }
+}
+
+/// Zero-shot SQL-style SFT pipeline (Figure 10): no helper modules, greedy
+/// decoding.
+fn sft_modules() -> ModuleSet {
+    ModuleSet {
+        schema_linking: false,
+        db_content: false,
+        few_shot: FewShot::ZeroShot,
+        multi_step: MultiStep::None,
+        intermediate: Intermediate::None,
+        decoding: Decoding::Greedy,
+        post: PostProcessing::None,
+    }
+}
+
+/// Build a runnable fine-tuned model for `base` trained on `n_train`
+/// Spider samples. The name encodes both so evaluation logs stay legible.
+pub fn sft_model(base: &BaseLlm, n_train: usize) -> SimulatedModel {
+    let final_ex = post_sft_ex(base);
+    let ex = learning_curve_ex(final_ex, n_train);
+    let name: &'static str = Box::leak(format!("SFT {} (n={})", base.name, n_train).into_boxed_str());
+    let spec = MethodSpec {
+        name,
+        class: MethodClass::FinetunedLlm,
+        backbone: Box::leak(base.name.to_string().into_boxed_str()),
+        params_b: Some(base.params_b),
+        release: (2024, 6),
+        modules: sft_modules(),
+        profile: shaped_profile(ex),
+        serving: Serving::Local(LocalServing::from_params(base.params_b, false)),
+    };
+    SimulatedModel::new(spec)
+}
+
+/// The training-set sizes swept in Exp-9 (Figure 12).
+pub const TRAINING_SIZES: [usize; 8] = [500, 1000, 2000, 3000, 4000, 5000, 6000, 7000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::Nl2SqlModel;
+
+    #[test]
+    fn five_base_models() {
+        assert_eq!(BASE_LLMS.len(), 5);
+        assert!(base_llm("Llama2-7B").is_some());
+        assert!(base_llm("GPT-4").is_none());
+    }
+
+    #[test]
+    fn post_sft_ex_correlates_with_humaneval() {
+        // Finding 8: positive correlation
+        let mut prev = 0.0;
+        let mut sorted = BASE_LLMS;
+        sorted.sort_by(|a, b| a.humaneval.partial_cmp(&b.humaneval).unwrap());
+        for b in sorted {
+            let ex = post_sft_ex(&b);
+            assert!(ex > prev, "{} should beat weaker-code models", b.name);
+            prev = ex;
+        }
+    }
+
+    #[test]
+    fn code_pretrained_7b_models_beat_llama2() {
+        let llama2 = post_sft_ex(&base_llm("Llama2-7B").unwrap());
+        for name in ["StarCoder-7B", "CodeLlama-7B", "Deepseek-Coder-7B"] {
+            assert!(post_sft_ex(&base_llm(name).unwrap()) > llama2, "{name}");
+        }
+    }
+
+    #[test]
+    fn learning_curve_saturates() {
+        let f = 80.0;
+        let e500 = learning_curve_ex(f, 500);
+        let e4000 = learning_curve_ex(f, 4000);
+        let e7000 = learning_curve_ex(f, 7000);
+        assert!(e500 < e4000 && e4000 < e7000);
+        // acceptable by 4000 (Finding 12)
+        assert!(e4000 > 0.94 * f, "{e4000}");
+        // diminishing returns: the 4000→7000 gain is smaller than 500→1000
+        let early_gain = learning_curve_ex(f, 1000) - e500;
+        let late_gain = e7000 - e4000;
+        assert!(late_gain < early_gain / 2.0);
+    }
+
+    #[test]
+    fn sft_model_is_runnable_and_scaled() {
+        let base = base_llm("Deepseek-Coder-7B").unwrap();
+        let small = sft_model(&base, 500);
+        let big = sft_model(&base, 7000);
+        let o = |m: &SimulatedModel| overall(m.profile().spider_ex);
+        assert!(o(&big) > o(&small));
+        assert!(small.name().contains("n=500"));
+    }
+
+    #[test]
+    fn overall_helper() {
+        assert!((overall([100.0; 4]) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,178 @@
+//! The modular taxonomy of NL2SQL methods (paper Table 1 / Figure 13).
+//!
+//! Every method — real ones reproduced from the paper and synthetic ones
+//! composed by the AAS search — is described by a [`ModuleSet`]: which
+//! pre-processing, prompting, SQL-generation and post-processing modules it
+//! uses. The design-space search (paper §5) operates directly over these
+//! enums.
+
+use serde::{Deserialize, Serialize};
+
+/// Method family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodClass {
+    /// Prompt-based LLM (GPT-3.5 / GPT-4 through an API).
+    PromptLlm,
+    /// Fine-tuned open-source LLM (CodeS, Llama...).
+    FinetunedLlm,
+    /// Fine-tuned pre-trained LM (T5/BERT-era: RESDSQL, Graphix...).
+    FinetunedPlm,
+    /// Hybrid composition found by NL2SQL360-AAS (SuperSQL).
+    Hybrid,
+}
+
+impl MethodClass {
+    /// Short label used in reports ("LLM (P)", "LLM (FT)", "PLM (FT)").
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodClass::PromptLlm => "LLM (P)",
+            MethodClass::FinetunedLlm => "LLM (FT)",
+            MethodClass::FinetunedPlm => "PLM (FT)",
+            MethodClass::Hybrid => "Hybrid",
+        }
+    }
+
+    /// Is this method LLM-based (prompted or fine-tuned)?
+    pub fn is_llm(&self) -> bool {
+        matches!(self, MethodClass::PromptLlm | MethodClass::FinetunedLlm)
+    }
+}
+
+/// Few-shot example selection strategy (Prompting layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FewShot {
+    /// Zero-shot prompting.
+    ZeroShot,
+    /// Hand-written fixed examples (DIN-SQL).
+    Manual,
+    /// Similarity-based dynamic selection (DAIL-SQL).
+    SimilarityBased,
+}
+
+/// Multi-step SQL generation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiStep {
+    /// Single-shot generation.
+    None,
+    /// Skeleton parsing then filling (RESDSQL).
+    SkeletonParsing,
+    /// Sub-question decomposition (DIN-SQL, MAC-SQL).
+    Decomposition,
+}
+
+/// Intermediate representation used between NL and SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intermediate {
+    /// Direct SQL generation.
+    None,
+    /// NatSQL simplified form (omits JOIN keywords, eases schema prediction).
+    NatSql,
+}
+
+/// Decoding strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decoding {
+    /// Greedy decoding (API LLMs).
+    Greedy,
+    /// Beam search.
+    Beam,
+    /// PICARD constrained decoding (rejects invalid SQL prefixes).
+    Picard,
+}
+
+/// Post-processing strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PostProcessing {
+    /// Emit the first output as-is.
+    None,
+    /// Self-correction round (DIN-SQL).
+    SelfCorrection,
+    /// Self-consistency voting over sampled outputs (C3, DAIL-SQL SC).
+    SelfConsistency,
+    /// Execution-guided selection: first error-free candidate wins (CodeS,
+    /// RESDSQL).
+    ExecutionGuided,
+    /// N-best reranking.
+    Reranker,
+}
+
+/// The full module configuration of one method — one row of Table 1, and
+/// one point of the Figure 13 design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModuleSet {
+    /// Pre-processing: schema linking (prune schema to relevant elements).
+    pub schema_linking: bool,
+    /// Pre-processing: DB content matching (enrich columns with values).
+    pub db_content: bool,
+    /// Prompting strategy.
+    pub few_shot: FewShot,
+    /// Multi-step generation.
+    pub multi_step: MultiStep,
+    /// Intermediate representation.
+    pub intermediate: Intermediate,
+    /// Decoding strategy.
+    pub decoding: Decoding,
+    /// Post-processing strategy.
+    pub post: PostProcessing,
+}
+
+impl ModuleSet {
+    /// A bare zero-shot greedy pipeline with no helper modules.
+    pub fn bare() -> Self {
+        Self {
+            schema_linking: false,
+            db_content: false,
+            few_shot: FewShot::ZeroShot,
+            multi_step: MultiStep::None,
+            intermediate: Intermediate::None,
+            decoding: Decoding::Greedy,
+            post: PostProcessing::None,
+        }
+    }
+
+    /// The SuperSQL composition found by NL2SQL360-AAS (paper §5.3):
+    /// RESDSQL schema linking + BRIDGE v2 DB content + DAIL-SQL few-shot +
+    /// greedy decoding + DAIL-SQL self-consistency.
+    pub fn supersql() -> Self {
+        Self {
+            schema_linking: true,
+            db_content: true,
+            few_shot: FewShot::SimilarityBased,
+            multi_step: MultiStep::None,
+            intermediate: Intermediate::None,
+            decoding: Decoding::Greedy,
+            post: PostProcessing::SelfConsistency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(MethodClass::PromptLlm.label(), "LLM (P)");
+        assert!(MethodClass::PromptLlm.is_llm());
+        assert!(MethodClass::FinetunedLlm.is_llm());
+        assert!(!MethodClass::FinetunedPlm.is_llm());
+    }
+
+    #[test]
+    fn supersql_composition_matches_paper() {
+        let m = ModuleSet::supersql();
+        assert!(m.schema_linking && m.db_content);
+        assert_eq!(m.few_shot, FewShot::SimilarityBased);
+        assert_eq!(m.multi_step, MultiStep::None);
+        assert_eq!(m.intermediate, Intermediate::None);
+        assert_eq!(m.decoding, Decoding::Greedy);
+        assert_eq!(m.post, PostProcessing::SelfConsistency);
+    }
+
+    #[test]
+    fn bare_has_nothing() {
+        let m = ModuleSet::bare();
+        assert!(!m.schema_linking && !m.db_content);
+        assert_eq!(m.post, PostProcessing::None);
+    }
+}

@@ -1,0 +1,319 @@
+//! NL2SQL debugger (paper §6, "Interpret NL2SQL Solution").
+//!
+//! The paper proposes a *NL2SQL Debugger* that "can detect incorrect SQL
+//! queries and allows users to step through the SQL generation process,
+//! identify errors or mismatches". This module implements the detection
+//! half: a clause-level structural diff between a gold and a predicted
+//! query, classifying each mismatch (missing JOIN, wrong column, flipped
+//! comparison, lost subquery, ...) so an error analysis can aggregate
+//! failure modes per method.
+
+use serde::{Deserialize, Serialize};
+use sqlkit::ast::*;
+use sqlkit::normalize::normalize;
+use sqlkit::SqlFeatures;
+
+/// One detected mismatch between gold and predicted SQL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mismatch {
+    /// Different projection (columns/aggregates selected).
+    Projection,
+    /// DISTINCT presence differs.
+    Distinct,
+    /// Different table set in FROM.
+    Tables,
+    /// Different number of JOIN steps (missing/excess join).
+    JoinCount,
+    /// WHERE predicates differ.
+    Where,
+    /// GROUP BY keys differ.
+    GroupBy,
+    /// HAVING predicates differ.
+    Having,
+    /// ORDER BY keys or directions differ.
+    OrderBy,
+    /// LIMIT clauses differ.
+    Limit,
+    /// Set-operation structure differs.
+    SetOps,
+    /// Subquery usage differs (nesting lost or invented).
+    Nesting,
+}
+
+impl Mismatch {
+    /// Short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mismatch::Projection => "projection",
+            Mismatch::Distinct => "DISTINCT",
+            Mismatch::Tables => "tables",
+            Mismatch::JoinCount => "join count",
+            Mismatch::Where => "WHERE",
+            Mismatch::GroupBy => "GROUP BY",
+            Mismatch::Having => "HAVING",
+            Mismatch::OrderBy => "ORDER BY",
+            Mismatch::Limit => "LIMIT",
+            Mismatch::SetOps => "set operations",
+            Mismatch::Nesting => "nesting",
+        }
+    }
+}
+
+/// Diff a gold and a predicted query into a sorted list of clause-level
+/// mismatches. An empty result means the queries are structurally
+/// equivalent under normalization (they may still differ in literal
+/// values — compare with [`sqlkit::exact_match::exact_match_with`] for that).
+pub fn diagnose(gold: &Query, pred: &Query) -> Vec<Mismatch> {
+    let g = normalize(gold);
+    let p = normalize(pred);
+    let mut out = Vec::new();
+
+    if g.set_ops.len() != p.set_ops.len()
+        || g.set_ops.iter().zip(&p.set_ops).any(|((a, _), (b, _))| a != b)
+    {
+        out.push(Mismatch::SetOps);
+    }
+    diagnose_core(&g.body, &p.body, &mut out);
+
+    let gf = SqlFeatures::of(&g);
+    let pf = SqlFeatures::of(&p);
+    if gf.subquery_count != pf.subquery_count {
+        out.push(Mismatch::Nesting);
+    }
+    if g.order_by.len() != p.order_by.len()
+        || g.order_by
+            .iter()
+            .zip(&p.order_by)
+            .any(|(a, b)| a.desc != b.desc || expr_key(&a.expr) != expr_key(&b.expr))
+    {
+        out.push(Mismatch::OrderBy);
+    }
+    match (&g.limit, &p.limit) {
+        (None, None) => {}
+        (Some(a), Some(b)) if a == b => {}
+        _ => out.push(Mismatch::Limit),
+    }
+
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn diagnose_core(g: &SelectCore, p: &SelectCore, out: &mut Vec<Mismatch>) {
+    if g.distinct != p.distinct {
+        out.push(Mismatch::Distinct);
+    }
+    if key_multiset(g.items.iter().map(item_key)) != key_multiset(p.items.iter().map(item_key)) {
+        out.push(Mismatch::Projection);
+    }
+    let tables = |c: &SelectCore| -> Vec<String> {
+        let mut t: Vec<String> = c
+            .from
+            .iter()
+            .flat_map(|f| f.tables())
+            .filter_map(|t| match t {
+                TableRef::Named { name, .. } => Some(name.clone()),
+                TableRef::Subquery { .. } => Some("<subquery>".into()),
+            })
+            .collect();
+        t.sort();
+        t
+    };
+    if tables(g) != tables(p) {
+        out.push(Mismatch::Tables);
+    }
+    let joins = |c: &SelectCore| c.from.as_ref().map(|f| f.joins.len()).unwrap_or(0);
+    if joins(g) != joins(p) {
+        out.push(Mismatch::JoinCount);
+    }
+    if pred_key(&g.where_clause) != pred_key(&p.where_clause) {
+        out.push(Mismatch::Where);
+    }
+    if key_multiset(g.group_by.iter().map(expr_key))
+        != key_multiset(p.group_by.iter().map(expr_key))
+    {
+        out.push(Mismatch::GroupBy);
+    }
+    if pred_key(&g.having) != pred_key(&p.having) {
+        out.push(Mismatch::Having);
+    }
+}
+
+fn expr_key(e: &Expr) -> String {
+    sqlkit::to_sql(&Query::simple(SelectCore::new(vec![SelectItem::expr(e.clone())])))
+}
+
+fn item_key(i: &SelectItem) -> String {
+    match i {
+        SelectItem::Wildcard => "*".into(),
+        SelectItem::QualifiedWildcard(t) => format!("{t}.*"),
+        SelectItem::Expr { expr, .. } => expr_key(expr),
+    }
+}
+
+fn pred_key(e: &Option<Expr>) -> Vec<String> {
+    fn conjuncts(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                conjuncts(left, out);
+                conjuncts(right, out);
+            }
+            other => out.push(expr_key(other)),
+        }
+    }
+    let mut keys = Vec::new();
+    if let Some(e) = e {
+        conjuncts(e, &mut keys);
+    }
+    keys.sort();
+    keys
+}
+
+fn key_multiset(keys: impl Iterator<Item = String>) -> Vec<String> {
+    let mut v: Vec<String> = keys.collect();
+    v.sort();
+    v
+}
+
+/// Aggregate mismatch counts over (gold, pred) pairs — the per-method error
+/// profile an error analysis reports.
+pub fn error_profile<'a>(
+    pairs: impl Iterator<Item = (&'a Query, &'a Query)>,
+) -> Vec<(Mismatch, usize)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<Mismatch, usize> = BTreeMap::new();
+    for (gold, pred) in pairs {
+        for m in diagnose(gold, pred) {
+            *counts.entry(m).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::parse_query;
+
+    fn diag(gold: &str, pred: &str) -> Vec<Mismatch> {
+        diagnose(&parse_query(gold).unwrap(), &parse_query(pred).unwrap())
+    }
+
+    #[test]
+    fn identical_queries_have_no_mismatch() {
+        assert!(diag("SELECT a FROM t WHERE b > 1", "SELECT a FROM t WHERE b > 1").is_empty());
+    }
+
+    #[test]
+    fn alias_differences_are_not_mismatches() {
+        assert!(diag(
+            "SELECT T1.a FROM t AS T1 WHERE T1.b > 1",
+            "SELECT t.a FROM t WHERE t.b > 1"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn wrong_column_is_projection() {
+        assert_eq!(diag("SELECT a FROM t", "SELECT b FROM t"), vec![Mismatch::Projection]);
+    }
+
+    #[test]
+    fn missing_join_detected() {
+        let d = diag(
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid",
+            "SELECT t.a FROM t",
+        );
+        assert!(d.contains(&Mismatch::JoinCount), "{d:?}");
+        assert!(d.contains(&Mismatch::Tables), "{d:?}");
+    }
+
+    #[test]
+    fn dropped_condition_is_where() {
+        assert_eq!(
+            diag("SELECT a FROM t WHERE b > 1 AND c = 2", "SELECT a FROM t WHERE b > 1"),
+            vec![Mismatch::Where]
+        );
+    }
+
+    #[test]
+    fn conjunct_order_is_not_a_mismatch() {
+        assert!(diag(
+            "SELECT a FROM t WHERE b > 1 AND c = 2",
+            "SELECT a FROM t WHERE c = 2 AND b > 1"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flattened_subquery_is_nesting_and_where() {
+        let d = diag(
+            "SELECT a FROM t WHERE b IN (SELECT c FROM u)",
+            "SELECT a FROM t WHERE b = 1",
+        );
+        assert!(d.contains(&Mismatch::Nesting), "{d:?}");
+        assert!(d.contains(&Mismatch::Where), "{d:?}");
+    }
+
+    #[test]
+    fn order_and_limit_mismatches() {
+        assert_eq!(
+            diag("SELECT a FROM t ORDER BY a", "SELECT a FROM t ORDER BY a DESC"),
+            vec![Mismatch::OrderBy]
+        );
+        assert_eq!(
+            diag("SELECT a FROM t LIMIT 3", "SELECT a FROM t LIMIT 5"),
+            vec![Mismatch::Limit]
+        );
+    }
+
+    #[test]
+    fn group_and_having_mismatches() {
+        let d = diag(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+        );
+        assert_eq!(d, vec![Mismatch::Having]);
+    }
+
+    #[test]
+    fn set_op_mismatch() {
+        let d = diag(
+            "SELECT a FROM t UNION SELECT a FROM u",
+            "SELECT a FROM t EXCEPT SELECT a FROM u",
+        );
+        assert!(d.contains(&Mismatch::SetOps), "{d:?}");
+    }
+
+    #[test]
+    fn error_profile_aggregates() {
+        let gold = parse_query("SELECT a FROM t WHERE b > 1").unwrap();
+        let p1 = parse_query("SELECT a FROM t").unwrap();
+        let p2 = parse_query("SELECT c FROM t WHERE b > 1").unwrap();
+        let pairs = vec![(&gold, &p1), (&gold, &p2)];
+        let profile = error_profile(pairs.into_iter());
+        assert!(profile.contains(&(Mismatch::Where, 1)));
+        assert!(profile.contains(&(Mismatch::Projection, 1)));
+    }
+
+    #[test]
+    fn real_corruptions_get_diagnosed() {
+        use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+        use rand::SeedableRng;
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(31));
+        let mut diagnosed = 0;
+        for (i, s) in c.dev.iter().enumerate().take(30) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(i as u64);
+            let pred = modelzoo::corruption::corrupt_prediction(
+                &s.query,
+                modelzoo::MethodClass::FinetunedPlm,
+                c.db(s),
+                &mut rng,
+            );
+            if !diagnose(&s.query, &pred).is_empty() {
+                diagnosed += 1;
+            }
+        }
+        assert!(diagnosed >= 25, "most corruptions must be diagnosable: {diagnosed}/30");
+    }
+}

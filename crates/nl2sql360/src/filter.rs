@@ -1,0 +1,353 @@
+//! The dataset filter (paper §3, Scenarios 1–4).
+//!
+//! NL2SQL360's central idea is slicing benchmarks into focused subsets:
+//! by SQL complexity (Scenario 1), by SQL characteristics like subqueries /
+//! JOIN counts / logical connectors / ORDER BY (Scenario 2), by data domain
+//! (Scenario 3), and by NL-variant availability for query-variance testing
+//! (Scenario 4). A [`Filter`] is a conjunction of such criteria applied to
+//! evaluation records.
+
+use crate::executor::SampleRecord;
+use serde::{Deserialize, Serialize};
+use sqlkit::hardness::{BirdDifficulty, Hardness};
+
+/// Bucketing for counted characteristics (#JOINs, #logical connectors),
+/// matching the y-axis rows of the paper's Figures 6–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CountBucket {
+    /// Exactly zero.
+    Zero,
+    /// Exactly one.
+    One,
+    /// Two or more.
+    TwoPlus,
+    /// One or more (the "w/" rows of Figure 5).
+    Any,
+}
+
+impl CountBucket {
+    /// Does `n` fall into this bucket?
+    pub fn matches(&self, n: usize) -> bool {
+        match self {
+            CountBucket::Zero => n == 0,
+            CountBucket::One => n == 1,
+            CountBucket::TwoPlus => n >= 2,
+            CountBucket::Any => n >= 1,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CountBucket::Zero => "0",
+            CountBucket::One => "1",
+            CountBucket::TwoPlus => ">=2",
+            CountBucket::Any => ">=1",
+        }
+    }
+}
+
+/// A conjunctive filter over evaluation records. `Default` matches all.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    /// Scenario 1: Spider hardness bucket.
+    pub hardness: Option<Hardness>,
+    /// Scenario 1 (BIRD): difficulty bucket.
+    pub bird_difficulty: Option<BirdDifficulty>,
+    /// Scenario 2: presence of subqueries.
+    pub has_subquery: Option<bool>,
+    /// Scenario 2: JOIN-count bucket.
+    pub join_bucket: Option<CountBucket>,
+    /// Scenario 2: logical-connector-count bucket.
+    pub logical_bucket: Option<CountBucket>,
+    /// Scenario 2: presence of ORDER BY.
+    pub has_order_by: Option<bool>,
+    /// Scenario 3: domain name.
+    pub domain: Option<String>,
+    /// Scenario 4: minimum number of NL variants (QVT uses ≥ 2).
+    pub min_variants: Option<usize>,
+}
+
+impl Filter {
+    /// Match-all filter.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to one hardness bucket.
+    pub fn hardness(mut self, h: Hardness) -> Self {
+        self.hardness = Some(h);
+        self
+    }
+
+    /// Restrict to one BIRD difficulty bucket.
+    pub fn bird_difficulty(mut self, d: BirdDifficulty) -> Self {
+        self.bird_difficulty = Some(d);
+        self
+    }
+
+    /// Restrict by subquery presence.
+    pub fn subquery(mut self, present: bool) -> Self {
+        self.has_subquery = Some(present);
+        self
+    }
+
+    /// Restrict by JOIN-count bucket.
+    pub fn joins(mut self, bucket: CountBucket) -> Self {
+        self.join_bucket = Some(bucket);
+        self
+    }
+
+    /// Restrict by logical-connector bucket.
+    pub fn logical(mut self, bucket: CountBucket) -> Self {
+        self.logical_bucket = Some(bucket);
+        self
+    }
+
+    /// Restrict by ORDER BY presence.
+    pub fn order_by(mut self, present: bool) -> Self {
+        self.has_order_by = Some(present);
+        self
+    }
+
+    /// Restrict to a domain (case-insensitive).
+    pub fn domain(mut self, name: impl Into<String>) -> Self {
+        self.domain = Some(name.into());
+        self
+    }
+
+    /// Restrict to samples with at least `n` NL variants.
+    pub fn min_variants(mut self, n: usize) -> Self {
+        self.min_variants = Some(n);
+        self
+    }
+
+    /// Parse a comma-separated filter specification, the CLI surface of the
+    /// dataset filter:
+    ///
+    /// ```text
+    /// hardness=easy|medium|hard|extra
+    /// difficulty=simple|moderate|challenging
+    /// subquery=yes|no        orderby=yes|no
+    /// joins=0|1|2+|1+        logical=0|1|2+|1+
+    /// domain=<name>          variants=<min>
+    /// ```
+    ///
+    /// ```
+    /// use nl2sql360::Filter;
+    /// let f = Filter::parse("hardness=extra,subquery=yes,joins=2+").unwrap();
+    /// assert!(f.has_subquery == Some(true));
+    /// ```
+    pub fn parse(spec: &str) -> Result<Filter, String> {
+        let mut f = Filter::all();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("`{part}` is not a key=value pair"))?;
+            let value = value.trim();
+            match key.trim().to_lowercase().as_str() {
+                "hardness" => {
+                    f.hardness = Some(match value.to_lowercase().as_str() {
+                        "easy" => Hardness::Easy,
+                        "medium" | "med" => Hardness::Medium,
+                        "hard" => Hardness::Hard,
+                        "extra" => Hardness::Extra,
+                        other => return Err(format!("unknown hardness `{other}`")),
+                    })
+                }
+                "difficulty" => {
+                    f.bird_difficulty = Some(match value.to_lowercase().as_str() {
+                        "simple" => BirdDifficulty::Simple,
+                        "moderate" => BirdDifficulty::Moderate,
+                        "challenging" => BirdDifficulty::Challenging,
+                        other => return Err(format!("unknown difficulty `{other}`")),
+                    })
+                }
+                "subquery" => f.has_subquery = Some(parse_bool(value)?),
+                "orderby" | "order_by" => f.has_order_by = Some(parse_bool(value)?),
+                "joins" => f.join_bucket = Some(parse_bucket(value)?),
+                "logical" => f.logical_bucket = Some(parse_bucket(value)?),
+                "domain" => f.domain = Some(value.to_string()),
+                "variants" => {
+                    f.min_variants = Some(
+                        value.parse().map_err(|_| format!("`{value}` is not a count"))?,
+                    )
+                }
+                other => return Err(format!("unknown filter key `{other}`")),
+            }
+        }
+        Ok(f)
+    }
+
+    /// Does a record pass all criteria?
+    pub fn matches(&self, r: &SampleRecord) -> bool {
+        if let Some(h) = self.hardness {
+            if r.hardness != h {
+                return false;
+            }
+        }
+        if let Some(d) = self.bird_difficulty {
+            if r.bird_difficulty != d {
+                return false;
+            }
+        }
+        if let Some(sub) = self.has_subquery {
+            if r.features.has_subquery() != sub {
+                return false;
+            }
+        }
+        if let Some(b) = self.join_bucket {
+            if !b.matches(r.features.join_count) {
+                return false;
+            }
+        }
+        if let Some(b) = self.logical_bucket {
+            if !b.matches(r.features.logical_connector_count) {
+                return false;
+            }
+        }
+        if let Some(ob) = self.has_order_by {
+            if r.features.has_order_by() != ob {
+                return false;
+            }
+        }
+        if let Some(d) = &self.domain {
+            if !r.domain.eq_ignore_ascii_case(d) {
+                return false;
+            }
+        }
+        if let Some(n) = self.min_variants {
+            if r.variants.len() < n {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v.to_lowercase().as_str() {
+        "yes" | "true" | "1" | "with" => Ok(true),
+        "no" | "false" | "0" | "without" => Ok(false),
+        other => Err(format!("`{other}` is not yes/no")),
+    }
+}
+
+fn parse_bucket(v: &str) -> Result<CountBucket, String> {
+    match v {
+        "0" => Ok(CountBucket::Zero),
+        "1" => Ok(CountBucket::One),
+        "2+" => Ok(CountBucket::TwoPlus),
+        "1+" | "any" => Ok(CountBucket::Any),
+        other => Err(format!("`{other}` is not 0/1/2+/1+")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkit::SqlFeatures;
+
+    #[test]
+    fn parse_full_spec() {
+        let f = Filter::parse("hardness=extra, subquery=yes, joins=2+, orderby=no, domain=College, variants=2").unwrap();
+        assert_eq!(f.hardness, Some(Hardness::Extra));
+        assert_eq!(f.has_subquery, Some(true));
+        assert_eq!(f.join_bucket, Some(CountBucket::TwoPlus));
+        assert_eq!(f.has_order_by, Some(false));
+        assert_eq!(f.domain.as_deref(), Some("College"));
+        assert_eq!(f.min_variants, Some(2));
+    }
+
+    #[test]
+    fn parse_empty_is_match_all() {
+        assert_eq!(Filter::parse("").unwrap(), Filter::all());
+        assert_eq!(Filter::parse(" , ").unwrap(), Filter::all());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Filter::parse("hardness=ultra").is_err());
+        assert!(Filter::parse("joins=3").is_err());
+        assert!(Filter::parse("nonsense").is_err());
+        assert!(Filter::parse("color=red").is_err());
+        assert!(Filter::parse("subquery=maybe").is_err());
+    }
+
+    #[test]
+    fn parse_difficulty_and_logical() {
+        let f = Filter::parse("difficulty=challenging,logical=1+").unwrap();
+        assert_eq!(f.bird_difficulty, Some(BirdDifficulty::Challenging));
+        assert_eq!(f.logical_bucket, Some(CountBucket::Any));
+    }
+
+    fn record(join_count: usize, subq: usize, order: usize) -> SampleRecord {
+        let mut features = SqlFeatures::default();
+        features.join_count = join_count;
+        features.subquery_count = subq;
+        features.order_by_count = order;
+        features.logical_connector_count = join_count; // arbitrary
+        SampleRecord {
+            sample_id: 0,
+            db_id: "d".into(),
+            domain: "College".into(),
+            hardness: Hardness::Medium,
+            bird_difficulty: BirdDifficulty::Simple,
+            features,
+            gold_sql: "SELECT 1".into(),
+            gold_work: 1,
+            variants: vec![],
+        }
+    }
+
+    #[test]
+    fn default_matches_everything() {
+        assert!(Filter::all().matches(&record(0, 0, 0)));
+        assert!(Filter::all().matches(&record(3, 2, 1)));
+    }
+
+    #[test]
+    fn hardness_filter() {
+        let f = Filter::all().hardness(Hardness::Medium);
+        assert!(f.matches(&record(0, 0, 0)));
+        let f = Filter::all().hardness(Hardness::Extra);
+        assert!(!f.matches(&record(0, 0, 0)));
+    }
+
+    #[test]
+    fn characteristic_filters() {
+        let r = record(2, 1, 0);
+        assert!(Filter::all().subquery(true).matches(&r));
+        assert!(!Filter::all().subquery(false).matches(&r));
+        assert!(Filter::all().joins(CountBucket::TwoPlus).matches(&r));
+        assert!(!Filter::all().joins(CountBucket::One).matches(&r));
+        assert!(Filter::all().order_by(false).matches(&r));
+    }
+
+    #[test]
+    fn count_buckets() {
+        assert!(CountBucket::Zero.matches(0));
+        assert!(!CountBucket::Zero.matches(1));
+        assert!(CountBucket::One.matches(1));
+        assert!(CountBucket::TwoPlus.matches(5));
+        assert!(CountBucket::Any.matches(1));
+        assert!(!CountBucket::Any.matches(0));
+        assert_eq!(CountBucket::TwoPlus.label(), ">=2");
+    }
+
+    #[test]
+    fn domain_filter_case_insensitive() {
+        let r = record(0, 0, 0);
+        assert!(Filter::all().domain("college").matches(&r));
+        assert!(!Filter::all().domain("Music").matches(&r));
+    }
+
+    #[test]
+    fn conjunction() {
+        let r = record(1, 0, 1);
+        let f = Filter::all().joins(CountBucket::One).subquery(false).order_by(true);
+        assert!(f.matches(&r));
+        let f2 = f.clone().hardness(Hardness::Extra);
+        assert!(!f2.matches(&r));
+    }
+}

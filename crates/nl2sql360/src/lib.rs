@@ -1,0 +1,56 @@
+//! # nl2sql360
+//!
+//! The core of the reproduction: a multi-angle NL2SQL evaluation framework
+//! after *"The Dawn of Natural Language to SQL: Are We Fully Ready?"*
+//! (VLDB 2024).
+//!
+//! Components (paper Figure 4):
+//!
+//! * **Datasets repository** — synthetic Spider-like / BIRD-like corpora
+//!   from the `datagen` crate;
+//! * **Model zoo** — the simulated methods of the `modelzoo` crate;
+//! * **Dataset filter** — [`filter::Filter`], slicing by SQL complexity,
+//!   SQL characteristics, data domain, and NL-variant availability;
+//! * **Metrics** — [`metrics`]: EX, EM, QVT (Eq. 1), VES, token/cost
+//!   economy, latency;
+//! * **Executor & logs** — [`executor::EvalContext`] and
+//!   [`logs::LogStore`];
+//! * **Evaluator** — [`evaluator`]: parallel runs and leaderboards;
+//! * **Design-space search** — [`aas`]: the NL2SQL360-AAS genetic
+//!   algorithm over the Figure-13 space, with [`pipeline::compose`] turning
+//!   module combinations into runnable pipelines (SuperSQL is the shipped
+//!   winner).
+//!
+//! ```
+//! use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+//! use modelzoo::{method_by_name, SimulatedModel};
+//! use nl2sql360::{EvalContext, Filter, metrics};
+//!
+//! let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(1));
+//! let ctx = EvalContext::new(&corpus);
+//! let model = SimulatedModel::new(method_by_name("SuperSQL").unwrap());
+//! let log = ctx.evaluate(&model).unwrap();
+//! let overall_ex = metrics::ex(&log, &Filter::all()).unwrap();
+//! assert!(overall_ex > 50.0);
+//! ```
+
+pub mod aas;
+pub mod diagnose;
+pub mod evaluator;
+pub mod extensions;
+pub mod executor;
+pub mod filter;
+pub mod logs;
+pub mod metrics;
+pub mod pipeline;
+pub mod report;
+
+pub use aas::{search, AasConfig, AasResult};
+pub use diagnose::{diagnose as diagnose_queries, error_profile, Mismatch};
+pub use extensions::{adaptive_plan, evaluate_with_rewriter, DomainDeficit};
+pub use evaluator::{evaluate_all, leaderboard, render_accuracy_leaderboard, LeaderboardRow};
+pub use executor::{EvalContext, EvalLog, SampleRecord, VariantRecord};
+pub use filter::{CountBucket, Filter};
+pub use logs::LogStore;
+pub use pipeline::{compose, gpt35, gpt4, Backbone};
+pub use report::{fmt_opt, fmt_pct, render_series, TextTable};

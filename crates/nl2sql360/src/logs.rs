@@ -1,0 +1,165 @@
+//! Log persistence (paper §3, "Executor and Logs").
+//!
+//! Evaluation logs serialize to JSON so experiments can be re-analyzed
+//! without re-running models — the same role the original NL2SQL360
+//! artifact's log store plays. A [`LogStore`] is a directory of
+//! `<dataset>/<method>.json` files.
+
+use crate::executor::EvalLog;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory-backed store of evaluation logs.
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    root: PathBuf,
+}
+
+impl LogStore {
+    /// Open (creating if needed) a log store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, dataset: &str, method: &str) -> PathBuf {
+        let safe: String = method
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        self.root.join(dataset).join(format!("{safe}.json"))
+    }
+
+    /// Persist one log.
+    pub fn save(&self, log: &EvalLog) -> io::Result<PathBuf> {
+        let path = self.path_for(&log.dataset, &log.method);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(log)?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Load one log back.
+    pub fn load(&self, dataset: &str, method: &str) -> io::Result<EvalLog> {
+        let path = self.path_for(dataset, method);
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// List stored (dataset, method) pairs.
+    pub fn list(&self) -> io::Result<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        for ds_entry in fs::read_dir(&self.root)? {
+            let ds_entry = ds_entry?;
+            if !ds_entry.file_type()?.is_dir() {
+                continue;
+            }
+            let dataset = ds_entry.file_name().to_string_lossy().to_string();
+            for f in fs::read_dir(ds_entry.path())? {
+                let f = f?;
+                let name = f.file_name().to_string_lossy().to_string();
+                if let Some(stem) = name.strip_suffix(".json") {
+                    out.push((dataset.clone(), stem.to_string()));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{SampleRecord, VariantRecord};
+    use sqlkit::hardness::{BirdDifficulty, Hardness};
+    use sqlkit::SqlFeatures;
+
+    fn sample_log() -> EvalLog {
+        EvalLog {
+            method: "DAILSQL(SC)".into(),
+            class_label: "LLM (P)".into(),
+            dataset: "Spider".into(),
+            records: vec![SampleRecord {
+                sample_id: 0,
+                db_id: "db".into(),
+                domain: "College".into(),
+                hardness: Hardness::Easy,
+                bird_difficulty: BirdDifficulty::Simple,
+                features: SqlFeatures::default(),
+                gold_sql: "SELECT 1".into(),
+                gold_work: 3,
+                variants: vec![VariantRecord {
+                    ex: true,
+                    em: false,
+                    pred_sql: "SELECT 1".into(),
+                    pred_work: Some(3),
+                    prompt_tokens: 10,
+                    completion_tokens: 2,
+                    cost_usd: 0.001,
+                    latency_s: 0.5,
+                }],
+            }],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("nl2sql360-logs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = LogStore::open(tmpdir("roundtrip")).unwrap();
+        let log = sample_log();
+        store.save(&log).unwrap();
+        let loaded = store.load("Spider", "DAILSQL(SC)").unwrap();
+        assert_eq!(loaded.method, log.method);
+        assert_eq!(loaded.records.len(), 1);
+        assert!(loaded.records[0].canonical().ex);
+        assert!(!loaded.records[0].canonical().em);
+    }
+
+    #[test]
+    fn special_characters_in_method_names() {
+        let store = LogStore::open(tmpdir("special")).unwrap();
+        let mut log = sample_log();
+        log.method = "RESDSQL-3B + NatSQL".into();
+        let path = store.save(&log).unwrap();
+        assert!(path.to_string_lossy().contains("RESDSQL-3B___NatSQL"));
+        assert!(store.load("Spider", "RESDSQL-3B + NatSQL").is_ok());
+    }
+
+    #[test]
+    fn list_enumerates_saved_logs() {
+        let store = LogStore::open(tmpdir("list")).unwrap();
+        let mut a = sample_log();
+        a.method = "m1".into();
+        let mut b = sample_log();
+        b.method = "m2".into();
+        b.dataset = "BIRD".into();
+        store.save(&a).unwrap();
+        store.save(&b).unwrap();
+        let ls = store.list().unwrap();
+        assert_eq!(
+            ls,
+            vec![("BIRD".to_string(), "m2".to_string()), ("Spider".to_string(), "m1".to_string())]
+        );
+    }
+
+    #[test]
+    fn missing_log_errors() {
+        let store = LogStore::open(tmpdir("missing")).unwrap();
+        assert!(store.load("Spider", "nope").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Evaluation metrics (paper §3, "Evaluation Metrics").
+//!
+//! All metrics read an [`EvalLog`] through a [`Filter`]:
+//!
+//! * **EX** — Execution Accuracy: predicted SQL executes and its result
+//!   multiset matches the gold result (canonical variant).
+//! * **EM** — Exact Match Accuracy: Spider-style component-set match.
+//! * **QVT** — Query Variance Testing, Equation (1): over samples with ≥ 2
+//!   NL variants where the model answers at least one variant correctly,
+//!   the mean fraction of variants answered correctly.
+//! * **VES** — Valid Efficiency Score (BIRD): `(100/N) · Σ 1(correct) ·
+//!   sqrt(gold_cost / pred_cost)`, using the engine's deterministic
+//!   work-unit costs.
+//! * Economy: average tokens per query, average dollar cost per query,
+//!   EX-per-cost, average latency.
+
+use crate::executor::EvalLog;
+use crate::filter::Filter;
+
+/// Execution Accuracy in percent over the filtered subset (canonical
+/// variant). Returns `None` when the subset is empty.
+pub fn ex(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    let mut n = 0usize;
+    let mut correct = 0usize;
+    for r in log.records.iter().filter(|r| filter.matches(r)) {
+        n += 1;
+        if r.canonical().ex {
+            correct += 1;
+        }
+    }
+    (n > 0).then(|| correct as f64 / n as f64 * 100.0)
+}
+
+/// Exact Match Accuracy in percent over the filtered subset.
+pub fn em(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    let mut n = 0usize;
+    let mut correct = 0usize;
+    for r in log.records.iter().filter(|r| filter.matches(r)) {
+        n += 1;
+        if r.canonical().em {
+            correct += 1;
+        }
+    }
+    (n > 0).then(|| correct as f64 / n as f64 * 100.0)
+}
+
+/// Query Variance Testing score (Equation 1), in percent.
+///
+/// Samples enter the QVT set when they have at least two NL variants and
+/// the model answers at least one variant correctly (the paper's inclusion
+/// rule); the score is the mean per-sample fraction of correct variants.
+pub fn qvt(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    let mut per_sample = Vec::new();
+    for r in log.records.iter().filter(|r| filter.matches(r)) {
+        if r.variants.len() < 2 {
+            continue;
+        }
+        let correct = r.variants.iter().filter(|v| v.ex).count();
+        if correct == 0 {
+            continue; // inclusion rule: model must solve ≥1 variant
+        }
+        per_sample.push(correct as f64 / r.variants.len() as f64);
+    }
+    (!per_sample.is_empty())
+        .then(|| per_sample.iter().sum::<f64>() / per_sample.len() as f64 * 100.0)
+}
+
+/// Valid Efficiency Score over the filtered subset (BIRD formula on
+/// deterministic work units): `(100/N) Σ 1(correct) sqrt(R)`, with
+/// `R = gold_work / pred_work`.
+pub fn ves(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    let mut n = 0usize;
+    let mut acc = 0.0;
+    for r in log.records.iter().filter(|r| filter.matches(r)) {
+        n += 1;
+        let v = r.canonical();
+        if v.ex {
+            if let Some(pw) = v.pred_work {
+                let ratio = r.gold_work.max(1) as f64 / pw.max(1) as f64;
+                acc += ratio.sqrt();
+            }
+        }
+    }
+    (n > 0).then(|| acc / n as f64 * 100.0)
+}
+
+/// Average total tokens per query (prompt + completion), canonical variant.
+pub fn avg_tokens(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    average(log, filter, |v| (v.prompt_tokens + v.completion_tokens) as f64)
+}
+
+/// Average dollar cost per query, canonical variant.
+pub fn avg_cost(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    average(log, filter, |v| v.cost_usd)
+}
+
+/// Average latency per sample in seconds, canonical variant.
+pub fn avg_latency(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    average(log, filter, |v| v.latency_s)
+}
+
+/// EX divided by average cost — the cost-effectiveness ratio of Table 5.
+pub fn ex_per_cost(log: &EvalLog, filter: &Filter) -> Option<f64> {
+    let e = ex(log, filter)?;
+    let c = avg_cost(log, filter)?;
+    (c > 0.0).then(|| e / c)
+}
+
+/// Number of records passing the filter.
+pub fn subset_size(log: &EvalLog, filter: &Filter) -> usize {
+    log.records.iter().filter(|r| filter.matches(r)).count()
+}
+
+fn average(
+    log: &EvalLog,
+    filter: &Filter,
+    f: impl Fn(&crate::executor::VariantRecord) -> f64,
+) -> Option<f64> {
+    let mut n = 0usize;
+    let mut acc = 0.0;
+    for r in log.records.iter().filter(|r| filter.matches(r)) {
+        n += 1;
+        acc += f(r.canonical());
+    }
+    (n > 0).then(|| acc / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{SampleRecord, VariantRecord};
+    use sqlkit::hardness::{BirdDifficulty, Hardness};
+    use sqlkit::SqlFeatures;
+
+    fn variant(ex: bool, em: bool, work: u64) -> VariantRecord {
+        VariantRecord {
+            ex,
+            em,
+            pred_sql: "SELECT 1".into(),
+            pred_work: Some(work),
+            prompt_tokens: 100,
+            completion_tokens: 20,
+            cost_usd: 0.01,
+            latency_s: 1.0,
+        }
+    }
+
+    fn record(id: usize, variants: Vec<VariantRecord>, hardness: Hardness) -> SampleRecord {
+        SampleRecord {
+            sample_id: id,
+            db_id: "d".into(),
+            domain: "College".into(),
+            hardness,
+            bird_difficulty: BirdDifficulty::Simple,
+            features: SqlFeatures::default(),
+            gold_sql: "SELECT 1".into(),
+            gold_work: 100,
+            variants,
+        }
+    }
+
+    fn log(records: Vec<SampleRecord>) -> EvalLog {
+        EvalLog {
+            method: "m".into(),
+            class_label: "Custom".into(),
+            dataset: "Spider".into(),
+            records,
+        }
+    }
+
+    #[test]
+    fn ex_and_em_fractions() {
+        let l = log(vec![
+            record(0, vec![variant(true, true, 100)], Hardness::Easy),
+            record(1, vec![variant(true, false, 100)], Hardness::Easy),
+            record(2, vec![variant(false, false, 100)], Hardness::Hard),
+            record(3, vec![variant(false, false, 100)], Hardness::Hard),
+        ]);
+        assert_eq!(ex(&l, &Filter::all()), Some(50.0));
+        assert_eq!(em(&l, &Filter::all()), Some(25.0));
+        assert_eq!(ex(&l, &Filter::all().hardness(Hardness::Easy)), Some(100.0));
+        assert_eq!(ex(&l, &Filter::all().hardness(Hardness::Extra)), None);
+    }
+
+    #[test]
+    fn qvt_equation_one() {
+        let l = log(vec![
+            // 2/3 variants correct → contributes 2/3
+            record(
+                0,
+                vec![variant(true, true, 1), variant(true, true, 1), variant(false, false, 1)],
+                Hardness::Easy,
+            ),
+            // all wrong → excluded by the inclusion rule
+            record(1, vec![variant(false, false, 1), variant(false, false, 1)], Hardness::Easy),
+            // single variant → not part of the QVT set
+            record(2, vec![variant(true, true, 1)], Hardness::Easy),
+            // 1/2 correct → contributes 1/2
+            record(3, vec![variant(true, true, 1), variant(false, false, 1)], Hardness::Easy),
+        ]);
+        let expected = (2.0 / 3.0 + 0.5) / 2.0 * 100.0;
+        assert!((qvt(&l, &Filter::all()).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qvt_none_when_no_multivariant_samples() {
+        let l = log(vec![record(0, vec![variant(true, true, 1)], Hardness::Easy)]);
+        assert_eq!(qvt(&l, &Filter::all()), None);
+    }
+
+    #[test]
+    fn ves_rewards_cheaper_predictions() {
+        // correct prediction at half the gold cost → sqrt(2) contribution
+        let l = log(vec![record(0, vec![variant(true, true, 50)], Hardness::Easy)]);
+        let v = ves(&l, &Filter::all()).unwrap();
+        assert!((v - 2f64.sqrt() * 100.0).abs() < 1e-9);
+
+        // wrong prediction contributes zero but stays in the denominator
+        let l2 = log(vec![
+            record(0, vec![variant(true, true, 100)], Hardness::Easy),
+            record(1, vec![variant(false, false, 100)], Hardness::Easy),
+        ]);
+        assert!((ves(&l2, &Filter::all()).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn economy_metrics() {
+        let l = log(vec![
+            record(0, vec![variant(true, true, 100)], Hardness::Easy),
+            record(1, vec![variant(true, true, 100)], Hardness::Easy),
+        ]);
+        assert_eq!(avg_tokens(&l, &Filter::all()), Some(120.0));
+        assert_eq!(avg_cost(&l, &Filter::all()), Some(0.01));
+        assert_eq!(avg_latency(&l, &Filter::all()), Some(1.0));
+        let epc = ex_per_cost(&l, &Filter::all()).unwrap();
+        assert!((epc - 100.0 / 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_size_counts() {
+        let l = log(vec![
+            record(0, vec![variant(true, true, 100)], Hardness::Easy),
+            record(1, vec![variant(true, true, 100)], Hardness::Hard),
+        ]);
+        assert_eq!(subset_size(&l, &Filter::all()), 2);
+        assert_eq!(subset_size(&l, &Filter::all().hardness(Hardness::Hard)), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Composed NL2SQL pipelines over the Figure-13 design space.
+//!
+//! The AAS search (paper §5.2) explores combinations of modules around a
+//! backbone LLM. [`compose`] turns (backbone, [`ModuleSet`]) into a
+//! runnable [`SimulatedModel`] whose capability profile is the backbone's
+//! bare zero-shot profile plus the per-module accuracy contributions of
+//! `modelzoo::modules` — so the GA's fitness landscape reflects real module
+//! interactions measured through the full evaluation stack.
+
+use modelzoo::modules::{module_ex_bonus, module_join_bonus, module_subquery_bonus};
+use modelzoo::{
+    ApiPricing, CapabilityProfile, MethodClass, MethodSpec, ModuleSet, Serving, SimulatedModel,
+};
+
+/// A backbone LLM with its bare zero-shot capability.
+#[derive(Debug, Clone, Copy)]
+pub struct Backbone {
+    /// Backbone name.
+    pub name: &'static str,
+    /// Bare zero-shot Spider EX per hardness (no helper modules).
+    pub base_spider_ex: [f64; 4],
+    /// Bare zero-shot BIRD EX per difficulty.
+    pub base_bird_ex: [f64; 3],
+    /// Baseline EM/EX style alignment of the backbone.
+    pub em_ratio: f64,
+    /// Subquery delta of the backbone (reasoning ability).
+    pub subquery_delta: f64,
+    /// API pricing.
+    pub pricing: ApiPricing,
+}
+
+/// GPT-4 backbone: strong zero-shot SQL, strong nesting.
+pub fn gpt4() -> Backbone {
+    Backbone {
+        name: "GPT-4",
+        base_spider_ex: [86.5, 83.4, 75.4, 60.8],
+        base_bird_ex: [59.0, 39.5, 36.5],
+        em_ratio: 0.80,
+        subquery_delta: 5.0,
+        pricing: ApiPricing::GPT4,
+    }
+}
+
+/// GPT-3.5-turbo backbone: cheaper, weaker zero-shot.
+pub fn gpt35() -> Backbone {
+    Backbone {
+        name: "GPT-3.5",
+        base_spider_ex: [81.0, 73.5, 60.0, 45.0],
+        base_bird_ex: [50.0, 30.0, 24.0],
+        em_ratio: 0.60,
+        subquery_delta: 3.0,
+        pricing: ApiPricing::GPT35,
+    }
+}
+
+/// Compose a runnable pipeline from a backbone and a module configuration.
+pub fn compose(name: String, backbone: &Backbone, modules: ModuleSet) -> SimulatedModel {
+    let bonus = module_ex_bonus(&modules);
+    let add = |a: [f64; 4]| {
+        [
+            (a[0] + bonus).min(98.0),
+            (a[1] + bonus).min(98.0),
+            (a[2] + bonus * 1.2).min(98.0), // modules help harder queries a bit more
+            (a[3] + bonus * 1.2).min(98.0),
+        ]
+    };
+    let spider_ex = add(backbone.base_spider_ex);
+    let spider_em = [
+        spider_ex[0] * backbone.em_ratio,
+        spider_ex[1] * backbone.em_ratio,
+        spider_ex[2] * backbone.em_ratio * 0.85,
+        spider_ex[3] * backbone.em_ratio * 0.7,
+    ];
+    let b = backbone.base_bird_ex;
+    let bird_ex =
+        [(b[0] + bonus).min(98.0), (b[1] + bonus).min(98.0), (b[2] + bonus).min(98.0)];
+    let profile = CapabilityProfile {
+        spider_ex,
+        spider_em,
+        bird_ex: Some(bird_ex),
+        subquery_delta: backbone.subquery_delta + module_subquery_bonus(&modules),
+        join_delta: 1.5 + module_join_bonus(&modules),
+        logical_delta: 2.0,
+        orderby_delta_spider: -2.0,
+        orderby_delta_bird: 2.0,
+        variant_instability: if modules.schema_linking { 0.08 } else { 0.12 },
+        domain_sensitivity: 0.0,
+        domain_bias_scale: 2.5,
+        // schema linking re-ranks against the live schema and DB-content
+        // matching re-anchors values, both of which soften perturbations
+        perturb_penalty: [
+            7.0,
+            if modules.schema_linking { 7.0 } else { 9.0 },
+            if modules.db_content { 2.5 } else { 4.0 },
+        ],
+    };
+    let spec = MethodSpec {
+        name: Box::leak(name.into_boxed_str()),
+        class: MethodClass::Hybrid,
+        backbone: backbone.name,
+        params_b: None,
+        release: (2024, 6),
+        modules,
+        profile,
+        serving: Serving::Api(backbone.pricing),
+    };
+    SimulatedModel::new(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modelzoo::Nl2SqlModel;
+
+    #[test]
+    fn supersql_composition_beats_bare_backbone() {
+        let bare = compose("bare".into(), &gpt4(), ModuleSet::bare());
+        let full = compose("full".into(), &gpt4(), ModuleSet::supersql());
+        for i in 0..4 {
+            assert!(full.profile().spider_ex[i] > bare.profile().spider_ex[i]);
+        }
+    }
+
+    #[test]
+    fn supersql_on_gpt4_lands_near_table3() {
+        let m = compose("SuperSQL*".into(), &gpt4(), ModuleSet::supersql());
+        let paper = [94.4, 91.3, 83.3, 68.7];
+        for (got, want) in m.profile().spider_ex.iter().zip(paper) {
+            assert!(
+                (got - want).abs() < 4.0,
+                "composed SuperSQL {got} too far from paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpt35_backbone_weaker_than_gpt4() {
+        let a = compose("a".into(), &gpt35(), ModuleSet::supersql());
+        let b = compose("b".into(), &gpt4(), ModuleSet::supersql());
+        assert!(b.profile().spider_ex[3] > a.profile().spider_ex[3]);
+    }
+
+    #[test]
+    fn composed_model_is_runnable() {
+        use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(11));
+        let ctx = crate::executor::EvalContext::new(&c);
+        let m = compose("probe".into(), &gpt4(), ModuleSet::supersql());
+        let log = ctx.evaluate_subset(&m, 20).unwrap();
+        assert_eq!(log.records.len(), 20);
+        assert_eq!(m.name(), "probe");
+    }
+
+    #[test]
+    fn em_profile_stays_below_ex() {
+        let m = compose("x".into(), &gpt4(), ModuleSet::supersql());
+        for i in 0..4 {
+            assert!(m.profile().spider_em[i] <= m.profile().spider_ex[i]);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text table and series rendering for leaderboards and experiment
+//! reports (paper §3, "Evaluator": tables, leaderboards, dashboards).
+
+use std::fmt::Write;
+
+/// A fixed-width text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment and a separator rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for i in 0..cols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let cell = &cells[i];
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    // left-align the first column (names)
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format an optional percentage with one decimal, `-` when absent.
+pub fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format an optional value with `digits` decimals, `-` when absent.
+pub fn fmt_opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(v) => format!("{v:.digits$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Render a (label, value) series as an aligned two-column list — the text
+/// stand-in for the paper's line/scatter figures.
+pub fn render_series(title: &str, points: &[(String, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    let w = points.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, value) in points {
+        let _ = writeln!(out, "  {label:<w$}  {value:>8.2}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Method", "EX", "EM"]);
+        t.row(vec!["DAILSQL".into(), "83.1".into(), "70.0".into()]);
+        t.row(vec!["SuperSQL".into(), "87.0".into(), "72.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("SuperSQL"));
+        // numeric columns right-aligned: both EX cells end at same offset
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_pct(Some(83.14)), "83.1");
+        assert_eq!(fmt_pct(None), "-");
+        assert_eq!(fmt_opt(Some(0.0288), 4), "0.0288");
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series(
+            "EX vs size",
+            &[("500".to_string(), 61.2), ("7000".to_string(), 79.8)],
+        );
+        assert!(s.contains("EX vs size"));
+        assert!(s.contains("61.20"));
+        assert!(s.contains("7000"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains('x'));
+    }
+}

@@ -1,0 +1,650 @@
+//! Typed AST for the Spider/BIRD SELECT dialect.
+//!
+//! A [`Query`] is one or more [`SelectCore`]s combined with set operators,
+//! plus trailing ORDER BY / LIMIT. Expressions are a single [`Expr`] enum
+//! covering literals, column references, operators, function calls, CASE,
+//! and the three subquery forms (scalar, `IN`, `EXISTS`).
+
+use serde::{Deserialize, Serialize};
+
+/// A full query: a select core, optional chained set operations, and
+/// query-level ORDER BY / LIMIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The first (leftmost) SELECT.
+    pub body: SelectCore,
+    /// Chained set operations, applied left to right.
+    pub set_ops: Vec<(SetOp, SelectCore)>,
+    /// ORDER BY keys applying to the whole compound query.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT clause.
+    pub limit: Option<Limit>,
+}
+
+impl Query {
+    /// Wrap a bare select core into a query with no set ops / order / limit.
+    pub fn simple(body: SelectCore) -> Self {
+        Self { body, set_ops: Vec::new(), order_by: Vec::new(), limit: None }
+    }
+
+    /// Iterate over every select core in the compound query (left to right).
+    pub fn cores(&self) -> impl Iterator<Item = &SelectCore> {
+        std::iter::once(&self.body).chain(self.set_ops.iter().map(|(_, c)| c))
+    }
+
+    /// Mutable variant of [`Query::cores`].
+    pub fn cores_mut(&mut self) -> impl Iterator<Item = &mut SelectCore> {
+        std::iter::once(&mut self.body).chain(self.set_ops.iter_mut().map(|(_, c)| c))
+    }
+}
+
+/// Set operators combining select cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetOp {
+    /// `UNION` (distinct).
+    Union,
+    /// `UNION ALL`.
+    UnionAll,
+    /// `INTERSECT`.
+    Intersect,
+    /// `EXCEPT`.
+    Except,
+}
+
+/// One `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectCore {
+    /// Whether `DISTINCT` was specified.
+    pub distinct: bool,
+    /// The projection list.
+    pub items: Vec<SelectItem>,
+    /// The FROM clause; `None` for table-less selects like `SELECT 1`.
+    pub from: Option<FromClause>,
+    /// The WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+}
+
+impl SelectCore {
+    /// A `SELECT <items>` core with everything else empty.
+    pub fn new(items: Vec<SelectItem>) -> Self {
+        Self {
+            distinct: false,
+            items,
+            from: None,
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+        }
+    }
+}
+
+/// One entry of a projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS alias`.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+impl SelectItem {
+    /// Shorthand for an un-aliased expression item.
+    pub fn expr(expr: Expr) -> Self {
+        SelectItem::Expr { expr, alias: None }
+    }
+}
+
+/// A FROM clause: one base table reference plus zero or more joins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FromClause {
+    /// The leftmost relation.
+    pub base: TableRef,
+    /// Joins applied in order.
+    pub joins: Vec<Join>,
+}
+
+impl FromClause {
+    /// A FROM clause over a single table.
+    pub fn table(name: impl Into<String>) -> Self {
+        Self { base: TableRef::named(name), joins: Vec::new() }
+    }
+
+    /// Iterate over every table reference (base first, then join targets).
+    pub fn tables(&self) -> impl Iterator<Item = &TableRef> {
+        std::iter::once(&self.base).chain(self.joins.iter().map(|j| &j.table))
+    }
+}
+
+/// A relation in FROM: either a named table or a parenthesized subquery,
+/// optionally aliased.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// `name [AS alias]`
+    Named { name: String, alias: Option<String> },
+    /// `(SELECT ...) [AS alias]`
+    Subquery { query: Box<Query>, alias: Option<String> },
+}
+
+impl TableRef {
+    /// An unaliased named table.
+    pub fn named(name: impl Into<String>) -> Self {
+        TableRef::Named { name: name.into(), alias: None }
+    }
+
+    /// The effective binding name: alias if present, else the table name
+    /// (subqueries without aliases have no binding name).
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Join operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// `[INNER] JOIN` or a comma join.
+    Inner,
+    /// `LEFT [OUTER] JOIN`.
+    Left,
+    /// `RIGHT [OUTER] JOIN`.
+    Right,
+    /// `CROSS JOIN`.
+    Cross,
+}
+
+/// A join step: kind, target relation, optional ON condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    /// The join operator.
+    pub kind: JoinKind,
+    /// The joined relation.
+    pub table: TableRef,
+    /// The ON predicate (`None` for cross/comma joins).
+    pub on: Option<Expr>,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// `false` = ASC (default), `true` = DESC.
+    pub desc: bool,
+}
+
+/// `LIMIT n [OFFSET m]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Limit {
+    /// Row count cap.
+    pub count: u64,
+    /// Rows to skip before emitting.
+    pub offset: u64,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// `NULL`
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `TRUE` / `FALSE`
+    Bool(bool),
+}
+
+/// Binary operators, in one enum so precedence lives in the parser only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Logical AND / OR — the paper's "logical connectors".
+    And,
+    /// Logical OR.
+    Or,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl BinOp {
+    /// Whether this is a comparison operator producing a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// Whether this is AND/OR — a "logical connector" in the paper's sense.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Aggregate functions recognized by the hardness classifier and engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Canonical upper-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// SQL expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Literal),
+    /// A column reference, optionally qualified: `[table.]column`.
+    Column { table: Option<String>, column: String },
+    /// `COUNT(*)` — wildcard aggregate.
+    AggWildcard(AggFunc),
+    /// An aggregate call `agg([DISTINCT] expr)`.
+    Agg { func: AggFunc, distinct: bool, arg: Box<Expr> },
+    /// A scalar function call (`ABS`, `LENGTH`, `IIF`, ...).
+    Func { name: String, args: Vec<Expr> },
+    /// A binary operation.
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    /// A unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    /// `expr [NOT] IN (list...)`
+    InList { expr: Box<Expr>, negated: bool, list: Vec<Expr> },
+    /// `expr [NOT] IN (SELECT ...)`
+    InSubquery { expr: Box<Expr>, negated: bool, query: Box<Query> },
+    /// `[NOT] EXISTS (SELECT ...)`
+    Exists { negated: bool, query: Box<Query> },
+    /// A scalar subquery `(SELECT ...)`.
+    Subquery(Box<Query>),
+    /// `expr [NOT] LIKE pattern`
+    Like { expr: Box<Expr>, negated: bool, pattern: Box<Expr> },
+    /// `expr IS [NOT] NULL`
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `CASE [operand] WHEN ... THEN ... [ELSE ...] END`
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type)` — type kept as the raw spelled name.
+    Cast { expr: Box<Expr>, ty: String },
+}
+
+impl Expr {
+    /// Convenience: an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Column { table: None, column: name.into() }
+    }
+
+    /// Convenience: a qualified column reference.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Self {
+        Expr::Column { table: Some(table.into()), column: name.into() }
+    }
+
+    /// Convenience: an integer literal.
+    pub fn int(v: i64) -> Self {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Convenience: a string literal.
+    pub fn str(v: impl Into<String>) -> Self {
+        Expr::Literal(Literal::Str(v.into()))
+    }
+
+    /// Convenience: build `left op right`.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Self {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Visit this expression and all sub-expressions (pre-order), including
+    /// expressions nested inside subqueries when `enter_subqueries` is true.
+    pub fn walk<'a>(&'a self, enter_subqueries: bool, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::Column { .. } | Expr::AggWildcard(_) => {}
+            Expr::Agg { arg, .. } => arg.walk(enter_subqueries, f),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(enter_subqueries, f);
+                }
+            }
+            Expr::Binary { left, right, .. } => {
+                left.walk(enter_subqueries, f);
+                right.walk(enter_subqueries, f);
+            }
+            Expr::Unary { expr, .. } => expr.walk(enter_subqueries, f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(enter_subqueries, f);
+                low.walk(enter_subqueries, f);
+                high.walk(enter_subqueries, f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(enter_subqueries, f);
+                for e in list {
+                    e.walk(enter_subqueries, f);
+                }
+            }
+            Expr::InSubquery { expr, query, .. } => {
+                expr.walk(enter_subqueries, f);
+                if enter_subqueries {
+                    walk_query_exprs(query, f);
+                }
+            }
+            Expr::Exists { query, .. } | Expr::Subquery(query) => {
+                if enter_subqueries {
+                    walk_query_exprs(query, f);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(enter_subqueries, f);
+                pattern.walk(enter_subqueries, f);
+            }
+            Expr::IsNull { expr, .. } => expr.walk(enter_subqueries, f),
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(op) = operand {
+                    op.walk(enter_subqueries, f);
+                }
+                for (w, t) in branches {
+                    w.walk(enter_subqueries, f);
+                    t.walk(enter_subqueries, f);
+                }
+                if let Some(e) = else_expr {
+                    e.walk(enter_subqueries, f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.walk(enter_subqueries, f),
+        }
+    }
+
+    /// True if the expression (not entering subqueries) contains an
+    /// aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(false, &mut |e| {
+            if matches!(e, Expr::Agg { .. } | Expr::AggWildcard(_)) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Visit every expression appearing anywhere in `query` (pre-order),
+/// entering nested subqueries.
+pub fn walk_query_exprs<'a>(query: &'a Query, f: &mut impl FnMut(&'a Expr)) {
+    for core in query.cores() {
+        for item in &core.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.walk(true, f);
+            }
+        }
+        if let Some(from) = &core.from {
+            for t in from.tables() {
+                if let TableRef::Subquery { query, .. } = t {
+                    walk_query_exprs(query, f);
+                }
+            }
+            for j in &from.joins {
+                if let Some(on) = &j.on {
+                    on.walk(true, f);
+                }
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            w.walk(true, f);
+        }
+        for g in &core.group_by {
+            g.walk(true, f);
+        }
+        if let Some(h) = &core.having {
+            h.walk(true, f);
+        }
+    }
+    for k in &query.order_by {
+        k.expr.walk(true, f);
+    }
+}
+
+/// Visit every (sub)query contained in `query`, including `query` itself.
+pub fn walk_subqueries<'a>(query: &'a Query, f: &mut impl FnMut(&'a Query)) {
+    f(query);
+    for core in query.cores() {
+        if let Some(from) = &core.from {
+            for t in from.tables() {
+                if let TableRef::Subquery { query, .. } = t {
+                    walk_subqueries(query, f);
+                }
+            }
+            for j in &from.joins {
+                if let Some(on) = &j.on {
+                    walk_expr_subqueries(on, f);
+                }
+            }
+        }
+        for item in &core.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                walk_expr_subqueries(expr, f);
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            walk_expr_subqueries(w, f);
+        }
+        for g in &core.group_by {
+            walk_expr_subqueries(g, f);
+        }
+        if let Some(h) = &core.having {
+            walk_expr_subqueries(h, f);
+        }
+    }
+    for k in &query.order_by {
+        walk_expr_subqueries(&k.expr, f);
+    }
+}
+
+fn walk_expr_subqueries<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Query)) {
+    expr.walk(false, &mut |_| {});
+    // manual traversal to find subquery nodes (walk(false) doesn't enter them)
+    match expr {
+        Expr::InSubquery { expr, query, .. } => {
+            walk_expr_subqueries(expr, f);
+            walk_subqueries(query, f);
+        }
+        Expr::Exists { query, .. } | Expr::Subquery(query) => walk_subqueries(query, f),
+        Expr::Agg { arg, .. } => walk_expr_subqueries(arg, f),
+        Expr::Func { args, .. } => args.iter().for_each(|a| walk_expr_subqueries(a, f)),
+        Expr::Binary { left, right, .. } => {
+            walk_expr_subqueries(left, f);
+            walk_expr_subqueries(right, f);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            walk_expr_subqueries(expr, f)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            walk_expr_subqueries(expr, f);
+            walk_expr_subqueries(low, f);
+            walk_expr_subqueries(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            walk_expr_subqueries(expr, f);
+            list.iter().for_each(|e| walk_expr_subqueries(e, f));
+        }
+        Expr::Like { expr, pattern, .. } => {
+            walk_expr_subqueries(expr, f);
+            walk_expr_subqueries(pattern, f);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                walk_expr_subqueries(op, f);
+            }
+            for (w, t) in branches {
+                walk_expr_subqueries(w, f);
+                walk_expr_subqueries(t, f);
+            }
+            if let Some(e) = else_expr {
+                walk_expr_subqueries(e, f);
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::AggWildcard(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        // SELECT name FROM t WHERE age > (SELECT AVG(age) FROM t)
+        let sub = Query::simple(SelectCore {
+            distinct: false,
+            items: vec![SelectItem::expr(Expr::Agg {
+                func: AggFunc::Avg,
+                distinct: false,
+                arg: Box::new(Expr::col("age")),
+            })],
+            from: Some(FromClause::table("t")),
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+        });
+        Query::simple(SelectCore {
+            distinct: false,
+            items: vec![SelectItem::expr(Expr::col("name"))],
+            from: Some(FromClause::table("t")),
+            where_clause: Some(Expr::binary(
+                BinOp::Gt,
+                Expr::col("age"),
+                Expr::Subquery(Box::new(sub)),
+            )),
+            group_by: vec![],
+            having: None,
+        })
+    }
+
+    #[test]
+    fn walk_counts_subqueries() {
+        let q = sample_query();
+        let mut n = 0;
+        walk_subqueries(&q, &mut |_| n += 1);
+        assert_eq!(n, 2, "outer + nested");
+    }
+
+    #[test]
+    fn walk_exprs_enters_subqueries() {
+        let q = sample_query();
+        let mut aggs = 0;
+        walk_query_exprs(&q, &mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                aggs += 1;
+            }
+        });
+        assert_eq!(aggs, 1);
+    }
+
+    #[test]
+    fn contains_aggregate_does_not_enter_subqueries() {
+        let q = sample_query();
+        let w = q.body.where_clause.as_ref().unwrap();
+        assert!(!w.contains_aggregate(), "AVG is inside a subquery");
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef::Named { name: "singer".into(), alias: Some("T1".into()) };
+        assert_eq!(t.binding(), Some("T1"));
+        assert_eq!(TableRef::named("concert").binding(), Some("concert"));
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+        assert!(BinOp::LtEq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn aggfunc_from_name_case_insensitive() {
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("Sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let q = sample_query();
+        let q2 = q.clone();
+        assert_eq!(q, q2);
+    }
+}

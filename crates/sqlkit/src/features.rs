@@ -1,0 +1,421 @@
+//! SQL feature extraction.
+//!
+//! NL2SQL360's *dataset filter* (paper §3, Scenario-2) slices benchmarks by
+//! SQL characteristics: presence of subqueries, number of JOINs, number of
+//! logical connectors (AND/OR), use of ORDER BY, aggregates, and so on.
+//! [`SqlFeatures`] computes all of those in one pass over the AST.
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+
+/// Structural features of a SQL query, as used by the paper's filters
+/// (Exp-2.1 … Exp-2.4) and by the hardness classifier.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SqlFeatures {
+    /// Number of nested subqueries anywhere (IN/EXISTS/scalar/FROM), plus
+    /// set-operation arms — Spider counts those as nesting too.
+    pub subquery_count: usize,
+    /// Number of JOIN operations (tables joined minus one, summed over all
+    /// cores; includes comma joins).
+    pub join_count: usize,
+    /// Number of logical connectors (AND/OR) in WHERE/HAVING/ON clauses.
+    /// Connectors inside subqueries are counted as well.
+    pub logical_connector_count: usize,
+    /// Number of AND connectors only.
+    pub and_count: usize,
+    /// Number of OR connectors only.
+    pub or_count: usize,
+    /// Number of ORDER BY keys across the query and its subqueries.
+    pub order_by_count: usize,
+    /// Number of aggregate calls (COUNT/SUM/AVG/MIN/MAX) everywhere.
+    pub agg_count: usize,
+    /// Number of projection items in the outermost select.
+    pub select_count: usize,
+    /// Number of atomic conditions in the outermost WHERE.
+    pub where_cond_count: usize,
+    /// Number of GROUP BY expressions across all cores (incl. subqueries).
+    pub group_by_count: usize,
+    /// Whether a LIMIT clause appears anywhere.
+    pub has_limit: bool,
+    /// Number of set operations (UNION/INTERSECT/EXCEPT) anywhere.
+    pub set_op_count: usize,
+    /// Whether DISTINCT appears anywhere.
+    pub has_distinct: bool,
+    /// Number of LIKE predicates anywhere.
+    pub like_count: usize,
+    /// Maximum subquery nesting depth (a flat query has depth 0).
+    pub nesting_depth: usize,
+    /// Whether CASE or IIF appears anywhere (BIRD-style queries).
+    pub has_case: bool,
+}
+
+impl SqlFeatures {
+    /// Extract features from a parsed query.
+    pub fn of(query: &Query) -> Self {
+        let mut f = SqlFeatures::default();
+        f.select_count = query.body.items.len();
+        f.where_cond_count =
+            query.body.where_clause.as_ref().map_or(0, count_atomic_conditions);
+        f.nesting_depth = query_depth(query);
+        collect(query, &mut f, true);
+        f
+    }
+
+    /// True if the query contains any subquery (the paper's "w/ Subquery"
+    /// filter).
+    pub fn has_subquery(&self) -> bool {
+        self.subquery_count > 0
+    }
+
+    /// True if the query contains any JOIN (the paper's "w/ JOIN" filter).
+    pub fn has_join(&self) -> bool {
+        self.join_count > 0
+    }
+
+    /// True if the query uses ORDER BY (the paper's "w/ ORDER BY" filter).
+    pub fn has_order_by(&self) -> bool {
+        self.order_by_count > 0
+    }
+
+    /// True if the query uses AND/OR connectors (the paper's "w/ Logical
+    /// Connector" filter).
+    pub fn has_logical_connector(&self) -> bool {
+        self.logical_connector_count > 0
+    }
+}
+
+/// Count atomic (non-AND/OR) conditions within a predicate.
+fn count_atomic_conditions(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { op, left, right } if op.is_logical() => {
+            count_atomic_conditions(left) + count_atomic_conditions(right)
+        }
+        Expr::Unary { op: UnOp::Not, expr } => count_atomic_conditions(expr),
+        _ => 1,
+    }
+}
+
+/// Maximum nesting depth of subqueries within `q` (0 when flat).
+fn query_depth(q: &Query) -> usize {
+    let mut max_child = 0usize;
+    let mut consider = |sub: &Query| {
+        max_child = max_child.max(1 + query_depth(sub));
+    };
+    for core in q.cores() {
+        if let Some(from) = &core.from {
+            for t in from.tables() {
+                if let TableRef::Subquery { query, .. } = t {
+                    consider(query);
+                }
+            }
+            for j in &from.joins {
+                if let Some(on) = &j.on {
+                    expr_subquery_depth(on, &mut consider);
+                }
+            }
+        }
+        for item in &core.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr_subquery_depth(expr, &mut consider);
+            }
+        }
+        if let Some(w) = &core.where_clause {
+            expr_subquery_depth(w, &mut consider);
+        }
+        if let Some(h) = &core.having {
+            expr_subquery_depth(h, &mut consider);
+        }
+    }
+    max_child
+}
+
+fn expr_subquery_depth(e: &Expr, consider: &mut impl FnMut(&Query)) {
+    // Direct children only: walk(false) stops at subquery boundaries, so use
+    // a manual match to find the immediate subquery nodes.
+    match e {
+        Expr::InSubquery { expr, query, .. } => {
+            expr_subquery_depth(expr, consider);
+            consider(query);
+        }
+        Expr::Exists { query, .. } | Expr::Subquery(query) => consider(query),
+        Expr::Agg { arg, .. } => expr_subquery_depth(arg, consider),
+        Expr::Func { args, .. } => args.iter().for_each(|a| expr_subquery_depth(a, consider)),
+        Expr::Binary { left, right, .. } => {
+            expr_subquery_depth(left, consider);
+            expr_subquery_depth(right, consider);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            expr_subquery_depth(expr, consider)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            expr_subquery_depth(expr, consider);
+            expr_subquery_depth(low, consider);
+            expr_subquery_depth(high, consider);
+        }
+        Expr::InList { expr, list, .. } => {
+            expr_subquery_depth(expr, consider);
+            list.iter().for_each(|x| expr_subquery_depth(x, consider));
+        }
+        Expr::Like { expr, pattern, .. } => {
+            expr_subquery_depth(expr, consider);
+            expr_subquery_depth(pattern, consider);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                expr_subquery_depth(op, consider);
+            }
+            for (w, t) in branches {
+                expr_subquery_depth(w, consider);
+                expr_subquery_depth(t, consider);
+            }
+            if let Some(el) = else_expr {
+                expr_subquery_depth(el, consider);
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } | Expr::AggWildcard(_) => {}
+    }
+}
+
+/// Walk the whole query accumulating features. `top` marks the outermost
+/// query; subqueries contribute to global counters but not to the
+/// outer-select-specific ones.
+fn collect(q: &Query, f: &mut SqlFeatures, top: bool) {
+    f.set_op_count += q.set_ops.len();
+    if !top {
+        // this query is itself a nested arm when called from a subquery site
+    }
+    if q.limit.is_some() {
+        f.has_limit = true;
+    }
+    f.order_by_count += q.order_by.len();
+    for (i, core) in q.cores().enumerate() {
+        // set-operation arms beyond the first count as nested queries, as in
+        // the Spider evaluator's get_nestedSQL
+        if i > 0 {
+            f.subquery_count += 1;
+        }
+        collect_core(core, f);
+    }
+}
+
+fn collect_core(core: &SelectCore, f: &mut SqlFeatures) {
+    if core.distinct {
+        f.has_distinct = true;
+    }
+    f.group_by_count += core.group_by.len();
+    for item in &core.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr(expr, f);
+        }
+    }
+    if let Some(from) = &core.from {
+        let table_count = 1 + from.joins.len();
+        f.join_count += table_count - 1;
+        for t in from.tables() {
+            if let TableRef::Subquery { query, .. } = t {
+                f.subquery_count += 1;
+                collect(query, f, false);
+            }
+        }
+        for j in &from.joins {
+            if let Some(on) = &j.on {
+                collect_expr(on, f);
+            }
+        }
+    }
+    if let Some(w) = &core.where_clause {
+        collect_expr(w, f);
+    }
+    for g in &core.group_by {
+        collect_expr(g, f);
+    }
+    if let Some(h) = &core.having {
+        collect_expr(h, f);
+    }
+}
+
+fn collect_expr(e: &Expr, f: &mut SqlFeatures) {
+    match e {
+        Expr::Binary { op, left, right } => {
+            if op.is_logical() {
+                f.logical_connector_count += 1;
+                match op {
+                    BinOp::And => f.and_count += 1,
+                    BinOp::Or => f.or_count += 1,
+                    _ => unreachable!(),
+                }
+            }
+            collect_expr(left, f);
+            collect_expr(right, f);
+        }
+        Expr::Agg { arg, .. } => {
+            f.agg_count += 1;
+            collect_expr(arg, f);
+        }
+        Expr::AggWildcard(_) => f.agg_count += 1,
+        Expr::Func { name, args } => {
+            if name == "IIF" {
+                f.has_case = true;
+            }
+            args.iter().for_each(|a| collect_expr(a, f));
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            collect_expr(expr, f)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            collect_expr(expr, f);
+            collect_expr(low, f);
+            collect_expr(high, f);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_expr(expr, f);
+            list.iter().for_each(|x| collect_expr(x, f));
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            collect_expr(expr, f);
+            f.subquery_count += 1;
+            collect(query, f, false);
+        }
+        Expr::Exists { query, .. } => {
+            f.subquery_count += 1;
+            collect(query, f, false);
+        }
+        Expr::Subquery(query) => {
+            f.subquery_count += 1;
+            collect(query, f, false);
+        }
+        Expr::Like { expr, pattern, .. } => {
+            f.like_count += 1;
+            collect_expr(expr, f);
+            collect_expr(pattern, f);
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            f.has_case = true;
+            if let Some(op) = operand {
+                collect_expr(op, f);
+            }
+            for (w, t) in branches {
+                collect_expr(w, f);
+                collect_expr(t, f);
+            }
+            if let Some(el) = else_expr {
+                collect_expr(el, f);
+            }
+        }
+        Expr::Literal(_) | Expr::Column { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn feats(src: &str) -> SqlFeatures {
+        SqlFeatures::of(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn flat_query_has_no_features() {
+        let f = feats("SELECT name FROM singer");
+        assert_eq!(f.subquery_count, 0);
+        assert_eq!(f.join_count, 0);
+        assert_eq!(f.logical_connector_count, 0);
+        assert!(!f.has_order_by());
+        assert_eq!(f.nesting_depth, 0);
+    }
+
+    #[test]
+    fn join_counting() {
+        assert_eq!(feats("SELECT * FROM a JOIN b ON a.x = b.y").join_count, 1);
+        assert_eq!(
+            feats("SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w").join_count,
+            2
+        );
+        assert_eq!(feats("SELECT * FROM a, b, c").join_count, 2);
+    }
+
+    #[test]
+    fn logical_connectors() {
+        let f = feats("SELECT 1 FROM t WHERE a = 1 AND b = 2 OR c = 3");
+        assert_eq!(f.logical_connector_count, 2);
+        assert_eq!(f.and_count, 1);
+        assert_eq!(f.or_count, 1);
+    }
+
+    #[test]
+    fn connectors_in_on_and_having_count() {
+        let f = feats(
+            "SELECT a FROM t JOIN u ON t.x = u.y AND t.z = u.w GROUP BY a HAVING COUNT(*) > 1 AND SUM(b) < 5",
+        );
+        assert_eq!(f.logical_connector_count, 2);
+    }
+
+    #[test]
+    fn subquery_counting() {
+        assert_eq!(feats("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)").subquery_count, 1);
+        assert_eq!(
+            feats("SELECT 1 FROM t WHERE a > (SELECT AVG(a) FROM u WHERE u.x IN (SELECT y FROM v))")
+                .subquery_count,
+            2
+        );
+        // set-op arms count as nested, as in Spider's evaluator
+        assert_eq!(feats("SELECT a FROM t UNION SELECT a FROM u").subquery_count, 1);
+        // FROM subqueries count too
+        assert_eq!(feats("SELECT x FROM (SELECT a AS x FROM t) AS s").subquery_count, 1);
+    }
+
+    #[test]
+    fn nesting_depth() {
+        assert_eq!(feats("SELECT 1 FROM t").nesting_depth, 0);
+        assert_eq!(feats("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)").nesting_depth, 1);
+        assert_eq!(
+            feats("SELECT 1 FROM t WHERE a IN (SELECT b FROM u WHERE b IN (SELECT c FROM v))")
+                .nesting_depth,
+            2
+        );
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let f = feats("SELECT a FROM t ORDER BY a DESC, b LIMIT 3");
+        assert_eq!(f.order_by_count, 2);
+        assert!(f.has_limit);
+        assert!(f.has_order_by());
+    }
+
+    #[test]
+    fn aggregates_counted_everywhere() {
+        let f = feats(
+            "SELECT COUNT(*), MAX(a) FROM t WHERE b > (SELECT AVG(b) FROM t) GROUP BY c HAVING SUM(d) > 1",
+        );
+        assert_eq!(f.agg_count, 4);
+    }
+
+    #[test]
+    fn where_cond_count_is_atomic() {
+        let f = feats("SELECT 1 FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d LIKE '%x%'");
+        assert_eq!(f.where_cond_count, 4);
+    }
+
+    #[test]
+    fn like_and_distinct_and_case() {
+        let f = feats("SELECT DISTINCT a FROM t WHERE b LIKE '%x%'");
+        assert!(f.has_distinct);
+        assert_eq!(f.like_count, 1);
+        assert!(feats("SELECT CASE WHEN a THEN 1 ELSE 0 END FROM t").has_case);
+        assert!(feats("SELECT IIF(a > 1, 1, 0) FROM t").has_case);
+    }
+
+    #[test]
+    fn select_count_outer_only() {
+        let f = feats("SELECT a, b, c FROM t WHERE x IN (SELECT y FROM u)");
+        assert_eq!(f.select_count, 3);
+    }
+
+    #[test]
+    fn set_op_count() {
+        let f = feats("SELECT a FROM t UNION SELECT a FROM u EXCEPT SELECT a FROM v");
+        assert_eq!(f.set_op_count, 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Hand-written SQL lexer.
+//!
+//! Converts source text into a `Vec<Token>` terminated by [`TokenKind::Eof`].
+//! Keywords are recognized case-insensitively; identifiers may be bare,
+//! `"double-quoted"`, or `` `backtick-quoted` ``. String literals use single
+//! quotes with `''` escaping (double-quoted strings that are not valid
+//! identifiers in context are resolved by the parser).
+
+use crate::error::{Error, Result};
+use crate::token::{Keyword, Symbol, Token, TokenKind};
+
+/// Tokenize `src` into a vector of tokens ending with `Eof`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, bytes: src.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'-' if self.peek(1) == Some(b'-') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(start)?,
+                b'\'' => self.lex_string(start, b'\'')?,
+                b'"' | b'`' => self.lex_quoted_ident(start, b)?,
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'.' if matches!(self.peek(1), Some(b'0'..=b'9')) => self.lex_number(start)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.lex_word(start),
+                _ => self.lex_symbol(start)?,
+            }
+        }
+        self.out.push(Token { offset: self.pos, kind: TokenKind::Eof });
+        Ok(self.out)
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, offset: usize, kind: TokenKind) {
+        self.out.push(Token { offset, kind });
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self, start: usize) -> Result<()> {
+        self.pos += 2;
+        loop {
+            if self.pos + 1 >= self.bytes.len() {
+                return Err(Error::new(start, "unterminated block comment"));
+            }
+            if self.bytes[self.pos] == b'*' && self.bytes[self.pos + 1] == b'/' {
+                self.pos += 2;
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn lex_string(&mut self, start: usize, quote: u8) -> Result<()> {
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::new(start, "unterminated string literal")),
+                Some(&b) if b == quote => {
+                    // '' escapes a quote inside the literal
+                    if self.peek(1) == Some(quote) {
+                        value.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    // advance one UTF-8 character
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        self.push(start, TokenKind::Str(value));
+        Ok(())
+    }
+
+    fn lex_quoted_ident(&mut self, start: usize, quote: u8) -> Result<()> {
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::new(start, "unterminated quoted identifier")),
+                Some(&b) if b == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let rest = &self.src[self.pos..];
+                    let ch = rest.chars().next().expect("in-bounds char");
+                    value.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+        // Double-quoted tokens are treated as string literals when they do
+        // not look like identifiers; benchmarks like Spider use "Aberdeen"
+        // for values. We keep them as Ident and let the parser decide — but
+        // values with spaces/leading digits can never be identifiers.
+        let looks_like_ident = !value.is_empty()
+            && value.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+            && value.chars().all(|c| c.is_alphanumeric() || c == '_');
+        if quote == b'"' && !looks_like_ident {
+            self.push(start, TokenKind::Str(value));
+        } else {
+            self.push(start, TokenKind::Ident(value));
+        }
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<()> {
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    // `1.` followed by another dot is not part of the number
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = if saw_dot || saw_exp {
+            TokenKind::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::new(start, format!("invalid float literal `{text}`")))?,
+            )
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => TokenKind::Int(v),
+                // integers too large for i64 degrade to floats, as SQLite does
+                Err(_) => TokenKind::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::new(start, format!("invalid number `{text}`")))?,
+                ),
+            }
+        };
+        self.push(start, kind);
+        Ok(())
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        let upper = word.to_ascii_uppercase();
+        match Keyword::from_upper(&upper) {
+            Some(kw) => self.push(start, TokenKind::Keyword(kw)),
+            None => self.push(start, TokenKind::Ident(word.to_string())),
+        }
+    }
+
+    fn lex_symbol(&mut self, start: usize) -> Result<()> {
+        let b = self.bytes[self.pos];
+        let (sym, len) = match b {
+            b'(' => (Symbol::LParen, 1),
+            b')' => (Symbol::RParen, 1),
+            b',' => (Symbol::Comma, 1),
+            b'.' => (Symbol::Dot, 1),
+            b'*' => (Symbol::Star, 1),
+            b'+' => (Symbol::Plus, 1),
+            b'-' => (Symbol::Minus, 1),
+            b'/' => (Symbol::Slash, 1),
+            b'%' => (Symbol::Percent, 1),
+            b';' => (Symbol::Semicolon, 1),
+            b'|' if self.peek(1) == Some(b'|') => (Symbol::Concat, 2),
+            b'=' => (Symbol::Eq, 1),
+            b'!' if self.peek(1) == Some(b'=') => (Symbol::NotEq, 2),
+            b'<' if self.peek(1) == Some(b'>') => (Symbol::NotEq, 2),
+            b'<' if self.peek(1) == Some(b'=') => (Symbol::LtEq, 2),
+            b'<' => (Symbol::Lt, 1),
+            b'>' if self.peek(1) == Some(b'=') => (Symbol::GtEq, 2),
+            b'>' => (Symbol::Gt, 1),
+            _ => {
+                return Err(Error::new(start, format!("unexpected character `{}`", b as char)));
+            }
+        };
+        self.pos += len;
+        self.push(start, TokenKind::Symbol(sym));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let k = kinds("select FROM Where");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::From),
+                TokenKind::Keyword(Keyword::Where),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_spelling() {
+        let k = kinds("Singer_Name t1");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("Singer_Name".into()),
+                TokenKind::Ident("t1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let k = kinds("42 3.14 1e3 2.5E-2 .5");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.14),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Float(0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_float() {
+        let k = kinds("99999999999999999999");
+        assert!(matches!(k[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let k = kinds("'it''s'");
+        assert_eq!(k[0], TokenKind::Str("it's".into()));
+    }
+
+    #[test]
+    fn double_quoted_value_vs_ident() {
+        // looks like a value (space) -> string
+        assert_eq!(kinds("\"New York\"")[0], TokenKind::Str("New York".into()));
+        // looks like an identifier -> ident
+        assert_eq!(kinds("\"airports\"")[0], TokenKind::Ident("airports".into()));
+        // backticks are always identifiers
+        assert_eq!(kinds("`order`")[0], TokenKind::Ident("order".into()));
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("= != <> < <= > >= || ; %");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Symbol(Symbol::Eq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::Lt),
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Symbol(Symbol::Gt),
+                TokenKind::Symbol(Symbol::GtEq),
+                TokenKind::Symbol(Symbol::Concat),
+                TokenKind::Symbol(Symbol::Semicolon),
+                TokenKind::Symbol(Symbol::Percent),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT -- trailing\n 1 /* block */ , 2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Int(1),
+                TokenKind::Symbol(Symbol::Comma),
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("/* abc").is_err());
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors_with_offset() {
+        let err = tokenize("SELECT ?").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let k = kinds("'héllo 世界'");
+        assert_eq!(k[0], TokenKind::Str("héllo 世界".into()));
+    }
+}

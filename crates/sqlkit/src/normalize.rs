@@ -1,0 +1,264 @@
+//! Query normalization: alias resolution and case-folding.
+//!
+//! The Spider evaluator compares queries structurally after resolving table
+//! aliases (`T1`, `T2`, ...) back to real table names and lower-casing
+//! identifiers. [`normalize`] performs the same canonicalization so that
+//! `SELECT T1.name FROM singer AS T1` and `SELECT singer.name FROM singer`
+//! normalize to the same AST.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// Produce a canonical form of `query`:
+///
+/// * all identifiers lower-cased,
+/// * table aliases resolved to the underlying table name (for named tables)
+///   and stripped,
+/// * column references qualified with the resolved table name where the
+///   alias made the binding explicit,
+/// * string literals left untouched (values are semantically significant).
+///
+/// Subqueries are normalized recursively with their own alias scopes.
+pub fn normalize(query: &Query) -> Query {
+    normalize_query(query, &HashMap::new())
+}
+
+type AliasMap = HashMap<String, String>;
+
+fn normalize_query(q: &Query, outer: &AliasMap) -> Query {
+    let body = normalize_core(&q.body, outer);
+    let set_ops =
+        q.set_ops.iter().map(|(op, c)| (*op, normalize_core(c, outer))).collect::<Vec<_>>();
+    // ORDER BY refers to the first core's scope.
+    let scope = core_scope(&q.body, outer);
+    let order_by = q
+        .order_by
+        .iter()
+        .map(|k| OrderKey { expr: normalize_expr(&k.expr, &scope), desc: k.desc })
+        .collect();
+    Query { body, set_ops, order_by, limit: q.limit }
+}
+
+/// Build the alias scope visible inside a select core: outer scope extended
+/// with this core's FROM bindings (alias → lower-cased table name).
+fn core_scope(core: &SelectCore, outer: &AliasMap) -> AliasMap {
+    let mut scope = outer.clone();
+    if let Some(from) = &core.from {
+        for t in from.tables() {
+            match t {
+                TableRef::Named { name, alias } => {
+                    let lname = name.to_lowercase();
+                    if let Some(a) = alias {
+                        scope.insert(a.to_lowercase(), lname.clone());
+                    }
+                    scope.insert(lname.clone(), lname);
+                }
+                TableRef::Subquery { alias, .. } => {
+                    if let Some(a) = alias {
+                        let la = a.to_lowercase();
+                        scope.insert(la.clone(), la);
+                    }
+                }
+            }
+        }
+    }
+    scope
+}
+
+fn normalize_core(core: &SelectCore, outer: &AliasMap) -> SelectCore {
+    let scope = core_scope(core, outer);
+    let items = core
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => SelectItem::Wildcard,
+            SelectItem::QualifiedWildcard(t) => {
+                let lt = t.to_lowercase();
+                SelectItem::QualifiedWildcard(scope.get(&lt).cloned().unwrap_or(lt))
+            }
+            SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                expr: normalize_expr(expr, &scope),
+                alias: alias.as_ref().map(|a| a.to_lowercase()),
+            },
+        })
+        .collect();
+    let from = core.from.as_ref().map(|f| FromClause {
+        base: normalize_table_ref(&f.base, outer),
+        joins: f
+            .joins
+            .iter()
+            .map(|j| Join {
+                kind: j.kind,
+                table: normalize_table_ref(&j.table, outer),
+                on: j.on.as_ref().map(|e| normalize_expr(e, &scope)),
+            })
+            .collect(),
+    });
+    SelectCore {
+        distinct: core.distinct,
+        items,
+        from,
+        where_clause: core.where_clause.as_ref().map(|e| normalize_expr(e, &scope)),
+        group_by: core.group_by.iter().map(|e| normalize_expr(e, &scope)).collect(),
+        having: core.having.as_ref().map(|e| normalize_expr(e, &scope)),
+    }
+}
+
+fn normalize_table_ref(t: &TableRef, outer: &AliasMap) -> TableRef {
+    match t {
+        // aliases are resolved into columns, so the normalized form drops them
+        TableRef::Named { name, .. } => {
+            TableRef::Named { name: name.to_lowercase(), alias: None }
+        }
+        TableRef::Subquery { query, alias } => TableRef::Subquery {
+            query: Box::new(normalize_query(query, outer)),
+            alias: alias.as_ref().map(|a| a.to_lowercase()),
+        },
+    }
+}
+
+fn normalize_expr(e: &Expr, scope: &AliasMap) -> Expr {
+    match e {
+        Expr::Literal(l) => Expr::Literal(l.clone()),
+        Expr::Column { table, column } => {
+            let table = table.as_ref().map(|t| {
+                let lt = t.to_lowercase();
+                scope.get(&lt).cloned().unwrap_or(lt)
+            });
+            Expr::Column { table, column: column.to_lowercase() }
+        }
+        Expr::AggWildcard(f) => Expr::AggWildcard(*f),
+        Expr::Agg { func, distinct, arg } => Expr::Agg {
+            func: *func,
+            distinct: *distinct,
+            arg: Box::new(normalize_expr(arg, scope)),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.to_ascii_uppercase(),
+            args: args.iter().map(|a| normalize_expr(a, scope)).collect(),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(normalize_expr(left, scope)),
+            right: Box::new(normalize_expr(right, scope)),
+        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(normalize_expr(expr, scope)) }
+        }
+        Expr::Between { expr, negated, low, high } => Expr::Between {
+            expr: Box::new(normalize_expr(expr, scope)),
+            negated: *negated,
+            low: Box::new(normalize_expr(low, scope)),
+            high: Box::new(normalize_expr(high, scope)),
+        },
+        Expr::InList { expr, negated, list } => Expr::InList {
+            expr: Box::new(normalize_expr(expr, scope)),
+            negated: *negated,
+            list: list.iter().map(|x| normalize_expr(x, scope)).collect(),
+        },
+        Expr::InSubquery { expr, negated, query } => Expr::InSubquery {
+            expr: Box::new(normalize_expr(expr, scope)),
+            negated: *negated,
+            query: Box::new(normalize_query(query, scope)),
+        },
+        Expr::Exists { negated, query } => {
+            Expr::Exists { negated: *negated, query: Box::new(normalize_query(query, scope)) }
+        }
+        Expr::Subquery(query) => Expr::Subquery(Box::new(normalize_query(query, scope))),
+        Expr::Like { expr, negated, pattern } => Expr::Like {
+            expr: Box::new(normalize_expr(expr, scope)),
+            negated: *negated,
+            pattern: Box::new(normalize_expr(pattern, scope)),
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(normalize_expr(expr, scope)), negated: *negated }
+        }
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(normalize_expr(o, scope))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (normalize_expr(w, scope), normalize_expr(t, scope)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(normalize_expr(e, scope))),
+        },
+        Expr::Cast { expr, ty } => {
+            Expr::Cast { expr: Box::new(normalize_expr(expr, scope)), ty: ty.clone() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::printer::to_sql;
+
+    fn norm(src: &str) -> String {
+        to_sql(&normalize(&parse_query(src).unwrap()))
+    }
+
+    #[test]
+    fn alias_resolution_makes_queries_equal() {
+        let a = norm("SELECT T1.name FROM singer AS T1");
+        let b = norm("SELECT singer.name FROM singer");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_folding() {
+        assert_eq!(norm("SELECT Name FROM Singer"), norm("select name from singer"));
+    }
+
+    #[test]
+    fn join_aliases_resolved() {
+        let a = norm(
+            "SELECT T1.name, T2.date FROM singer AS T1 JOIN concert AS T2 ON T1.id = T2.sid",
+        );
+        assert!(a.contains("singer.name"), "{a}");
+        assert!(a.contains("concert.date"), "{a}");
+        assert!(a.contains("singer.id = concert.sid"), "{a}");
+        assert!(!a.contains("T1"), "{a}");
+    }
+
+    #[test]
+    fn subquery_scope_is_separate() {
+        // alias T1 in the subquery must not leak to the outer query
+        let s = norm(
+            "SELECT name FROM singer WHERE id IN (SELECT T1.sid FROM concert AS T1)",
+        );
+        assert!(s.contains("concert.sid"), "{s}");
+    }
+
+    #[test]
+    fn outer_alias_visible_in_correlated_subquery() {
+        let s = norm(
+            "SELECT T1.name FROM singer AS T1 WHERE EXISTS (SELECT 1 FROM concert WHERE concert.sid = T1.id)",
+        );
+        assert!(s.contains("concert.sid = singer.id"), "{s}");
+    }
+
+    #[test]
+    fn string_values_untouched() {
+        let s = norm("SELECT name FROM t WHERE city = 'New York'");
+        assert!(s.contains("'New York'"), "{s}");
+    }
+
+    #[test]
+    fn from_subquery_alias_kept() {
+        let s = norm("SELECT sub.x FROM (SELECT a AS x FROM t) AS Sub");
+        assert!(s.contains("AS sub"), "{s}");
+        assert!(s.contains("sub.x"), "{s}");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for src in [
+            "SELECT T1.name FROM singer AS T1 JOIN concert AS T2 ON T1.id = T2.sid WHERE T2.year > 2000",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY a",
+        ] {
+            let once = normalize(&parse_query(src).unwrap());
+            let twice = normalize(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! AST → SQL text rendering.
+//!
+//! The printer emits canonical SQL that the parser accepts back, enabling
+//! `parse → mutate → print → parse` round-trips used by the model zoo's
+//! corruption engine and by property tests.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a query as a single-line SQL string.
+pub fn to_sql(query: &Query) -> String {
+    let mut out = String::new();
+    write_query(&mut out, query);
+    out
+}
+
+fn write_query(out: &mut String, q: &Query) {
+    write_core(out, &q.body);
+    for (op, core) in &q.set_ops {
+        let kw = match op {
+            SetOp::Union => " UNION ",
+            SetOp::UnionAll => " UNION ALL ",
+            SetOp::Intersect => " INTERSECT ",
+            SetOp::Except => " EXCEPT ",
+        };
+        out.push_str(kw);
+        write_core(out, core);
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, k) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &k.expr);
+            if k.desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(limit) = &q.limit {
+        let _ = write!(out, " LIMIT {}", limit.count);
+        if limit.offset > 0 {
+            let _ = write!(out, " OFFSET {}", limit.offset);
+        }
+    }
+}
+
+fn write_core(out: &mut String, c: &SelectCore) {
+    out.push_str("SELECT ");
+    if c.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in c.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                let _ = write!(out, "{}.*", ident(t));
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr);
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {}", ident(a));
+                }
+            }
+        }
+    }
+    if let Some(from) = &c.from {
+        out.push_str(" FROM ");
+        write_table_ref(out, &from.base);
+        for j in &from.joins {
+            let kw = match j.kind {
+                JoinKind::Inner => " JOIN ",
+                JoinKind::Left => " LEFT JOIN ",
+                JoinKind::Right => " RIGHT JOIN ",
+                JoinKind::Cross => " CROSS JOIN ",
+            };
+            out.push_str(kw);
+            write_table_ref(out, &j.table);
+            if let Some(on) = &j.on {
+                out.push_str(" ON ");
+                write_expr(out, on);
+            }
+        }
+    }
+    if let Some(w) = &c.where_clause {
+        out.push_str(" WHERE ");
+        write_expr(out, w);
+    }
+    if !c.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in c.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, g);
+        }
+    }
+    if let Some(h) = &c.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h);
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    match t {
+        TableRef::Named { name, alias } => {
+            out.push_str(&ident(name));
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {}", ident(a));
+            }
+        }
+        TableRef::Subquery { query, alias } => {
+            out.push('(');
+            write_query(out, query);
+            out.push(')');
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {}", ident(a));
+            }
+        }
+    }
+}
+
+/// Quote an identifier with backticks when it collides with a keyword or
+/// contains unusual characters.
+fn ident(name: &str) -> String {
+    let needs_quote = name.is_empty()
+        || crate::token::Keyword::from_upper(&name.to_ascii_uppercase()).is_some()
+        || !name.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        || !name.chars().all(|c| c.is_alphanumeric() || c == '_');
+    if needs_quote {
+        format!("`{name}`")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Operator precedence for minimal parenthesization. Larger binds tighter.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 3,
+        BinOp::Add | BinOp::Sub | BinOp::Concat => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+        BinOp::Eq => "=",
+        BinOp::NotEq => "!=",
+        BinOp::Lt => "<",
+        BinOp::LtEq => "<=",
+        BinOp::Gt => ">",
+        BinOp::GtEq => ">=",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Concat => "||",
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    write_expr_prec(out, e, 0)
+}
+
+/// Crate-internal: render an expression as a canonical comparison key
+/// (used by the exact-match module).
+pub(crate) fn write_expr_for_key(out: &mut String, e: &Expr) {
+    write_expr(out, e);
+}
+
+fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Literal(lit) => write_literal(out, lit),
+        Expr::Column { table, column } => {
+            if let Some(t) = table {
+                let _ = write!(out, "{}.", ident(t));
+            }
+            out.push_str(&ident(column));
+        }
+        Expr::AggWildcard(func) => {
+            let _ = write!(out, "{}(*)", func.as_str());
+        }
+        Expr::Agg { func, distinct, arg } => {
+            let _ = write!(out, "{}(", func.as_str());
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            write_expr(out, arg);
+            out.push(')');
+        }
+        Expr::Func { name, args } => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Binary { op, left, right } => {
+            let p = prec(*op);
+            let need_parens = p < parent_prec;
+            if need_parens {
+                out.push('(');
+            }
+            // comparisons are non-associative in the grammar: both operands
+            // need tighter precedence; arithmetic/logical operators keep
+            // left-associativity with +1 on the right only
+            let left_prec = if op.is_comparison() { p + 1 } else { p };
+            write_expr_prec(out, left, left_prec);
+            let _ = write!(out, " {} ", op_str(*op));
+            write_expr_prec(out, right, p + 1);
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Not => {
+                // NOT lives between AND and the predicates: parenthesize
+                // whenever a tighter context asks for it
+                let need_parens = parent_prec > 2;
+                if need_parens {
+                    out.push('(');
+                }
+                out.push_str("NOT ");
+                write_expr_prec(out, expr, 3);
+                if need_parens {
+                    out.push(')');
+                }
+            }
+            UnOp::Neg => {
+                out.push('-');
+                write_expr_prec(out, expr, 6);
+            }
+        },
+        Expr::Between { expr, negated, low, high } => {
+            let need_parens = parent_prec > 3;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" BETWEEN ");
+            write_expr_prec(out, low, 4);
+            out.push_str(" AND ");
+            write_expr_prec(out, high, 4);
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::InList { expr, negated, list } => {
+            let need_parens = parent_prec > 3;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            for (i, item) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item);
+            }
+            out.push(')');
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::InSubquery { expr, negated, query } => {
+            let need_parens = parent_prec > 3;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" IN (");
+            write_query(out, query);
+            out.push(')');
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::Exists { negated, query } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_query(out, query);
+            out.push(')');
+        }
+        Expr::Subquery(query) => {
+            out.push('(');
+            write_query(out, query);
+            out.push(')');
+        }
+        Expr::Like { expr, negated, pattern } => {
+            let need_parens = parent_prec > 3;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, expr, 4);
+            if *negated {
+                out.push_str(" NOT");
+            }
+            out.push_str(" LIKE ");
+            write_expr_prec(out, pattern, 4);
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let need_parens = parent_prec > 3;
+            if need_parens {
+                out.push('(');
+            }
+            write_expr_prec(out, expr, 4);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Expr::Case { operand, branches, else_expr } => {
+            out.push_str("CASE");
+            if let Some(op) = operand {
+                out.push(' ');
+                write_expr(out, op);
+            }
+            for (w, t) in branches {
+                out.push_str(" WHEN ");
+                write_expr(out, w);
+                out.push_str(" THEN ");
+                write_expr(out, t);
+            }
+            if let Some(e) = else_expr {
+                out.push_str(" ELSE ");
+                write_expr(out, e);
+            }
+            out.push_str(" END");
+        }
+        Expr::Cast { expr, ty } => {
+            out.push_str("CAST(");
+            write_expr(out, expr);
+            let _ = write!(out, " AS {ty})");
+        }
+    }
+}
+
+fn write_literal(out: &mut String, lit: &Literal) {
+    match lit {
+        Literal::Null => out.push_str("NULL"),
+        Literal::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Literal::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Literal::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        Literal::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    /// parse → print → parse must be a fixed point.
+    fn roundtrip(src: &str) {
+        let q1 = parse_query(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"));
+        let printed = to_sql(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse `{printed}` (from `{src}`): {e}"));
+        assert_eq!(q1, q2, "roundtrip mismatch for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for src in [
+            "SELECT 1",
+            "SELECT * FROM singer",
+            "SELECT DISTINCT name, age FROM singer WHERE age > 20",
+            "SELECT T1.name FROM singer AS T1 JOIN concert AS T2 ON T1.id = T2.sid",
+            "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC LIMIT 3",
+            "SELECT name FROM a UNION SELECT name FROM b",
+            "SELECT name FROM t WHERE id IN (SELECT sid FROM c)",
+            "SELECT name FROM t WHERE age > (SELECT AVG(age) FROM t)",
+            "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t",
+            "SELECT IIF(a > b, 1, 0) FROM t",
+            "SELECT CAST(x AS REAL) FROM t",
+            "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+            "SELECT a FROM t WHERE x NOT BETWEEN 1 AND 5",
+            "SELECT a FROM t WHERE name NOT LIKE '%x%'",
+            "SELECT a FROM t WHERE b IS NOT NULL",
+            "SELECT a + b * c FROM t",
+            "SELECT (a + b) * c FROM t",
+            "SELECT -x FROM t",
+            "SELECT COUNT(DISTINCT x) FROM t",
+            "SELECT x FROM (SELECT a AS x FROM t) AS sub",
+            "SELECT a FROM t LIMIT 10 OFFSET 5",
+            "SELECT a FROM t WHERE s = 'it''s'",
+            "SELECT `order` FROM `select`",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let q = parse_query("SELECT a FROM t WHERE x = 1 AND y = 2").unwrap();
+        assert_eq!(to_sql(&q), "SELECT a FROM t WHERE x = 1 AND y = 2");
+    }
+
+    #[test]
+    fn parens_preserved_where_needed() {
+        let q = parse_query("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3").unwrap();
+        let s = to_sql(&q);
+        assert!(s.contains("(x = 1 OR y = 2)"), "got: {s}");
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn left_assoc_subtraction() {
+        // a - b - c must stay (a-b)-c
+        let q = parse_query("SELECT a - b - c FROM t").unwrap();
+        let s = to_sql(&q);
+        let q2 = parse_query(&s).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let q = parse_query("SELECT 'a''b'").unwrap();
+        assert_eq!(to_sql(&q), "SELECT 'a''b'");
+    }
+
+    #[test]
+    fn float_prints_with_decimal() {
+        let q = parse_query("SELECT 2.0").unwrap();
+        assert_eq!(to_sql(&q), "SELECT 2.0");
+    }
+}

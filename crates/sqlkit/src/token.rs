@@ -1,0 +1,194 @@
+//! Token definitions shared by the lexer and parser.
+
+use std::fmt;
+
+/// A single lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+    /// The token payload.
+    pub kind: TokenKind,
+}
+
+/// The kinds of tokens the SQL lexer produces.
+///
+/// Keywords are lexed as [`TokenKind::Keyword`] with an upper-cased string so
+/// the parser can match case-insensitively; identifiers keep their original
+/// spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A recognized SQL keyword, stored upper-cased (e.g. `SELECT`).
+    Keyword(Keyword),
+    /// A bare or quoted identifier (table, column, alias).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single- or double-quoted string literal, unescaped.
+    Str(String),
+    /// One of the punctuation / operator tokens.
+    Symbol(Symbol),
+    /// End of input sentinel.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Concat,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Star => "*",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Concat => "||",
+            Symbol::Eq => "=",
+            Symbol::NotEq => "!=",
+            Symbol::Lt => "<",
+            Symbol::LtEq => "<=",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+            Symbol::Semicolon => ";",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// The SQL keywords the dialect recognizes.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),+
+        }
+
+        impl Keyword {
+            /// Look up a keyword from an (already upper-cased) word.
+            pub fn from_upper(word: &str) -> Option<Self> {
+                match word {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The canonical upper-case spelling of the keyword.
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)+
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT",
+    Distinct => "DISTINCT",
+    From => "FROM",
+    Where => "WHERE",
+    Group => "GROUP",
+    By => "BY",
+    Having => "HAVING",
+    Order => "ORDER",
+    Asc => "ASC",
+    Desc => "DESC",
+    Limit => "LIMIT",
+    Offset => "OFFSET",
+    Join => "JOIN",
+    Inner => "INNER",
+    Left => "LEFT",
+    Right => "RIGHT",
+    Outer => "OUTER",
+    Cross => "CROSS",
+    On => "ON",
+    As => "AS",
+    And => "AND",
+    Or => "OR",
+    Not => "NOT",
+    In => "IN",
+    Between => "BETWEEN",
+    Like => "LIKE",
+    Is => "IS",
+    Null => "NULL",
+    Exists => "EXISTS",
+    Union => "UNION",
+    All => "ALL",
+    Intersect => "INTERSECT",
+    Except => "EXCEPT",
+    Case => "CASE",
+    When => "WHEN",
+    Then => "THEN",
+    Else => "ELSE",
+    End => "END",
+    Cast => "CAST",
+    True => "TRUE",
+    False => "FALSE",
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Symbol(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for word in ["SELECT", "FROM", "WHERE", "INTERSECT", "CASE"] {
+            let kw = Keyword::from_upper(word).unwrap();
+            assert_eq!(kw.as_str(), word);
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_is_none() {
+        assert_eq!(Keyword::from_upper("FOO"), None);
+        // lower case is not matched; the lexer upper-cases first
+        assert_eq!(Keyword::from_upper("select"), None);
+    }
+
+    #[test]
+    fn symbol_display() {
+        assert_eq!(Symbol::NotEq.to_string(), "!=");
+        assert_eq!(Symbol::Concat.to_string(), "||");
+    }
+}

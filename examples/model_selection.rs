@@ -1,0 +1,66 @@
+//! Cost- and latency-aware model selection (paper Exp-6 / Exp-7): rank
+//! methods by cost-effectiveness (EX per dollar), and pick a locally-served
+//! model under a GPU-memory budget.
+//!
+//! ```sh
+//! cargo run --release --example model_selection
+//! ```
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::{MethodClass, Serving};
+use nl2sql360::{evaluate_all, metrics, EvalContext, Filter};
+
+fn main() {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(99));
+    let ctx = EvalContext::new(&corpus);
+    let zoo = modelzoo::zoo();
+    let logs = evaluate_all(&ctx, &zoo);
+    let f = Filter::all();
+
+    // --- API methods: cost-effectiveness ---
+    println!("Prompt-based methods, by cost-effectiveness (EX / $ per query):\n");
+    let mut api_rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for log in &logs {
+        let Some(spec) = modelzoo::method_by_name(&log.method) else { continue };
+        if !matches!(spec.serving, Serving::Api(_)) {
+            continue;
+        }
+        let (Some(ex), Some(cost), Some(epc)) = (
+            metrics::ex(log, &f),
+            metrics::avg_cost(log, &f),
+            metrics::ex_per_cost(log, &f),
+        ) else {
+            continue;
+        };
+        api_rows.push((log.method.clone(), ex, cost, epc));
+    }
+    api_rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite"));
+    for (m, ex, cost, epc) in &api_rows {
+        println!("  {m:<14} EX={ex:5.1}  $/query={cost:.4}  EX/$={epc:8.0}");
+    }
+
+    // --- local methods: pick the best under a GPU budget ---
+    for budget_gib in [8.0, 25.0, 200.0] {
+        let mut best: Option<(String, f64, f64, f64)> = None;
+        for log in &logs {
+            let Some(spec) = modelzoo::method_by_name(&log.method) else { continue };
+            let Serving::Local(serving) = spec.serving else { continue };
+            if !matches!(spec.class, MethodClass::FinetunedPlm | MethodClass::FinetunedLlm) {
+                continue;
+            }
+            if serving.gpu_mem_gib > budget_gib {
+                continue;
+            }
+            let Some(ex) = metrics::ex(log, &f) else { continue };
+            if best.as_ref().map(|(_, b, _, _)| ex > *b).unwrap_or(true) {
+                best = Some((log.method.clone(), ex, serving.latency_s, serving.gpu_mem_gib));
+            }
+        }
+        match best {
+            Some((m, ex, lat, mem)) => println!(
+                "\nBest local method under {budget_gib:>5.0} GiB: {m} (EX={ex:.1}, latency={lat:.2}s, mem={mem:.1} GiB)"
+            ),
+            None => println!("\nNo local method fits under {budget_gib} GiB"),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Tour of the substrate crates: parse SQL with `sqlkit`, inspect features
+//! and Spider hardness, execute on the `minidb` engine, and compare results
+//! the way the EX metric does.
+//!
+//! ```sh
+//! cargo run --release --example sql_playground
+//! ```
+
+use minidb::{results_equivalent, Database, TableBuilder, Value};
+use sqlkit::{exact_match, parse_query, to_sql, Hardness, SqlFeatures};
+
+fn main() {
+    // --- build a small database by hand ---
+    let mut db = Database::new("concert_singer");
+    db.add_table(
+        TableBuilder::new("singer")
+            .column_int("id")
+            .column_text("name")
+            .column_text("country")
+            .column_int("age")
+            .primary_key(&["id"])
+            .rows(vec![
+                vec![Value::Int(1), Value::text("Ann"), Value::text("US"), Value::Int(32)],
+                vec![Value::Int(2), Value::text("Bo"), Value::text("UK"), Value::Int(27)],
+                vec![Value::Int(3), Value::text("Cy"), Value::text("US"), Value::Int(41)],
+            ])
+            .build(),
+    )
+    .expect("fresh table name");
+    db.add_table(
+        TableBuilder::new("concert")
+            .column_int("id")
+            .column_int("singer_id")
+            .column_int("year")
+            .primary_key(&["id"])
+            .foreign_key("singer_id", "singer", "id")
+            .rows(vec![
+                vec![Value::Int(10), Value::Int(1), Value::Int(2014)],
+                vec![Value::Int(11), Value::Int(1), Value::Int(2015)],
+                vec![Value::Int(12), Value::Int(3), Value::Int(2015)],
+            ])
+            .build(),
+    )
+    .expect("fresh table name");
+
+    // --- parse, analyze, execute ---
+    let sql = "SELECT T1.name, COUNT(*) FROM singer AS T1 \
+               JOIN concert AS T2 ON T1.id = T2.singer_id \
+               WHERE T2.year = 2015 GROUP BY T1.name ORDER BY COUNT(*) DESC";
+    let query = parse_query(sql).expect("valid SQL");
+    println!("Canonical SQL : {}", to_sql(&query));
+    println!("Hardness      : {}", Hardness::classify(&query));
+    let features = SqlFeatures::of(&query);
+    println!(
+        "Features      : joins={} connectors={} order_by={} subqueries={}",
+        features.join_count,
+        features.logical_connector_count,
+        features.order_by_count,
+        features.subquery_count
+    );
+
+    let rs = db.run_query(&query).expect("executes");
+    println!("Result ({} rows, {} work units):", rs.rows.len(), rs.work);
+    println!("  {:?}", rs.columns);
+    for row in &rs.rows {
+        println!("  {:?}", row.iter().map(Value::render).collect::<Vec<_>>());
+    }
+
+    // --- execution-accuracy semantics ---
+    let restyled = parse_query(
+        "SELECT singer.name, COUNT(*) FROM singer \
+         JOIN concert ON concert.singer_id = singer.id \
+         WHERE 2015 = concert.year GROUP BY singer.name ORDER BY COUNT(*) DESC",
+    )
+    .expect("valid SQL");
+    let rs2 = db.run_query(&restyled).expect("executes");
+    println!("\nRestyled query is execution-equivalent : {}", results_equivalent(&rs, &rs2));
+    println!("Restyled query is exact-match equal    : {}", exact_match(&query, &restyled));
+}

@@ -1,0 +1,80 @@
+//! The paper's §6 research agenda, running end to end: robustness
+//! diagnostics, the query rewriter, the clause-level debugger, and the
+//! adaptive training-data loop.
+//!
+//! ```sh
+//! cargo run --release --example trustworthy_nl2sql
+//! ```
+
+use datagen::{augment_corpus, domain_by_name, generate_corpus, perturb_corpus, CorpusConfig, CorpusKind, Perturbation};
+use modelzoo::{method_by_name, SimulatedModel};
+use nl2sql360::{
+    adaptive_plan, diagnose, evaluate_with_rewriter, metrics, EvalContext, Filter,
+};
+
+fn main() {
+    let corpus = generate_corpus(
+        CorpusKind::Spider,
+        &CorpusConfig { train_dbs: 30, dev_dbs: 8, train_samples: 600, dev_samples: 250, variant_prob: 0.5, seed: 11 },
+    );
+    let ctx = EvalContext::new(&corpus);
+    let f = Filter::all();
+
+    // --- 1. robustness: how fragile is a PLM to schema renames? ---
+    let plm = SimulatedModel::new(method_by_name("RESDSQL-3B").expect("registered"));
+    let clean = ctx.evaluate(&plm).expect("runs on Spider");
+    println!("RESDSQL-3B clean EX: {:.1}", metrics::ex(&clean, &f).expect("non-empty"));
+    for kind in Perturbation::ALL {
+        let perturbed = perturb_corpus(&corpus, kind, 99);
+        let pctx = EvalContext::new(&perturbed);
+        let log = pctx.evaluate(&plm).expect("runs on Spider");
+        println!(
+            "  under {:<16}: EX = {:.1}",
+            kind.label(),
+            metrics::ex(&log, &f).expect("non-empty")
+        );
+    }
+
+    // --- 2. query rewriter: stabilize a prompt method against paraphrase ---
+    let prompt = SimulatedModel::new(method_by_name("C3SQL").expect("registered"));
+    let plain = ctx.evaluate(&prompt).expect("runs on Spider");
+    let rewritten = evaluate_with_rewriter(&ctx, &prompt).expect("runs on Spider");
+    println!(
+        "\nC3SQL QVT without rewriter: {:.1}   with rewriter: {:.1}",
+        metrics::qvt(&plain, &f).expect("QVT set non-empty"),
+        metrics::qvt(&rewritten, &f).expect("QVT set non-empty"),
+    );
+
+    // --- 3. debugger: what does C3SQL get wrong? ---
+    let mut pairs = Vec::new();
+    for (i, r) in plain.records.iter().enumerate() {
+        if !r.canonical().ex {
+            let pred = sqlkit::parse_query(&r.canonical().pred_sql).expect("stored SQL parses");
+            pairs.push((corpus.dev[i].query.clone(), pred));
+        }
+    }
+    println!("\nC3SQL error profile over {} wrong predictions:", pairs.len());
+    for (mismatch, count) in diagnose::error_profile(pairs.iter().map(|(g, p)| (g, p))) {
+        println!("  {:<16} {count}", mismatch.label());
+    }
+
+    // --- 4. adaptive data: close the loop on the weakest domain ---
+    let ft = SimulatedModel::new(method_by_name("SFT CodeS-7B").expect("registered"));
+    let ft_log = ctx.evaluate(&ft).expect("runs on Spider");
+    let plan = adaptive_plan(&ctx, &ft_log, 6);
+    let target = plan.first().expect("some domain").clone();
+    println!(
+        "\nWeakest domain for SFT CodeS-7B: {} (EX {:.1}, {} train DBs) -> synthesizing {} more",
+        target.domain, target.ex, target.train_dbs, target.suggested_extra_dbs.max(10)
+    );
+    let domain = domain_by_name(&target.domain).expect("plan names real domains");
+    let augmented = augment_corpus(&corpus, domain, target.suggested_extra_dbs.max(10), 8, 7);
+    let actx = EvalContext::new(&augmented);
+    let after = actx.evaluate(&ft).expect("runs on Spider");
+    let df = Filter::all().domain(target.domain.clone());
+    println!(
+        "  in-domain EX before: {:.1}   after augmentation: {:.1}",
+        metrics::ex(&ft_log, &df).expect("domain present"),
+        metrics::ex(&after, &df).expect("domain present"),
+    );
+}

@@ -1,0 +1,257 @@
+//! Cross-crate integration tests: the full pipeline from corpus generation
+//! through translation, execution, metric computation, log persistence and
+//! leaderboard rendering.
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::{method_by_name, Nl2SqlModel, SimulatedModel};
+use nl2sql360::{
+    evaluate_all, leaderboard, metrics, render_accuracy_leaderboard, CountBucket, EvalContext,
+    Filter, LogStore,
+};
+use sqlkit::Hardness;
+
+fn corpus() -> datagen::Corpus {
+    generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(4242))
+}
+
+fn model(name: &str) -> SimulatedModel {
+    SimulatedModel::new(method_by_name(name).expect("method registered"))
+}
+
+#[test]
+fn full_pipeline_end_to_end() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let m = model("SuperSQL");
+    let log = ctx.evaluate(&m).expect("SuperSQL runs on Spider");
+
+    // every record carries a prediction that parses
+    for r in &log.records {
+        for v in &r.variants {
+            sqlkit::parse_query(&v.pred_sql)
+                .unwrap_or_else(|e| panic!("prediction `{}` unparseable: {e}", v.pred_sql));
+        }
+    }
+    // metrics are computable and sane
+    let ex = metrics::ex(&log, &Filter::all()).expect("non-empty dev split");
+    let em = metrics::em(&log, &Filter::all()).expect("non-empty dev split");
+    assert!((0.0..=100.0).contains(&ex));
+    assert!(em <= ex + 10.0, "EM {em} should not wildly exceed EX {ex}");
+}
+
+#[test]
+fn hardness_filters_partition_the_dev_split() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("C3SQL")).expect("supported");
+    let total = log.records.len();
+    let sum: usize = Hardness::ALL
+        .iter()
+        .map(|h| metrics::subset_size(&log, &Filter::all().hardness(*h)))
+        .sum();
+    assert_eq!(sum, total, "hardness buckets must partition the dev set");
+
+    let with = metrics::subset_size(&log, &Filter::all().subquery(true));
+    let without = metrics::subset_size(&log, &Filter::all().subquery(false));
+    assert_eq!(with + without, total, "subquery presence partitions the dev set");
+
+    let joins: usize = [CountBucket::Zero, CountBucket::One, CountBucket::TwoPlus]
+        .iter()
+        .map(|b| metrics::subset_size(&log, &Filter::all().joins(*b)))
+        .sum();
+    assert_eq!(joins, total, "join buckets partition the dev set");
+}
+
+#[test]
+fn overall_ex_is_mixture_of_hardness_subsets() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("SFT CodeS-7B")).expect("supported");
+    let total = log.records.len() as f64;
+    let mut weighted = 0.0;
+    for h in Hardness::ALL {
+        let f = Filter::all().hardness(h);
+        let n = metrics::subset_size(&log, &f) as f64;
+        if let Some(ex) = metrics::ex(&log, &f) {
+            weighted += ex * n / total;
+        }
+    }
+    let overall = metrics::ex(&log, &Filter::all()).expect("non-empty");
+    assert!((weighted - overall).abs() < 1e-9, "{weighted} vs {overall}");
+}
+
+#[test]
+fn log_persistence_roundtrips_through_json() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("RESDSQL-3B")).expect("supported");
+
+    let dir = std::env::temp_dir().join(format!("nl2sql360-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = LogStore::open(&dir).expect("temp dir creatable");
+    store.save(&log).expect("serializable");
+    let loaded = store.load("Spider", "RESDSQL-3B").expect("loadable");
+
+    // metrics computed from the loaded log match the original exactly
+    for f in [
+        Filter::all(),
+        Filter::all().hardness(Hardness::Medium),
+        Filter::all().subquery(true),
+        Filter::all().order_by(true),
+    ] {
+        assert_eq!(metrics::ex(&log, &f), metrics::ex(&loaded, &f));
+        assert_eq!(metrics::em(&log, &f), metrics::em(&loaded, &f));
+        assert_eq!(metrics::ves(&log, &f), metrics::ves(&loaded, &f));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn leaderboards_are_consistent_with_metrics() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let models = vec![model("C3SQL"), model("DAILSQL"), model("SuperSQL")];
+    let logs = evaluate_all(&ctx, &models);
+    let lb = leaderboard(&logs, &Filter::all(), metrics::ex);
+    assert_eq!(lb.len(), 3);
+    for row in &lb {
+        let log = logs.iter().find(|l| l.method == row.method).expect("present");
+        assert_eq!(row.value, metrics::ex(log, &Filter::all()));
+    }
+    let rendered = render_accuracy_leaderboard(&logs, &Filter::all());
+    assert!(rendered.contains("SuperSQL"));
+}
+
+#[test]
+fn predictions_scored_ex_really_execute_to_gold_results() {
+    // Spot-check the executor's bookkeeping: re-run scoring by hand.
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("DAILSQL(SC)")).expect("supported");
+    for (i, r) in log.records.iter().enumerate().take(30) {
+        let sample = &corpus.dev[i];
+        let gold_rs = corpus.db(sample).database.run_query(&sample.query).expect("gold runs");
+        let v = r.canonical();
+        let pred = sqlkit::parse_query(&v.pred_sql).expect("prediction parses");
+        let recomputed = match corpus.db(sample).database.run_query(&pred) {
+            Ok(rs) => minidb::results_equivalent(&gold_rs, &rs),
+            Err(_) => false,
+        };
+        assert_eq!(v.ex, recomputed, "sample {i}: log EX disagrees with re-execution");
+    }
+}
+
+#[test]
+fn qvt_only_counts_multi_variant_samples() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("SFT CodeS-15B")).expect("supported");
+    // filtering to ≥2 variants must not change QVT (it's built into Eq. 1)
+    let a = metrics::qvt(&log, &Filter::all());
+    let b = metrics::qvt(&log, &Filter::all().min_variants(2));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bird_corpus_pipeline_works_too() {
+    let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(777));
+    let ctx = EvalContext::new(&corpus);
+    let log = ctx.evaluate(&model("SFT CodeS-7B")).expect("CodeS runs on BIRD");
+    assert_eq!(log.dataset, "BIRD");
+    let ex = metrics::ex(&log, &Filter::all()).expect("non-empty");
+    assert!(ex > 20.0 && ex < 95.0, "BIRD EX {ex} out of plausible range");
+    // BIRD difficulty buckets partition
+    let total: usize = sqlkit::hardness::BirdDifficulty::ALL
+        .iter()
+        .map(|d| metrics::subset_size(&log, &Filter::all().bird_difficulty(*d)))
+        .sum();
+    assert_eq!(total, log.records.len());
+}
+
+#[test]
+fn deterministic_across_fresh_contexts() {
+    let c1 = corpus();
+    let c2 = corpus();
+    let ctx1 = EvalContext::new(&c1);
+    let ctx2 = EvalContext::new(&c2);
+    let m = model("DINSQL");
+    let a = ctx1.evaluate(&m).expect("supported");
+    let b = ctx2.evaluate(&m).expect("supported");
+    assert_eq!(metrics::ex(&a, &Filter::all()), metrics::ex(&b, &Filter::all()));
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.canonical().pred_sql, rb.canonical().pred_sql);
+    }
+}
+
+#[test]
+fn normalization_preserves_execution_semantics() {
+    // The EM pipeline normalizes queries (alias resolution, case folding);
+    // a normalized gold query must execute to the same result as the
+    // original on the engine.
+    let corpus = corpus();
+    for s in &corpus.dev {
+        let normalized = sqlkit::normalize::normalize(&s.query);
+        let a = corpus.db(s).database.run_query(&s.query).expect("gold runs");
+        let b = corpus
+            .db(s)
+            .database
+            .run_query(&normalized)
+            .unwrap_or_else(|e| panic!("normalized `{}` fails: {e}", sqlkit::to_sql(&normalized)));
+        assert!(
+            minidb::results_equivalent(&a, &b),
+            "normalization changed semantics of `{}`",
+            s.sql
+        );
+    }
+}
+
+#[test]
+fn printed_gold_queries_execute_identically() {
+    // print → parse → execute must agree with direct execution for every
+    // corpus query (the printer is on the EX hot path via predictions).
+    let corpus = corpus();
+    for s in corpus.dev.iter().chain(corpus.train.iter().take(40)) {
+        let reparsed = sqlkit::parse_query(&sqlkit::to_sql(&s.query)).expect("print parses");
+        let a = corpus.db(s).database.run_query(&s.query).expect("gold runs");
+        let b = corpus.db(s).database.run_query(&reparsed).expect("reparse runs");
+        assert!(minidb::results_equivalent(&a, &b), "`{}`", s.sql);
+    }
+}
+
+#[test]
+fn exact_match_with_values_implies_execution_match() {
+    // Strict EM (values compared) between two queries on the same database
+    // must imply EX — checked over predictions from a couple of methods.
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    for name in ["SuperSQL", "RESDSQL-3B"] {
+        let log = ctx.evaluate(&model(name)).expect("supported");
+        for (i, r) in log.records.iter().enumerate() {
+            let v = r.canonical();
+            let pred = sqlkit::parse_query(&v.pred_sql).expect("prediction parses");
+            let strict_em = sqlkit::exact_match::exact_match_with(
+                &corpus.dev[i].query,
+                &pred,
+                sqlkit::exact_match::ValueMode::Compare,
+            );
+            if strict_em {
+                assert!(
+                    v.ex,
+                    "{name} sample {i}: strict EM without EX for `{}` vs `{}`",
+                    corpus.dev[i].sql, v.pred_sql
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_decides_dataset_support() {
+    let spider = corpus();
+    let ctx = EvalContext::new(&spider);
+    // every zoo member supports Spider
+    for m in modelzoo::zoo() {
+        let task = ctx.task(&spider.dev[0], 0);
+        assert!(m.translate(&task).is_some(), "{} must run on Spider", m.name());
+    }
+}
