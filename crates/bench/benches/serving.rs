@@ -1,0 +1,81 @@
+//! Criterion benches for the `serve` subsystem: worker-count scaling of
+//! end-to-end service throughput, and execution-cache configurations
+//! (disabled-equivalent tiny cache vs ample cache) under a repetitive
+//! request mix. Acceptance check: multi-worker throughput must beat a
+//! single worker on the same workload.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use nl2sql360::EvalContext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{QueryRequest, ServeConfig, Service};
+
+const METHODS: &[&str] = &["C3SQL", "DAILSQL", "SuperSQL"];
+
+fn build_requests(corpus: &datagen::Corpus, n: usize, seed: u64) -> Vec<QueryRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sample = &corpus.dev[rng.gen_range(0..corpus.dev.len())];
+            QueryRequest {
+                method: METHODS[rng.gen_range(0..METHODS.len())].to_string(),
+                db_id: sample.db_id.clone(),
+                question: sample.variants[rng.gen_range(0..sample.variants.len())].clone(),
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
+/// Push `requests` through a service open-loop and wait for every reply.
+fn drive(config: ServeConfig, ctx: &EvalContext<'_>, requests: &[QueryRequest]) -> u64 {
+    Service::run_with_methods(config, ctx, METHODS, |handle| {
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| handle.submit(r.clone()).expect("queue sized for workload"))
+            .collect();
+        tickets.into_iter().map(|t| t.wait().is_ok() as u64).sum()
+    })
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(11));
+    let ctx = EvalContext::new(&corpus);
+    let requests = build_requests(&corpus, 256, 3);
+
+    let mut workers = c.benchmark_group("serve/workers");
+    workers.sample_size(10);
+    for n in [1usize, 2, 4, 8] {
+        workers.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = ServeConfig { workers: n, queue_capacity: 1024, ..Default::default() };
+            b.iter(|| black_box(drive(config.clone(), &ctx, &requests)))
+        });
+    }
+    workers.finish();
+
+    let mut cache = c.benchmark_group("serve/cache");
+    cache.sample_size(10);
+    // 1×1 cache ≈ caching off (every distinct query evicts the last);
+    // 8×128 holds the whole working set, so repeats skip execution.
+    for (label, shards, cap) in [("cold_1x1", 1usize, 1usize), ("warm_8x128", 8, 128)] {
+        cache.bench_function(label, |b| {
+            let config = ServeConfig {
+                workers: 4,
+                queue_capacity: 1024,
+                cache_shards: shards,
+                cache_capacity_per_shard: cap,
+                ..Default::default()
+            };
+            b.iter(|| black_box(drive(config.clone(), &ctx, &requests)))
+        });
+    }
+    cache.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(benches);

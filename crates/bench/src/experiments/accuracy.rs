@@ -69,7 +69,7 @@ pub fn fig3(h: &Harness) -> String {
             table.row(vec![m, c, fmt_pct(v)]);
         }
         out.push_str(title);
-        out.push_str("\n");
+        out.push('\n');
         out.push_str(&table.render());
         out.push('\n');
     }

@@ -190,7 +190,7 @@ fn recipe_weights(kind: CorpusKind) -> Vec<(Recipe, u32)> {
     }
 }
 
-fn pick_weighted<'a>(weights: &'a [(Recipe, u32)], rng: &mut StdRng) -> Recipe {
+fn pick_weighted(weights: &[(Recipe, u32)], rng: &mut StdRng) -> Recipe {
     let total: u32 = weights.iter().map(|(_, w)| w).sum();
     let mut roll = rng.gen_range(0..total);
     for (r, w) in weights {

@@ -390,7 +390,7 @@ mod tests {
             let n = g.database.table_count();
             assert!((p.tables_min..=p.tables_max).contains(&n), "tables {n}");
             for t in g.database.tables() {
-                assert!(t.schema.columns.len() >= p.attrs_min + 1);
+                assert!(t.schema.columns.len() > p.attrs_min);
                 assert!((p.rows_min..=p.rows_max).contains(&t.rows.len()));
                 assert_eq!(t.schema.primary_key, vec![0]);
             }

@@ -629,7 +629,6 @@ impl<'a> QueryGenerator<'a> {
             conditions: vec![format!("the count is greater than {threshold}")],
             ordering: Some("sorted by the count from highest to lowest".into()),
             limit: Some(format!("return only the top {limit}")),
-            ..Default::default()
         };
         Some((query, parts))
     }
@@ -645,10 +644,7 @@ impl<'a> QueryGenerator<'a> {
             // find a second edge touching e1's parent or child
             let second: Vec<&(String, String, String)> = edges
                 .iter()
-                .filter(|e2| {
-                    *e2 != e1
-                        && (e2.0 == e1.2 || e2.2 == e1.2 || e2.0 == e1.0 && e2.2 != e1.2)
-                })
+                .filter(|e2| (e2.0 == e1.2 || e2.2 == e1.2 || e2.0 == e1.0) && *e2 != e1)
                 .collect();
             if second.is_empty() {
                 continue;
@@ -750,7 +746,6 @@ impl<'a> QueryGenerator<'a> {
                     None
                 },
             };
-            let mut parts = parts;
             parts.ordering = Some("sorted by the count from highest to lowest".into());
             if let Some(l) = query.limit {
                 parts.limit = Some(format!("return only the top {}", l.count));

@@ -264,7 +264,7 @@ fn materialize_from(
                 }
                 if matches.is_empty() && join.kind == JoinKind::Left {
                     let mut row = l.clone();
-                    row.extend(std::iter::repeat(Value::Null).take(right.width));
+                    row.extend(std::iter::repeat_n(Value::Null, right.width));
                     out.push(row);
                 }
             }
@@ -310,7 +310,7 @@ fn materialize_from(
                     }
                     if !matched {
                         let mut row = l.clone();
-                        row.extend(std::iter::repeat(Value::Null).take(right.width));
+                        row.extend(std::iter::repeat_n(Value::Null, right.width));
                         out.push(row);
                     }
                 }
@@ -329,7 +329,7 @@ fn materialize_from(
                     }
                     if !matched {
                         let mut row: Vec<Value> =
-                            std::iter::repeat(Value::Null).take(rel.width).collect();
+                            std::iter::repeat_n(Value::Null, rel.width).collect();
                         row.extend(r.iter().cloned());
                         out.push(row);
                     }
@@ -403,7 +403,7 @@ fn exec_core(
         }
     }
 
-    let null_row: Vec<Value> = std::iter::repeat(Value::Null).take(rel.width).collect();
+    let null_row: Vec<Value> = std::iter::repeat_n(Value::Null, rel.width).collect();
 
     // 4. produce output units: (projected row, order keys)
     let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();

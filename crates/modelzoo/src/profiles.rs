@@ -229,8 +229,7 @@ mod tests {
     fn subquery_delta_shifts_probability() {
         let p = profile();
         let plain = SqlFeatures::default();
-        let mut withsub = SqlFeatures::default();
-        withsub.subquery_count = 1;
+        let withsub = SqlFeatures { subquery_count: 1, ..SqlFeatures::default() };
         let p_plain = p.p_correct(&traits(&plain)).unwrap();
         let p_sub = p.p_correct(&traits(&withsub)).unwrap();
         assert!(p_sub > p_plain, "positive subquery delta should help");

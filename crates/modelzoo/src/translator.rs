@@ -74,7 +74,12 @@ pub struct Prediction {
 }
 
 /// Anything that turns NL questions into SQL.
-pub trait Nl2SqlModel {
+///
+/// `Send + Sync` is a supertrait so one model instance can serve
+/// translation requests from many worker threads concurrently (the `serve`
+/// crate shares models behind references across its pool); `translate`
+/// already takes `&self`, so implementations are stateless per call.
+pub trait Nl2SqlModel: Send + Sync {
     /// The method's display name.
     fn name(&self) -> &str;
 

@@ -354,5 +354,15 @@ fn cmd_diagnose(opts: &HashMap<String, String>) -> Result<(), String> {
         table.row(vec![m.label().to_string(), n.to_string()]);
     }
     println!("{}", table.render());
+
+    // execution failures (predictions that did not run at all), by kind
+    let failures = nl2sql360::exec_failure_profile(&log);
+    if !failures.is_empty() {
+        let mut table = TextTable::new(&["Execution failure", "Count"]);
+        for (kind, n) in failures {
+            table.row(vec![kind.label().to_string(), n.to_string()]);
+        }
+        println!("{}", table.render());
+    }
     Ok(())
 }

@@ -111,9 +111,9 @@ fn diagnose_core(g: &SelectCore, p: &SelectCore, out: &mut Vec<Mismatch>) {
             .from
             .iter()
             .flat_map(|f| f.tables())
-            .filter_map(|t| match t {
-                TableRef::Named { name, .. } => Some(name.clone()),
-                TableRef::Subquery { .. } => Some("<subquery>".into()),
+            .map(|t| match t {
+                TableRef::Named { name, .. } => name.clone(),
+                TableRef::Subquery { .. } => "<subquery>".into(),
             })
             .collect();
         t.sort();
@@ -185,6 +185,23 @@ pub fn error_profile<'a>(
     for (gold, pred) in pairs {
         for m in diagnose(gold, pred) {
             *counts.entry(m).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Aggregate *execution-failure* kinds over an evaluation log: how often
+/// predictions failed to run at all, split by error kind. Complements
+/// [`error_profile`], which diffs queries that did parse — together they
+/// separate "wrong SQL" from "broken SQL" per method.
+pub fn exec_failure_profile(log: &crate::EvalLog) -> Vec<(crate::ExecFailureKind, usize)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<crate::ExecFailureKind, usize> = BTreeMap::new();
+    for record in &log.records {
+        for variant in &record.variants {
+            if let Some(kind) = variant.exec_failure {
+                *counts.entry(kind).or_insert(0) += 1;
+            }
         }
     }
     counts.into_iter().collect()

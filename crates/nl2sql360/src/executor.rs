@@ -8,7 +8,7 @@
 //! The resulting [`EvalLog`] is the single source every metric and report
 //! reads from.
 
-use datagen::{regenerate_content, Corpus, CorpusKind, GeneratedDb, Sample, SchemaProfile, DOMAINS};
+use datagen::{regenerate_content, Corpus, CorpusKind, GeneratedDb, Sample, SchemaProfile};
 use minidb::{results_equivalent, ExecError, ResultSet};
 use modelzoo::modules::FewShotIndex;
 use modelzoo::{DatasetKind, Nl2SqlModel, SimulatedModel, TranslationTask};
@@ -16,6 +16,67 @@ use serde::{Deserialize, Serialize};
 use sqlkit::hardness::{BirdDifficulty, Hardness};
 use sqlkit::SqlFeatures;
 use std::collections::HashMap;
+
+/// Why a predicted query failed to execute: the [`minidb::ExecError`] kind
+/// flattened to a serializable label, so stored logs keep failure *modes*
+/// and not just the boolean EX outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExecFailureKind {
+    /// The SQL text failed to parse.
+    Parse,
+    /// A referenced table does not exist.
+    UnknownTable,
+    /// A referenced column does not exist in scope.
+    UnknownColumn,
+    /// A column reference matched more than one table in scope.
+    AmbiguousColumn,
+    /// A table with this name already exists.
+    DuplicateTable,
+    /// Mismatched arity.
+    Arity,
+    /// Type error during evaluation.
+    Type,
+    /// Unsupported construct reached the executor.
+    Unsupported,
+    /// Scalar subquery returned more than one row/column.
+    CardinalityViolation,
+    /// Resource guard tripped.
+    ResourceExhausted,
+}
+
+impl ExecFailureKind {
+    /// Classify an execution error.
+    pub fn of(e: &ExecError) -> Self {
+        match e {
+            ExecError::Parse(_) => ExecFailureKind::Parse,
+            ExecError::UnknownTable(_) => ExecFailureKind::UnknownTable,
+            ExecError::UnknownColumn(_) => ExecFailureKind::UnknownColumn,
+            ExecError::AmbiguousColumn(_) => ExecFailureKind::AmbiguousColumn,
+            ExecError::DuplicateTable(_) => ExecFailureKind::DuplicateTable,
+            ExecError::Arity(_) => ExecFailureKind::Arity,
+            ExecError::Type(_) => ExecFailureKind::Type,
+            ExecError::Unsupported(_) => ExecFailureKind::Unsupported,
+            ExecError::CardinalityViolation(_) => ExecFailureKind::CardinalityViolation,
+            ExecError::ResourceExhausted(_) => ExecFailureKind::ResourceExhausted,
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecFailureKind::Parse => "parse",
+            ExecFailureKind::UnknownTable => "unknown table",
+            ExecFailureKind::UnknownColumn => "unknown column",
+            ExecFailureKind::AmbiguousColumn => "ambiguous column",
+            ExecFailureKind::DuplicateTable => "duplicate table",
+            ExecFailureKind::Arity => "arity",
+            ExecFailureKind::Type => "type",
+            ExecFailureKind::Unsupported => "unsupported",
+            ExecFailureKind::CardinalityViolation => "cardinality",
+            ExecFailureKind::ResourceExhausted => "resource exhausted",
+        }
+    }
+}
 
 /// Outcome of one NL variant of one sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,6 +90,10 @@ pub struct VariantRecord {
     pub pred_sql: String,
     /// Work units of the predicted execution (None if it failed).
     pub pred_work: Option<u64>,
+    /// Why execution failed, when it did (None on success or mere result
+    /// mismatch). Defaulted so logs written before this field deserialize.
+    #[serde(default)]
+    pub exec_failure: Option<ExecFailureKind>,
     /// Prompt tokens spent.
     pub prompt_tokens: u64,
     /// Completion tokens spent.
@@ -135,10 +200,14 @@ impl<'a> EvalContext<'a> {
             let d = corpus.databases[db_id].domain;
             *domain_train_counts.entry(d.0).or_insert(0) += 1;
         }
+        // Average over domains actually present in the training pool, not
+        // the full domain catalog: corpora rarely cover every domain, and
+        // dividing by `DOMAINS.len()` deflated the average whenever some
+        // domains had no training databases at all.
         let avg_domain_train = if domain_train_counts.is_empty() {
             0.0
         } else {
-            corpus.train_db_ids.len() as f64 / DOMAINS.len() as f64
+            corpus.train_db_ids.len() as f64 / domain_train_counts.len() as f64
         };
         // regenerate dev database content for each suite instance and
         // pre-execute gold queries on them
@@ -228,7 +297,7 @@ impl<'a> EvalContext<'a> {
             for v in 0..sample.variants.len() {
                 let task = self.task(sample, v);
                 let pred = model.translate(&task)?;
-                let (mut ex, pred_work) =
+                let (mut ex, pred_work, exec_failure) =
                     score_execution(self.corpus, sample, &pred.query, gold_rs);
                 if ex {
                     ex = self.suite_confirms(i, sample, &pred.query);
@@ -239,6 +308,7 @@ impl<'a> EvalContext<'a> {
                     em,
                     pred_sql: pred.sql,
                     pred_work,
+                    exec_failure,
                     prompt_tokens: pred.prompt_tokens,
                     completion_tokens: pred.completion_tokens,
                     cost_usd: pred.cost_usd,
@@ -290,7 +360,7 @@ impl<'a> EvalContext<'a> {
         for (i, sample) in self.corpus.dev.iter().take(n).enumerate() {
             let task = self.task(sample, 0);
             let pred = model.predict_query_only(&task)?;
-            let (ex, _) = score_execution(self.corpus, sample, &pred, &self.gold_results[i]);
+            let (ex, _, _) = score_execution(self.corpus, sample, &pred, &self.gold_results[i]);
             if ex {
                 correct += 1;
             }
@@ -299,17 +369,18 @@ impl<'a> EvalContext<'a> {
     }
 }
 
-/// Execute a predicted query and compare against the gold result.
+/// Execute a predicted query and compare against the gold result. The
+/// third element preserves the execution-error kind on failure instead of
+/// collapsing every error into a bare `false`.
 fn score_execution(
     corpus: &Corpus,
     sample: &Sample,
     pred: &sqlkit::Query,
     gold_rs: &ResultSet,
-) -> (bool, Option<u64>) {
+) -> (bool, Option<u64>, Option<ExecFailureKind>) {
     match corpus.db(sample).database.run_query(pred) {
-        Ok(rs) => (results_equivalent(gold_rs, &rs), Some(rs.work)),
-        Err(ExecError::ResourceExhausted(_)) => (false, None),
-        Err(_) => (false, None),
+        Ok(rs) => (results_equivalent(gold_rs, &rs), Some(rs.work), None),
+        Err(e) => (false, None, Some(ExecFailureKind::of(&e))),
     }
 }
 
@@ -341,6 +412,15 @@ mod tests {
 
     fn ctx_corpus() -> Corpus {
         generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(77))
+    }
+
+    #[test]
+    fn eval_context_is_shareable_across_threads() {
+        // The serve worker pool shares one context by reference; losing
+        // Send + Sync on EvalContext would silently break that crate's
+        // scoped-thread design, so pin it here at the source.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalContext<'static>>();
     }
 
     #[test]
@@ -445,5 +525,62 @@ mod tests {
         let total: usize = ctx.domain_train_counts.values().sum();
         assert_eq!(total, corpus.train_db_ids.len());
         assert!(ctx.avg_domain_train_dbs() > 0.0);
+    }
+
+    #[test]
+    fn score_execution_preserves_failure_kind() {
+        let corpus = ctx_corpus();
+        let sample = &corpus.dev[0];
+        let gold_rs = corpus.db(sample).database.run_query(&sample.query).unwrap();
+
+        // broken reference → kind preserved, no work recorded
+        let bad = sqlkit::parse_query("SELECT nonexistent_col FROM nonexistent_tbl").unwrap();
+        let (ex, work, kind) = score_execution(&corpus, sample, &bad, &gold_rs);
+        assert!(!ex);
+        assert_eq!(work, None);
+        assert_eq!(kind, Some(ExecFailureKind::UnknownTable));
+
+        // gold query → success, no failure kind
+        let (ex, work, kind) = score_execution(&corpus, sample, &sample.query, &gold_rs);
+        assert!(ex);
+        assert!(work.is_some());
+        assert_eq!(kind, None);
+    }
+
+    #[test]
+    fn evaluation_records_failure_kinds_for_broken_predictions() {
+        let corpus = ctx_corpus();
+        let ctx = EvalContext::new(&corpus);
+        let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
+        let log = ctx.evaluate(&m).unwrap();
+        for r in &log.records {
+            for v in &r.variants {
+                // invariants: a failure kind appears exactly when execution
+                // produced no result, and never alongside EX
+                assert_eq!(v.exec_failure.is_some(), v.pred_work.is_none(), "{}", v.pred_sql);
+                if v.ex {
+                    assert!(v.exec_failure.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avg_domain_train_divides_by_represented_domains() {
+        let corpus = ctx_corpus();
+        let ctx = EvalContext::new(&corpus);
+        let represented = ctx.domain_train_counts.len();
+        assert!(represented > 0);
+        let expected = corpus.train_db_ids.len() as f64 / represented as f64;
+        assert!(
+            (ctx.avg_domain_train_dbs() - expected).abs() < 1e-12,
+            "avg {} vs expected {expected} over {represented} represented domains",
+            ctx.avg_domain_train_dbs()
+        );
+        // the mean of per-domain counts must lie between min and max count
+        let min = *ctx.domain_train_counts.values().min().unwrap();
+        let max = *ctx.domain_train_counts.values().max().unwrap();
+        assert!(ctx.avg_domain_train_dbs() >= min as f64);
+        assert!(ctx.avg_domain_train_dbs() <= max as f64);
     }
 }

@@ -282,11 +282,13 @@ mod tests {
     }
 
     fn record(join_count: usize, subq: usize, order: usize) -> SampleRecord {
-        let mut features = SqlFeatures::default();
-        features.join_count = join_count;
-        features.subquery_count = subq;
-        features.order_by_count = order;
-        features.logical_connector_count = join_count; // arbitrary
+        let features = SqlFeatures {
+            join_count,
+            subquery_count: subq,
+            order_by_count: order,
+            logical_connector_count: join_count, // arbitrary
+            ..SqlFeatures::default()
+        };
         SampleRecord {
             sample_id: 0,
             db_id: "d".into(),

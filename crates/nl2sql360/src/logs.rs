@@ -103,6 +103,7 @@ mod tests {
                     em: false,
                     pred_sql: "SELECT 1".into(),
                     pred_work: Some(3),
+                    exec_failure: None,
                     prompt_tokens: 10,
                     completion_tokens: 2,
                     cost_usd: 0.001,
@@ -161,5 +162,35 @@ mod tests {
     fn missing_log_errors() {
         let store = LogStore::open(tmpdir("missing")).unwrap();
         assert!(store.load("Spider", "nope").is_err());
+    }
+
+    #[test]
+    fn logs_without_exec_failure_field_still_load() {
+        // logs written before `exec_failure` existed must keep loading
+        let store = LogStore::open(tmpdir("compat")).unwrap();
+        let json = serde_json::to_string(&sample_log()).unwrap();
+        let legacy = json.replace("\"exec_failure\":null,", "");
+        assert_ne!(legacy, json, "fixture must exercise the missing-field path");
+        let path = store.save(&sample_log()).unwrap();
+        fs::write(&path, legacy).unwrap();
+        let loaded = store.load("Spider", "DAILSQL(SC)").unwrap();
+        assert_eq!(loaded.records[0].canonical().exec_failure, None);
+        assert!(loaded.records[0].canonical().ex);
+    }
+
+    #[test]
+    fn exec_failure_kind_roundtrips_through_json() {
+        use crate::executor::ExecFailureKind;
+        let store = LogStore::open(tmpdir("failkind")).unwrap();
+        let mut log = sample_log();
+        log.records[0].variants[0].ex = false;
+        log.records[0].variants[0].pred_work = None;
+        log.records[0].variants[0].exec_failure = Some(ExecFailureKind::UnknownColumn);
+        store.save(&log).unwrap();
+        let loaded = store.load("Spider", "DAILSQL(SC)").unwrap();
+        assert_eq!(
+            loaded.records[0].canonical().exec_failure,
+            Some(ExecFailureKind::UnknownColumn)
+        );
     }
 }

@@ -1,0 +1,286 @@
+//! Deterministic load generator for the serve subsystem.
+//!
+//! Generates a seeded request mix over a synthetic corpus, drives the
+//! service either closed-loop (N client threads, one request in flight
+//! each) or open-loop (submit everything, then collect), and prints a
+//! throughput/latency report. The *outcome* section (per-request
+//! ex/em/errors, EX/EM totals, lost count) is deterministic for a given
+//! seed and request count — independent of workers, batching, and cache
+//! timing. Only the performance section varies run to run.
+//!
+//! ```text
+//! serve-loadgen --requests 2000 --workers 8 --seed 7
+//! ```
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use nl2sql360::EvalContext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{QueryError, QueryRequest, ServeConfig, Service};
+use std::time::{Duration, Instant};
+
+const DEFAULT_METHODS: &[&str] = &["C3SQL", "DINSQL", "DAILSQL(SC)", "SuperSQL"];
+
+struct Args {
+    requests: usize,
+    workers: usize,
+    seed: u64,
+    corpus_seed: u64,
+    clients: usize,
+    queue: usize,
+    batch: usize,
+    deadline_ms: Option<u64>,
+    open_loop: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            requests: 2000,
+            workers: 8,
+            seed: 7,
+            corpus_seed: 42,
+            clients: 16,
+            queue: 256,
+            batch: 8,
+            deadline_ms: None,
+            open_loop: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
+                 [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
+                 [--deadline-ms N] [--open]";
+    while i < argv.len() {
+        let need_value = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {}\n{usage}", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        let parse = |s: &str| -> u64 {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("not a number: {s}\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = parse(need_value(i)) as usize,
+            "--workers" => args.workers = (parse(need_value(i)) as usize).max(1),
+            "--seed" => args.seed = parse(need_value(i)),
+            "--corpus-seed" => args.corpus_seed = parse(need_value(i)),
+            "--clients" => args.clients = (parse(need_value(i)) as usize).max(1),
+            "--queue" => args.queue = (parse(need_value(i)) as usize).max(1),
+            "--batch" => args.batch = (parse(need_value(i)) as usize).max(1),
+            "--deadline-ms" => args.deadline_ms = Some(parse(need_value(i))),
+            "--open" => {
+                args.open_loop = true;
+                i += 1;
+                continue;
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+/// Outcome tally; everything here is seed-deterministic.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    ex: u64,
+    em: u64,
+    cache_hits: u64,
+    overloaded: u64,
+    deadline: u64,
+    refused: u64,
+    other_err: u64,
+}
+
+impl Tally {
+    fn absorb(&mut self, reply: &Result<serve::QueryResponse, QueryError>) {
+        match reply {
+            Ok(resp) => {
+                self.ok += 1;
+                self.ex += resp.ex as u64;
+                self.em += resp.em as u64;
+                self.cache_hits += resp.cache_hit as u64;
+            }
+            Err(QueryError::Overloaded) => self.overloaded += 1,
+            Err(QueryError::DeadlineExceeded) => self.deadline += 1,
+            Err(QueryError::TranslationRefused) => self.refused += 1,
+            Err(_) => self.other_err += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.ex += other.ex;
+        self.em += other.em;
+        self.cache_hits += other.cache_hits;
+        self.overloaded += other.overloaded;
+        self.deadline += other.deadline;
+        self.refused += other.refused;
+        self.other_err += other.other_err;
+    }
+
+    fn resolved(&self) -> u64 {
+        self.ok + self.overloaded + self.deadline + self.refused + self.other_err
+    }
+}
+
+fn fmt_duration(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d < Duration::from_millis(1) => format!("{}µs", d.as_micros()),
+        Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(args.corpus_seed));
+    let ctx = EvalContext::new(&corpus);
+
+    // Pre-generate the request mix from one seeded stream so the set of
+    // submitted requests never depends on thread scheduling.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let deadline = args.deadline_ms.map(Duration::from_millis);
+    let requests: Vec<QueryRequest> = (0..args.requests)
+        .map(|_| {
+            let method = DEFAULT_METHODS[rng.gen_range(0..DEFAULT_METHODS.len())];
+            let sample = &corpus.dev[rng.gen_range(0..corpus.dev.len())];
+            let variant = rng.gen_range(0..sample.variants.len());
+            QueryRequest {
+                method: method.to_string(),
+                db_id: sample.db_id.clone(),
+                question: sample.variants[variant].clone(),
+                deadline,
+            }
+        })
+        .collect();
+
+    let config = ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        max_batch: args.batch,
+        ..ServeConfig::default()
+    };
+
+    let started = Instant::now();
+    let (tally, metrics) = Service::run_with_methods(config, &ctx, DEFAULT_METHODS, |handle| {
+        let mut tally = Tally::default();
+        if args.open_loop {
+            // submit everything as fast as admission allows, then collect
+            let mut tickets = Vec::with_capacity(requests.len());
+            for req in &requests {
+                match handle.submit(req.clone()) {
+                    Ok(t) => tickets.push(t),
+                    Err(e) => tally.absorb(&Err(e)),
+                }
+            }
+            for t in tickets {
+                tally.absorb(&t.wait());
+            }
+        } else {
+            // closed loop: each client thread keeps one request in flight
+            let clients = args.clients.min(requests.len().max(1));
+            let chunk = requests.len().div_ceil(clients).max(1);
+            let tallies = std::thread::scope(|scope| {
+                let handles: Vec<_> = requests
+                    .chunks(chunk)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut local = Tally::default();
+                            for req in chunk {
+                                local.absorb(&handle.query(req.clone()));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client panicked")).collect::<Vec<_>>()
+            });
+            for t in tallies {
+                tally.merge(t);
+            }
+        }
+        (tally, handle.metrics())
+    });
+    let wall = started.elapsed();
+
+    let mode = if args.open_loop { "open-loop" } else { "closed-loop" };
+    println!("serve-loadgen report");
+    println!(
+        "  corpus: Spider tiny(seed={})  dev samples: {}  methods: {}",
+        args.corpus_seed,
+        corpus.dev.len(),
+        DEFAULT_METHODS.join(", ")
+    );
+    println!(
+        "  config: {} workers, queue {}, batch {}, {} / {} clients, {} requests, seed {}",
+        args.workers, args.queue, args.batch, mode, args.clients, args.requests, args.seed
+    );
+    // closed-loop clients block, so admission never races the workers and
+    // the whole outcome block reproduces bit-for-bit; open-loop admission
+    // and deadline expiry are timing-dependent by nature
+    if args.open_loop || args.deadline_ms.is_some() {
+        println!("outcomes (admission/deadline are timing-dependent in this mode):");
+    } else {
+        println!("outcomes (seed-deterministic):");
+    }
+    println!(
+        "  ok: {}  overloaded: {}  deadline: {}  refused: {}  other: {}",
+        tally.ok, tally.overloaded, tally.deadline, tally.refused, tally.other_err
+    );
+    let pct = |n: u64| if tally.ok == 0 { 0.0 } else { 100.0 * n as f64 / tally.ok as f64 };
+    println!(
+        "  EX: {} ({:.1}% of ok)  EM: {} ({:.1}% of ok)",
+        tally.ex,
+        pct(tally.ex),
+        tally.em,
+        pct(tally.em)
+    );
+    println!("performance (timing-dependent):");
+    println!(
+        "  wall: {:.3}s  throughput: {:.0} req/s",
+        wall.as_secs_f64(),
+        tally.resolved() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  latency p50/p95/p99: {} / {} / {}",
+        fmt_duration(metrics.p50),
+        fmt_duration(metrics.p95),
+        fmt_duration(metrics.p99)
+    );
+    println!(
+        "  cache hit rate: {:.1}%  mean batch size: {:.2}",
+        100.0 * metrics.cache_hit_rate,
+        metrics.mean_batch_size
+    );
+
+    let lost = metrics.lost();
+    println!("  lost requests: {lost}");
+    assert_eq!(
+        tally.resolved(),
+        args.requests as u64,
+        "every submitted request must resolve exactly once"
+    );
+    if lost != 0 {
+        eprintln!("FATAL: {lost} requests entered the service but were never answered");
+        std::process::exit(1);
+    }
+}

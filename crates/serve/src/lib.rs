@@ -1,0 +1,547 @@
+//! In-process concurrent NL2SQL query serving.
+//!
+//! The evaluation stack (`nl2sql360`) answers "how accurate is method M",
+//! batch-style. This crate answers the *serving* question the paper's
+//! system perspective raises: what does it take to run NL2SQL translation
+//! as an online service with concurrency, admission control, and latency
+//! SLOs? It composes the existing pieces — [`modelzoo`] translators,
+//! [`minidb`] execution, [`nl2sql360::EvalContext`] gold results — behind
+//! a thread-pool service:
+//!
+//! * **Admission control**: a bounded queue; a full queue rejects new
+//!   requests with [`QueryError::Overloaded`] instead of letting latency
+//!   grow without bound.
+//! * **Worker pool**: N threads share one [`EvalContext`] and one model
+//!   set (scoped threads — the context borrows the corpus, no `'static`
+//!   gymnastics).
+//! * **Micro-batching**: a worker drains up to `max_batch` queued requests
+//!   for the *same method* in one round, amortizing per-method work
+//!   (few-shot retrieval state, prompt scaffolding) across requests.
+//! * **Result caching**: a sharded LRU over `(db_id, normalized SQL)`
+//!   execution outcomes. Execution is deterministic, so caching is
+//!   outcome-neutral — EX/EM cannot depend on cache state.
+//! * **Deadlines**: a request can carry a deadline; workers drop requests
+//!   whose deadline passed while queued ([`QueryError::DeadlineExceeded`]).
+//! * **Metrics**: lock-free counters and a log2 latency histogram
+//!   (p50/p95/p99), plus per-kind execution-failure counts.
+//! * **Graceful drain**: shutdown answers every queued request before
+//!   workers exit; nothing is lost.
+//!
+//! Outcome determinism: translations are deterministic per (method,
+//! sample, variant) and execution is deterministic per query, so the
+//! EX/EM outcome of every request is independent of worker count, batch
+//! boundaries, cache state, and scheduling. Only timing varies.
+
+pub mod cache;
+pub mod metrics;
+
+use cache::{ExecCache, ExecOutcome};
+use crossbeam::channel;
+use metrics::Metrics;
+pub use metrics::MetricsSnapshot;
+use modelzoo::Nl2SqlModel;
+use nl2sql360::{EvalContext, ExecFailureKind};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing translate→execute→compare.
+    pub workers: usize,
+    /// Admission queue capacity; a full queue rejects with
+    /// [`QueryError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum same-method requests a worker serves per dequeue round.
+    pub max_batch: usize,
+    /// Execution-cache shard count.
+    pub cache_shards: usize,
+    /// Execution-cache entries per shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 8,
+            cache_shards: 8,
+            cache_capacity_per_shard: 128,
+        }
+    }
+}
+
+/// One translation request against the service.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Method name (must match a registered model's `name()`).
+    pub method: String,
+    /// Database the question targets.
+    pub db_id: String,
+    /// The NL question (must be a known dev question for `db_id`).
+    pub question: String,
+    /// Optional deadline relative to submission; requests still queued
+    /// past it are dropped with [`QueryError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
+
+/// Successful service answer for one request.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Execution accuracy against the gold result.
+    pub ex: bool,
+    /// Exact-match accuracy against the gold AST.
+    pub em: bool,
+    /// Predicted SQL text.
+    pub pred_sql: String,
+    /// Execution work units (None when execution failed).
+    pub pred_work: Option<u64>,
+    /// Execution-failure kind, when execution failed.
+    pub exec_failure: Option<ExecFailureKind>,
+    /// Whether the execution outcome came from the cache.
+    pub cache_hit: bool,
+    /// Size of the same-method batch this request was served in.
+    pub batch_size: usize,
+    /// Submission-to-response latency.
+    pub latency: Duration,
+}
+
+/// Why a request got no [`QueryResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Rejected at admission: queue full (or service shutting down).
+    Overloaded,
+    /// Dropped because the deadline passed while queued.
+    DeadlineExceeded,
+    /// No registered model with this name.
+    UnknownMethod(String),
+    /// The (db_id, question) pair is not in the served corpus.
+    UnknownQuestion,
+    /// The model declined the task (dataset unsupported).
+    TranslationRefused,
+    /// The service stopped before answering (worker panic).
+    Internal,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Overloaded => write!(f, "service overloaded"),
+            QueryError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            QueryError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            QueryError::UnknownQuestion => write!(f, "unknown (db, question) pair"),
+            QueryError::TranslationRefused => write!(f, "model declined the task"),
+            QueryError::Internal => write!(f, "service stopped before answering"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The reply delivered through a [`Ticket`].
+pub type QueryReply = Result<QueryResponse, QueryError>;
+
+/// Handle to one in-flight request.
+pub struct Ticket {
+    rx: channel::Receiver<QueryReply>,
+}
+
+impl Ticket {
+    /// Block until the reply arrives.
+    pub fn wait(self) -> QueryReply {
+        self.rx.recv().unwrap_or(Err(QueryError::Internal))
+    }
+
+    /// Non-blocking poll; `None` while still in flight.
+    pub fn try_wait(&self) -> Option<QueryReply> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Pending {
+    method_idx: usize,
+    sample_idx: usize,
+    variant: usize,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    reply: channel::Sender<QueryReply>,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    models: Vec<Box<dyn Nl2SqlModel>>,
+    method_index: HashMap<String, usize>,
+    // (db_id, question) → (dev sample index, variant index)
+    question_index: HashMap<(String, String), (usize, usize)>,
+    cache: ExecCache,
+    metrics: Metrics,
+}
+
+impl Inner {
+    fn drain(&self) {
+        self.queue.lock().unwrap().shutdown = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Sets shutdown even if the serve closure panics, so workers exit and the
+/// thread scope can join instead of deadlocking.
+struct DrainOnDrop<'i>(&'i Inner);
+
+impl Drop for DrainOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.drain();
+    }
+}
+
+/// Client-side handle: submit requests, read metrics.
+pub struct ServiceHandle<'s> {
+    inner: &'s Inner,
+}
+
+impl ServiceHandle<'_> {
+    /// Try to admit a request. `Err(Overloaded)` means the queue was full
+    /// (or the service is draining) — the request was NOT enqueued and no
+    /// ticket exists. Resolution failures (unknown method/question) are
+    /// admitted and answered through the ticket, so they share the normal
+    /// reply path.
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, QueryError> {
+        let inner = self.inner;
+        let (tx, rx) = channel::bounded(1);
+        let ticket = Ticket { rx };
+
+        let method_idx = match inner.method_index.get(&req.method) {
+            Some(&i) => i,
+            None => {
+                Metrics::inc(&inner.metrics.submitted);
+                Metrics::inc(&inner.metrics.failed);
+                let _ = tx.send(Err(QueryError::UnknownMethod(req.method)));
+                return Ok(ticket);
+            }
+        };
+        let (sample_idx, variant) =
+            match inner.question_index.get(&(req.db_id.clone(), req.question.clone())) {
+                Some(&pair) => pair,
+                None => {
+                    Metrics::inc(&inner.metrics.submitted);
+                    Metrics::inc(&inner.metrics.failed);
+                    let _ = tx.send(Err(QueryError::UnknownQuestion));
+                    return Ok(ticket);
+                }
+            };
+
+        let pending = Pending {
+            method_idx,
+            sample_idx,
+            variant,
+            enqueued: Instant::now(),
+            deadline: req.deadline,
+            reply: tx,
+        };
+        {
+            let mut q = inner.queue.lock().unwrap();
+            if q.shutdown || q.items.len() >= inner.config.queue_capacity {
+                Metrics::inc(&inner.metrics.rejected_overloaded);
+                return Err(QueryError::Overloaded);
+            }
+            Metrics::inc(&inner.metrics.submitted);
+            q.items.push_back(pending);
+        }
+        inner.not_empty.notify_one();
+        Ok(ticket)
+    }
+
+    /// Convenience: submit and block for the reply. Admission rejects
+    /// surface as `Err(Overloaded)` like any other failure.
+    pub fn query(&self, req: QueryRequest) -> QueryReply {
+        self.submit(req)?.wait()
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Entries currently in the execution cache.
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.lock().unwrap().items.len()
+    }
+}
+
+/// The service. Scoped-run API: [`Service::run`] starts the worker pool,
+/// hands your closure a [`ServiceHandle`], and drains + joins the pool
+/// when the closure returns — so the service can borrow a corpus-bound
+/// [`EvalContext`] without `Arc` cycles or leaked lifetimes.
+pub struct Service;
+
+impl Service {
+    /// Run a service over `ctx` with explicit models, registered under
+    /// their `name()`. Returns the closure's result after a graceful
+    /// drain: every admitted request is answered before this returns.
+    pub fn run<'a, R>(
+        config: ServeConfig,
+        ctx: &'a EvalContext<'a>,
+        models: Vec<Box<dyn Nl2SqlModel>>,
+        f: impl FnOnce(&ServiceHandle<'_>) -> R,
+    ) -> R {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.queue_capacity >= 1, "need a nonzero queue");
+        let method_index: HashMap<String, usize> =
+            models.iter().enumerate().map(|(i, m)| (m.name().to_string(), i)).collect();
+        let mut question_index = HashMap::new();
+        for (i, sample) in ctx.corpus.dev.iter().enumerate() {
+            for (v, question) in sample.variants.iter().enumerate() {
+                question_index.insert((sample.db_id.clone(), question.clone()), (i, v));
+            }
+        }
+        let inner = Inner {
+            cache: ExecCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            config,
+            queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            models,
+            method_index,
+            question_index,
+            metrics: Metrics::default(),
+        };
+        crossbeam::thread::scope(|scope| {
+            let guard = DrainOnDrop(&inner);
+            for _ in 0..inner.config.workers {
+                let inner_ref = &inner;
+                scope.spawn(move |_| worker_loop(inner_ref, ctx));
+            }
+            let out = f(&ServiceHandle { inner: &inner });
+            drop(guard); // initiate drain; scope joins the workers
+            out
+        })
+        .expect("serve worker panicked")
+    }
+
+    /// Run with simulated models for the given registry method names.
+    ///
+    /// # Panics
+    /// Panics if a name is not in the modelzoo registry.
+    pub fn run_with_methods<'a, R>(
+        config: ServeConfig,
+        ctx: &'a EvalContext<'a>,
+        methods: &[&str],
+        f: impl FnOnce(&ServiceHandle<'_>) -> R,
+    ) -> R {
+        let models: Vec<Box<dyn Nl2SqlModel>> = methods
+            .iter()
+            .map(|name| {
+                let spec = modelzoo::method_by_name(name)
+                    .unwrap_or_else(|| panic!("method not in registry: {name}"));
+                Box::new(modelzoo::SimulatedModel::new(spec)) as Box<dyn Nl2SqlModel>
+            })
+            .collect();
+        Self::run(config, ctx, models, f)
+    }
+}
+
+/// Worker: block for work, drain a same-method batch, serve it.
+fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
+    loop {
+        let mut batch: Vec<Pending> = Vec::new();
+        {
+            let mut q = inner.queue.lock().unwrap();
+            loop {
+                if let Some(first) = q.items.pop_front() {
+                    batch.push(first);
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = inner.not_empty.wait(q).unwrap();
+            }
+            // micro-batch: pull queued requests for the same method, in
+            // arrival order, without skipping past more than we inspect
+            let method = batch[0].method_idx;
+            let mut i = 0;
+            while batch.len() < inner.config.max_batch && i < q.items.len() {
+                if q.items[i].method_idx == method {
+                    batch.push(q.items.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Metrics::inc(&inner.metrics.batches);
+        inner.metrics.batched_requests.fetch_add(
+            batch.len() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        let batch_size = batch.len();
+        for pending in batch {
+            serve_one(inner, ctx, pending, batch_size);
+        }
+    }
+}
+
+fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size: usize) {
+    if let Some(deadline) = p.deadline {
+        if p.enqueued.elapsed() > deadline {
+            Metrics::inc(&inner.metrics.deadline_exceeded);
+            let _ = p.reply.send(Err(QueryError::DeadlineExceeded));
+            return;
+        }
+    }
+    let sample = &ctx.corpus.dev[p.sample_idx];
+    let task = ctx.task(sample, p.variant);
+    let Some(pred) = inner.models[p.method_idx].translate(&task) else {
+        Metrics::inc(&inner.metrics.failed);
+        let _ = p.reply.send(Err(QueryError::TranslationRefused));
+        return;
+    };
+
+    let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query));
+    let key = (sample.db_id.clone(), normalized);
+    let (outcome, cache_hit) = match inner.cache.get(&key) {
+        Some(v) => {
+            Metrics::inc(&inner.metrics.cache_hits);
+            (v, true)
+        }
+        None => {
+            Metrics::inc(&inner.metrics.cache_misses);
+            let v = Arc::new(match ctx.corpus.db(sample).database.run_query(&pred.query) {
+                Ok(rs) => ExecOutcome::Ok(rs),
+                Err(e) => ExecOutcome::Failed(ExecFailureKind::of(&e)),
+            });
+            inner.cache.insert(key, v.clone());
+            (v, false)
+        }
+    };
+
+    let gold = ctx.gold_result(p.sample_idx);
+    let (ex, pred_work, exec_failure) = match &*outcome {
+        ExecOutcome::Ok(rs) => (minidb::results_equivalent(gold, rs), Some(rs.work), None),
+        ExecOutcome::Failed(kind) => {
+            inner.metrics.record_exec_failure(*kind);
+            (false, None, Some(*kind))
+        }
+    };
+    let em = sqlkit::exact_match(&sample.query, &pred.query);
+    let latency = p.enqueued.elapsed();
+    Metrics::inc(&inner.metrics.completed);
+    inner.metrics.latency.record(latency);
+    let _ = p.reply.send(Ok(QueryResponse {
+        ex,
+        em,
+        pred_sql: pred.sql,
+        pred_work,
+        exec_failure,
+        cache_hit,
+        batch_size,
+        latency,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+    use std::sync::OnceLock;
+
+    fn corpus() -> &'static datagen::Corpus {
+        static C: OnceLock<datagen::Corpus> = OnceLock::new();
+        C.get_or_init(|| generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(91)))
+    }
+
+    fn request(sample: &datagen::Sample, variant: usize, method: &str) -> QueryRequest {
+        QueryRequest {
+            method: method.to_string(),
+            db_id: sample.db_id.clone(),
+            question: sample.variants[variant].clone(),
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let ctx = EvalContext::new(corpus());
+        Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+            let sample = &corpus().dev[0];
+            let resp = handle.query(request(sample, 0, "C3SQL")).expect("served");
+            assert!(!resp.pred_sql.is_empty());
+            assert!(resp.batch_size >= 1);
+            let m = handle.metrics();
+            assert_eq!(m.completed, 1);
+            assert_eq!(m.lost(), 0);
+        });
+    }
+
+    #[test]
+    fn unknown_method_and_question_answer_through_ticket() {
+        let ctx = EvalContext::new(corpus());
+        Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+            let sample = &corpus().dev[0];
+            let mut req = request(sample, 0, "NoSuchMethod");
+            assert!(matches!(
+                handle.query(req.clone()),
+                Err(QueryError::UnknownMethod(_))
+            ));
+            req.method = "C3SQL".into();
+            req.question = "question nobody asked".into();
+            assert!(matches!(handle.query(req), Err(QueryError::UnknownQuestion)));
+            let m = handle.metrics();
+            assert_eq!(m.failed, 2);
+            assert_eq!(m.lost(), 0);
+        });
+    }
+
+    #[test]
+    fn repeated_questions_hit_the_cache() {
+        let ctx = EvalContext::new(corpus());
+        Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+            let sample = &corpus().dev[1];
+            let first = handle.query(request(sample, 0, "C3SQL")).expect("served");
+            let second = handle.query(request(sample, 0, "C3SQL")).expect("served");
+            assert!(!first.cache_hit, "first execution must miss");
+            assert!(second.cache_hit, "identical repeat must hit");
+            // outcome-neutrality: hit and miss agree on everything
+            assert_eq!(first.ex, second.ex);
+            assert_eq!(first.em, second.em);
+            assert_eq!(first.pred_sql, second.pred_sql);
+            assert_eq!(first.pred_work, second.pred_work);
+            assert!(handle.cache_len() >= 1);
+        });
+    }
+
+    #[test]
+    fn drain_answers_every_admitted_request() {
+        let ctx = EvalContext::new(corpus());
+        let tickets = Service::run_with_methods(
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            &ctx,
+            &["C3SQL", "DAILSQL"],
+            |handle| {
+                let mut tickets = Vec::new();
+                for (i, sample) in corpus().dev.iter().enumerate().take(40) {
+                    let method = if i % 2 == 0 { "C3SQL" } else { "DAILSQL" };
+                    tickets.push(handle.submit(request(sample, 0, method)).expect("admitted"));
+                }
+                tickets
+                // NOTE: closure returns with requests possibly still queued
+            },
+        );
+        for t in tickets {
+            assert!(t.wait().is_ok(), "drained request must still be answered");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Lock-cheap service metrics: monotonic counters plus a log2-bucketed
+//! latency histogram, all on relaxed atomics so the request path never
+//! takes a lock to record an observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` holds observations in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), so the top bucket
+/// covers everything past ~2.3 hours — more than any request lives.
+const BUCKETS: usize = 44;
+
+/// Log2-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        let idx = if us == 0 { 0 } else { (64 - us.leading_zeros()) as usize };
+        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// containing the q-th observation. Resolution is a factor of two,
+    /// which is enough to read p50/p95/p99 off a load test.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper_us = if i == 0 { 1 } else { 1u64 << i };
+                return Some(Duration::from_micros(upper_us));
+            }
+        }
+        None
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Counter + histogram registry shared by the admission controller, the
+/// worker pool, and the execution cache.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests answered with a successful [`crate::QueryResponse`].
+    pub completed: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overloaded: AtomicU64,
+    /// Requests dropped by a worker because their deadline had passed.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered with a non-deadline error (unknown method or
+    /// question, translation refused).
+    pub failed: AtomicU64,
+    /// Execution-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Execution-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Worker dequeue rounds (each serves one same-method batch).
+    pub batches: AtomicU64,
+    /// Requests served across all batches (mean batch size = this /
+    /// `batches`).
+    pub batched_requests: AtomicU64,
+    /// Execution failures by kind, indexed like
+    /// [`nl2sql360::ExecFailureKind`] in declaration order.
+    pub exec_failures: [AtomicU64; 10],
+    /// Queue-to-response latency of completed requests.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Bump a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an execution failure of the given kind.
+    pub fn record_exec_failure(&self, kind: nl2sql360::ExecFailureKind) {
+        self.exec_failures[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent point-in-time view for reports.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let hits = load(&self.cache_hits);
+        let misses = load(&self.cache_misses);
+        let batches = load(&self.batches);
+        let batched = load(&self.batched_requests);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            completed: load(&self.completed),
+            rejected_overloaded: load(&self.rejected_overloaded),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            failed: load(&self.failed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            mean_batch_size: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
+            p50: self.latency.quantile(0.50),
+            p95: self.latency.quantile(0.95),
+            p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time metrics view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Successful responses.
+    pub completed: u64,
+    /// Admission rejections.
+    pub rejected_overloaded: u64,
+    /// Deadline drops.
+    pub deadline_exceeded: u64,
+    /// Other errors.
+    pub failed: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// hits / (hits + misses), 0 when no lookups.
+    pub cache_hit_rate: f64,
+    /// Mean same-method batch size.
+    pub mean_batch_size: f64,
+    /// Median latency (None before any completion).
+    pub p50: Option<Duration>,
+    /// 95th percentile latency.
+    pub p95: Option<Duration>,
+    /// 99th percentile latency.
+    pub p99: Option<Duration>,
+}
+
+impl MetricsSnapshot {
+    /// Requests that entered the system but got no reply of any kind.
+    /// Must be zero once the service has drained.
+    pub fn lost(&self) -> i64 {
+        self.submitted as i64
+            - self.completed as i64
+            - self.deadline_exceeded as i64
+            - self.failed as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 50, 1000, 2000, 4000, 100_000, 200_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(32) && p50 <= Duration::from_micros(128), "{p50:?}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_micros(100_000), "{p99:?}");
+        assert!(h.quantile(0.0).is_some());
+        assert_eq!(LatencyHistogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let m = Metrics::default();
+        Metrics::inc(&m.submitted);
+        Metrics::inc(&m.submitted);
+        Metrics::inc(&m.completed);
+        Metrics::inc(&m.completed);
+        Metrics::inc(&m.cache_hits);
+        Metrics::inc(&m.cache_misses);
+        m.batches.fetch_add(1, Ordering::Relaxed);
+        m.batched_requests.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.cache_hit_rate, 0.5);
+        assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.lost(), 0);
+    }
+}

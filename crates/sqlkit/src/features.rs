@@ -52,11 +52,12 @@ pub struct SqlFeatures {
 impl SqlFeatures {
     /// Extract features from a parsed query.
     pub fn of(query: &Query) -> Self {
-        let mut f = SqlFeatures::default();
-        f.select_count = query.body.items.len();
-        f.where_cond_count =
-            query.body.where_clause.as_ref().map_or(0, count_atomic_conditions);
-        f.nesting_depth = query_depth(query);
+        let mut f = SqlFeatures {
+            select_count: query.body.items.len(),
+            where_cond_count: query.body.where_clause.as_ref().map_or(0, count_atomic_conditions),
+            nesting_depth: query_depth(query),
+            ..SqlFeatures::default()
+        };
         collect(query, &mut f, true);
         f
     }

@@ -263,12 +263,12 @@ mod tests {
 
     #[test]
     fn numbers() {
-        let k = kinds("42 3.14 1e3 2.5E-2 .5");
+        let k = kinds("42 3.25 1e3 2.5E-2 .5");
         assert_eq!(
             k,
             vec![
                 TokenKind::Int(42),
-                TokenKind::Float(3.14),
+                TokenKind::Float(3.25),
                 TokenKind::Float(1000.0),
                 TokenKind::Float(0.025),
                 TokenKind::Float(0.5),

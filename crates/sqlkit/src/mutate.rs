@@ -114,12 +114,7 @@ pub fn corrupt(
 ) -> Option<MutationKind> {
     let mut order: Vec<MutationKind> = palette.to_vec();
     order.shuffle(rng);
-    for kind in order {
-        if apply_mutation(query, kind, vocab, rng) {
-            return Some(kind);
-        }
-    }
-    None
+    order.into_iter().find(|&kind| apply_mutation(query, kind, vocab, rng))
 }
 
 /// Collect all column names referenced in the query.

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what must stay green on every commit.
+#
+#   ./scripts/check.sh          # build + tests (the hard gate)
+#   ./scripts/check.sh --lint   # also run clippy, warnings as errors
+#
+# The build is fully offline (all external deps vendored under vendor/),
+# so --offline is passed everywhere to fail fast instead of trying the
+# network.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lint=0
+for arg in "$@"; do
+  case "$arg" in
+    --lint) lint=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo build --release (workspace)"
+cargo build --offline --workspace --release
+
+echo "==> cargo test (workspace)"
+cargo test --offline --workspace -q
+
+if [ "$lint" -eq 1 ]; then
+  echo "==> cargo clippy (-D warnings)"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+echo "==> tier-1 gate passed"

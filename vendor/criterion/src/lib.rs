@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` API surface this workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed for
+//! `sample_size` samples; the report prints min / median / mean per
+//! iteration. No statistical regression analysis, plots, or baselines —
+//! this exists so `cargo bench` runs offline and produces comparable
+//! numbers within one run (e.g. worker-count sweeps).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times per sample to get a stable
+    /// per-iteration estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: aim for samples of roughly 5ms each.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample =
+            (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{label:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_nanos(min),
+            fmt_nanos(median),
+            fmt_nanos(mean),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _parent: self, name, sample_size }
+    }
+
+    /// No-op hook kept for API compatibility.
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, sample_count: sample_size };
+    f(&mut b);
+    b.report(label);
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_runs_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2);
+        for n in [1usize, 2] {
+            g.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+        }
+        g.finish();
+    }
+
+    criterion_group!(simple_group, trivial);
+    criterion_group!(
+        name = configured_group;
+        config = Criterion::default().sample_size(2);
+        targets = trivial,
+    );
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn macros_expand() {
+        simple_group();
+        configured_group();
+    }
+}

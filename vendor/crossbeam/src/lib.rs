@@ -1,0 +1,365 @@
+//! Offline stand-in for the `crossbeam` APIs this workspace uses:
+//!
+//! * [`thread::scope`] — the crossbeam 0.8 scoped-thread interface,
+//!   implemented over `std::thread::scope` (stable since Rust 1.63);
+//! * [`channel`] — MPMC channels (`bounded` / `unbounded`) built on a
+//!   mutex + condvars, enough for worker pools with backpressure.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 calling convention: the spawn
+    //! closure receives the scope again, and `scope` returns a `Result`.
+
+    /// A scope handle; `spawn` closures receive it so they can spawn more.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` here: a panicked child propagates its panic at
+    /// join time inside `std::thread::scope` (crossbeam instead returned
+    /// the payload — callers in this workspace `.expect()` either way).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! MPMC channels on a `Mutex<VecDeque>` + condvars. Not lock-free like
+    //! real crossbeam, but the contract (cloneable ends, bounded capacity
+    //! with blocking `send` / failing `try_send`, disconnect detection) is
+    //! the same.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; clone freely.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half; clone freely (each message goes to exactly one
+    /// receiver).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// `try_send` failure.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    /// `send` failure: all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// `recv` failure: channel empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// `try_recv` failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message ready.
+        Empty,
+        /// Channel empty and all senders gone.
+        Disconnected,
+    }
+
+    /// `recv_timeout` failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived in time.
+        Timeout,
+        /// Channel empty and all senders gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Bounded channel: `send` blocks at capacity, `try_send` fails.
+    /// Capacity 0 is bumped to 1 (real crossbeam has rendezvous semantics
+    /// there; nothing in this workspace uses it).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
+    }
+
+    /// Unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver { chan: self.chan.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.chan.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.chan.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.chan.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.chan.not_empty.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use super::thread as cb_thread;
+    use std::time::Duration;
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = [1, 2, 3];
+        let sum = cb_thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|inner| {
+                // nested spawn through the scope argument
+                inner.spawn(|_| ()).join().unwrap();
+                10
+            });
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 16);
+    }
+
+    #[test]
+    fn bounded_backpressure_and_mpmc() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+
+        let rx2 = rx.clone();
+        let got = std::thread::scope(|s| {
+            let h = s.spawn(move || rx2.recv().unwrap());
+            let g1 = rx.recv().unwrap();
+            let g2 = h.join().unwrap();
+            (g1, g2)
+        });
+        assert_eq!({ let mut v = [got.0, got.1]; v.sort_unstable(); v }, [2, 3]);
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(channel::TrySendError::Disconnected(1))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+    }
+}

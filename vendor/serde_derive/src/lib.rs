@@ -1,0 +1,474 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! The offline container has no `syn`/`quote`, so the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — the ones
+//! this workspace actually derives on:
+//!
+//! * named-field structs (with the field attribute `#[serde(default)]`),
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generic items are rejected with a compile error; nothing in the
+//! workspace needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or index for tuple fields) plus attribute flags.
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---- token-level parsing ----
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns whether any of
+/// them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                has_default |= attr_is_serde_default(g.stream());
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    has_default
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.len() != 2 || ident_of(&tokens[0]).as_deref() != Some("serde") {
+        return false;
+    }
+    match &tokens[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| ident_of(&tt).as_deref() == Some("default")),
+        _ => false,
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && ident_of(&tokens[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type (or any token run) until a top-level comma, tracking angle
+/// bracket depth. Leaves `i` *past* the comma (or at end).
+fn skip_past_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let has_default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(name) = tokens.get(i).and_then(ident_of) else { break };
+        i += 1;
+        // expect ':'
+        if i < tokens.len() && is_punct(&tokens[i], ':') {
+            i += 1;
+        }
+        skip_past_type(&tokens, &mut i);
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // each call consumes one field's attrs/vis/type
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_past_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = tokens
+        .get(i)
+        .and_then(ident_of)
+        .ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = tokens.get(i).and_then(ident_of).ok_or("expected item name")?;
+    i += 1;
+    if tokens.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        return Err(format!(
+            "vendored serde_derive does not support generic items (deriving on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(tt) if is_punct(tt, ';') => Shape::Unit,
+                None => Shape::Unit,
+                Some(other) => return Err(format!("unexpected token after struct name: {other}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err("expected enum body".into()),
+            };
+            let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                skip_attrs(&body_tokens, &mut j);
+                let Some(vname) = body_tokens.get(j).and_then(ident_of) else { break };
+                j += 1;
+                let shape = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Shape::Unit,
+                };
+                // skip an optional discriminant `= expr` then the comma
+                while j < body_tokens.len() && !is_punct(&body_tokens[j], ',') {
+                    j += 1;
+                }
+                if j < body_tokens.len() {
+                    j += 1; // the comma
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+// ---- code generation ----
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// `Serialize` derive: `T -> serde::Value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), ::serde::Serialize::serialize(&self.{}))",
+                                f.name, f.name
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::serialize(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::serialize(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), ::serde::Serialize::serialize({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Map(vec![{}]))]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+fn named_field_builder(fields: &[Field], map_expr: &str, owner: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                let msg = format!("missing field `{}` in {}", f.name, owner);
+                format!("return Err(::serde::Error::msg({msg:?}))")
+            };
+            format!(
+                "{}: match ::serde::find({map_expr}, {:?}) {{\n\
+                     Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                     None => {missing},\n\
+                 }}",
+                f.name, f.name
+            )
+        })
+        .collect();
+    inits.join(",\n")
+}
+
+/// `Deserialize` derive: `serde::Value -> T`, honoring `#[serde(default)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Named(fields) => {
+                    let inits = named_field_builder(fields, "m", name);
+                    format!(
+                        "let m = match v {{\n\
+                             ::serde::Value::Map(m) => m.as_slice(),\n\
+                             other => return Err(::serde::Error::msg(format!(\n\
+                                 \"expected map for {name}, got {{other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})"
+                    )
+                }
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                        .collect();
+                    format!(
+                        "let items = match v {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                             other => return Err(::serde::Error::msg(format!(\n\
+                                 \"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::deserialize(payload)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::deserialize(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let items = match payload {{\n\
+                                         ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                         other => return Err(::serde::Error::msg(format!(\n\
+                                             \"expected {n}-element array for {name}::{vn}, got {{other:?}}\"))),\n\
+                                     }};\n\
+                                     Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits = named_field_builder(fields, "pm", &format!("{name}::{vn}"));
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let pm = match payload {{\n\
+                                         ::serde::Value::Map(pm) => pm.as_slice(),\n\
+                                         other => return Err(::serde::Error::msg(format!(\n\
+                                             \"expected map for {name}::{vn}, got {{other:?}}\"))),\n\
+                                     }};\n\
+                                     Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, payload) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => Err(::serde::Error::msg(format!(\n\
+                                         \"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
