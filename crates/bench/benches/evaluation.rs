@@ -1,0 +1,93 @@
+//! Criterion benches for the evaluation hot path: parallel corpus
+//! evaluation across worker counts, and compiled query plans against the
+//! AST interpreter (with the plan cache on and off).
+//!
+//! Set `BENCH_QUICK=1` to run a reduced sweep as a smoke test.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
+use modelzoo::{method_by_name, SimulatedModel};
+use nl2sql360::EvalContext;
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// `evaluate_parallel` throughput at 1/2/4/8 workers over one corpus.
+fn bench_parallel_evaluate(c: &mut Criterion) {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
+    let ctx = EvalContext::new(&corpus);
+    let model = SimulatedModel::new(method_by_name("SuperSQL").expect("method exists"));
+
+    let mut group = c.benchmark_group("evaluate");
+    group.sample_size(10);
+    let workers: &[usize] = if quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    for &w in workers {
+        group.bench_function(format!("workers_{w}"), |b| {
+            b.iter(|| {
+                let log = ctx.evaluate_parallel(black_box(&model), w).expect("model runs");
+                black_box(log.records.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Compiled plans vs the interpreter on join / group-by microbenches,
+/// plus the cost of recompiling per call (plan cache off = `run_query`).
+fn bench_compiled_plans(c: &mut Criterion) {
+    let domain = datagen::domain_by_name("Finance").expect("domain exists");
+    let g = generate_db("bench_plan_db", domain, &SchemaProfile::bird(), 7);
+    let db = &g.database;
+
+    let (child, fk_col, parent) = db
+        .tables()
+        .find_map(|t| {
+            t.schema.foreign_keys.first().map(|fk| {
+                (
+                    t.schema.name.clone(),
+                    t.schema.columns[fk.column].name.clone(),
+                    fk.ref_table.clone(),
+                )
+            })
+        })
+        .expect("bird profile generates FKs");
+
+    let join = format!(
+        "SELECT T1.id, T2.id FROM {child} AS T1 JOIN {parent} AS T2 ON T1.{fk_col} = T2.id"
+    );
+    let group_by = format!("SELECT {fk_col}, COUNT(*) FROM {child} GROUP BY {fk_col}");
+
+    let mut group = c.benchmark_group("plan");
+    for (name, sql) in [("join", &join), ("group_by", &group_by)] {
+        let query = sqlkit::parse_query(sql).expect("bench SQL parses");
+        let plan = minidb::compile(db, &query).expect("bench SQL compiles");
+        group.bench_function(format!("{name}/interpreter"), |b| {
+            b.iter(|| {
+                let rs = minidb::exec::execute(db, black_box(&query)).expect("executes");
+                black_box(rs.rows.len())
+            })
+        });
+        group.bench_function(format!("{name}/compiled"), |b| {
+            b.iter(|| {
+                let rs = plan.execute(db).expect("executes");
+                black_box(rs.rows.len())
+            })
+        });
+        // plan cache off: run_query re-lowers the AST on every call
+        group.bench_function(format!("{name}/cache_off"), |b| {
+            b.iter(|| {
+                let rs = db.run_query(black_box(&query)).expect("executes");
+                black_box(rs.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parallel_evaluate, bench_compiled_plans
+}
+criterion_main!(benches);

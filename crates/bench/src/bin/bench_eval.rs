@@ -1,0 +1,262 @@
+//! Evaluation throughput benchmark — emits `BENCH_eval.json`.
+//!
+//! Measures two things:
+//!
+//! 1. **Parallel corpus evaluation**: samples/sec of
+//!    [`EvalContext::evaluate_parallel`] at 1/2/4/8 workers, plus the
+//!    speedup over the 1-worker (sequential) run.
+//! 2. **Compiled query plans**: ns/op for the minidb AST interpreter vs
+//!    the compiled plan on join and group-by microbenches, with the plan
+//!    cache on (lower once, execute many) and off (`run_query` re-lowers
+//!    each call).
+//!
+//! ```text
+//! bench_eval [--quick] [--out FILE] [--validate]
+//! ```
+//!
+//! `--quick` shrinks repetitions for smoke testing. `--validate` exits
+//! nonzero unless the compiled plan beats the interpreter on every
+//! microbench and (on machines with >= 4 cores) evaluation reaches >= 2x
+//! throughput at 4 workers; parallel scaling is physically impossible on
+//! fewer cores, so that check is recorded but not enforced there.
+
+use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
+use modelzoo::{method_by_name, SimulatedModel};
+use nl2sql360::EvalContext;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const METHOD: &str = "SuperSQL";
+const WORKER_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+struct Args {
+    quick: bool,
+    out: String,
+    validate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, out: "BENCH_eval.json".into(), validate: false };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: bench_eval [--quick] [--out FILE] [--validate]";
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--validate" => args.validate = true,
+            "--out" => {
+                args.out = argv
+                    .get(i + 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a value\n{usage}");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag: {other}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+struct EvalPoint {
+    workers: usize,
+    samples_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+/// Best-of-`reps` wall time for one full `evaluate_parallel` pass.
+fn time_evaluate(ctx: &EvalContext<'_>, model: &SimulatedModel, workers: usize, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let log = ctx.evaluate_parallel(model, workers).expect("model runs on corpus");
+        let elapsed = started.elapsed().as_secs_f64();
+        assert!(!log.records.is_empty());
+        best = best.min(elapsed);
+    }
+    best
+}
+
+struct PlanPoint {
+    query: &'static str,
+    interpreter_ns: f64,
+    compiled_ns: f64,
+    cache_off_ns: f64,
+    /// interpreter / compiled (higher is better for the compiled path)
+    speedup: f64,
+}
+
+/// Mean ns/op of `f` over `iters` calls (after one warmup call).
+fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut sink = f();
+    let started = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(sink);
+    ns
+}
+
+fn bench_plans(iters: usize) -> Vec<PlanPoint> {
+    let domain = datagen::domain_by_name("Finance").expect("domain exists");
+    let g = generate_db("bench_plan_db", domain, &SchemaProfile::bird(), 7);
+    let db = &g.database;
+    let (child, fk_col, parent) = db
+        .tables()
+        .find_map(|t| {
+            t.schema.foreign_keys.first().map(|fk| {
+                (
+                    t.schema.name.clone(),
+                    t.schema.columns[fk.column].name.clone(),
+                    fk.ref_table.clone(),
+                )
+            })
+        })
+        .expect("bird profile generates FKs");
+
+    let join = format!(
+        "SELECT T1.id, T2.id FROM {child} AS T1 JOIN {parent} AS T2 ON T1.{fk_col} = T2.id"
+    );
+    let group_by = format!("SELECT {fk_col}, COUNT(*) FROM {child} GROUP BY {fk_col}");
+
+    [("join", join), ("group_by", group_by)]
+        .into_iter()
+        .map(|(name, sql)| {
+            let query = sqlkit::parse_query(&sql).expect("bench SQL parses");
+            let plan = minidb::compile(db, &query).expect("bench SQL compiles");
+            let interpreter_ns = time_ns(iters, || {
+                minidb::exec::execute(db, &query).expect("executes").rows.len()
+            });
+            let compiled_ns = time_ns(iters, || plan.execute(db).expect("executes").rows.len());
+            let cache_off_ns =
+                time_ns(iters, || db.run_query(&query).expect("executes").rows.len());
+            PlanPoint {
+                query: name,
+                interpreter_ns,
+                compiled_ns,
+                cache_off_ns,
+                speedup: interpreter_ns / compiled_ns,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = nl2sql360::default_workers();
+    let reps = if args.quick { 1 } else { 3 };
+    let plan_iters = if args.quick { 50 } else { 400 };
+
+    eprintln!("bench_eval: corpus evaluation sweep (cores available: {cores}) ...");
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
+    let ctx = EvalContext::new(&corpus);
+    let model = SimulatedModel::new(method_by_name(METHOD).expect("method exists"));
+    let n_samples = corpus.dev.len();
+
+    // warmup pass so lazily-built state does not bill the first point
+    time_evaluate(&ctx, &model, 1, 1);
+    let base = time_evaluate(&ctx, &model, 1, reps);
+    let eval_points: Vec<EvalPoint> = WORKER_SWEEP
+        .iter()
+        .map(|&w| {
+            let secs = if w == 1 { base } else { time_evaluate(&ctx, &model, w, reps) };
+            let point = EvalPoint {
+                workers: w,
+                samples_per_sec: n_samples as f64 / secs,
+                speedup_vs_1: base / secs,
+            };
+            eprintln!(
+                "  workers={:<2} {:>9.0} samples/sec  speedup x{:.2}",
+                point.workers, point.samples_per_sec, point.speedup_vs_1
+            );
+            point
+        })
+        .collect();
+
+    eprintln!("bench_eval: compiled-plan microbenches ...");
+    let plan_points = bench_plans(plan_iters);
+    for p in &plan_points {
+        eprintln!(
+            "  {:<9} interpreter {:>9.0}ns  compiled {:>9.0}ns  cache-off {:>9.0}ns  speedup x{:.2}",
+            p.query, p.interpreter_ns, p.compiled_ns, p.cache_off_ns, p.speedup
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"method\": \"{METHOD}\", \"dev_samples\": {n_samples}, \"cores\": {cores}, \"quick\": {}}},",
+        args.quick
+    );
+    let _ = writeln!(json, "  \"evaluate\": [");
+    for (i, p) in eval_points.iter().enumerate() {
+        let comma = if i + 1 < eval_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"samples_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}}}{comma}",
+            p.workers, p.samples_per_sec, p.speedup_vs_1
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"plans\": [");
+    for (i, p) in plan_points.iter().enumerate() {
+        let comma = if i + 1 < plan_points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"query\": \"{}\", \"interpreter_ns\": {:.0}, \"compiled_ns\": {:.0}, \"cache_off_ns\": {:.0}, \"speedup\": {:.3}}}{comma}",
+            p.query, p.interpreter_ns, p.compiled_ns, p.cache_off_ns, p.speedup
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+
+    if args.validate {
+        let mut failed = false;
+        for p in &plan_points {
+            if p.speedup < 1.0 {
+                eprintln!(
+                    "FAIL: compiled plan slower than interpreter on {} (x{:.2})",
+                    p.query, p.speedup
+                );
+                failed = true;
+            }
+        }
+        let at4 = eval_points.iter().find(|p| p.workers == 4).expect("4 in sweep");
+        if cores >= 4 {
+            if at4.speedup_vs_1 < 2.0 {
+                eprintln!(
+                    "FAIL: {} cores but only x{:.2} evaluate speedup at 4 workers",
+                    cores, at4.speedup_vs_1
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "note: {cores} core(s) available; 4-worker speedup (x{:.2}) recorded but the \
+                 >=2x target is only enforced on machines with >= 4 cores",
+                at4.speedup_vs_1
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("validation passed");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: compiled query plans are observationally identical to
+//! the AST interpreter over generated query corpora — same rows, columns,
+//! ordered flag, and deterministic work units (the VES currency), or the
+//! same execution error.
+
+use datagen::{domain_by_name, generate_db, GeneratedDb, QueryGenerator, Recipe, SchemaProfile};
+use minidb::exec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_db(domain: &str, seed: u64) -> GeneratedDb {
+    generate_db(
+        format!("{}_{seed}", domain.to_lowercase()),
+        domain_by_name(domain).unwrap(),
+        &SchemaProfile::spider(),
+        seed,
+    )
+}
+
+/// Execute one generated query through both engines and assert parity.
+/// Returns whether the query actually compiled (for vacuity accounting).
+fn check_parity(db: &GeneratedDb, sql: &str, query: &sqlkit::Query) -> bool {
+    let Some(plan) = minidb::compile(&db.database, query) else {
+        return false;
+    };
+    let compiled = plan.execute(&db.database);
+    let interpreted = exec::execute(&db.database, query);
+    match (&compiled, &interpreted) {
+        (Ok(c), Ok(i)) => {
+            assert_eq!(c.columns, i.columns, "`{sql}` columns diverged");
+            assert_eq!(
+                format!("{:?}", c.rows),
+                format!("{:?}", i.rows),
+                "`{sql}` rows diverged"
+            );
+            assert_eq!(c.ordered, i.ordered, "`{sql}` ordered flag diverged");
+            assert_eq!(c.work, i.work, "`{sql}` work units diverged");
+        }
+        (Err(ce), Err(ie)) => {
+            assert_eq!(format!("{ce:?}"), format!("{ie:?}"), "`{sql}` errors diverged");
+        }
+        _ => panic!(
+            "`{sql}` outcome diverged: compiled {compiled:?} vs interpreted {interpreted:?}"
+        ),
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_plan_matches_interpreter(
+        db_seed in 0u64..4,
+        query_seed in 0u64..500,
+        recipe_idx in 0usize..Recipe::ALL.len(),
+    ) {
+        let db = build_db("College", db_seed);
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        if let Some(g) = qg.generate(Recipe::ALL[recipe_idx], &mut rng) {
+            check_parity(&db, &g.sql, &g.query);
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_interpreter_across_domains(
+        domain_idx in 0usize..3,
+        query_seed in 0u64..300,
+    ) {
+        let domain = ["Music", "Medical", "Aviation"][domain_idx];
+        let db = build_db(domain, 7);
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let recipe = Recipe::ALL[(query_seed as usize) % Recipe::ALL.len()];
+        if let Some(g) = qg.generate(recipe, &mut rng) {
+            check_parity(&db, &g.sql, &g.query);
+        }
+    }
+}
+
+/// The property tests above are vacuous if `compile` rejected everything;
+/// pin that a healthy share of the generated corpus actually takes the
+/// compiled path (subquery recipes legitimately fall back).
+#[test]
+fn a_healthy_share_of_generated_queries_compiles() {
+    let db = build_db("College", 11);
+    let qg = QueryGenerator::new(&db);
+    let mut generated = 0usize;
+    let mut compiled = 0usize;
+    for seed in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recipe = Recipe::ALL[(seed as usize) % Recipe::ALL.len()];
+        if let Some(g) = qg.generate(recipe, &mut rng) {
+            generated += 1;
+            if check_parity(&db, &g.sql, &g.query) {
+                compiled += 1;
+            }
+        }
+    }
+    assert!(generated >= 100, "only {generated} queries generated");
+    assert!(
+        compiled * 2 >= generated,
+        "only {compiled}/{generated} queries took the compiled path"
+    );
+}

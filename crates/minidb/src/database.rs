@@ -96,12 +96,25 @@ impl Database {
     /// Parse and execute a SELECT statement.
     pub fn run(&self, sql: &str) -> ExecResult<ResultSet> {
         let query = sqlkit::parse_query(sql)?;
-        crate::exec::execute(self, &query)
+        self.run_query(&query)
     }
 
-    /// Execute an already-parsed query.
+    /// Execute an already-parsed query: the compiled-plan fast path when the
+    /// query lowers, the AST interpreter otherwise. Results and deterministic
+    /// work units are identical either way (property-tested).
     pub fn run_query(&self, query: &sqlkit::Query) -> ExecResult<ResultSet> {
-        crate::exec::execute(self, query)
+        match crate::plan::compile(self, query) {
+            Some(plan) => plan.execute(self),
+            None => crate::exec::execute(self, query),
+        }
+    }
+
+    /// Compile a query into a reusable plan for this database's schema, or
+    /// `None` when the query needs the interpreter. A prepared plan can be
+    /// re-executed without re-lowering (and across content changes, as long
+    /// as the schema is unchanged).
+    pub fn prepare(&self, query: &sqlkit::Query) -> Option<crate::plan::CompiledQuery> {
+        crate::plan::compile(self, query)
     }
 
     /// All `CREATE TABLE` statements, for prompt construction.

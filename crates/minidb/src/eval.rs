@@ -106,22 +106,7 @@ pub(crate) fn eval(ctx: &EvalCtx<'_>, expr: &Expr) -> ExecResult<Value> {
         Expr::Binary { op, left, right } => eval_binary(ctx, *op, left, right),
         Expr::Unary { op, expr } => {
             let v = eval(ctx, expr)?;
-            match op {
-                UnOp::Not => Ok(match v.truth() {
-                    None => Value::Null,
-                    Some(b) => Value::Int(i64::from(!b)),
-                }),
-                UnOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Real(r) => Ok(Value::Real(-r)),
-                    Value::Text(s) => Ok(s
-                        .trim()
-                        .parse::<f64>()
-                        .map(|f| Value::Real(-f))
-                        .unwrap_or(Value::Int(0))),
-                },
-            }
+            Ok(apply_unary(*op, v))
         }
         Expr::Between { expr, negated, low, high } => {
             let v = eval(ctx, expr)?;
@@ -246,7 +231,25 @@ fn render_col(table: Option<&str>, column: &str) -> String {
     }
 }
 
-fn literal_value(lit: &Literal) -> Value {
+/// Apply a unary operator to an evaluated operand.
+pub(crate) fn apply_unary(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Not => match v.truth() {
+            None => Value::Null,
+            Some(b) => Value::Int(i64::from(!b)),
+        },
+        UnOp::Neg => match v {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Real(r) => Value::Real(-r),
+            Value::Text(s) => {
+                s.trim().parse::<f64>().map(|f| Value::Real(-f)).unwrap_or(Value::Int(0))
+            }
+        },
+    }
+}
+
+pub(crate) fn literal_value(lit: &Literal) -> Value {
     match lit {
         Literal::Null => Value::Null,
         Literal::Int(v) => Value::Int(*v),
@@ -256,7 +259,7 @@ fn literal_value(lit: &Literal) -> Value {
     }
 }
 
-fn bool3_to_value(b: Option<bool>) -> Value {
+pub(crate) fn bool3_to_value(b: Option<bool>) -> Value {
     match b {
         None => Value::Null,
         Some(b) => Value::Int(i64::from(b)),
@@ -264,7 +267,7 @@ fn bool3_to_value(b: Option<bool>) -> Value {
 }
 
 /// Three-valued AND.
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -273,7 +276,7 @@ fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
 }
 
 /// Three-valued OR.
-fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -332,7 +335,7 @@ fn eval_binary(ctx: &EvalCtx<'_>, op: BinOp, left: &Expr, right: &Expr) -> ExecR
     }
 }
 
-fn eval_arith(op: BinOp, l: Value, r: Value) -> ExecResult<Value> {
+pub(crate) fn eval_arith(op: BinOp, l: Value, r: Value) -> ExecResult<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -396,7 +399,7 @@ fn eval_arith(op: BinOp, l: Value, r: Value) -> ExecResult<Value> {
     Ok(Value::Real(v))
 }
 
-fn cast_value(v: Value, ty: &str) -> Value {
+pub(crate) fn cast_value(v: Value, ty: &str) -> Value {
     match ty.to_ascii_uppercase().as_str() {
         "INT" | "INTEGER" | "BIGINT" => match v {
             Value::Null => Value::Null,
@@ -472,6 +475,80 @@ pub(crate) fn like_match(pattern: &str, text: &str) -> bool {
 }
 
 fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Value> {
+    // arity errors fire before any argument is evaluated
+    check_function_arity(name, args.len())?;
+    // IIF and COALESCE stay lazy: skipping an argument also skips any work
+    // its aggregates would charge, which is observable through the
+    // deterministic work counter.
+    match name {
+        "IIF" => {
+            return if eval(ctx, &args[0])?.truth() == Some(true) {
+                eval(ctx, &args[1])
+            } else {
+                eval(ctx, &args[2])
+            };
+        }
+        "COALESCE" => {
+            for a in args {
+                let v = eval(ctx, a)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            return Ok(Value::Null);
+        }
+        _ => {}
+    }
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval(ctx, a)?);
+    }
+    apply_scalar_function(name, vals)
+}
+
+/// Validate a scalar function's argument count before evaluating any
+/// argument, so arity errors fire ahead of argument-evaluation errors in
+/// both the interpreter and the compiled-plan executor.
+pub(crate) fn check_function_arity(name: &str, n: usize) -> ExecResult<()> {
+    match name {
+        "ABS" | "LENGTH" | "UPPER" | "LOWER" if n != 1 => {
+            Err(ExecError::Arity(format!("{name} expects 1 args, got {n}")))
+        }
+        "ROUND" if n == 0 || n > 2 => Err(ExecError::Arity("ROUND expects 1 or 2 args".into())),
+        "SUBSTR" | "SUBSTRING" if n != 2 && n != 3 => {
+            Err(ExecError::Arity("SUBSTR expects 2 or 3 args".into()))
+        }
+        "IIF" if n != 3 => Err(ExecError::Arity(format!("IIF expects 3 args, got {n}"))),
+        "NULLIF" | "INSTR" if n != 2 => {
+            Err(ExecError::Arity(format!("{name} expects 2 args, got {n}")))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Is this a scalar function the evaluator implements? (Used by the plan
+/// compiler to decide up front whether an expression can be lowered.)
+pub(crate) fn known_function(name: &str) -> bool {
+    matches!(
+        name,
+        "ABS"
+            | "ROUND"
+            | "LENGTH"
+            | "UPPER"
+            | "LOWER"
+            | "SUBSTR"
+            | "SUBSTRING"
+            | "IIF"
+            | "COALESCE"
+            | "NULLIF"
+            | "INSTR"
+    )
+}
+
+/// Apply a strict (non-lazy) scalar function to already-evaluated arguments.
+/// IIF and COALESCE are handled lazily by the callers and never reach here.
+pub(crate) fn apply_scalar_function(name: &str, vals: Vec<Value>) -> ExecResult<Value> {
+    let args = &vals;
     let arity = |n: usize| -> ExecResult<()> {
         if args.len() == n {
             Ok(())
@@ -482,7 +559,7 @@ fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Val
     match name {
         "ABS" => {
             arity(1)?;
-            match eval(ctx, &args[0])? {
+            match args[0].clone() {
                 Value::Null => Ok(Value::Null),
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Real(r) => Ok(Value::Real(r.abs())),
@@ -495,13 +572,9 @@ fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Val
             if args.is_empty() || args.len() > 2 {
                 return Err(ExecError::Arity("ROUND expects 1 or 2 args".into()));
             }
-            let v = eval(ctx, &args[0])?;
-            let digits = if args.len() == 2 {
-                eval(ctx, &args[1])?.as_f64().unwrap_or(0.0) as i32
-            } else {
-                0
-            };
-            match v.as_f64() {
+            let digits =
+                if args.len() == 2 { args[1].as_f64().unwrap_or(0.0) as i32 } else { 0 };
+            match args[0].as_f64() {
                 None => Ok(Value::Null),
                 Some(f) => {
                     let m = 10f64.powi(digits);
@@ -511,21 +584,21 @@ fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Val
         }
         "LENGTH" => {
             arity(1)?;
-            match eval(ctx, &args[0])? {
+            match &args[0] {
                 Value::Null => Ok(Value::Null),
                 other => Ok(Value::Int(other.render().chars().count() as i64)),
             }
         }
         "UPPER" => {
             arity(1)?;
-            match eval(ctx, &args[0])? {
+            match &args[0] {
                 Value::Null => Ok(Value::Null),
                 other => Ok(Value::Text(other.render().to_uppercase())),
             }
         }
         "LOWER" => {
             arity(1)?;
-            match eval(ctx, &args[0])? {
+            match &args[0] {
                 Value::Null => Ok(Value::Null),
                 other => Ok(Value::Text(other.render().to_lowercase())),
             }
@@ -534,14 +607,14 @@ fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Val
             if args.len() != 2 && args.len() != 3 {
                 return Err(ExecError::Arity("SUBSTR expects 2 or 3 args".into()));
             }
-            let s = match eval(ctx, &args[0])? {
+            let s = match &args[0] {
                 Value::Null => return Ok(Value::Null),
                 other => other.render(),
             };
             let chars: Vec<char> = s.chars().collect();
-            let start = eval(ctx, &args[1])?.as_f64().unwrap_or(1.0) as i64;
+            let start = args[1].as_f64().unwrap_or(1.0) as i64;
             let len = if args.len() == 3 {
-                eval(ctx, &args[2])?.as_f64().unwrap_or(0.0) as i64
+                args[2].as_f64().unwrap_or(0.0) as i64
             } else {
                 chars.len() as i64
             };
@@ -556,37 +629,17 @@ fn eval_function(ctx: &EvalCtx<'_>, name: &str, args: &[Expr]) -> ExecResult<Val
             let take = len.max(0) as usize;
             Ok(Value::Text(chars.iter().skip(begin).take(take).collect()))
         }
-        "IIF" => {
-            arity(3)?;
-            if eval(ctx, &args[0])?.truth() == Some(true) {
-                eval(ctx, &args[1])
-            } else {
-                eval(ctx, &args[2])
-            }
-        }
-        "COALESCE" => {
-            for a in args {
-                let v = eval(ctx, a)?;
-                if !v.is_null() {
-                    return Ok(v);
-                }
-            }
-            Ok(Value::Null)
-        }
         "NULLIF" => {
             arity(2)?;
-            let a = eval(ctx, &args[0])?;
-            let b = eval(ctx, &args[1])?;
-            if a.sql_eq(&b) == Some(true) {
+            if args[0].sql_eq(&args[1]) == Some(true) {
                 Ok(Value::Null)
             } else {
-                Ok(a)
+                Ok(args[0].clone())
             }
         }
         "INSTR" => {
             arity(2)?;
-            let hay = eval(ctx, &args[0])?;
-            let needle = eval(ctx, &args[1])?;
+            let (hay, needle) = (&args[0], &args[1]);
             if hay.is_null() || needle.is_null() {
                 return Ok(Value::Null);
             }
@@ -625,15 +678,22 @@ fn eval_aggregate(
             values.push(v);
         }
     }
+    Ok(fold_aggregate(func, values, distinct))
+}
+
+/// Fold the non-NULL argument values of an aggregate into its result.
+/// Shared between the AST interpreter and the compiled-plan executor so the
+/// two paths cannot drift.
+pub(crate) fn fold_aggregate(func: AggFunc, mut values: Vec<Value>, distinct: bool) -> Value {
     if distinct {
         let mut seen = HashSet::new();
-        values.retain(|v| seen.insert(v.canonical_key()));
+        values.retain(|v| seen.insert(v.key_part()));
     }
     match func {
-        AggFunc::Count => Ok(Value::Int(values.len() as i64)),
+        AggFunc::Count => Value::Int(values.len() as i64),
         AggFunc::Sum => {
             if values.is_empty() {
-                return Ok(Value::Null);
+                return Value::Null;
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
             if all_int {
@@ -651,27 +711,25 @@ fn eval_aggregate(
                     }
                 }
                 if !overflow {
-                    return Ok(Value::Int(acc));
+                    return Value::Int(acc);
                 }
             }
             let sum: f64 = values.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
-            Ok(Value::Real(sum))
+            Value::Real(sum)
         }
         AggFunc::Avg => {
             if values.is_empty() {
-                return Ok(Value::Null);
+                return Value::Null;
             }
             let sum: f64 = values.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
-            Ok(Value::Real(sum / values.len() as f64))
+            Value::Real(sum / values.len() as f64)
         }
-        AggFunc::Min => Ok(values
-            .into_iter()
-            .min_by(|a, b| a.sql_cmp(b))
-            .unwrap_or(Value::Null)),
-        AggFunc::Max => Ok(values
-            .into_iter()
-            .max_by(|a, b| a.sql_cmp(b))
-            .unwrap_or(Value::Null)),
+        AggFunc::Min => {
+            values.into_iter().min_by(|a, b| a.sql_cmp(b)).unwrap_or(Value::Null)
+        }
+        AggFunc::Max => {
+            values.into_iter().max_by(|a, b| a.sql_cmp(b)).unwrap_or(Value::Null)
+        }
     }
 }
 

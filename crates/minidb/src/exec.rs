@@ -10,7 +10,7 @@ use crate::database::Database;
 use crate::error::{ExecError, ExecResult};
 use crate::eval::{eval, Binding, Counters, EvalCtx, Scope};
 use crate::result::ResultSet;
-use crate::value::Value;
+use crate::value::{row_key_parts, KeyPart, Value};
 use sqlkit::ast::*;
 use std::collections::{HashMap, HashSet};
 
@@ -72,7 +72,8 @@ pub(crate) fn execute_query(
             }
             keyed.push((keys, row));
         }
-        sort_keyed(&mut keyed, &query.order_by);
+        let desc: Vec<bool> = query.order_by.iter().map(|k| k.desc).collect();
+        sort_keyed(&mut keyed, &desc);
         acc.rows = keyed.into_iter().map(|(_, r)| r).collect();
     }
     if let Some(limit) = query.limit {
@@ -82,10 +83,13 @@ pub(crate) fn execute_query(
     Ok(acc)
 }
 
-fn combine_set_op(op: SetOp, left: Vec<Vec<Value>>, right: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
-    let key = |row: &[Value]| {
-        row.iter().map(|v| v.canonical_key()).collect::<Vec<_>>().join("\u{1}")
-    };
+pub(crate) fn combine_set_op(
+    op: SetOp,
+    left: Vec<Vec<Value>>,
+    right: Vec<Vec<Value>>,
+) -> Vec<Vec<Value>> {
+    // structured row keys: a value containing a separator byte can never
+    // collide two distinct rows (the old "\u{1}"-joined string keys could)
     match op {
         SetOp::UnionAll => {
             let mut out = left;
@@ -96,28 +100,28 @@ fn combine_set_op(op: SetOp, left: Vec<Vec<Value>>, right: Vec<Vec<Value>>) -> V
             let mut seen = HashSet::new();
             let mut out = Vec::new();
             for row in left.into_iter().chain(right) {
-                if seen.insert(key(&row)) {
+                if seen.insert(row_key_parts(&row)) {
                     out.push(row);
                 }
             }
             out
         }
         SetOp::Intersect => {
-            let rhs: HashSet<String> = right.iter().map(|r| key(r)).collect();
+            let rhs: HashSet<Vec<KeyPart>> = right.iter().map(|r| row_key_parts(r)).collect();
             let mut seen = HashSet::new();
             left.into_iter()
                 .filter(|r| {
-                    let k = key(r);
+                    let k = row_key_parts(r);
                     rhs.contains(&k) && seen.insert(k)
                 })
                 .collect()
         }
         SetOp::Except => {
-            let rhs: HashSet<String> = right.iter().map(|r| key(r)).collect();
+            let rhs: HashSet<Vec<KeyPart>> = right.iter().map(|r| row_key_parts(r)).collect();
             let mut seen = HashSet::new();
             left.into_iter()
                 .filter(|r| {
-                    let k = key(r);
+                    let k = row_key_parts(r);
                     !rhs.contains(&k) && seen.insert(k)
                 })
                 .collect()
@@ -165,7 +169,11 @@ fn table_source(
 
 /// Resolve a column reference to a flat index within one binding set, or
 /// `None` if it does not resolve there (used to route equi-join sides).
-fn resolve_in(bindings: &[Binding], table: Option<&str>, column: &str) -> Option<usize> {
+pub(crate) fn resolve_in(
+    bindings: &[Binding],
+    table: Option<&str>,
+    column: &str,
+) -> Option<usize> {
     for b in bindings {
         if let Some(t) = table {
             let matches =
@@ -184,7 +192,7 @@ fn resolve_in(bindings: &[Binding], table: Option<&str>, column: &str) -> Option
 /// Detect `left_col = right_col` equi-join conditions and return the flat
 /// column indices (left-relative, right-relative). Right-side bindings are
 /// probed with their *unshifted* offsets.
-fn equi_join_columns(
+pub(crate) fn equi_join_columns(
     on: &Expr,
     left: &[Binding],
     right: &[Binding],
@@ -240,32 +248,30 @@ fn materialize_from(
         if let Some((lcol, rcol)) = equi {
             // build on the right side, probe from the left; NULL keys never
             // match (SQL equality semantics)
-            let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+            let mut table: HashMap<KeyPart, Vec<usize>> =
+                HashMap::with_capacity(right.rows.len());
             for (i, r) in right.rows.iter().enumerate() {
                 counters.charge(1)?;
                 let key = &r[rcol];
                 if !key.is_null() {
-                    table.entry(key.canonical_key()).or_default().push(i);
+                    table.entry(key.key_part()).or_default().push(i);
                 }
             }
+            out.reserve(rel.rows.len());
             for l in &rel.rows {
                 counters.charge(1)?;
                 let key = &l[lcol];
                 let matches: &[usize] = if key.is_null() {
                     &[]
                 } else {
-                    table.get(&key.canonical_key()).map(Vec::as_slice).unwrap_or(&[])
+                    table.get(&key.key_part()).map(Vec::as_slice).unwrap_or(&[])
                 };
                 for &ri in matches {
                     counters.charge(1)?;
-                    let mut row = l.clone();
-                    row.extend(right.rows[ri].iter().cloned());
-                    out.push(row);
+                    out.push(joined_row(l, &right.rows[ri], combined_width));
                 }
                 if matches.is_empty() && join.kind == JoinKind::Left {
-                    let mut row = l.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, right.width));
-                    out.push(row);
+                    out.push(padded_row(l, right.width, combined_width));
                 }
             }
             rel = Relation { bindings, rows: out, width: combined_width };
@@ -288,8 +294,7 @@ fn materialize_from(
                 for l in &rel.rows {
                     for r in &right.rows {
                         counters.charge(1)?;
-                        let mut row = l.clone();
-                        row.extend(r.iter().cloned());
+                        let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             out.push(row);
                         }
@@ -301,17 +306,14 @@ fn materialize_from(
                     let mut matched = false;
                     for r in &right.rows {
                         counters.charge(1)?;
-                        let mut row = l.clone();
-                        row.extend(r.iter().cloned());
+                        let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             matched = true;
                             out.push(row);
                         }
                     }
                     if !matched {
-                        let mut row = l.clone();
-                        row.extend(std::iter::repeat_n(Value::Null, right.width));
-                        out.push(row);
+                        out.push(padded_row(l, right.width, combined_width));
                     }
                 }
             }
@@ -320,17 +322,16 @@ fn materialize_from(
                     let mut matched = false;
                     for l in &rel.rows {
                         counters.charge(1)?;
-                        let mut row = l.clone();
-                        row.extend(r.iter().cloned());
+                        let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             matched = true;
                             out.push(row);
                         }
                     }
                     if !matched {
-                        let mut row: Vec<Value> =
-                            std::iter::repeat_n(Value::Null, rel.width).collect();
-                        row.extend(r.iter().cloned());
+                        let mut row: Vec<Value> = Vec::with_capacity(combined_width);
+                        row.extend(std::iter::repeat_n(Value::Null, rel.width));
+                        row.extend_from_slice(r);
                         out.push(row);
                     }
                 }
@@ -341,9 +342,26 @@ fn materialize_from(
     Ok(rel)
 }
 
+/// Concatenate a left and a right row into one exactly-sized buffer (the
+/// join hot path: one allocation, no clone-then-extend reallocation).
+pub(crate) fn joined_row(l: &[Value], r: &[Value], width: usize) -> Vec<Value> {
+    let mut row = Vec::with_capacity(width);
+    row.extend_from_slice(l);
+    row.extend_from_slice(r);
+    row
+}
+
+/// A left row padded with NULLs on the right (outer-join non-match).
+pub(crate) fn padded_row(l: &[Value], right_width: usize, width: usize) -> Vec<Value> {
+    let mut row = Vec::with_capacity(width);
+    row.extend_from_slice(l);
+    row.extend(std::iter::repeat_n(Value::Null, right_width));
+    row
+}
+
 /// Does any of these expressions contain an aggregate (not entering
 /// subqueries)?
-fn any_aggregate<'a>(exprs: impl Iterator<Item = &'a Expr>) -> bool {
+pub(crate) fn any_aggregate<'a>(exprs: impl Iterator<Item = &'a Expr>) -> bool {
     for e in exprs {
         if e.contains_aggregate() {
             return true;
@@ -413,15 +431,14 @@ fn exec_core(
         if core.group_by.is_empty() {
             groups.push(rows);
         } else {
-            let mut index: HashMap<String, usize> = HashMap::new();
+            let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
             for row in rows {
                 counters.charge(1)?;
                 let scope = Scope { bindings: &rel.bindings, row: &row, parent: outer };
                 let ctx = EvalCtx { db, scope: &scope, group: None, counters };
-                let mut key = String::new();
+                let mut key = Vec::with_capacity(core.group_by.len());
                 for g in &core.group_by {
-                    key.push_str(&eval(&ctx, g)?.canonical_key());
-                    key.push('\u{1}');
+                    key.push(eval(&ctx, g)?.key_part());
                 }
                 let gi = *index.entry(key).or_insert_with(|| {
                     groups.push(Vec::new());
@@ -458,16 +475,13 @@ fn exec_core(
     // 5. DISTINCT
     if core.distinct {
         let mut seen = HashSet::new();
-        keyed.retain(|(_, row)| {
-            let k: String =
-                row.iter().map(|v| v.canonical_key()).collect::<Vec<_>>().join("\u{1}");
-            seen.insert(k)
-        });
+        keyed.retain(|(_, row)| seen.insert(row_key_parts(row)));
     }
 
     // 6. ORDER BY + LIMIT
     if !order_by.is_empty() {
-        sort_keyed(&mut keyed, order_by);
+        let desc: Vec<bool> = order_by.iter().map(|k| k.desc).collect();
+        sort_keyed(&mut keyed, &desc);
     }
     let mut out_rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
     if let Some(limit) = limit {
@@ -477,7 +491,7 @@ fn exec_core(
     Ok(ResultSet { columns, rows: out_rows, ordered: !order_by.is_empty(), work: 0 })
 }
 
-fn output_columns(core: &SelectCore, bindings: &[Binding]) -> ExecResult<Vec<String>> {
+pub(crate) fn output_columns(core: &SelectCore, bindings: &[Binding]) -> ExecResult<Vec<String>> {
     let mut cols = Vec::new();
     for item in &core.items {
         match item {
@@ -586,11 +600,12 @@ fn order_keys(
     Ok(keys)
 }
 
-fn sort_keyed(keyed: &mut [(Vec<Value>, Vec<Value>)], order_by: &[OrderKey]) {
+/// Stable sort of `(keys, row)` pairs by the per-key descending flags.
+pub(crate) fn sort_keyed(keyed: &mut [(Vec<Value>, Vec<Value>)], desc: &[bool]) {
     keyed.sort_by(|(ka, _), (kb, _)| {
-        for (i, k) in order_by.iter().enumerate() {
+        for (i, d) in desc.iter().enumerate() {
             let ord = ka[i].sql_cmp(&kb[i]);
-            let ord = if k.desc { ord.reverse() } else { ord };
+            let ord = if *d { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
@@ -599,7 +614,7 @@ fn sort_keyed(keyed: &mut [(Vec<Value>, Vec<Value>)], order_by: &[OrderKey]) {
     });
 }
 
-fn apply_limit(rows: Vec<Vec<Value>>, limit: Limit) -> Vec<Vec<Value>> {
+pub(crate) fn apply_limit(rows: Vec<Vec<Value>>, limit: Limit) -> Vec<Vec<Value>> {
     rows.into_iter().skip(limit.offset as usize).take(limit.count as usize).collect()
 }
 

@@ -32,12 +32,14 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub mod plan;
 pub mod result;
 pub mod schema;
 pub mod value;
 
 pub use database::{Database, TableBuilder};
 pub use error::{ExecError, ExecResult};
+pub use plan::{compile, CompiledQuery};
 pub use result::{results_equivalent, ResultSet};
 pub use schema::{ColumnDef, ColumnType, ForeignKey, TableSchema};
-pub use value::Value;
+pub use value::{KeyPart, Value};

@@ -1,6 +1,6 @@
 //! Query results and the execution-accuracy equivalence check.
 
-use crate::value::Value;
+use crate::value::{row_key_parts, KeyPart, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -38,23 +38,14 @@ impl ResultSet {
     }
 
     /// Canonical multiset signature of the rows (ignores column names).
-    fn multiset(&self) -> HashMap<String, usize> {
+    fn multiset(&self) -> HashMap<Vec<KeyPart>, usize> {
         let mut m = HashMap::with_capacity(self.rows.len());
         for row in &self.rows {
-            let key = row_key(row);
-            *m.entry(key).or_insert(0) += 1;
+            // structured key: no separator-byte collisions between rows
+            *m.entry(row_key_parts(row)).or_insert(0) += 1;
         }
         m
     }
-}
-
-fn row_key(row: &[Value]) -> String {
-    let mut s = String::new();
-    for v in row {
-        s.push_str(&v.canonical_key());
-        s.push('\u{1}');
-    }
-    s
 }
 
 /// Execution-accuracy equivalence between a gold and a predicted result.
@@ -73,7 +64,7 @@ pub fn results_equivalent(gold: &ResultSet, pred: &ResultSet) -> bool {
         return false;
     }
     if gold.ordered {
-        gold.rows.iter().zip(&pred.rows).all(|(g, p)| row_key(g) == row_key(p))
+        gold.rows.iter().zip(&pred.rows).all(|(g, p)| row_key_parts(g) == row_key_parts(p))
     } else {
         gold.multiset() == pred.multiset()
     }

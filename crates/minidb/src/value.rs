@@ -136,6 +136,48 @@ impl Value {
             Value::Text(s) => format!("t:{s}"),
         }
     }
+
+    /// Structured hash/equality key with exactly the [`Value::canonical_key`]
+    /// equivalence classes, but without the string round-trip — and, when
+    /// collected into a `Vec<KeyPart>` row key, without the separator-byte
+    /// collision a joined string key has (a text value containing the
+    /// separator could previously merge two distinct rows).
+    pub fn key_part(&self) -> KeyPart {
+        match self {
+            Value::Null => KeyPart::Null,
+            Value::Int(v) => KeyPart::Num(*v),
+            Value::Real(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 9e15 {
+                    KeyPart::Num(*v as i64)
+                } else {
+                    // same 1e-6 rounding as the canonical string key so the
+                    // equivalence classes stay byte-for-byte identical
+                    KeyPart::Real(format!("{v:.6}"))
+                }
+            }
+            Value::Text(s) => KeyPart::Text(s.clone()),
+        }
+    }
+}
+
+/// One component of a structured row key: the hashable canonicalization of a
+/// single [`Value`]. A whole row keys as `Vec<KeyPart>`, which is collision
+/// free by construction (no in-band separator).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    /// NULL (all NULLs group together under grouping/DISTINCT semantics).
+    Null,
+    /// Integers and integral floats, collapsed (`1` ≡ `1.0`).
+    Num(i64),
+    /// Non-integral floats, canonicalized to 6 decimal places.
+    Real(String),
+    /// Text, kept distinct from numbers (`1` ≢ `'1'`).
+    Text(String),
+}
+
+/// Structured key for a whole row.
+pub fn row_key_parts(row: &[Value]) -> Vec<KeyPart> {
+    row.iter().map(Value::key_part).collect()
 }
 
 fn cmp_f64(a: f64, b: f64) -> Ordering {
@@ -244,5 +286,38 @@ mod tests {
         assert_eq!(Value::Real(2.0).render(), "2.0");
         assert_eq!(Value::Int(7).render(), "7");
         assert_eq!(Value::Null.render(), "NULL");
+    }
+
+    #[test]
+    fn key_part_matches_canonical_key_classes() {
+        let samples = [
+            Value::Null,
+            Value::Int(1),
+            Value::Int(-7),
+            Value::Real(1.0),
+            Value::Real(1.5),
+            Value::Real(0.000_000_4),
+            Value::Real(-0.0),
+            Value::text("1"),
+            Value::text("a"),
+            Value::text(""),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.key_part() == b.key_part(),
+                    a.canonical_key() == b.canonical_key(),
+                    "class mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structured_row_key_has_no_separator_collision() {
+        // the old "\u{1}"-joined key merged these two distinct rows
+        let a = vec![Value::text("x\u{1}t:y"), Value::text("z")];
+        let b = vec![Value::text("x"), Value::text("y\u{1}t:z")];
+        assert_ne!(row_key_parts(&a), row_key_parts(&b));
     }
 }

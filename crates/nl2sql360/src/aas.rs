@@ -174,26 +174,98 @@ fn swap_layers(a: &mut ModuleSet, b: &mut ModuleSet, p_swap: f64, rng: &mut StdR
     }
 }
 
+/// Evaluate every not-yet-cached individual of a population, fanning the
+/// fitness evaluations over `workers` scoped threads.
+///
+/// The search trajectory must not depend on the worker count, and composed
+/// pipeline names salt the simulated models' prediction noise — so names
+/// are assigned *before* the parallel fan-out, in the population's
+/// first-occurrence order (`aas-{cache.len()+k}`), exactly the order the
+/// sequential loop would have composed them in. Results then enter the
+/// cache in that same order, keeping `evaluations` and every subsequent
+/// roulette draw identical at any worker count.
+fn evaluate_pending(
+    ctx: &EvalContext<'_>,
+    backbone: &Backbone,
+    cfg: &AasConfig,
+    workers: usize,
+    population: &[ModuleSet],
+    cache: &mut HashMap<ModuleSet, f64>,
+    evaluations: &mut usize,
+) {
+    let mut pending: Vec<ModuleSet> = Vec::new();
+    for m in population {
+        if !cache.contains_key(m) && !pending.contains(m) {
+            pending.push(*m);
+        }
+    }
+    if pending.is_empty() {
+        return;
+    }
+    let base = cache.len();
+    let results: Vec<f64> = if workers <= 1 || pending.len() < 2 {
+        pending
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                let model = compose(format!("aas-{}", base + k), backbone, *m);
+                ctx.fitness_ex(&model, cfg.fitness_samples)
+                    .expect("composed pipelines run on every dataset")
+            })
+            .collect()
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<f64>>> =
+            (0..pending.len()).map(|_| Mutex::new(None)).collect();
+        let pending = &pending;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers.min(pending.len()) {
+                s.spawn(|_| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= pending.len() {
+                        break;
+                    }
+                    let model = compose(format!("aas-{}", base + k), backbone, pending[k]);
+                    let f = ctx
+                        .fitness_ex(&model, cfg.fitness_samples)
+                        .expect("composed pipelines run on every dataset");
+                    *slots[k].lock().expect("slot poisoned") = Some(f);
+                });
+            }
+        })
+        .expect("fitness worker panicked");
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("slot poisoned").expect("all slots evaluated"))
+            .collect()
+    };
+    for (m, f) in pending.iter().zip(results) {
+        cache.insert(*m, f);
+        *evaluations += 1;
+    }
+}
+
 /// Run the genetic search. Fitness = measured EX of the composed pipeline
-/// over `cfg.fitness_samples` dev samples of `ctx`.
+/// over `cfg.fitness_samples` dev samples of `ctx`. Fitness evaluations run
+/// on the default worker pool; the search trajectory is identical at any
+/// worker count.
 pub fn search(ctx: &EvalContext<'_>, backbone: &Backbone, cfg: &AasConfig) -> AasResult {
+    search_with_workers(ctx, backbone, cfg, crate::executor::default_workers())
+}
+
+/// [`search`] with an explicit fitness worker count.
+pub fn search_with_workers(
+    ctx: &EvalContext<'_>,
+    backbone: &Backbone,
+    cfg: &AasConfig,
+    workers: usize,
+) -> AasResult {
     assert!(cfg.population >= 2, "population must hold at least two individuals");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut cache: HashMap<ModuleSet, f64> = HashMap::new();
     let mut evaluations = 0usize;
-
-    let mut fitness = |m: &ModuleSet, cache: &mut HashMap<ModuleSet, f64>| -> f64 {
-        if let Some(f) = cache.get(m) {
-            return *f;
-        }
-        let model = compose(format!("aas-{}", cache.len()), backbone, *m);
-        let f = ctx
-            .fitness_ex(&model, cfg.fitness_samples)
-            .expect("composed pipelines run on every dataset");
-        cache.insert(*m, f);
-        evaluations += 1;
-        f
-    };
 
     let mut population: Vec<ModuleSet> =
         (0..cfg.population).map(|_| random_modules(&mut rng)).collect();
@@ -202,7 +274,8 @@ pub fn search(ctx: &EvalContext<'_>, backbone: &Backbone, cfg: &AasConfig) -> Aa
     let mut best_fitness = f64::NEG_INFINITY;
 
     for generation in 0..cfg.generations {
-        let scores: Vec<f64> = population.iter().map(|m| fitness(m, &mut cache)).collect();
+        evaluate_pending(ctx, backbone, cfg, workers, &population, &mut cache, &mut evaluations);
+        let scores: Vec<f64> = population.iter().map(|m| cache[m]).collect();
 
         // track the champion
         for (m, &f) in population.iter().zip(&scores) {
@@ -269,8 +342,9 @@ pub fn search(ctx: &EvalContext<'_>, backbone: &Backbone, cfg: &AasConfig) -> Aa
     }
 
     // final evaluation pass over the last generation
+    evaluate_pending(ctx, backbone, cfg, workers, &population, &mut cache, &mut evaluations);
     for m in &population {
-        let f = fitness(m, &mut cache);
+        let f = cache[m];
         if f > best_fitness {
             best_fitness = f;
             best = *m;

@@ -4,17 +4,18 @@
 //!
 //! ```text
 //! nl2sql360 generate   --kind spider|bird --size tiny|quick|full --seed N --out corpus.json
-//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" --logs DIR
+//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" [--parallel N] --logs DIR
 //! nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD --metric ex|em|qvt|ves|cost|tokens
 //!                       [--filter "hardness=extra,subquery=yes,joins=2+"]
 //! nl2sql360 methods    # list the model zoo
-//! nl2sql360 diagnose   --corpus corpus.json --method NAME [--limit N]
+//! nl2sql360 diagnose   --corpus corpus.json --method NAME [--limit N] [--parallel N]
 //! ```
 
 use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind};
 use modelzoo::{Nl2SqlModel, SimulatedModel};
 use nl2sql360::{
-    diagnose, evaluate_all, metrics, EvalContext, EvalLog, Filter, LogStore, TextTable,
+    diagnose, evaluate_all_with_workers, metrics, EvalContext, EvalLog, Filter, LogStore,
+    TextTable,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -52,11 +53,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   nl2sql360 generate    --kind spider|bird --size tiny|quick|full [--seed N] --out FILE
-  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] --logs DIR
+  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] [--parallel N] --logs DIR
   nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD [--metric ex|em|qvt|ves|cost|tokens] [--filter SPEC]
   nl2sql360 methods
   nl2sql360 dashboard   --logs DIR --dataset Spider|BIRD --method NAME
-  nl2sql360 diagnose    --corpus FILE --method NAME [--limit N]";
+  nl2sql360 diagnose    --corpus FILE --method NAME [--limit N] [--parallel N]";
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -75,6 +76,17 @@ fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn require<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
     opts.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+}
+
+/// `--parallel N` worker count, defaulting to the machine's available cores.
+fn parallel_workers(opts: &HashMap<String, String>) -> Result<usize, String> {
+    match opts.get("parallel") {
+        None => Ok(nl2sql360::default_workers()),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --parallel `{s}` (want an integer >= 1)")),
+        },
+    }
 }
 
 fn load_corpus(path: &str) -> Result<Corpus, String> {
@@ -146,14 +158,15 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
             picked
         }
     };
+    let workers = parallel_workers(opts)?;
     eprintln!(
-        "evaluating {} methods on {} ({} dev samples) ...",
+        "evaluating {} methods on {} ({} dev samples, {workers} workers) ...",
         selected.len(),
         corpus.kind.name(),
         corpus.dev.len()
     );
     let ctx = EvalContext::new(&corpus);
-    let logs = evaluate_all(&ctx, &selected);
+    let logs = evaluate_all_with_workers(&ctx, &selected, workers);
     let store = LogStore::open(logs_dir).map_err(|e| e.to_string())?;
     for log in &logs {
         let path = store.save(log).map_err(|e| e.to_string())?;
@@ -326,12 +339,13 @@ fn cmd_diagnose(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --limit `{s}`")))
         .transpose()?
         .unwrap_or(usize::MAX);
+    let workers = parallel_workers(opts)?;
     let spec = modelzoo::method_by_name(method)
         .ok_or_else(|| format!("unknown method `{method}`"))?;
     let model = SimulatedModel::new(spec);
     let ctx = EvalContext::new(&corpus);
     let log = ctx
-        .evaluate(&model)
+        .evaluate_parallel(&model, workers)
         .ok_or_else(|| format!("{method} does not run on {}", corpus.kind.name()))?;
 
     // error profile over the EX-wrong canonical predictions

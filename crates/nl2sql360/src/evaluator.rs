@@ -4,23 +4,36 @@
 //! leaderboards. This is the entry point the examples and the benchmark
 //! harness drive.
 
-use crate::executor::{EvalContext, EvalLog};
+use crate::executor::{default_workers, EvalContext, EvalLog};
 use crate::filter::Filter;
 use crate::metrics;
 use crate::report::{fmt_pct, TextTable};
 use modelzoo::SimulatedModel;
 
-/// Evaluate several models over the context, in parallel (one thread per
-/// model, capped by available parallelism). Models that do not support the
-/// dataset are skipped.
+/// Evaluate several models over the context with the machine's default
+/// worker budget. Models that do not support the dataset are skipped.
 pub fn evaluate_all(ctx: &EvalContext<'_>, models: &[SimulatedModel]) -> Vec<EvalLog> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    evaluate_all_with_workers(ctx, models, default_workers())
+}
+
+/// Evaluate several models over the context with an explicit worker budget,
+/// split between model-level threads and per-model sample workers so the
+/// nested fan-out does not oversubscribe `workers` cores. Logs come back in
+/// model order, each byte-identical to a sequential evaluation.
+pub fn evaluate_all_with_workers(
+    ctx: &EvalContext<'_>,
+    models: &[SimulatedModel],
+    workers: usize,
+) -> Vec<EvalLog> {
+    let workers = workers.max(1);
+    // samples-per-model workers, after model-level threads are accounted for
+    let per_model = (workers / models.len().max(1)).max(1);
     let mut logs: Vec<Option<EvalLog>> = Vec::with_capacity(models.len());
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk in models.chunks(models.len().div_ceil(threads).max(1)) {
+        for chunk in models.chunks(models.len().div_ceil(workers).max(1)) {
             handles.push(scope.spawn(move |_| {
-                chunk.iter().map(|m| ctx.evaluate(m)).collect::<Vec<_>>()
+                chunk.iter().map(|m| ctx.evaluate_parallel(m, per_model)).collect::<Vec<_>>()
             }));
         }
         for h in handles {

@@ -283,55 +283,126 @@ impl<'a> EvalContext<'a> {
     /// Evaluate one model over the full dev split (all NL variants).
     /// Returns `None` when the model does not run on this dataset.
     pub fn evaluate(&self, model: &dyn Nl2SqlModel) -> Option<EvalLog> {
-        self.evaluate_subset(model, self.corpus.dev.len())
+        self.evaluate_parallel(model, default_workers())
     }
 
-    /// Evaluate on the first `n` dev samples (used by the AAS fitness
-    /// function and quick experiments).
+    /// Evaluate on the first `n` dev samples (used by quick experiments).
     pub fn evaluate_subset(&self, model: &dyn Nl2SqlModel, n: usize) -> Option<EvalLog> {
+        self.evaluate_subset_parallel(model, n, default_workers())
+    }
+
+    /// Evaluate the full dev split over a worker pool. Samples are fanned
+    /// out to `workers` scoped threads on a shared claim counter and merged
+    /// back in sample order, so the resulting [`EvalLog`] is byte-identical
+    /// to a sequential evaluation at any worker count (test-enforced).
+    pub fn evaluate_parallel(&self, model: &dyn Nl2SqlModel, workers: usize) -> Option<EvalLog> {
+        self.evaluate_subset_parallel(model, self.corpus.dev.len(), workers)
+    }
+
+    /// Parallel evaluation of the first `n` dev samples over `workers`
+    /// threads. `workers <= 1` runs inline without spawning.
+    pub fn evaluate_subset_parallel(
+        &self,
+        model: &dyn Nl2SqlModel,
+        n: usize,
+        workers: usize,
+    ) -> Option<EvalLog> {
         let n = n.min(self.corpus.dev.len());
-        let mut records = Vec::with_capacity(n);
-        for (i, sample) in self.corpus.dev.iter().take(n).enumerate() {
-            let gold_rs = &self.gold_results[i];
-            let mut variants = Vec::with_capacity(sample.variants.len());
-            for v in 0..sample.variants.len() {
-                let task = self.task(sample, v);
-                let pred = model.translate(&task)?;
-                let (mut ex, pred_work, exec_failure) =
-                    score_execution(self.corpus, sample, &pred.query, gold_rs);
-                if ex {
-                    ex = self.suite_confirms(i, sample, &pred.query);
-                }
-                let em = sqlkit::exact_match(&sample.query, &pred.query);
-                variants.push(VariantRecord {
-                    ex,
-                    em,
-                    pred_sql: pred.sql,
-                    pred_work,
-                    exec_failure,
-                    prompt_tokens: pred.prompt_tokens,
-                    completion_tokens: pred.completion_tokens,
-                    cost_usd: pred.cost_usd,
-                    latency_s: pred.latency_s,
-                });
+        let records = if workers <= 1 || n < 2 {
+            let mut records = Vec::with_capacity(n);
+            for i in 0..n {
+                records.push(self.eval_sample(model, i)?);
             }
-            records.push(SampleRecord {
-                sample_id: sample.id,
-                db_id: sample.db_id.clone(),
-                domain: sample.domain.spec().name.to_string(),
-                hardness: sample.hardness,
-                bird_difficulty: sample.bird_difficulty,
-                features: sample.features.clone(),
-                gold_sql: sample.sql.clone(),
-                gold_work: gold_rs.work,
-                variants,
-            });
-        }
+            records
+        } else {
+            use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let workers = workers.min(n);
+            // dynamic claim counter: workers pull the next unclaimed sample,
+            // so an expensive sample never stalls a fixed chunk behind it
+            let next = AtomicUsize::new(0);
+            let abort = AtomicBool::new(false);
+            let slots: Vec<Mutex<Option<SampleRecord>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            crossbeam::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|_| loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match self.eval_sample(model, i) {
+                            Some(rec) => *slots[i].lock().expect("slot poisoned") = Some(rec),
+                            None => {
+                                // model refuses this dataset: the whole
+                                // evaluation is None, matching sequential
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("evaluation worker panicked");
+            if abort.load(Ordering::Relaxed) {
+                return None;
+            }
+            // ordered merge: slot i holds sample i, independent of which
+            // worker produced it or when
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("slot poisoned"))
+                .collect::<Option<Vec<_>>>()?
+        };
         Some(EvalLog {
             method: model.name().to_string(),
             class_label: class_label_of(model),
             dataset: self.corpus.kind.name().to_string(),
             records,
+        })
+    }
+
+    /// Evaluate a single dev sample (all its NL variants). Pure in
+    /// `(self, model, i)`, which is what makes the parallel fan-out safe:
+    /// no evaluation-order state leaks between samples.
+    fn eval_sample(&self, model: &dyn Nl2SqlModel, i: usize) -> Option<SampleRecord> {
+        let sample = &self.corpus.dev[i];
+        let gold_rs = &self.gold_results[i];
+        let mut variants = Vec::with_capacity(sample.variants.len());
+        for v in 0..sample.variants.len() {
+            let task = self.task(sample, v);
+            let pred = model.translate(&task)?;
+            let (mut ex, pred_work, exec_failure) =
+                score_execution(self.corpus, sample, &pred.query, gold_rs);
+            if ex {
+                ex = self.suite_confirms(i, sample, &pred.query);
+            }
+            let em = sqlkit::exact_match(&sample.query, &pred.query);
+            variants.push(VariantRecord {
+                ex,
+                em,
+                pred_sql: pred.sql,
+                pred_work,
+                exec_failure,
+                prompt_tokens: pred.prompt_tokens,
+                completion_tokens: pred.completion_tokens,
+                cost_usd: pred.cost_usd,
+                latency_s: pred.latency_s,
+            });
+        }
+        Some(SampleRecord {
+            sample_id: sample.id,
+            db_id: sample.db_id.clone(),
+            domain: sample.domain.spec().name.to_string(),
+            hardness: sample.hardness,
+            bird_difficulty: sample.bird_difficulty,
+            features: sample.features.clone(),
+            gold_sql: sample.sql.clone(),
+            gold_work: gold_rs.work,
+            variants,
         })
     }
 
@@ -382,6 +453,13 @@ fn score_execution(
         Ok(rs) => (results_equivalent(gold_rs, &rs), Some(rs.work), None),
         Err(e) => (false, None, Some(ExecFailureKind::of(&e))),
     }
+}
+
+/// Default evaluation worker count: the machine's available parallelism
+/// (1 when it cannot be determined). Shared by the CLI `--parallel`
+/// default, the serve worker pool, and `EvalContext::evaluate`.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Small deterministic string hash for suite instance seeds.

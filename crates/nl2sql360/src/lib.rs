@@ -45,11 +45,16 @@ pub mod metrics;
 pub mod pipeline;
 pub mod report;
 
-pub use aas::{search, AasConfig, AasResult};
+pub use aas::{search, search_with_workers, AasConfig, AasResult};
 pub use diagnose::{diagnose as diagnose_queries, error_profile, exec_failure_profile, Mismatch};
 pub use extensions::{adaptive_plan, evaluate_with_rewriter, DomainDeficit};
-pub use evaluator::{evaluate_all, leaderboard, render_accuracy_leaderboard, LeaderboardRow};
-pub use executor::{EvalContext, EvalLog, ExecFailureKind, SampleRecord, VariantRecord};
+pub use evaluator::{
+    evaluate_all, evaluate_all_with_workers, leaderboard, render_accuracy_leaderboard,
+    LeaderboardRow,
+};
+pub use executor::{
+    default_workers, EvalContext, EvalLog, ExecFailureKind, SampleRecord, VariantRecord,
+};
 pub use filter::{CountBucket, Filter};
 pub use logs::LogStore;
 pub use pipeline::{compose, gpt35, gpt4, Backbone};

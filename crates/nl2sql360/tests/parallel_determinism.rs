@@ -1,0 +1,73 @@
+//! Parallel evaluation must be a pure performance optimization: the logs
+//! and search trajectories are required to be byte-identical at any worker
+//! count. These tests pin that contract.
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::{method_by_name, SimulatedModel};
+use nl2sql360::pipeline::gpt35;
+use nl2sql360::{search_with_workers, AasConfig, EvalContext};
+
+#[test]
+fn evaluate_is_byte_identical_at_any_worker_count() {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(21));
+    let ctx = EvalContext::new(&corpus);
+    for method in ["SuperSQL", "C3SQL", "SFT CodeS-7B"] {
+        let model = SimulatedModel::new(method_by_name(method).unwrap());
+        let sequential = ctx.evaluate_parallel(&model, 1).unwrap();
+        let baseline = serde_json::to_string(&sequential).unwrap();
+        for workers in [2, 3, 8] {
+            let parallel = ctx.evaluate_parallel(&model, workers).unwrap();
+            assert_eq!(
+                baseline,
+                serde_json::to_string(&parallel).unwrap(),
+                "{method}: EvalLog at {workers} workers diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluate_subset_is_byte_identical_at_any_worker_count() {
+    let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(22));
+    let ctx = EvalContext::new(&corpus);
+    let model = SimulatedModel::new(method_by_name("SuperSQL").unwrap());
+    let sequential = ctx.evaluate_subset_parallel(&model, 12, 1).unwrap();
+    let baseline = serde_json::to_string(&sequential).unwrap();
+    for workers in [2, 5] {
+        let parallel = ctx.evaluate_subset_parallel(&model, 12, workers).unwrap();
+        assert_eq!(baseline, serde_json::to_string(&parallel).unwrap());
+    }
+}
+
+#[test]
+fn refusing_model_returns_none_at_any_worker_count() {
+    // DINSQL refuses BIRD contexts; the parallel path must propagate the
+    // refusal exactly like the sequential path
+    let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(23));
+    let ctx = EvalContext::new(&corpus);
+    let model = SimulatedModel::new(method_by_name("DINSQL").unwrap());
+    for workers in [1, 2, 8] {
+        assert!(ctx.evaluate_parallel(&model, workers).is_none());
+    }
+}
+
+#[test]
+fn aas_trajectory_is_identical_at_any_worker_count() {
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(24));
+    let ctx = EvalContext::new(&corpus);
+    let cfg = AasConfig::tiny(5);
+    let base = search_with_workers(&ctx, &gpt35(), &cfg, 1);
+    for workers in [2, 4, 8] {
+        let run = search_with_workers(&ctx, &gpt35(), &cfg, workers);
+        assert_eq!(base.best, run.best, "{workers} workers: champion diverged");
+        assert_eq!(base.best_fitness, run.best_fitness);
+        assert_eq!(base.evaluations, run.evaluations);
+        assert_eq!(base.history.len(), run.history.len());
+        for (a, b) in base.history.iter().zip(&run.history) {
+            assert_eq!(a.generation, b.generation);
+            assert_eq!(a.best, b.best, "gen {} best diverged", a.generation);
+            assert_eq!(a.mean, b.mean, "gen {} mean diverged", a.generation);
+            assert_eq!(a.worst, b.worst, "gen {} worst diverged", a.generation);
+        }
+    }
+}

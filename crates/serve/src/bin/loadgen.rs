@@ -37,7 +37,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             requests: 2000,
-            workers: 8,
+            workers: nl2sql360::default_workers(),
             seed: 7,
             corpus_seed: 42,
             clients: 16,
@@ -231,8 +231,15 @@ fn main() {
         DEFAULT_METHODS.join(", ")
     );
     println!(
-        "  config: {} workers, queue {}, batch {}, {} / {} clients, {} requests, seed {}",
-        args.workers, args.queue, args.batch, mode, args.clients, args.requests, args.seed
+        "  config: {} workers (cores available: {}), queue {}, batch {}, {} / {} clients, {} requests, seed {}",
+        args.workers,
+        nl2sql360::default_workers(),
+        args.queue,
+        args.batch,
+        mode,
+        args.clients,
+        args.requests,
+        args.seed
     );
     // closed-loop clients block, so admission never races the workers and
     // the whole outcome block reproduces bit-for-bit; open-loop admission

@@ -65,7 +65,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 4,
+            workers: nl2sql360::default_workers(),
             queue_capacity: 256,
             max_batch: 8,
             cache_shards: 8,

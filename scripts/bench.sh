@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Evaluation performance benchmark: parallel corpus evaluation across
+# worker counts + compiled query plans vs the AST interpreter.
+#
+#   ./scripts/bench.sh             # full run, writes BENCH_eval.json
+#   ./scripts/bench.sh --quick     # reduced smoke run
+#
+# Extra arguments are forwarded to the bench_eval binary (see
+# `bench_eval --help`). The full run validates that compiled plans beat
+# the interpreter; the >=2x 4-worker throughput target is enforced only
+# on machines with >= 4 cores (see BENCH_eval.json "cores").
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --offline --release -p nl2sql360-bench --bin bench_eval -- \
+  --out BENCH_eval.json --validate "$@"

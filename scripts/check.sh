@@ -3,6 +3,7 @@
 #
 #   ./scripts/check.sh          # build + tests (the hard gate)
 #   ./scripts/check.sh --lint   # also run clippy, warnings as errors
+#   ./scripts/check.sh --bench  # also smoke the evaluation benchmark
 #
 # The build is fully offline (all external deps vendored under vendor/),
 # so --offline is passed everywhere to fail fast instead of trying the
@@ -12,9 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 lint=0
+bench=0
 for arg in "$@"; do
   case "$arg" in
     --lint) lint=1 ;;
+    --bench) bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -28,6 +31,12 @@ cargo test --offline --workspace -q
 if [ "$lint" -eq 1 ]; then
   echo "==> cargo clippy (-D warnings)"
   cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+if [ "$bench" -eq 1 ]; then
+  echo "==> bench_eval smoke (--quick)"
+  cargo run --offline --release -p nl2sql360-bench --bin bench_eval -- \
+    --quick --out /tmp/BENCH_eval_smoke.json
 fi
 
 echo "==> tier-1 gate passed"
