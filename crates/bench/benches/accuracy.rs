@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use modelzoo::{method_by_name, Nl2SqlModel, SimulatedModel};
-use nl2sql360::{metrics, EvalContext, Filter};
+use nl2sql360::{metrics, EvalContext, EvalOptions, Filter};
 
 fn bench_accuracy(c: &mut Criterion) {
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
@@ -22,10 +22,10 @@ fn bench_accuracy(c: &mut Criterion) {
         b.iter(|| local_model.translate(black_box(&task)).expect("spider supported"))
     });
     c.bench_function("evaluate/20_samples", |b| {
-        b.iter(|| ctx.evaluate_subset(black_box(&local_model), 20).expect("supported"))
+        b.iter(|| ctx.evaluate_with(black_box(&local_model), &EvalOptions::new().subset(20)).expect("supported"))
     });
 
-    let log = ctx.evaluate(&local_model).expect("supported");
+    let log = ctx.evaluate_with(&local_model, &EvalOptions::new()).expect("supported");
     c.bench_function("metrics/ex_em_qvt_ves", |b| {
         b.iter(|| {
             let f = Filter::all();

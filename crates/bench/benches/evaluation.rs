@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
 use modelzoo::{method_by_name, SimulatedModel};
-use nl2sql360::EvalContext;
+use nl2sql360::{EvalContext, EvalOptions};
 
 fn quick() -> bool {
     std::env::var_os("BENCH_QUICK").is_some()
@@ -25,7 +25,7 @@ fn bench_parallel_evaluate(c: &mut Criterion) {
     for &w in workers {
         group.bench_function(format!("workers_{w}"), |b| {
             b.iter(|| {
-                let log = ctx.evaluate_parallel(black_box(&model), w).expect("model runs");
+                let log = ctx.evaluate_with(black_box(&model), &EvalOptions::new().workers(w)).expect("model runs");
                 black_box(log.records.len())
             })
         });

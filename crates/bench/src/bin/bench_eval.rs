@@ -9,6 +9,10 @@
 //!    the compiled plan on join and group-by microbenches, with the plan
 //!    cache on (lower once, execute many) and off (`run_query` re-lowers
 //!    each call).
+//! 3. **Observability overhead**: the same evaluation with tracing on vs
+//!    off, plus the micro-cost of a disabled span+counter pair. The
+//!    trace-off pass runs *after* the trace-on pass, so a recorder that
+//!    leaks past its enable guard shows up as a disabled-path regression.
 //!
 //! ```text
 //! bench_eval [--quick] [--out FILE] [--validate]
@@ -16,13 +20,15 @@
 //!
 //! `--quick` shrinks repetitions for smoke testing. `--validate` exits
 //! nonzero unless the compiled plan beats the interpreter on every
-//! microbench and (on machines with >= 4 cores) evaluation reaches >= 2x
-//! throughput at 4 workers; parallel scaling is physically impossible on
-//! fewer cores, so that check is recorded but not enforced there.
+//! microbench, the disabled-path throughput after tracing stays within 5%
+//! of the pre-tracing measurement, and (on machines with >= 4 cores)
+//! evaluation reaches >= 2x throughput at 4 workers; parallel scaling is
+//! physically impossible on fewer cores, so that check is recorded but not
+//! enforced there.
 
 use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
 use modelzoo::{method_by_name, SimulatedModel};
-use nl2sql360::EvalContext;
+use nl2sql360::{EvalContext, EvalOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -79,7 +85,7 @@ fn time_evaluate(ctx: &EvalContext<'_>, model: &SimulatedModel, workers: usize, 
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let started = Instant::now();
-        let log = ctx.evaluate_parallel(model, workers).expect("model runs on corpus");
+        let log = ctx.evaluate_with(model, &EvalOptions::new().workers(workers)).expect("model runs on corpus");
         let elapsed = started.elapsed().as_secs_f64();
         assert!(!log.records.is_empty());
         best = best.min(elapsed);
@@ -152,6 +158,62 @@ fn bench_plans(iters: usize) -> Vec<PlanPoint> {
         .collect()
 }
 
+struct TracePoint {
+    workers: usize,
+    off_samples_per_sec: f64,
+    on_samples_per_sec: f64,
+    /// (off - on) / off as a percentage; what enabling tracing costs.
+    trace_on_overhead_pct: f64,
+    /// Post-tracing disabled time / pre-tracing time. > 1.05 means the
+    /// disabled path regressed (e.g. a leaked enable guard).
+    disabled_regression: f64,
+    /// ns for one disabled span + counter pair.
+    disabled_ns_per_op: f64,
+}
+
+/// Trace-on vs trace-off evaluation timings. `base_secs` is the 4-worker
+/// time measured before any tracing ran in this process.
+fn bench_trace(
+    ctx: &EvalContext<'_>,
+    model: &SimulatedModel,
+    n_samples: usize,
+    base_secs: f64,
+    reps: usize,
+) -> TracePoint {
+    let workers = 4;
+    let on_secs = {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            obs::reset();
+            let started = Instant::now();
+            let log = ctx
+                .evaluate_with(model, &EvalOptions::new().workers(workers).trace(true))
+                .expect("model runs on corpus");
+            let elapsed = started.elapsed().as_secs_f64();
+            assert!(!log.records.is_empty());
+            best = best.min(elapsed);
+        }
+        obs::reset();
+        best
+    };
+    // measured AFTER tracing: catches a recorder leaking past its guard
+    let off_secs = time_evaluate(ctx, model, workers, reps);
+    assert!(!obs::enabled(), "enable guard must restore the disabled state");
+    let disabled_ns_per_op = time_ns(200_000, || {
+        let _span = obs::span("bench.disabled");
+        obs::count("bench.disabled", 1);
+        0
+    });
+    TracePoint {
+        workers,
+        off_samples_per_sec: n_samples as f64 / off_secs,
+        on_samples_per_sec: n_samples as f64 / on_secs,
+        trace_on_overhead_pct: (on_secs - off_secs) / off_secs * 100.0,
+        disabled_regression: off_secs / base_secs,
+        disabled_ns_per_op,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let cores = nl2sql360::default_workers();
@@ -193,6 +255,22 @@ fn main() {
         );
     }
 
+    eprintln!("bench_eval: observability overhead (tracing on/off) ...");
+    let base4 = {
+        let at4 = eval_points.iter().find(|p| p.workers == 4).expect("4 in sweep");
+        n_samples as f64 / at4.samples_per_sec
+    };
+    let trace = bench_trace(&ctx, &model, n_samples, base4, reps);
+    eprintln!(
+        "  workers={} off {:>9.0} samples/sec  on {:>9.0} samples/sec  trace-on overhead {:+.1}%",
+        trace.workers, trace.off_samples_per_sec, trace.on_samples_per_sec,
+        trace.trace_on_overhead_pct
+    );
+    eprintln!(
+        "  disabled path: x{:.3} vs pre-trace baseline, {:.1}ns per span+counter pair",
+        trace.disabled_regression, trace.disabled_ns_per_op
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -219,7 +297,19 @@ fn main() {
             p.query, p.interpreter_ns, p.compiled_ns, p.cache_off_ns, p.speedup
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"trace\": {{");
+    let _ = writeln!(
+        json,
+        "    \"workers\": {}, \"off_samples_per_sec\": {:.1}, \"on_samples_per_sec\": {:.1},",
+        trace.workers, trace.off_samples_per_sec, trace.on_samples_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "    \"trace_on_overhead_pct\": {:.2}, \"disabled_regression\": {:.4}, \"disabled_ns_per_op\": {:.1}",
+        trace.trace_on_overhead_pct, trace.disabled_regression, trace.disabled_ns_per_op
+    );
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("write {}: {e}", args.out);
@@ -237,6 +327,21 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        if trace.disabled_regression > 1.05 {
+            eprintln!(
+                "FAIL: disabled-path evaluation regressed x{:.3} after tracing ran \
+                 (recorder leaking past its guard?)",
+                trace.disabled_regression
+            );
+            failed = true;
+        }
+        if trace.disabled_ns_per_op > 250.0 {
+            eprintln!(
+                "FAIL: a disabled span+counter pair costs {:.0}ns (budget: 250ns)",
+                trace.disabled_ns_per_op
+            );
+            failed = true;
         }
         let at4 = eval_points.iter().find(|p| p.workers == 4).expect("4 in sweep");
         if cores >= 4 {

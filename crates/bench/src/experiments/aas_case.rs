@@ -9,7 +9,7 @@
 
 use crate::{Harness, Scale};
 use modelzoo::{ModuleSet, Nl2SqlModel};
-use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, search, AasConfig, EvalContext, Filter, TextTable};
+use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, search, AasConfig, EvalContext, EvalOptions, Filter, TextTable};
 
 /// Render the case study.
 pub fn case_study(h: &Harness) -> String {
@@ -49,9 +49,9 @@ pub fn case_study(h: &Harness) -> String {
 
     // re-base the winner on GPT-4 and evaluate on the full dev splits
     let winner = compose("AAS winner (GPT-4)".into(), &gpt4(), result.best);
-    let spider_log = ctx.evaluate(&winner).expect("hybrid runs on Spider");
+    let spider_log = ctx.evaluate_with(&winner, &EvalOptions::new()).expect("hybrid runs on Spider");
     let bird_ctx = EvalContext::new(&h.bird);
-    let bird_log = bird_ctx.evaluate(&winner).expect("hybrid runs on BIRD");
+    let bird_log = bird_ctx.evaluate_with(&winner, &EvalOptions::new()).expect("hybrid runs on BIRD");
     out.push_str(&format!(
         "\nWinner re-based on GPT-4:\n  Spider dev EX: {}\n  BIRD dev EX:   {}\n",
         fmt_pct(metrics::ex(&spider_log, &Filter::all())),
@@ -60,7 +60,7 @@ pub fn case_study(h: &Harness) -> String {
 
     // reference: the shipped SuperSQL composition
     let supersql = compose("SuperSQL (shipped)".into(), &gpt4(), ModuleSet::supersql());
-    let ss_log = ctx.evaluate(&supersql).expect("SuperSQL runs on Spider");
+    let ss_log = ctx.evaluate_with(&supersql, &EvalOptions::new()).expect("SuperSQL runs on Spider");
     out.push_str(&format!(
         "  Shipped SuperSQL composition: {}\n  Shipped SuperSQL Spider dev EX: {} ({})\n",
         describe(&ModuleSet::supersql()),

@@ -8,7 +8,7 @@
 
 use crate::Harness;
 use modelzoo::{FewShot, ModuleSet, PostProcessing};
-use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, EvalContext, Filter, TextTable};
+use nl2sql360::{compose, fmt_pct, gpt35, gpt4, metrics, EvalContext, EvalOptions, Filter, TextTable};
 
 /// The ablation variants: label + module set + backbone choice.
 fn variants() -> Vec<(&'static str, ModuleSet, bool)> {
@@ -40,7 +40,7 @@ pub fn ablation(h: &Harness) -> String {
     for (label, modules, on_gpt4) in variants() {
         let backbone = if on_gpt4 { gpt4() } else { gpt35() };
         let model = compose(format!("ablation: {label}"), &backbone, modules);
-        let log = ctx.evaluate(&model).expect("hybrids run on Spider");
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).expect("hybrids run on Spider");
         let f = Filter::all();
         table.row(vec![
             label.to_string(),

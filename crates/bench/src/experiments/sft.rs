@@ -6,7 +6,7 @@
 
 use crate::Harness;
 use modelzoo::sft::{sft_model, BASE_LLMS, TRAINING_SIZES};
-use nl2sql360::{fmt_pct, metrics, EvalContext, Filter, TextTable};
+use nl2sql360::{fmt_pct, metrics, EvalContext, EvalOptions, Filter, TextTable};
 
 /// Render Figure 11: EX after SFT vs. HumanEval of the base model,
 /// measured by evaluating each fine-tuned model on the Spider dev split.
@@ -18,7 +18,7 @@ pub fn fig11(h: &Harness) -> String {
     let mut pairs = Vec::new();
     for base in BASE_LLMS {
         let model = sft_model(&base, full_train);
-        let log = ctx.evaluate(&model).expect("SFT models run on Spider");
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).expect("SFT models run on Spider");
         let ex = metrics::ex(&log, &Filter::all());
         pairs.push((base.humaneval, ex.unwrap_or(0.0)));
         table.row(vec![
@@ -55,7 +55,7 @@ pub fn fig12(h: &Harness) -> String {
         let mut row = vec![n.to_string()];
         for base in &swept {
             let model = sft_model(base, n);
-            let log = ctx.evaluate(&model).expect("SFT models run on Spider");
+            let log = ctx.evaluate_with(&model, &EvalOptions::new()).expect("SFT models run on Spider");
             row.push(fmt_pct(metrics::ex(&log, &Filter::all())));
         }
         table.row(row);

@@ -104,8 +104,14 @@ impl Database {
     /// work units are identical either way (property-tested).
     pub fn run_query(&self, query: &sqlkit::Query) -> ExecResult<ResultSet> {
         match crate::plan::compile(self, query) {
-            Some(plan) => plan.execute(self),
-            None => crate::exec::execute(self, query),
+            Some(plan) => {
+                obs::count("minidb.dispatch.compiled", 1);
+                plan.execute(self)
+            }
+            None => {
+                obs::count("minidb.dispatch.interpreter", 1);
+                crate::exec::execute(self, query)
+            }
         }
     }
 
@@ -114,7 +120,10 @@ impl Database {
     /// re-executed without re-lowering (and across content changes, as long
     /// as the schema is unchanged).
     pub fn prepare(&self, query: &sqlkit::Query) -> Option<crate::plan::CompiledQuery> {
-        crate::plan::compile(self, query)
+        let plan = crate::plan::compile(self, query);
+        let outcome = if plan.is_some() { "minidb.plan.compiled" } else { "minidb.plan.fallback" };
+        obs::count(outcome, 1);
+        plan
     }
 
     /// All `CREATE TABLE` statements, for prompt construction.

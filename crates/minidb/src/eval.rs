@@ -8,21 +8,52 @@ use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::HashSet;
 
+/// Logical operator class a work charge is attributed to. The tags feed
+/// per-operator observability counters; the *total* work (what VES sees)
+/// is the plain sum over all tags, so attribution never changes scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkOp {
+    Scan,
+    Filter,
+    Join,
+    Group,
+    Sort,
+    Project,
+    SetOp,
+}
+
+/// (tag, obs counter name) for every operator class, in flush order.
+pub(crate) const WORK_OPS: [(WorkOp, &str); 7] = [
+    (WorkOp::Scan, "minidb.work.scan"),
+    (WorkOp::Filter, "minidb.work.filter"),
+    (WorkOp::Join, "minidb.work.join"),
+    (WorkOp::Group, "minidb.work.group"),
+    (WorkOp::Sort, "minidb.work.sort"),
+    (WorkOp::Project, "minidb.work.project"),
+    (WorkOp::SetOp, "minidb.work.set_op"),
+];
+
 /// Shared execution counters: deterministic work units plus a budget guard
-/// against runaway cross joins in corrupted predictions.
+/// against runaway cross joins in corrupted predictions. Work is tagged by
+/// operator class ([`WorkOp`]) for latency/work attribution; the total is
+/// unchanged by tagging.
 #[derive(Debug)]
 pub(crate) struct Counters {
     work: Cell<u64>,
     budget: u64,
+    ops: [Cell<u64>; WORK_OPS.len()],
 }
 
 impl Counters {
     pub(crate) fn new(budget: u64) -> Self {
-        Self { work: Cell::new(0), budget }
+        Self { work: Cell::new(0), budget, ops: Default::default() }
     }
 
-    /// Charge `n` work units; errors when the budget is exhausted.
-    pub(crate) fn charge(&self, n: u64) -> ExecResult<()> {
+    /// Charge `n` work units against operator class `op`; errors when the
+    /// budget is exhausted.
+    pub(crate) fn charge(&self, op: WorkOp, n: u64) -> ExecResult<()> {
+        let cell = &self.ops[op as usize];
+        cell.set(cell.get().saturating_add(n));
         let w = self.work.get().saturating_add(n);
         self.work.set(w);
         if w > self.budget {
@@ -34,6 +65,24 @@ impl Counters {
 
     pub(crate) fn work(&self) -> u64 {
         self.work.get()
+    }
+
+    /// Work charged against one operator class so far.
+    pub(crate) fn op_work(&self, op: WorkOp) -> u64 {
+        self.ops[op as usize].get()
+    }
+
+    /// Publish per-operator work to the global obs recorder. Free (one
+    /// relaxed load) when the recorder is disabled; called once per query
+    /// at the execution flush points, never per row.
+    pub(crate) fn flush_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        for (op, name) in WORK_OPS {
+            obs::count(name, self.op_work(op));
+        }
+        obs::count("minidb.work.total", self.work());
     }
 }
 
@@ -670,7 +719,7 @@ fn eval_aggregate(
     // Evaluate the argument per group row.
     let mut values = Vec::with_capacity(group.len());
     for row in group {
-        ctx.counters.charge(1)?;
+        ctx.counters.charge(WorkOp::Group, 1)?;
         let scope = Scope { bindings: ctx.scope.bindings, row, parent: ctx.scope.parent };
         let sub = ctx.with_row(&scope);
         let v = eval(&sub, arg)?;
@@ -769,9 +818,9 @@ mod tests {
     #[test]
     fn counters_budget() {
         let c = Counters::new(10);
-        assert!(c.charge(5).is_ok());
-        assert!(c.charge(5).is_ok());
-        assert!(c.charge(1).is_err());
+        assert!(c.charge(WorkOp::Scan, 5).is_ok());
+        assert!(c.charge(WorkOp::Scan, 5).is_ok());
+        assert!(c.charge(WorkOp::Scan, 1).is_err());
         assert_eq!(c.work(), 11);
     }
 }

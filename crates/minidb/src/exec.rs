@@ -8,7 +8,7 @@
 
 use crate::database::Database;
 use crate::error::{ExecError, ExecResult};
-use crate::eval::{eval, Binding, Counters, EvalCtx, Scope};
+use crate::eval::{eval, Binding, Counters, EvalCtx, Scope, WorkOp};
 use crate::result::ResultSet;
 use crate::value::{row_key_parts, KeyPart, Value};
 use sqlkit::ast::*;
@@ -25,8 +25,11 @@ pub fn execute(db: &Database, query: &Query) -> ExecResult<ResultSet> {
 
 /// Execute with an explicit work budget (rows touched).
 pub fn execute_with_budget(db: &Database, query: &Query, budget: u64) -> ExecResult<ResultSet> {
+    let _span = obs::span("minidb.exec.interpret");
     let counters = Counters::new(budget);
-    let mut rs = execute_query(db, query, None, &counters)?;
+    let result = execute_query(db, query, None, &counters);
+    counters.flush_obs();
+    let mut rs = result?;
     rs.work = counters.work();
     Ok(rs)
 }
@@ -54,7 +57,7 @@ pub(crate) fn execute_query(
                 rhs.columns.len()
             )));
         }
-        counters.charge((acc.rows.len() + rhs.rows.len()) as u64)?;
+        counters.charge(WorkOp::SetOp, (acc.rows.len() + rhs.rows.len()) as u64)?;
         acc.rows = combine_set_op(*op, std::mem::take(&mut acc.rows), rhs.rows);
     }
 
@@ -63,7 +66,7 @@ pub(crate) fn execute_query(
         let bindings = vec![Binding { name: None, columns: acc.columns.clone(), offset: 0 }];
         let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(acc.rows.len());
         for row in acc.rows {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Sort, 1)?;
             let scope = Scope { bindings: &bindings, row: &row, parent: outer };
             let ctx = EvalCtx { db, scope: &scope, group: None, counters };
             let mut keys = Vec::with_capacity(query.order_by.len());
@@ -146,7 +149,7 @@ fn table_source(
     match tref {
         TableRef::Named { name, alias } => {
             let t = db.table(name)?;
-            counters.charge(t.rows.len() as u64)?;
+            counters.charge(WorkOp::Scan, t.rows.len() as u64)?;
             let binding = Binding {
                 name: Some(alias.clone().unwrap_or_else(|| name.clone())),
                 columns: t.schema.column_names(),
@@ -251,7 +254,7 @@ fn materialize_from(
             let mut table: HashMap<KeyPart, Vec<usize>> =
                 HashMap::with_capacity(right.rows.len());
             for (i, r) in right.rows.iter().enumerate() {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Join, 1)?;
                 let key = &r[rcol];
                 if !key.is_null() {
                     table.entry(key.key_part()).or_default().push(i);
@@ -259,7 +262,7 @@ fn materialize_from(
             }
             out.reserve(rel.rows.len());
             for l in &rel.rows {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Join, 1)?;
                 let key = &l[lcol];
                 let matches: &[usize] = if key.is_null() {
                     &[]
@@ -267,7 +270,7 @@ fn materialize_from(
                     table.get(&key.key_part()).map(Vec::as_slice).unwrap_or(&[])
                 };
                 for &ri in matches {
-                    counters.charge(1)?;
+                    counters.charge(WorkOp::Join, 1)?;
                     out.push(joined_row(l, &right.rows[ri], combined_width));
                 }
                 if matches.is_empty() && join.kind == JoinKind::Left {
@@ -293,7 +296,7 @@ fn materialize_from(
             JoinKind::Inner | JoinKind::Cross => {
                 for l in &rel.rows {
                     for r in &right.rows {
-                        counters.charge(1)?;
+                        counters.charge(WorkOp::Join, 1)?;
                         let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             out.push(row);
@@ -305,7 +308,7 @@ fn materialize_from(
                 for l in &rel.rows {
                     let mut matched = false;
                     for r in &right.rows {
-                        counters.charge(1)?;
+                        counters.charge(WorkOp::Join, 1)?;
                         let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             matched = true;
@@ -321,7 +324,7 @@ fn materialize_from(
                 for r in &right.rows {
                     let mut matched = false;
                     for l in &rel.rows {
-                        counters.charge(1)?;
+                        counters.charge(WorkOp::Join, 1)?;
                         let row = joined_row(l, r, combined_width);
                         if eval_on(&row)? {
                             matched = true;
@@ -390,7 +393,7 @@ fn exec_core(
         None => rows = rel.rows,
         Some(pred) => {
             for row in rel.rows {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Filter, 1)?;
                 let scope = Scope { bindings: &rel.bindings, row: &row, parent: outer };
                 let ctx = EvalCtx { db, scope: &scope, group: None, counters };
                 if eval(&ctx, pred)?.truth() == Some(true) {
@@ -433,7 +436,7 @@ fn exec_core(
         } else {
             let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
             for row in rows {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Group, 1)?;
                 let scope = Scope { bindings: &rel.bindings, row: &row, parent: outer };
                 let ctx = EvalCtx { db, scope: &scope, group: None, counters };
                 let mut key = Vec::with_capacity(core.group_by.len());
@@ -448,7 +451,7 @@ fn exec_core(
             }
         }
         for group in &groups {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Group, 1)?;
             let head: &[Value] = group.first().map(|r| r.as_slice()).unwrap_or(&null_row);
             let scope = Scope { bindings: &rel.bindings, row: head, parent: outer };
             let ctx = EvalCtx { db, scope: &scope, group: Some(group), counters };
@@ -463,7 +466,7 @@ fn exec_core(
         }
     } else {
         for row in &rows {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Project, 1)?;
             let scope = Scope { bindings: &rel.bindings, row, parent: outer };
             let ctx = EvalCtx { db, scope: &scope, group: None, counters };
             let out = project(&ctx, core, &rel.bindings, row)?;

@@ -41,7 +41,7 @@ use crate::error::{ExecError, ExecResult};
 use crate::eval::{
     and3, apply_scalar_function, apply_unary, bool3_to_value, cast_value, check_function_arity,
     eval_arith, fold_aggregate, known_function, like_match, literal_value, or3, Binding,
-    Counters,
+    Counters, WorkOp,
 };
 use crate::exec::{
     any_aggregate, apply_limit, combine_set_op, equi_join_columns, joined_row, output_columns,
@@ -551,24 +551,33 @@ impl CompiledQuery {
 
     /// Execute with an explicit work budget (rows touched).
     pub fn execute_with_budget(&self, db: &Database, budget: u64) -> ExecResult<ResultSet> {
+        let _span = obs::span("minidb.exec.compiled");
         let counters = Counters::new(budget);
-        let mut rs = if self.ops.is_empty() {
-            exec_compiled_core(db, &self.arms[0], &counters)?
+        let result = self.execute_inner(db, &counters);
+        counters.flush_obs();
+        let mut rs = result?;
+        rs.work = counters.work();
+        Ok(rs)
+    }
+
+    fn execute_inner(&self, db: &Database, counters: &Counters) -> ExecResult<ResultSet> {
+        let rs = if self.ops.is_empty() {
+            exec_compiled_core(db, &self.arms[0], counters)?
         } else {
-            let mut acc = exec_compiled_core(db, &self.arms[0], &counters)?;
+            let mut acc = exec_compiled_core(db, &self.arms[0], counters)?;
             for (op, core) in self.ops.iter().zip(&self.arms[1..]) {
-                let rhs = exec_compiled_core(db, core, &counters)?;
-                counters.charge((acc.rows.len() + rhs.rows.len()) as u64)?;
+                let rhs = exec_compiled_core(db, core, counters)?;
+                counters.charge(WorkOp::SetOp, (acc.rows.len() + rhs.rows.len()) as u64)?;
                 acc.rows = combine_set_op(*op, std::mem::take(&mut acc.rows), rhs.rows);
             }
             if !self.compound_order.is_empty() {
                 let mut keyed: Vec<(Vec<Value>, Vec<Value>)> =
                     Vec::with_capacity(acc.rows.len());
                 for row in std::mem::take(&mut acc.rows) {
-                    counters.charge(1)?;
+                    counters.charge(WorkOp::Sort, 1)?;
                     let mut keys = Vec::with_capacity(self.compound_order.len());
                     for k in &self.compound_order {
-                        keys.push(ceval(&counters, &row, None, k)?);
+                        keys.push(ceval(counters, &row, None, k)?);
                     }
                     keyed.push((keys, row));
                 }
@@ -581,7 +590,6 @@ impl CompiledQuery {
             acc.ordered = !self.compound_order.is_empty();
             acc
         };
-        rs.work = counters.work();
         Ok(rs)
     }
 }
@@ -603,7 +611,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
         // no FROM: a single empty row, optionally filtered
         let rows = vec![Vec::new()];
         if core.has_where {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Filter, 1)?;
             if !pass_all(counters, &[], &core.pushed)? {
                 return Ok(Vec::new());
             }
@@ -611,7 +619,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
         return Ok(rows);
     };
     let base_t = scan_table(db, base)?;
-    counters.charge(base_t.rows.len() as u64)?;
+    counters.charge(WorkOp::Scan, base_t.rows.len() as u64)?;
 
     if core.joins.is_empty() {
         // fused scan-filter: predicates run below the materialization, so
@@ -620,7 +628,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
         if core.has_where {
             let mut rows = Vec::new();
             for r in &base_t.rows {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Filter, 1)?;
                 if pass_all(counters, r, &core.pushed)? {
                     rows.push(r.clone());
                 }
@@ -639,7 +647,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
     let mut width = base.width;
     for (ji, (step, scan)) in core.joins.iter().enumerate() {
         let rt = scan_table(db, scan)?;
-        counters.charge(rt.rows.len() as u64)?;
+        counters.charge(WorkOp::Scan, rt.rows.len() as u64)?;
         let cw = width + scan.width;
         cur = if ji == 0 {
             join_step(counters, &base_t.rows, width, &rt.rows, scan.width, cw, step)?
@@ -652,7 +660,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
     if core.has_where {
         let mut rows = Vec::with_capacity(cur.len());
         for row in cur {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Filter, 1)?;
             if pass_all(counters, &row, &core.where_rest)? {
                 rows.push(row);
             }
@@ -675,21 +683,21 @@ fn join_with_pushdown(
 ) -> ExecResult<Vec<Vec<Value>>> {
     let (step, scan) = &core.joins[0];
     let rt = scan_table(db, scan)?;
-    counters.charge(rt.rows.len() as u64)?;
+    counters.charge(WorkOp::Scan, rt.rows.len() as u64)?;
     let cw = core.width;
     let mut out: Vec<Vec<Value>> = Vec::new();
     match step {
         CJoinStep::Hash { kind, lcol, rcol } => {
             let mut table: HashMap<KeyPart, Vec<usize>> = HashMap::with_capacity(rt.rows.len());
             for (i, r) in rt.rows.iter().enumerate() {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Join, 1)?;
                 let key = &r[*rcol];
                 if !key.is_null() {
                     table.entry(key.key_part()).or_default().push(i);
                 }
             }
             for l in &base_t.rows {
-                counters.charge(1)?; // probe
+                counters.charge(WorkOp::Join, 1)?; // probe
                 let key = &l[*lcol];
                 let matches: &[usize] = if key.is_null() {
                     &[]
@@ -697,10 +705,10 @@ fn join_with_pushdown(
                     table.get(&key.key_part()).map(Vec::as_slice).unwrap_or(&[])
                 };
                 let m = matches.len() as u64;
-                counters.charge(m)?; // emit units, materialized or not
+                counters.charge(WorkOp::Join, m)?; // emit units, materialized or not
                 let padded = matches.is_empty() && *kind == JoinKind::Left;
                 // WHERE units for every joined row this base row produces
-                counters.charge(if padded { 1 } else { m })?;
+                counters.charge(WorkOp::Filter, if padded { 1 } else { m })?;
                 if !pass_all(counters, l, &core.pushed)? {
                     continue; // phantom: charged, never materialized
                 }
@@ -724,8 +732,8 @@ fn join_with_pushdown(
             // pair both charges one pair unit and emits one joined row
             let m = rt.rows.len() as u64;
             for l in &base_t.rows {
-                counters.charge(m)?; // pair units
-                counters.charge(m)?; // WHERE units
+                counters.charge(WorkOp::Join, m)?; // pair units
+                counters.charge(WorkOp::Filter, m)?; // WHERE units
                 if !pass_all(counters, l, &core.pushed)? {
                     continue;
                 }
@@ -766,7 +774,7 @@ fn join_step<L: AsRef<[Value]>>(
         CJoinStep::Hash { kind, lcol, rcol } => {
             let mut table: HashMap<KeyPart, Vec<usize>> = HashMap::with_capacity(right.len());
             for (i, r) in right.iter().enumerate() {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Join, 1)?;
                 let key = &r[*rcol];
                 if !key.is_null() {
                     table.entry(key.key_part()).or_default().push(i);
@@ -775,7 +783,7 @@ fn join_step<L: AsRef<[Value]>>(
             out.reserve(left.len());
             for l in left {
                 let l = l.as_ref();
-                counters.charge(1)?;
+                counters.charge(WorkOp::Join, 1)?;
                 let key = &l[*lcol];
                 let matches: &[usize] = if key.is_null() {
                     &[]
@@ -783,7 +791,7 @@ fn join_step<L: AsRef<[Value]>>(
                     table.get(&key.key_part()).map(Vec::as_slice).unwrap_or(&[])
                 };
                 for &ri in matches {
-                    counters.charge(1)?;
+                    counters.charge(WorkOp::Join, 1)?;
                     out.push(joined_row(l, &right[ri], cw));
                 }
                 if matches.is_empty() && *kind == JoinKind::Left {
@@ -803,7 +811,7 @@ fn join_step<L: AsRef<[Value]>>(
                     for l in left {
                         let l = l.as_ref();
                         for r in right {
-                            counters.charge(1)?;
+                            counters.charge(WorkOp::Join, 1)?;
                             let row = joined_row(l, r, cw);
                             if eval_on(&row)? {
                                 out.push(row);
@@ -816,7 +824,7 @@ fn join_step<L: AsRef<[Value]>>(
                         let l = l.as_ref();
                         let mut matched = false;
                         for r in right {
-                            counters.charge(1)?;
+                            counters.charge(WorkOp::Join, 1)?;
                             let row = joined_row(l, r, cw);
                             if eval_on(&row)? {
                                 matched = true;
@@ -833,7 +841,7 @@ fn join_step<L: AsRef<[Value]>>(
                         let mut matched = false;
                         for l in left {
                             let l = l.as_ref();
-                            counters.charge(1)?;
+                            counters.charge(WorkOp::Join, 1)?;
                             let row = joined_row(l, r, cw);
                             if eval_on(&row)? {
                                 matched = true;
@@ -870,7 +878,7 @@ fn exec_compiled_core(
         } else {
             let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
             for row in rows {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Group, 1)?;
                 let mut key = Vec::with_capacity(core.group_by.len());
                 for g in &core.group_by {
                     key.push(ceval(counters, &row, None, g)?.key_part());
@@ -883,7 +891,7 @@ fn exec_compiled_core(
             }
         }
         for group in &groups {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Group, 1)?;
             let head: &[Value] = group.first().map(|r| r.as_slice()).unwrap_or(&null_row);
             if let Some(having) = &core.having {
                 if ceval(counters, head, Some(group), having)?.truth() != Some(true) {
@@ -897,7 +905,7 @@ fn exec_compiled_core(
     } else {
         keyed.reserve(rows.len());
         for row in &rows {
-            counters.charge(1)?;
+            counters.charge(WorkOp::Project, 1)?;
             let out = cproject(counters, core, row, None)?;
             let keys = corder_keys(counters, core, row, None, &out)?;
             keyed.push((keys, out));
@@ -982,7 +990,7 @@ fn ceval(
             })?;
             let mut values = Vec::with_capacity(group.len());
             for grow in group {
-                counters.charge(1)?;
+                counters.charge(WorkOp::Group, 1)?;
                 let v = ceval(counters, grow, None, arg)?;
                 if !v.is_null() {
                     values.push(v);

@@ -1,0 +1,139 @@
+//! Per-operator work attribution reconciles with VES work accounting, and
+//! the dispatch counters see every `run_query`. Uses the process-global
+//! obs recorder, so this lives in its own integration-test binary and
+//! serializes its tests on one lock.
+
+use minidb::{Database, TableBuilder, Value};
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn demo_db() -> Database {
+    let mut db = Database::new("obs_demo");
+    let users = TableBuilder::new("users")
+        .column_int("id")
+        .column_text("name")
+        .rows((0..40).map(|i| vec![Value::Int(i), Value::text(format!("u{i}"))]))
+        .build();
+    let orders = TableBuilder::new("orders")
+        .column_int("id")
+        .column_int("user_id")
+        .column_int("total")
+        .rows((0..120).map(|i| vec![Value::Int(i), Value::Int(i % 40), Value::Int(i * 3)]))
+        .build();
+    db.add_table(users).unwrap();
+    db.add_table(orders).unwrap();
+    db
+}
+
+const WORK_COUNTERS: &[&str] = &[
+    "minidb.work.scan",
+    "minidb.work.filter",
+    "minidb.work.join",
+    "minidb.work.group",
+    "minidb.work.sort",
+    "minidb.work.project",
+    "minidb.work.set_op",
+];
+
+fn op_sum(snap: &obs::Snapshot) -> u64 {
+    WORK_COUNTERS.iter().map(|c| snap.counter(c)).sum()
+}
+
+#[test]
+fn per_op_work_sums_to_ves_work_on_both_paths() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = demo_db();
+    let sql = "SELECT T2.name, COUNT(*) FROM orders AS T1 JOIN users AS T2 \
+               ON T1.user_id = T2.id WHERE T1.total > 30 GROUP BY T2.name \
+               ORDER BY COUNT(*) DESC LIMIT 5";
+    let query = sqlkit::parse_query(sql).unwrap();
+
+    // interpreter path
+    obs::reset();
+    let interp = {
+        let _on = obs::enable();
+        minidb::exec::execute(&db, &query).unwrap()
+    };
+    let snap = obs::snapshot();
+    assert!(interp.work > 0);
+    assert_eq!(op_sum(&snap), interp.work, "interpreter per-op work must sum to rs.work");
+    assert_eq!(snap.counter("minidb.work.total"), interp.work);
+    assert!(snap.counter("minidb.work.scan") > 0);
+    assert!(snap.counter("minidb.work.join") > 0);
+    assert!(snap.counter("minidb.work.group") > 0);
+    assert!(snap.events.iter().any(|e| e.name == "minidb.exec.interpret"));
+
+    // compiled path: identical totals, identical attribution sum
+    obs::reset();
+    let plan = minidb::compile(&db, &query).expect("join+group compiles");
+    let compiled = {
+        let _on = obs::enable();
+        plan.execute(&db).unwrap()
+    };
+    let snap = obs::snapshot();
+    assert_eq!(compiled.work, interp.work, "plan parity on work units");
+    assert_eq!(op_sum(&snap), compiled.work, "compiled per-op work must sum to rs.work");
+    assert!(snap.events.iter().any(|e| e.name == "minidb.exec.compiled"));
+    obs::reset();
+}
+
+#[test]
+fn dispatch_counters_split_compiled_vs_interpreter() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = demo_db();
+    obs::reset();
+    {
+        let _on = obs::enable();
+        // compilable query -> compiled dispatch
+        db.run("SELECT id FROM users WHERE id > 10").unwrap();
+        // correlated subquery does not lower -> interpreter dispatch
+        db.run(
+            "SELECT name FROM users WHERE id IN \
+             (SELECT user_id FROM orders WHERE orders.user_id = users.id)",
+        )
+        .unwrap();
+        db.run("SELECT COUNT(*) FROM orders").unwrap();
+    }
+    let snap = obs::snapshot();
+    let compiled = snap.counter("minidb.dispatch.compiled");
+    let interp = snap.counter("minidb.dispatch.interpreter");
+    assert_eq!(compiled + interp, 3, "every run_query is dispatched exactly once");
+    assert!(compiled >= 1, "plain scans compile");
+    assert!(interp >= 1, "correlated subqueries fall back");
+    obs::reset();
+}
+
+#[test]
+fn prepare_records_compile_outcome() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = demo_db();
+    obs::reset();
+    {
+        let _on = obs::enable();
+        let q = sqlkit::parse_query("SELECT id FROM users").unwrap();
+        assert!(db.prepare(&q).is_some());
+        let q = sqlkit::parse_query(
+            "SELECT name FROM users WHERE id IN \
+             (SELECT user_id FROM orders WHERE orders.user_id = users.id)",
+        )
+        .unwrap();
+        assert!(db.prepare(&q).is_none());
+    }
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("minidb.plan.compiled"), 1);
+    assert_eq!(snap.counter("minidb.plan.fallback"), 1);
+    obs::reset();
+}
+
+#[test]
+fn disabled_recorder_observes_nothing_from_minidb() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let db = demo_db();
+    obs::reset();
+    obs::set_enabled(false);
+    db.run("SELECT COUNT(*) FROM orders").unwrap();
+    let snap = obs::snapshot();
+    assert!(snap.events.is_empty());
+    assert!(snap.counters.is_empty());
+}

@@ -105,17 +105,20 @@ pub fn build_prompt(
     few_shot_index: Option<&FewShotIndex<'_>>,
     predicted_sql_len: usize,
 ) -> (String, PromptAccounting) {
+    let _span = obs::span("modelzoo.build_prompt");
     // schema serialization honours the pre-processing modules
     let all_schemas: Vec<&minidb::TableSchema> =
         db.database.tables().map(|t| &t.schema).collect();
     let linked;
     let schemas: &[&minidb::TableSchema] = if modules.schema_linking {
+        let _span = obs::span("modelzoo.schema_link");
         linked = schema_link(db, question);
         &linked
     } else {
         &all_schemas
     };
     let content = if modules.db_content {
+        let _span = obs::span("modelzoo.db_content");
         match_db_content(db, question, 6)
     } else {
         Vec::new()
@@ -129,6 +132,7 @@ pub fn build_prompt(
         FewShot::Manual => prompt.push_str(&manual_exemplar_library("generation", 8)),
         FewShot::SimilarityBased => {
             if let Some(index) = few_shot_index {
+                let _span = obs::span("modelzoo.few_shot");
                 let shots = index.select(question, 5);
                 prompt.push_str(&few_shot_block(&shots));
             }

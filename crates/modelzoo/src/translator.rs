@@ -204,9 +204,11 @@ impl Nl2SqlModel for SimulatedModel {
     }
 
     fn translate(&self, task: &TranslationTask<'_>) -> Option<Prediction> {
+        let _span = obs::span("modelzoo.translate");
         let p = self.spec.profile.p_correct(&self.traits(task))?;
-        let correct = self.decide_correct(task, p);
 
+        let decode = obs::span("modelzoo.decode");
+        let correct = self.decide_correct(task, p);
         let mut pred_query = task.sample.query.clone();
         let mut style_rng = self.rng(task, "style", true, true);
         if correct {
@@ -219,7 +221,13 @@ impl Nl2SqlModel for SimulatedModel {
             pred_query =
                 corrupt_prediction(&task.sample.query, self.spec.class, task.db, &mut style_rng);
         }
-        let sql = sqlkit::to_sql(&pred_query);
+        drop(decode);
+
+        // surface-form finalization: render the decoded query to SQL text
+        let sql = {
+            let _post = obs::span("modelzoo.post_process");
+            sqlkit::to_sql(&pred_query)
+        };
 
         // economy accounting
         let (prompt_tokens, completion_tokens, cost_usd, latency_s) = match &self.spec.serving {

@@ -4,18 +4,23 @@
 //!
 //! ```text
 //! nl2sql360 generate   --kind spider|bird --size tiny|quick|full --seed N --out corpus.json
-//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" [--parallel N] --logs DIR
+//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" [--parallel N] [--trace out.json] --logs DIR
 //! nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD --metric ex|em|qvt|ves|cost|tokens
 //!                       [--filter "hardness=extra,subquery=yes,joins=2+"]
 //! nl2sql360 methods    # list the model zoo
-//! nl2sql360 diagnose   --corpus corpus.json --method NAME [--limit N] [--parallel N]
+//! nl2sql360 diagnose   --corpus corpus.json --method NAME [--limit N] [--parallel N] [--trace out.json]
 //! ```
+//!
+//! `--trace FILE` records stage-level spans and counters across the whole
+//! stack (modelzoo translation stages, evaluation workers, minidb
+//! execution) into a `chrome://tracing` / Perfetto-loadable JSON file and
+//! prints a flame summary on stderr when the command finishes.
 
 use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind};
 use modelzoo::{Nl2SqlModel, SimulatedModel};
 use nl2sql360::{
-    diagnose, evaluate_all_with_workers, metrics, EvalContext, EvalLog, Filter, LogStore,
-    TextTable,
+    diagnose, evaluate_all_with_workers, metrics, EvalContext, EvalLog, EvalOptions, Filter,
+    LogStore, TextTable,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -53,11 +58,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   nl2sql360 generate    --kind spider|bird --size tiny|quick|full [--seed N] --out FILE
-  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] [--parallel N] --logs DIR
+  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] [--parallel N] [--trace OUT.json] --logs DIR
   nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD [--metric ex|em|qvt|ves|cost|tokens] [--filter SPEC]
   nl2sql360 methods
   nl2sql360 dashboard   --logs DIR --dataset Spider|BIRD --method NAME
-  nl2sql360 diagnose    --corpus FILE --method NAME [--limit N] [--parallel N]";
+  nl2sql360 diagnose    --corpus FILE --method NAME [--limit N] [--parallel N] [--trace OUT.json]";
 
 fn parse_opts(rest: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
@@ -87,6 +92,32 @@ fn parallel_workers(opts: &HashMap<String, String>) -> Result<usize, String> {
             _ => Err(format!("bad --parallel `{s}` (want an integer >= 1)")),
         },
     }
+}
+
+/// `--trace FILE`: start recording; returns the output path plus the guard
+/// keeping the recorder enabled. Pass the result to [`trace_finish`] once
+/// the command's work is done.
+fn trace_start(opts: &HashMap<String, String>) -> Option<(String, obs::EnableGuard)> {
+    opts.get("trace").map(|path| {
+        obs::reset();
+        (path.clone(), obs::enable())
+    })
+}
+
+/// Write the chrome-trace JSON and print the flame summary for a recording
+/// started by [`trace_start`]. A no-op without `--trace`.
+fn trace_finish(trace: Option<(String, obs::EnableGuard)>) -> Result<(), String> {
+    let Some((path, guard)) = trace else {
+        return Ok(());
+    };
+    let snap = obs::snapshot();
+    drop(guard);
+    std::fs::write(&path, obs::export::chrome_trace(&snap))
+        .map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("{}", obs::export::flame_summary(&snap));
+    eprintln!("trace written to {path} (load in chrome://tracing or ui.perfetto.dev)");
+    obs::reset();
+    Ok(())
 }
 
 fn load_corpus(path: &str) -> Result<Corpus, String> {
@@ -166,7 +197,9 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
         corpus.dev.len()
     );
     let ctx = EvalContext::new(&corpus);
+    let trace = trace_start(opts);
     let logs = evaluate_all_with_workers(&ctx, &selected, workers);
+    trace_finish(trace)?;
     let store = LogStore::open(logs_dir).map_err(|e| e.to_string())?;
     for log in &logs {
         let path = store.save(log).map_err(|e| e.to_string())?;
@@ -344,9 +377,11 @@ fn cmd_diagnose(opts: &HashMap<String, String>) -> Result<(), String> {
         .ok_or_else(|| format!("unknown method `{method}`"))?;
     let model = SimulatedModel::new(spec);
     let ctx = EvalContext::new(&corpus);
+    let trace = trace_start(opts);
     let log = ctx
-        .evaluate_parallel(&model, workers)
+        .evaluate_with(&model, &EvalOptions::new().workers(workers))
         .ok_or_else(|| format!("{method} does not run on {}", corpus.kind.name()))?;
+    trace_finish(trace)?;
 
     // error profile over the EX-wrong canonical predictions
     let mut pairs = Vec::new();

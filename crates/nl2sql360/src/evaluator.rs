@@ -4,7 +4,7 @@
 //! leaderboards. This is the entry point the examples and the benchmark
 //! harness drive.
 
-use crate::executor::{default_workers, EvalContext, EvalLog};
+use crate::executor::{default_workers, EvalContext, EvalLog, EvalOptions};
 use crate::filter::Filter;
 use crate::metrics;
 use crate::report::{fmt_pct, TextTable};
@@ -33,7 +33,7 @@ pub fn evaluate_all_with_workers(
         let mut handles = Vec::new();
         for chunk in models.chunks(models.len().div_ceil(workers).max(1)) {
             handles.push(scope.spawn(move |_| {
-                chunk.iter().map(|m| ctx.evaluate_parallel(m, per_model)).collect::<Vec<_>>()
+                chunk.iter().map(|m| ctx.evaluate_with(m, &EvalOptions::new().workers(per_model))).collect::<Vec<_>>()
             }));
         }
         for h in handles {
@@ -131,7 +131,7 @@ mod tests {
         let par = evaluate_all(&ctx, &models);
         assert_eq!(par.len(), 4);
         // parallel result identical to direct evaluation (determinism)
-        let seq = ctx.evaluate(&models[0]).unwrap();
+        let seq = ctx.evaluate_with(&models[0], &EvalOptions::new()).unwrap();
         let p0 = par.iter().find(|l| l.method == seq.method).unwrap();
         for (a, b) in seq.records.iter().zip(&p0.records) {
             assert_eq!(a.canonical().ex, b.canonical().ex);

@@ -45,6 +45,21 @@ pub enum ExecFailureKind {
 }
 
 impl ExecFailureKind {
+    /// Every kind, in declaration order (matching `kind as usize`), so
+    /// per-kind counter arrays can be walked back into labeled reports.
+    pub const ALL: [ExecFailureKind; 10] = [
+        ExecFailureKind::Parse,
+        ExecFailureKind::UnknownTable,
+        ExecFailureKind::UnknownColumn,
+        ExecFailureKind::AmbiguousColumn,
+        ExecFailureKind::DuplicateTable,
+        ExecFailureKind::Arity,
+        ExecFailureKind::Type,
+        ExecFailureKind::Unsupported,
+        ExecFailureKind::CardinalityViolation,
+        ExecFailureKind::ResourceExhausted,
+    ];
+
     /// Classify an execution error.
     pub fn of(e: &ExecError) -> Self {
         match e {
@@ -145,6 +160,66 @@ pub struct EvalLog {
     pub dataset: String,
     /// Per-sample records.
     pub records: Vec<SampleRecord>,
+}
+
+/// Options for [`EvalContext::evaluate_with`] — the single evaluation
+/// entry point. Built with chained setters:
+///
+/// ```ignore
+/// let log = ctx.evaluate_with(&model, &EvalOptions::new().subset(50).workers(4));
+/// ```
+///
+/// Defaults: the full dev split, a pool of [`default_workers`] threads,
+/// tracing off. The resulting [`EvalLog`] is byte-identical for any
+/// combination of `workers` and `trace` (test-enforced); options affect
+/// only wall-clock and observability output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalOptions {
+    subset: Option<usize>,
+    workers: Option<usize>,
+    trace: bool,
+}
+
+impl EvalOptions {
+    /// Options with all defaults (full split, default pool, no tracing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate only the first `n` dev samples (clamped to the split size).
+    pub fn subset(mut self, n: usize) -> Self {
+        self.subset = Some(n);
+        self
+    }
+
+    /// Size of the worker pool; `1` evaluates inline without spawning.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Enable the global obs recorder for the duration of the run (the
+    /// previous enablement is restored afterwards). Snapshot with
+    /// [`obs::snapshot`] after the call to export spans and counters.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// The configured subset bound, if any.
+    pub fn subset_len(&self) -> Option<usize> {
+        self.subset
+    }
+
+    /// The worker count this evaluation will use.
+    pub fn worker_count(&self) -> usize {
+        self.workers.unwrap_or_else(default_workers)
+    }
+
+    /// Whether tracing will be enabled for the run.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
 }
 
 /// Evaluation context over one corpus: gold executions cached, few-shot
@@ -280,39 +355,66 @@ impl<'a> EvalContext<'a> {
         &self.gold_results[i]
     }
 
+    /// Evaluate one model according to `opts` — the single evaluation entry
+    /// point. [`EvalOptions::default`] means: full dev split, worker pool
+    /// sized by [`default_workers`], no tracing — identical to what the
+    /// deprecated `evaluate` did. Returns `None` when the model does not
+    /// run on this dataset.
+    pub fn evaluate_with(&self, model: &dyn Nl2SqlModel, opts: &EvalOptions) -> Option<EvalLog> {
+        // The guard must outlive the run span so the span is recorded.
+        let _trace = opts.trace.then(obs::enable);
+        let _span = obs::span("eval.run");
+        let n = opts.subset.unwrap_or(usize::MAX).min(self.corpus.dev.len());
+        let workers = opts.workers.unwrap_or_else(default_workers);
+        self.run_eval(model, n, workers)
+    }
+
     /// Evaluate one model over the full dev split (all NL variants).
-    /// Returns `None` when the model does not run on this dataset.
+    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new())")]
     pub fn evaluate(&self, model: &dyn Nl2SqlModel) -> Option<EvalLog> {
-        self.evaluate_parallel(model, default_workers())
+        self.evaluate_with(model, &EvalOptions::new())
     }
 
     /// Evaluate on the first `n` dev samples (used by quick experiments).
+    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().subset(n))")]
     pub fn evaluate_subset(&self, model: &dyn Nl2SqlModel, n: usize) -> Option<EvalLog> {
-        self.evaluate_subset_parallel(model, n, default_workers())
+        self.evaluate_with(model, &EvalOptions::new().subset(n))
     }
 
-    /// Evaluate the full dev split over a worker pool. Samples are fanned
-    /// out to `workers` scoped threads on a shared claim counter and merged
-    /// back in sample order, so the resulting [`EvalLog`] is byte-identical
-    /// to a sequential evaluation at any worker count (test-enforced).
+    /// Evaluate the full dev split over a worker pool.
+    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().workers(w))")]
     pub fn evaluate_parallel(&self, model: &dyn Nl2SqlModel, workers: usize) -> Option<EvalLog> {
-        self.evaluate_subset_parallel(model, self.corpus.dev.len(), workers)
+        self.evaluate_with(model, &EvalOptions::new().workers(workers))
     }
 
     /// Parallel evaluation of the first `n` dev samples over `workers`
-    /// threads. `workers <= 1` runs inline without spawning.
+    /// threads.
+    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().subset(n).workers(w))")]
     pub fn evaluate_subset_parallel(
         &self,
         model: &dyn Nl2SqlModel,
         n: usize,
         workers: usize,
     ) -> Option<EvalLog> {
-        let n = n.min(self.corpus.dev.len());
+        self.evaluate_with(model, &EvalOptions::new().subset(n).workers(workers))
+    }
+
+    /// Evaluation core shared by every [`evaluate_with`] path. Samples are
+    /// fanned out to `workers` scoped threads on a shared claim counter and
+    /// merged back in sample order, so the resulting [`EvalLog`] is
+    /// byte-identical to a sequential evaluation at any worker count
+    /// (test-enforced, tracing on or off). `workers <= 1` runs inline
+    /// without spawning.
+    ///
+    /// [`evaluate_with`]: EvalContext::evaluate_with
+    fn run_eval(&self, model: &dyn Nl2SqlModel, n: usize, workers: usize) -> Option<EvalLog> {
         let records = if workers <= 1 || n < 2 {
             let mut records = Vec::with_capacity(n);
             for i in 0..n {
+                obs::count("eval.claim", 1);
                 records.push(self.eval_sample(model, i)?);
             }
+            obs::observe("eval.samples_per_worker", n as u64);
             records
         } else {
             use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -326,23 +428,32 @@ impl<'a> EvalContext<'a> {
                 (0..n).map(|_| Mutex::new(None)).collect();
             crossbeam::thread::scope(|s| {
                 for _ in 0..workers {
-                    s.spawn(|_| loop {
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        match self.eval_sample(model, i) {
-                            Some(rec) => *slots[i].lock().expect("slot poisoned") = Some(rec),
-                            None => {
-                                // model refuses this dataset: the whole
-                                // evaluation is None, matching sequential
-                                abort.store(true, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        let _span = obs::span("eval.worker");
+                        let mut claimed = 0u64;
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
                                 break;
                             }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            claimed += 1;
+                            obs::count("eval.claim", 1);
+                            match self.eval_sample(model, i) {
+                                Some(rec) => *slots[i].lock().expect("slot poisoned") = Some(rec),
+                                None => {
+                                    // model refuses this dataset: the whole
+                                    // evaluation is None, matching sequential
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         }
+                        // pool-utilization profile: a flat histogram means
+                        // even load; a skewed one means stragglers
+                        obs::observe("eval.samples_per_worker", claimed);
                     });
                 }
             })
@@ -352,6 +463,8 @@ impl<'a> EvalContext<'a> {
             }
             // ordered merge: slot i holds sample i, independent of which
             // worker produced it or when
+            let _merge = obs::span("eval.merge");
+            obs::count("eval.merge", 1);
             slots
                 .into_iter()
                 .map(|m| m.into_inner().expect("slot poisoned"))
@@ -369,6 +482,7 @@ impl<'a> EvalContext<'a> {
     /// `(self, model, i)`, which is what makes the parallel fan-out safe:
     /// no evaluation-order state leaks between samples.
     fn eval_sample(&self, model: &dyn Nl2SqlModel, i: usize) -> Option<SampleRecord> {
+        let _span = obs::span("eval.sample");
         let sample = &self.corpus.dev[i];
         let gold_rs = &self.gold_results[i];
         let mut variants = Vec::with_capacity(sample.variants.len());
@@ -506,7 +620,7 @@ mod tests {
         let corpus = ctx_corpus();
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("SFT CodeS-7B").unwrap());
-        let log = ctx.evaluate(&m).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new()).unwrap();
         assert_eq!(log.records.len(), corpus.dev.len());
         assert_eq!(log.method, "SFT CodeS-7B");
         assert_eq!(log.class_label, "LLM (FT)");
@@ -521,8 +635,8 @@ mod tests {
         let corpus = ctx_corpus();
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("DAILSQL").unwrap());
-        let a = ctx.evaluate(&m).unwrap();
-        let b = ctx.evaluate(&m).unwrap();
+        let a = ctx.evaluate_with(&m, &EvalOptions::new()).unwrap();
+        let b = ctx.evaluate_with(&m, &EvalOptions::new()).unwrap();
         for (ra, rb) in a.records.iter().zip(&b.records) {
             assert_eq!(ra.canonical().pred_sql, rb.canonical().pred_sql);
             assert_eq!(ra.canonical().ex, rb.canonical().ex);
@@ -534,7 +648,7 @@ mod tests {
         let corpus = ctx_corpus();
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("SFT CodeS-15B").unwrap());
-        let log = ctx.evaluate(&m).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new()).unwrap();
         let ex = log.records.iter().filter(|r| r.canonical().ex).count();
         let em = log.records.iter().filter(|r| r.canonical().em).count();
         assert!(ex > 0 && em > 0);
@@ -546,7 +660,7 @@ mod tests {
         let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(78));
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("DINSQL").unwrap());
-        assert!(ctx.evaluate(&m).is_none());
+        assert!(ctx.evaluate_with(&m, &EvalOptions::new()).is_none());
     }
 
     #[test]
@@ -554,7 +668,7 @@ mod tests {
         let corpus = ctx_corpus();
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
-        let log = ctx.evaluate_subset(&m, 10).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new().subset(10)).unwrap();
         assert_eq!(log.records.len(), 10);
     }
 
@@ -564,7 +678,7 @@ mod tests {
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("SuperSQL").unwrap());
         let fit = ctx.fitness_ex(&m, 30).unwrap();
-        let log = ctx.evaluate_subset(&m, 30).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new().subset(30)).unwrap();
         let ex = log.records.iter().filter(|r| r.canonical().ex).count() as f64 / 30.0 * 100.0;
         assert!((fit - ex).abs() < 1e-9, "fitness {fit} vs eval {ex}");
     }
@@ -576,8 +690,8 @@ mod tests {
         let suite = EvalContext::with_test_suite(&corpus, 2);
         assert_eq!(suite.suite_size(), 2);
         let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
-        let a = plain.evaluate(&m).unwrap();
-        let b = suite.evaluate(&m).unwrap();
+        let a = plain.evaluate_with(&m, &EvalOptions::new()).unwrap();
+        let b = suite.evaluate_with(&m, &EvalOptions::new()).unwrap();
         let ex = |log: &EvalLog| log.records.iter().filter(|r| r.canonical().ex).count();
         // suite EX can only remove coincidental matches, never add them
         assert!(ex(&b) <= ex(&a), "suite {} vs single {}", ex(&b), ex(&a));
@@ -630,7 +744,7 @@ mod tests {
         let corpus = ctx_corpus();
         let ctx = EvalContext::new(&corpus);
         let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
-        let log = ctx.evaluate(&m).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new()).unwrap();
         for r in &log.records {
             for v in &r.variants {
                 // invariants: a failure kind appears exactly when execution

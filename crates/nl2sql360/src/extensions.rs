@@ -12,7 +12,7 @@
 //! (The third opportunity, the NL2SQL debugger, lives in
 //! [`crate::diagnose`].)
 
-use crate::executor::{EvalContext, EvalLog};
+use crate::executor::{EvalContext, EvalLog, EvalOptions};
 use crate::filter::Filter;
 use crate::metrics;
 use datagen::nl::paraphrase_key;
@@ -28,7 +28,7 @@ pub fn evaluate_with_rewriter(
     ctx: &EvalContext<'_>,
     model: &dyn Nl2SqlModel,
 ) -> Option<EvalLog> {
-    let mut log = ctx.evaluate(model)?;
+    let mut log = ctx.evaluate_with(model, &EvalOptions::new())?;
     // Re-translate the variants the rewriter can canonicalize: the model
     // receives variant 0 (the canonical question) instead.
     for (i, sample) in ctx.corpus.dev.iter().enumerate() {
@@ -121,7 +121,7 @@ mod tests {
         let ctx = EvalContext::new(&corpus);
         // prompt-based methods are the least stable under paraphrase
         let model = SimulatedModel::new(method_by_name("C3SQL").unwrap());
-        let plain = ctx.evaluate(&model).unwrap();
+        let plain = ctx.evaluate_with(&model, &EvalOptions::new()).unwrap();
         let rewritten = evaluate_with_rewriter(&ctx, &model).unwrap();
         let q_plain = metrics::qvt(&plain, &Filter::all()).unwrap();
         let q_rew = metrics::qvt(&rewritten, &Filter::all()).unwrap();
@@ -137,7 +137,7 @@ mod tests {
         let corpus = corpus();
         let ctx = EvalContext::new(&corpus);
         let model = SimulatedModel::new(method_by_name("DAILSQL").unwrap());
-        let plain = ctx.evaluate(&model).unwrap();
+        let plain = ctx.evaluate_with(&model, &EvalOptions::new()).unwrap();
         let rewritten = evaluate_with_rewriter(&ctx, &model).unwrap();
         assert_eq!(
             metrics::ex(&plain, &Filter::all()),
@@ -151,7 +151,7 @@ mod tests {
         let corpus = corpus();
         let ctx = EvalContext::new(&corpus);
         let model = SimulatedModel::new(method_by_name("SFT CodeS-7B").unwrap());
-        let log = ctx.evaluate(&model).unwrap();
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).unwrap();
         let plan = adaptive_plan(&ctx, &log, 5);
         assert!(!plan.is_empty());
         for w in plan.windows(2) {
@@ -170,14 +170,14 @@ mod tests {
         let corpus = corpus();
         let ctx = EvalContext::new(&corpus);
         let model = SimulatedModel::new(method_by_name("SFT CodeS-7B").unwrap());
-        let log = ctx.evaluate(&model).unwrap();
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).unwrap();
         let plan = adaptive_plan(&ctx, &log, 6);
         let target = plan.first().expect("at least one domain").clone();
         let domain = domain_by_name(&target.domain).expect("plan names real domains");
 
         let augmented = augment_corpus(&corpus, domain, 6, 5, 77);
         let ctx2 = EvalContext::new(&augmented);
-        let log2 = ctx2.evaluate(&model).unwrap();
+        let log2 = ctx2.evaluate_with(&model, &EvalOptions::new()).unwrap();
         let f = Filter::all().domain(target.domain.clone());
         let before = metrics::ex(&log, &f).expect("domain present");
         let after = metrics::ex(&log2, &f).expect("domain present");

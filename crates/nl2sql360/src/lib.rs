@@ -24,12 +24,12 @@
 //! ```
 //! use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 //! use modelzoo::{method_by_name, SimulatedModel};
-//! use nl2sql360::{EvalContext, Filter, metrics};
+//! use nl2sql360::{EvalContext, EvalOptions, Filter, metrics};
 //!
 //! let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(1));
 //! let ctx = EvalContext::new(&corpus);
 //! let model = SimulatedModel::new(method_by_name("SuperSQL").unwrap());
-//! let log = ctx.evaluate(&model).unwrap();
+//! let log = ctx.evaluate_with(&model, &EvalOptions::new()).unwrap();
 //! let overall_ex = metrics::ex(&log, &Filter::all()).unwrap();
 //! assert!(overall_ex > 50.0);
 //! ```
@@ -53,7 +53,8 @@ pub use evaluator::{
     LeaderboardRow,
 };
 pub use executor::{
-    default_workers, EvalContext, EvalLog, ExecFailureKind, SampleRecord, VariantRecord,
+    default_workers, EvalContext, EvalLog, EvalOptions, ExecFailureKind, SampleRecord,
+    VariantRecord,
 };
 pub use filter::{CountBucket, Filter};
 pub use logs::LogStore;

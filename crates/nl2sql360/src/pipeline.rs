@@ -142,11 +142,12 @@ mod tests {
 
     #[test]
     fn composed_model_is_runnable() {
+        use crate::executor::EvalOptions;
         use datagen::{generate_corpus, CorpusConfig, CorpusKind};
         let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(11));
         let ctx = crate::executor::EvalContext::new(&c);
         let m = compose("probe".into(), &gpt4(), ModuleSet::supersql());
-        let log = ctx.evaluate_subset(&m, 20).unwrap();
+        let log = ctx.evaluate_with(&m, &EvalOptions::new().subset(20)).unwrap();
         assert_eq!(log.records.len(), 20);
         assert_eq!(m.name(), "probe");
     }

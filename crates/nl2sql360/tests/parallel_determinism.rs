@@ -5,7 +5,7 @@
 use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use modelzoo::{method_by_name, SimulatedModel};
 use nl2sql360::pipeline::gpt35;
-use nl2sql360::{search_with_workers, AasConfig, EvalContext};
+use nl2sql360::{search_with_workers, AasConfig, EvalContext, EvalOptions};
 
 #[test]
 fn evaluate_is_byte_identical_at_any_worker_count() {
@@ -13,10 +13,10 @@ fn evaluate_is_byte_identical_at_any_worker_count() {
     let ctx = EvalContext::new(&corpus);
     for method in ["SuperSQL", "C3SQL", "SFT CodeS-7B"] {
         let model = SimulatedModel::new(method_by_name(method).unwrap());
-        let sequential = ctx.evaluate_parallel(&model, 1).unwrap();
+        let sequential = ctx.evaluate_with(&model, &EvalOptions::new().workers(1)).unwrap();
         let baseline = serde_json::to_string(&sequential).unwrap();
         for workers in [2, 3, 8] {
-            let parallel = ctx.evaluate_parallel(&model, workers).unwrap();
+            let parallel = ctx.evaluate_with(&model, &EvalOptions::new().workers(workers)).unwrap();
             assert_eq!(
                 baseline,
                 serde_json::to_string(&parallel).unwrap(),
@@ -31,10 +31,10 @@ fn evaluate_subset_is_byte_identical_at_any_worker_count() {
     let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(22));
     let ctx = EvalContext::new(&corpus);
     let model = SimulatedModel::new(method_by_name("SuperSQL").unwrap());
-    let sequential = ctx.evaluate_subset_parallel(&model, 12, 1).unwrap();
+    let sequential = ctx.evaluate_with(&model, &EvalOptions::new().subset(12).workers(1)).unwrap();
     let baseline = serde_json::to_string(&sequential).unwrap();
     for workers in [2, 5] {
-        let parallel = ctx.evaluate_subset_parallel(&model, 12, workers).unwrap();
+        let parallel = ctx.evaluate_with(&model, &EvalOptions::new().subset(12).workers(workers)).unwrap();
         assert_eq!(baseline, serde_json::to_string(&parallel).unwrap());
     }
 }
@@ -47,7 +47,7 @@ fn refusing_model_returns_none_at_any_worker_count() {
     let ctx = EvalContext::new(&corpus);
     let model = SimulatedModel::new(method_by_name("DINSQL").unwrap());
     for workers in [1, 2, 8] {
-        assert!(ctx.evaluate_parallel(&model, workers).is_none());
+        assert!(ctx.evaluate_with(&model, &EvalOptions::new().workers(workers)).is_none());
     }
 }
 

@@ -1,0 +1,59 @@
+//! Observability must be outcome-neutral: an evaluation with tracing
+//! enabled serializes to the byte-identical `EvalLog` as one without, at
+//! any worker count — spans and counters observe the run, they never
+//! steer it. Lives in its own test binary because the obs recorder is
+//! process-global.
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use modelzoo::method_by_name;
+use nl2sql360::{EvalContext, EvalOptions};
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn tracing_on_or_off_yields_byte_identical_eval_logs() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(17));
+    let ctx = EvalContext::new(&corpus);
+    let model = modelzoo::SimulatedModel::new(method_by_name("DAILSQL").unwrap());
+
+    let mut logs = Vec::new();
+    for workers in [1usize, 4] {
+        for trace in [false, true] {
+            obs::reset();
+            let opts = EvalOptions::new().subset(24).workers(workers).trace(trace);
+            let log = ctx.evaluate_with(&model, &opts).expect("model runs on Spider");
+            let recorded = !obs::snapshot().events.is_empty();
+            assert_eq!(recorded, trace, "recorder active iff trace requested");
+            logs.push(serde_json::to_string(&log).expect("log serializes"));
+        }
+    }
+    obs::reset();
+
+    let baseline = &logs[0];
+    for (i, other) in logs.iter().enumerate().skip(1) {
+        assert_eq!(baseline, other, "log {i} diverged from the untraced 1-worker run");
+    }
+}
+
+#[test]
+fn deprecated_entry_points_match_evaluate_with() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(23));
+    let ctx = EvalContext::new(&corpus);
+    let model = modelzoo::SimulatedModel::new(method_by_name("C3SQL").unwrap());
+
+    let via_options = serde_json::to_string(
+        &ctx.evaluate_with(&model, &EvalOptions::new().subset(12)).expect("runs"),
+    )
+    .unwrap();
+    #[allow(deprecated)]
+    let via_shims = [
+        serde_json::to_string(&ctx.evaluate_subset(&model, 12).expect("runs")).unwrap(),
+        serde_json::to_string(&ctx.evaluate_subset_parallel(&model, 12, 3).expect("runs")).unwrap(),
+    ];
+    for shim in via_shims {
+        assert_eq!(via_options, shim, "shims must stay byte-equivalent to evaluate_with");
+    }
+}

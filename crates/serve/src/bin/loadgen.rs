@@ -274,10 +274,30 @@ fn main() {
         fmt_duration(metrics.p99)
     );
     println!(
+        "    queue-wait p50/p95/p99: {} / {} / {}",
+        fmt_duration(metrics.queue_p50),
+        fmt_duration(metrics.queue_p95),
+        fmt_duration(metrics.queue_p99)
+    );
+    println!(
+        "    exec p50/p95/p99: {} / {} / {}",
+        fmt_duration(metrics.exec_p50),
+        fmt_duration(metrics.exec_p95),
+        fmt_duration(metrics.exec_p99)
+    );
+    println!(
         "  cache hit rate: {:.1}%  mean batch size: {:.2}",
         100.0 * metrics.cache_hit_rate,
         metrics.mean_batch_size
     );
+    if !metrics.exec_failures.is_empty() {
+        let kinds: Vec<String> = metrics
+            .exec_failures
+            .iter()
+            .map(|(k, n)| format!("{}: {n}", k.label()))
+            .collect();
+        println!("  exec failures by kind: {}", kinds.join("  "));
+    }
 
     let lost = metrics.lost();
     println!("  lost requests: {lost}");

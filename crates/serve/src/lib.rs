@@ -41,13 +41,17 @@ use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
 use modelzoo::Nl2SqlModel;
 use nl2sql360::{EvalContext, ExecFailureKind};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Service tuning knobs.
-#[derive(Debug, Clone)]
+/// Service tuning knobs. Prefer [`ServeConfig::builder`], which rejects
+/// degenerate values (zero-size queues/pools) at construction time; a
+/// hand-rolled struct with zeros is caught by the same validation when the
+/// service starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads executing translate→execute→compare.
     pub workers: usize,
@@ -60,6 +64,10 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Execution-cache entries per shard.
     pub cache_capacity_per_shard: usize,
+    /// Enable the global obs recorder for the service's lifetime
+    /// (restored on shutdown). Spans/counters are then snapshot-able via
+    /// [`obs::snapshot`] while the service runs.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,12 +78,125 @@ impl Default for ServeConfig {
             max_batch: 8,
             cache_shards: 8,
             cache_capacity_per_shard: 128,
+            trace: false,
         }
     }
 }
 
-/// One translation request against the service.
+impl ServeConfig {
+    /// Start a validating builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+
+    /// Check the invariants [`Service::run`] relies on.
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.workers == 0 {
+            return Err(ServeConfigError::ZeroWorkers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeConfigError::ZeroQueueCapacity);
+        }
+        if self.max_batch == 0 {
+            return Err(ServeConfigError::ZeroMaxBatch);
+        }
+        if self.cache_shards == 0 {
+            return Err(ServeConfigError::ZeroCacheShards);
+        }
+        if self.cache_capacity_per_shard == 0 {
+            return Err(ServeConfigError::ZeroCacheCapacity);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`ServeConfigBuilder`] refused to produce a config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `workers` was zero — the service could never serve anything.
+    ZeroWorkers,
+    /// `queue_capacity` was zero — every request would be rejected.
+    ZeroQueueCapacity,
+    /// `max_batch` was zero — workers could never drain the queue.
+    ZeroMaxBatch,
+    /// `cache_shards` was zero — the cache cannot be constructed.
+    ZeroCacheShards,
+    /// `cache_capacity_per_shard` was zero — the cache could hold nothing.
+    ZeroCacheCapacity,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::ZeroWorkers => write!(f, "workers must be >= 1"),
+            ServeConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be >= 1"),
+            ServeConfigError::ZeroMaxBatch => write!(f, "max_batch must be >= 1"),
+            ServeConfigError::ZeroCacheShards => write!(f, "cache_shards must be >= 1"),
+            ServeConfigError::ZeroCacheCapacity => {
+                write!(f, "cache_capacity_per_shard must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+/// Validating builder for [`ServeConfig`]: setters chain, [`build`]
+/// rejects zero-size queues/pools with a [`ServeConfigError`] instead of
+/// letting [`Service::run`] panic later.
+///
+/// [`build`]: ServeConfigBuilder::build
 #[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Worker threads executing translate→execute→compare.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Admission queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum same-method requests per dequeue round.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Execution-cache shard count.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Execution-cache entries per shard.
+    pub fn cache_capacity_per_shard(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity_per_shard = capacity;
+        self
+    }
+
+    /// Enable the obs recorder for the service's lifetime.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// One translation request against the service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryRequest {
     /// Method name (must match a registered model's `name()`).
     pub method: String,
@@ -89,7 +210,7 @@ pub struct QueryRequest {
 }
 
 /// Successful service answer for one request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueryResponse {
     /// Execution accuracy against the gold result.
     pub ex: bool,
@@ -99,7 +220,11 @@ pub struct QueryResponse {
     pub pred_sql: String,
     /// Execution work units (None when execution failed).
     pub pred_work: Option<u64>,
-    /// Execution-failure kind, when execution failed.
+    /// Execution-failure kind, when execution failed — the underlying
+    /// `minidb` error classification, so serialized responses keep the
+    /// failure *mode* and not just `ex: false`. Defaulted so logs written
+    /// before this field still deserialize.
+    #[serde(default)]
     pub exec_failure: Option<ExecFailureKind>,
     /// Whether the execution outcome came from the cache.
     pub cache_hit: bool,
@@ -110,7 +235,7 @@ pub struct QueryResponse {
 }
 
 /// Why a request got no [`QueryResponse`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QueryError {
     /// Rejected at admission: queue full (or service shutting down).
     Overloaded,
@@ -293,14 +418,36 @@ impl Service {
     /// Run a service over `ctx` with explicit models, registered under
     /// their `name()`. Returns the closure's result after a graceful
     /// drain: every admitted request is answered before this returns.
+    ///
+    /// # Panics
+    /// Panics on a config that [`ServeConfig::validate`] rejects; build
+    /// configs through [`ServeConfig::builder`] to surface those errors as
+    /// `Result`s at construction instead.
     pub fn run<'a, R>(
         config: ServeConfig,
         ctx: &'a EvalContext<'a>,
         models: Vec<Box<dyn Nl2SqlModel>>,
         f: impl FnOnce(&ServiceHandle<'_>) -> R,
     ) -> R {
-        assert!(config.workers >= 1, "need at least one worker");
-        assert!(config.queue_capacity >= 1, "need a nonzero queue");
+        Self::run_inner(config, ctx, models, f)
+    }
+
+    /// The one internal constructor both public entry points route
+    /// through: validates the config, installs the obs recorder when
+    /// `config.trace` asks for it, builds the shared state, and runs the
+    /// scoped worker pool.
+    fn run_inner<'a, R>(
+        config: ServeConfig,
+        ctx: &'a EvalContext<'a>,
+        models: Vec<Box<dyn Nl2SqlModel>>,
+        f: impl FnOnce(&ServiceHandle<'_>) -> R,
+    ) -> R {
+        if let Err(e) = config.validate() {
+            panic!("invalid ServeConfig: {e} (ServeConfig::builder() rejects this at build time)");
+        }
+        // Holds the recorder enabled for the service's lifetime; restores
+        // the previous state when the scope (and every worker) is done.
+        let _trace = config.trace.then(obs::enable);
         let method_index: HashMap<String, usize> =
             models.iter().enumerate().map(|(i, m)| (m.name().to_string(), i)).collect();
         let mut question_index = HashMap::new();
@@ -335,7 +482,8 @@ impl Service {
     /// Run with simulated models for the given registry method names.
     ///
     /// # Panics
-    /// Panics if a name is not in the modelzoo registry.
+    /// Panics if a name is not in the modelzoo registry, or on a config
+    /// that [`ServeConfig::validate`] rejects.
     pub fn run_with_methods<'a, R>(
         config: ServeConfig,
         ctx: &'a EvalContext<'a>,
@@ -350,7 +498,7 @@ impl Service {
                 Box::new(modelzoo::SimulatedModel::new(spec)) as Box<dyn Nl2SqlModel>
             })
             .collect();
-        Self::run(config, ctx, models, f)
+        Self::run_inner(config, ctx, models, f)
     }
 }
 
@@ -395,8 +543,15 @@ fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
 }
 
 fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size: usize) {
+    let _span = obs::span("serve.request");
+    // End of the queued phase: everything before `started` is queue wait,
+    // everything after is this worker's own processing time.
+    let queue_wait = p.enqueued.elapsed();
+    let started = Instant::now();
+    inner.metrics.queue_wait.record(queue_wait);
+    obs::observe_duration("serve.queue_wait", queue_wait);
     if let Some(deadline) = p.deadline {
-        if p.enqueued.elapsed() > deadline {
+        if queue_wait > deadline {
             Metrics::inc(&inner.metrics.deadline_exceeded);
             let _ = p.reply.send(Err(QueryError::DeadlineExceeded));
             return;
@@ -415,10 +570,12 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     let (outcome, cache_hit) = match inner.cache.get(&key) {
         Some(v) => {
             Metrics::inc(&inner.metrics.cache_hits);
+            obs::count("serve.exec_cache.hit", 1);
             (v, true)
         }
         None => {
             Metrics::inc(&inner.metrics.cache_misses);
+            obs::count("serve.exec_cache.miss", 1);
             let v = Arc::new(match ctx.corpus.db(sample).database.run_query(&pred.query) {
                 Ok(rs) => ExecOutcome::Ok(rs),
                 Err(e) => ExecOutcome::Failed(ExecFailureKind::of(&e)),
@@ -437,9 +594,12 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
         }
     };
     let em = sqlkit::exact_match(&sample.query, &pred.query);
+    let exec_time = started.elapsed();
     let latency = p.enqueued.elapsed();
     Metrics::inc(&inner.metrics.completed);
     inner.metrics.latency.record(latency);
+    inner.metrics.exec_time.record(exec_time);
+    obs::observe_duration("serve.exec", exec_time);
     let _ = p.reply.send(Ok(QueryResponse {
         ex,
         em,
@@ -520,6 +680,129 @@ mod tests {
             assert_eq!(first.pred_sql, second.pred_sql);
             assert_eq!(first.pred_work, second.pred_work);
             assert!(handle.cache_len() >= 1);
+        });
+    }
+
+    #[test]
+    fn builder_rejects_zero_sizes_at_construction() {
+        assert_eq!(
+            ServeConfig::builder().workers(0).build(),
+            Err(ServeConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            ServeConfig::builder().queue_capacity(0).build(),
+            Err(ServeConfigError::ZeroQueueCapacity)
+        );
+        assert_eq!(
+            ServeConfig::builder().max_batch(0).build(),
+            Err(ServeConfigError::ZeroMaxBatch)
+        );
+        assert_eq!(
+            ServeConfig::builder().cache_shards(0).build(),
+            Err(ServeConfigError::ZeroCacheShards)
+        );
+        assert_eq!(
+            ServeConfig::builder().cache_capacity_per_shard(0).build(),
+            Err(ServeConfigError::ZeroCacheCapacity)
+        );
+        // errors explain themselves
+        let msg = ServeConfig::builder().workers(0).build().unwrap_err().to_string();
+        assert!(msg.contains("workers"), "{msg}");
+    }
+
+    #[test]
+    fn builder_produces_a_validated_config() {
+        let config = ServeConfig::builder()
+            .workers(3)
+            .queue_capacity(17)
+            .max_batch(4)
+            .cache_shards(2)
+            .cache_capacity_per_shard(9)
+            .trace(false)
+            .build()
+            .expect("all sizes nonzero");
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.queue_capacity, 17);
+        assert_eq!(config.max_batch, 4);
+        assert_eq!(config.cache_shards, 2);
+        assert_eq!(config.cache_capacity_per_shard, 9);
+        assert!(!config.trace);
+        assert!(config.validate().is_ok());
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn run_panics_on_invalid_config_with_builder_hint() {
+        let ctx = EvalContext::new(corpus());
+        let bad = ServeConfig { workers: 0, ..ServeConfig::default() };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Service::run_with_methods(bad, &ctx, &["C3SQL"], |_| ())
+        }))
+        .expect_err("zero workers must be rejected");
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("ServeConfig::builder"), "{msg}");
+    }
+
+    #[test]
+    fn responses_and_errors_round_trip_through_serde() {
+        let resp = QueryResponse {
+            ex: true,
+            em: false,
+            pred_sql: "SELECT 1".into(),
+            pred_work: Some(42),
+            exec_failure: None,
+            cache_hit: true,
+            batch_size: 3,
+            latency: Duration::from_micros(1234),
+        };
+        let json = serde_json::to_string(&resp).expect("serializes");
+        let back: QueryResponse = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.pred_sql, resp.pred_sql);
+        assert_eq!(back.pred_work, resp.pred_work);
+        assert_eq!(back.latency, resp.latency);
+
+        // a failing execution keeps its minidb error kind through serde
+        let failed = QueryResponse {
+            exec_failure: Some(ExecFailureKind::UnknownColumn),
+            ex: false,
+            pred_work: None,
+            ..resp.clone()
+        };
+        let json = serde_json::to_string(&failed).expect("serializes");
+        let back: QueryResponse = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.exec_failure, Some(ExecFailureKind::UnknownColumn));
+
+        // logs written before exec_failure existed still parse (defaulted)
+        let old = json.replace(",\"exec_failure\":\"UnknownColumn\"", "");
+        assert!(!old.contains("exec_failure"), "field removal failed: {old}");
+        let back: QueryResponse = serde_json::from_str(&old).expect("old log parses");
+        assert_eq!(back.exec_failure, None);
+
+        for err in [
+            QueryError::Overloaded,
+            QueryError::UnknownMethod("DINSQL".into()),
+            QueryError::Internal,
+        ] {
+            let json = serde_json::to_string(&err).expect("serializes");
+            let back: QueryError = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, err);
+        }
+    }
+
+    #[test]
+    fn snapshot_splits_queue_wait_from_exec_time() {
+        let ctx = EvalContext::new(corpus());
+        Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+            for sample in corpus().dev.iter().take(8) {
+                handle.query(request(sample, 0, "C3SQL")).expect("served");
+            }
+            let m = handle.metrics();
+            assert!(m.queue_p50.is_some(), "queue-wait histogram must fill");
+            assert!(m.exec_p50.is_some(), "exec-time histogram must fill");
+            // total latency covers both phases, so its p99 can't undercut
+            // the exec p50 by more than bucket resolution
+            assert!(m.p99 >= m.exec_p50);
+            assert!(m.exec_failures.iter().all(|&(_, n)| n > 0));
         });
     }
 

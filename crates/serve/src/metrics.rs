@@ -86,6 +86,13 @@ pub struct Metrics {
     pub exec_failures: [AtomicU64; 10],
     /// Queue-to-response latency of completed requests.
     pub latency: LatencyHistogram,
+    /// Time spent queued before a worker picked the request up. Recorded
+    /// for every dequeued request, including deadline drops — queue
+    /// pressure is most visible exactly when requests die waiting.
+    pub queue_wait: LatencyHistogram,
+    /// Dequeue-to-response time (translate + execute + compare) of
+    /// completed requests.
+    pub exec_time: LatencyHistogram,
 }
 
 impl Metrics {
@@ -123,6 +130,17 @@ impl Metrics {
             p50: self.latency.quantile(0.50),
             p95: self.latency.quantile(0.95),
             p99: self.latency.quantile(0.99),
+            queue_p50: self.queue_wait.quantile(0.50),
+            queue_p95: self.queue_wait.quantile(0.95),
+            queue_p99: self.queue_wait.quantile(0.99),
+            exec_p50: self.exec_time.quantile(0.50),
+            exec_p95: self.exec_time.quantile(0.95),
+            exec_p99: self.exec_time.quantile(0.99),
+            exec_failures: nl2sql360::ExecFailureKind::ALL
+                .iter()
+                .map(|&k| (k, self.exec_failures[k as usize].load(Ordering::Relaxed)))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
         }
     }
 }
@@ -154,6 +172,23 @@ pub struct MetricsSnapshot {
     pub p95: Option<Duration>,
     /// 99th percentile latency.
     pub p99: Option<Duration>,
+    /// Median queue wait (enqueue → worker pickup).
+    pub queue_p50: Option<Duration>,
+    /// 95th percentile queue wait.
+    pub queue_p95: Option<Duration>,
+    /// 99th percentile queue wait.
+    pub queue_p99: Option<Duration>,
+    /// Median execution time (pickup → response).
+    pub exec_p50: Option<Duration>,
+    /// 95th percentile execution time.
+    pub exec_p95: Option<Duration>,
+    /// 99th percentile execution time.
+    pub exec_p99: Option<Duration>,
+    /// Execution-failure counts by kind (only kinds seen at least once) —
+    /// previously tallied internally but dropped from the snapshot, which
+    /// lost the failure *mode* breakdown the per-request
+    /// [`crate::QueryResponse::exec_failure`] field records.
+    pub exec_failures: Vec<(nl2sql360::ExecFailureKind, u64)>,
 }
 
 impl MetricsSnapshot {

@@ -1,0 +1,104 @@
+//! Serve ↔ obs ↔ minidb reconciliation: with `ServeConfig { trace: true }`
+//! the obs counters recorded during a service run must agree with the
+//! service's own metrics AND with minidb's dispatch accounting — every
+//! execution-cache miss is exactly one `run_query` dispatch, every hit is
+//! zero. Runs in its own test binary because the obs recorder is global.
+
+use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+use nl2sql360::EvalContext;
+use serve::{QueryRequest, ServeConfig, Service};
+use std::sync::Mutex;
+
+/// Tests in this binary share the global recorder; serialize them.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn request(sample: &datagen::Sample, variant: usize, method: &str) -> QueryRequest {
+    QueryRequest {
+        method: method.to_string(),
+        db_id: sample.db_id.clone(),
+        question: sample.variants[variant].clone(),
+        deadline: None,
+    }
+}
+
+#[test]
+fn trace_counters_reconcile_cache_with_minidb_dispatch() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(91));
+    // Gold results execute eagerly here, BEFORE tracing starts, so the
+    // dispatch counts seen below belong to served requests alone.
+    let ctx = EvalContext::new(&corpus);
+    obs::reset();
+
+    let config = ServeConfig::builder()
+        .workers(2)
+        .trace(true)
+        .build()
+        .expect("valid config");
+    let (metrics, mid) = Service::run_with_methods(config, &ctx, &["C3SQL"], |handle| {
+        // round 1: distinct questions — all execution-cache misses
+        for sample in corpus.dev.iter().take(10) {
+            let resp = handle.query(request(sample, 0, "C3SQL")).expect("served");
+            assert!(!resp.cache_hit, "first sighting must miss");
+        }
+        let mid = obs::snapshot();
+        // round 2: identical requests — all hits, no serve-side execution
+        for sample in corpus.dev.iter().take(10) {
+            let resp = handle.query(request(sample, 0, "C3SQL")).expect("served");
+            assert!(resp.cache_hit, "second round must hit");
+        }
+        (handle.metrics(), mid)
+    });
+
+    let snap = obs::snapshot();
+    // obs counters mirror the service's own cache metrics
+    assert_eq!(snap.counter("serve.exec_cache.hit"), metrics.cache_hits);
+    assert_eq!(snap.counter("serve.exec_cache.miss"), metrics.cache_misses);
+    assert_eq!(metrics.cache_hits, 10);
+    assert_eq!(metrics.cache_misses, 10);
+
+    // Reconcile cache behavior with minidb's dispatch accounting. The
+    // simulated translator itself executes verification queries (the
+    // corruption engine), and translation is deterministic per request —
+    // so two identical rounds differ in dispatch count by *exactly* the
+    // executions the cache saved: round 1's misses.
+    let dispatch =
+        |s: &obs::Snapshot| s.counter("minidb.dispatch.compiled") + s.counter("minidb.dispatch.interpreter");
+    let round1 = dispatch(&mid);
+    let round2 = dispatch(&snap) - round1;
+    assert_eq!(
+        round1 - round2,
+        metrics.cache_misses,
+        "dispatch delta between identical rounds must equal the misses the cache absorbed \
+         (round1={round1}, round2={round2})"
+    );
+
+    // the request span and both halves of the latency split were recorded
+    assert!(snap.events.iter().any(|e| e.name == "serve.request"));
+    let qw = snap.histograms.get("serve.queue_wait").expect("queue-wait histogram");
+    let ex = snap.histograms.get("serve.exec").expect("exec histogram");
+    assert_eq!(qw.count, 20);
+    assert_eq!(ex.count, metrics.completed);
+
+    // per-operator work charged during serving flows through too
+    assert!(snap.counter("minidb.work.total") > 0);
+
+    obs::reset();
+}
+
+#[test]
+fn untraced_service_records_no_obs_data() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(92));
+    let ctx = EvalContext::new(&corpus);
+    obs::reset();
+    Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+        for sample in corpus.dev.iter().take(5) {
+            handle.query(request(sample, 0, "C3SQL")).expect("served");
+        }
+    });
+    let snap = obs::snapshot();
+    assert!(snap.events.is_empty(), "trace: false must record nothing");
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}

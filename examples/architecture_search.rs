@@ -8,7 +8,7 @@
 
 use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use modelzoo::Nl2SqlModel;
-use nl2sql360::{compose, gpt35, gpt4, metrics, search, AasConfig, EvalContext, Filter};
+use nl2sql360::{compose, gpt35, gpt4, metrics, search, AasConfig, EvalContext, EvalOptions, Filter};
 
 fn main() {
     let corpus = generate_corpus(
@@ -37,7 +37,7 @@ fn main() {
 
     // Re-base on GPT-4 and evaluate on the whole dev split
     let winner = compose("AAS-winner@GPT-4".into(), &gpt4(), result.best);
-    let log = ctx.evaluate(&winner).expect("hybrid supports Spider");
+    let log = ctx.evaluate_with(&winner, &EvalOptions::new()).expect("hybrid supports Spider");
     println!(
         "\n{} on full dev split: EX = {:.1}",
         winner.name(),

@@ -9,7 +9,7 @@
 use datagen::{augment_corpus, domain_by_name, generate_corpus, perturb_corpus, CorpusConfig, CorpusKind, Perturbation};
 use modelzoo::{method_by_name, SimulatedModel};
 use nl2sql360::{
-    adaptive_plan, diagnose, evaluate_with_rewriter, metrics, EvalContext, Filter,
+    adaptive_plan, diagnose, evaluate_with_rewriter, metrics, EvalContext, EvalOptions, Filter,
 };
 
 fn main() {
@@ -22,12 +22,12 @@ fn main() {
 
     // --- 1. robustness: how fragile is a PLM to schema renames? ---
     let plm = SimulatedModel::new(method_by_name("RESDSQL-3B").expect("registered"));
-    let clean = ctx.evaluate(&plm).expect("runs on Spider");
+    let clean = ctx.evaluate_with(&plm, &EvalOptions::new()).expect("runs on Spider");
     println!("RESDSQL-3B clean EX: {:.1}", metrics::ex(&clean, &f).expect("non-empty"));
     for kind in Perturbation::ALL {
         let perturbed = perturb_corpus(&corpus, kind, 99);
         let pctx = EvalContext::new(&perturbed);
-        let log = pctx.evaluate(&plm).expect("runs on Spider");
+        let log = pctx.evaluate_with(&plm, &EvalOptions::new()).expect("runs on Spider");
         println!(
             "  under {:<16}: EX = {:.1}",
             kind.label(),
@@ -37,7 +37,7 @@ fn main() {
 
     // --- 2. query rewriter: stabilize a prompt method against paraphrase ---
     let prompt = SimulatedModel::new(method_by_name("C3SQL").expect("registered"));
-    let plain = ctx.evaluate(&prompt).expect("runs on Spider");
+    let plain = ctx.evaluate_with(&prompt, &EvalOptions::new()).expect("runs on Spider");
     let rewritten = evaluate_with_rewriter(&ctx, &prompt).expect("runs on Spider");
     println!(
         "\nC3SQL QVT without rewriter: {:.1}   with rewriter: {:.1}",
@@ -60,7 +60,7 @@ fn main() {
 
     // --- 4. adaptive data: close the loop on the weakest domain ---
     let ft = SimulatedModel::new(method_by_name("SFT CodeS-7B").expect("registered"));
-    let ft_log = ctx.evaluate(&ft).expect("runs on Spider");
+    let ft_log = ctx.evaluate_with(&ft, &EvalOptions::new()).expect("runs on Spider");
     let plan = adaptive_plan(&ctx, &ft_log, 6);
     let target = plan.first().expect("some domain").clone();
     println!(
@@ -70,7 +70,7 @@ fn main() {
     let domain = domain_by_name(&target.domain).expect("plan names real domains");
     let augmented = augment_corpus(&corpus, domain, target.suggested_extra_dbs.max(10), 8, 7);
     let actx = EvalContext::new(&augmented);
-    let after = actx.evaluate(&ft).expect("runs on Spider");
+    let after = actx.evaluate_with(&ft, &EvalOptions::new()).expect("runs on Spider");
     let df = Filter::all().domain(target.domain.clone());
     println!(
         "  in-domain EX before: {:.1}   after augmentation: {:.1}",

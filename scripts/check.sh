@@ -31,6 +31,14 @@ cargo test --offline --workspace -q
 if [ "$lint" -eq 1 ]; then
   echo "==> cargo clippy (-D warnings)"
   cargo clippy --offline --workspace --all-targets -- -D warnings
+
+  # Observability overhead smoke: bench_eval runs the same evaluation with
+  # tracing on and off; --validate fails if the disabled path regressed
+  # more than 5% after tracing ran (a recorder leaking past its guard) or
+  # a disabled span+counter pair exceeds its ns budget.
+  echo "==> obs overhead smoke (bench_eval --quick --validate)"
+  cargo run --offline --release -p nl2sql360-bench --bin bench_eval -- \
+    --quick --out /tmp/BENCH_obs_smoke.json --validate
 fi
 
 if [ "$bench" -eq 1 ]; then

@@ -8,7 +8,7 @@
 use modelzoo::sft::{sft_model, BASE_LLMS};
 use modelzoo::{method_by_name, Serving};
 use nl2sql360::evaluator::class_mean;
-use nl2sql360::{metrics, CountBucket, EvalContext, EvalLog, Filter};
+use nl2sql360::{metrics, CountBucket, EvalContext, EvalLog, EvalOptions, Filter};
 use nl2sql360_bench::{Harness, Scale};
 use sqlkit::Hardness;
 use std::sync::OnceLock;
@@ -159,7 +159,7 @@ fn finding_8_sft_ex_correlates_with_code_ability() {
     let mut pairs = Vec::new();
     for base in BASE_LLMS {
         let model = sft_model(&base, h.spider.train.len());
-        let log = ctx.evaluate(&model).expect("SFT models run on Spider");
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).expect("SFT models run on Spider");
         pairs.push((base.humaneval, metrics::ex(&log, &Filter::all()).expect("non-empty")));
     }
     // Spearman-style check: the model with the best HumanEval beats the
@@ -228,7 +228,7 @@ fn finding_12_more_training_data_helps_with_diminishing_returns() {
     let base = modelzoo::sft::base_llm("Deepseek-Coder-7B").expect("registered");
     let ex_at = |n: usize| {
         let model = sft_model(&base, n);
-        let log = ctx.evaluate(&model).expect("runs on Spider");
+        let log = ctx.evaluate_with(&model, &EvalOptions::new()).expect("runs on Spider");
         metrics::ex(&log, &Filter::all()).expect("non-empty")
     };
     let e500 = ex_at(500);

@@ -6,7 +6,7 @@ use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use modelzoo::{method_by_name, Nl2SqlModel, SimulatedModel};
 use nl2sql360::{
     evaluate_all, leaderboard, metrics, render_accuracy_leaderboard, CountBucket, EvalContext,
-    Filter, LogStore,
+    EvalOptions, Filter, LogStore,
 };
 use sqlkit::Hardness;
 
@@ -23,7 +23,7 @@ fn full_pipeline_end_to_end() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
     let m = model("SuperSQL");
-    let log = ctx.evaluate(&m).expect("SuperSQL runs on Spider");
+    let log = ctx.evaluate_with(&m, &EvalOptions::new()).expect("SuperSQL runs on Spider");
 
     // every record carries a prediction that parses
     for r in &log.records {
@@ -43,7 +43,7 @@ fn full_pipeline_end_to_end() {
 fn hardness_filters_partition_the_dev_split() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("C3SQL")).expect("supported");
+    let log = ctx.evaluate_with(&model("C3SQL"), &EvalOptions::new()).expect("supported");
     let total = log.records.len();
     let sum: usize = Hardness::ALL
         .iter()
@@ -66,7 +66,7 @@ fn hardness_filters_partition_the_dev_split() {
 fn overall_ex_is_mixture_of_hardness_subsets() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("SFT CodeS-7B")).expect("supported");
+    let log = ctx.evaluate_with(&model("SFT CodeS-7B"), &EvalOptions::new()).expect("supported");
     let total = log.records.len() as f64;
     let mut weighted = 0.0;
     for h in Hardness::ALL {
@@ -84,7 +84,7 @@ fn overall_ex_is_mixture_of_hardness_subsets() {
 fn log_persistence_roundtrips_through_json() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("RESDSQL-3B")).expect("supported");
+    let log = ctx.evaluate_with(&model("RESDSQL-3B"), &EvalOptions::new()).expect("supported");
 
     let dir = std::env::temp_dir().join(format!("nl2sql360-it-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -127,7 +127,7 @@ fn predictions_scored_ex_really_execute_to_gold_results() {
     // Spot-check the executor's bookkeeping: re-run scoring by hand.
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("DAILSQL(SC)")).expect("supported");
+    let log = ctx.evaluate_with(&model("DAILSQL(SC)"), &EvalOptions::new()).expect("supported");
     for (i, r) in log.records.iter().enumerate().take(30) {
         let sample = &corpus.dev[i];
         let gold_rs = corpus.db(sample).database.run_query(&sample.query).expect("gold runs");
@@ -145,7 +145,7 @@ fn predictions_scored_ex_really_execute_to_gold_results() {
 fn qvt_only_counts_multi_variant_samples() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("SFT CodeS-15B")).expect("supported");
+    let log = ctx.evaluate_with(&model("SFT CodeS-15B"), &EvalOptions::new()).expect("supported");
     // filtering to ≥2 variants must not change QVT (it's built into Eq. 1)
     let a = metrics::qvt(&log, &Filter::all());
     let b = metrics::qvt(&log, &Filter::all().min_variants(2));
@@ -156,7 +156,7 @@ fn qvt_only_counts_multi_variant_samples() {
 fn bird_corpus_pipeline_works_too() {
     let corpus = generate_corpus(CorpusKind::Bird, &CorpusConfig::tiny(777));
     let ctx = EvalContext::new(&corpus);
-    let log = ctx.evaluate(&model("SFT CodeS-7B")).expect("CodeS runs on BIRD");
+    let log = ctx.evaluate_with(&model("SFT CodeS-7B"), &EvalOptions::new()).expect("CodeS runs on BIRD");
     assert_eq!(log.dataset, "BIRD");
     let ex = metrics::ex(&log, &Filter::all()).expect("non-empty");
     assert!(ex > 20.0 && ex < 95.0, "BIRD EX {ex} out of plausible range");
@@ -175,8 +175,8 @@ fn deterministic_across_fresh_contexts() {
     let ctx1 = EvalContext::new(&c1);
     let ctx2 = EvalContext::new(&c2);
     let m = model("DINSQL");
-    let a = ctx1.evaluate(&m).expect("supported");
-    let b = ctx2.evaluate(&m).expect("supported");
+    let a = ctx1.evaluate_with(&m, &EvalOptions::new()).expect("supported");
+    let b = ctx2.evaluate_with(&m, &EvalOptions::new()).expect("supported");
     assert_eq!(metrics::ex(&a, &Filter::all()), metrics::ex(&b, &Filter::all()));
     for (ra, rb) in a.records.iter().zip(&b.records) {
         assert_eq!(ra.canonical().pred_sql, rb.canonical().pred_sql);
@@ -225,7 +225,7 @@ fn exact_match_with_values_implies_execution_match() {
     let corpus = corpus();
     let ctx = EvalContext::new(&corpus);
     for name in ["SuperSQL", "RESDSQL-3B"] {
-        let log = ctx.evaluate(&model(name)).expect("supported");
+        let log = ctx.evaluate_with(&model(name), &EvalOptions::new()).expect("supported");
         for (i, r) in log.records.iter().enumerate() {
             let v = r.canonical();
             let pred = sqlkit::parse_query(&v.pred_sql).expect("prediction parses");

@@ -165,6 +165,27 @@ impl Deserialize for bool {
     }
 }
 
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        // serde's canonical Duration shape: {"secs": u64, "nanos": u32}
+        Value::Map(vec![
+            ("secs".to_string(), self.as_secs().serialize()),
+            ("nanos".to_string(), (self.subsec_nanos() as u64).serialize()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let secs =
+            u64::deserialize(v.get("secs").ok_or_else(|| Error::msg("Duration missing secs"))?)?;
+        let nanos =
+            u64::deserialize(v.get("nanos").ok_or_else(|| Error::msg("Duration missing nanos"))?)?;
+        let nanos = u32::try_from(nanos).map_err(|_| Error::msg("Duration nanos out of range"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for String {
     fn serialize(&self) -> Value {
         Value::Str(self.clone())
