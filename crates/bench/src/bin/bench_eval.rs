@@ -13,22 +13,30 @@
 //!    off, plus the micro-cost of a disabled span+counter pair. The
 //!    trace-off pass runs *after* the trace-on pass, so a recorder that
 //!    leaks past its enable guard shows up as a disabled-path regression.
+//! 4. **Registry recording overhead**: ns/op for the labeled-metric hot
+//!    path (a pre-registered counter+histogram cell pair, and the
+//!    `with()` label-resolution path), plus a closed-loop serve
+//!    mini-workload timed with the telemetry plane on vs off.
 //!
 //! ```text
 //! bench_eval [--quick] [--out FILE] [--validate]
 //! ```
 //!
-//! `--quick` shrinks repetitions for smoke testing. `--validate` exits
-//! nonzero unless the compiled plan beats the interpreter on every
-//! microbench, the disabled-path throughput after tracing stays within 5%
-//! of the pre-tracing measurement, and (on machines with >= 4 cores)
-//! evaluation reaches >= 2x throughput at 4 workers; parallel scaling is
-//! physically impossible on fewer cores, so that check is recorded but not
-//! enforced there.
+//! `--quick` shrinks the evaluation sweep for smoke testing; measurements
+//! that feed `--validate` gates always run at full repetition (they cost
+//! under a second, and a single-shot timing ratio on a busy box produces
+//! false failures). `--validate` exits nonzero unless the compiled plan
+//! beats the interpreter on every microbench, the disabled-path
+//! throughput after tracing stays within 5% of the pre-tracing
+//! measurement, telemetry costs <= 5% of serve throughput, and (on
+//! machines with >= 4 cores) evaluation reaches 2x throughput at 4
+//! workers; parallel scaling is physically impossible on fewer cores, so
+//! that check is recorded but not enforced there.
 
-use datagen::{generate_corpus, generate_db, CorpusConfig, CorpusKind, SchemaProfile};
+use datagen::{generate_corpus, generate_db, Corpus, CorpusConfig, CorpusKind, SchemaProfile};
 use modelzoo::{method_by_name, SimulatedModel};
 use nl2sql360::{EvalContext, EvalOptions};
+use serve::{QueryRequest, ServeConfig, Service};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -214,11 +222,96 @@ fn bench_trace(
     }
 }
 
+struct RegistryPoint {
+    /// ns for one pre-registered labeled counter inc + histogram record.
+    cell_pair_ns: f64,
+    /// ns for a `with()` label resolution + counter inc (the cold path
+    /// serve deliberately avoids by pre-registering cells).
+    lookup_inc_ns: f64,
+    requests: usize,
+    off_qps: f64,
+    on_qps: f64,
+    /// (off - on) / off as a percentage; what the telemetry plane costs
+    /// per served request.
+    telemetry_overhead_pct: f64,
+}
+
+/// Best-of-`reps` closed-loop serve pass. Each rep runs a fresh service
+/// (fresh cache, so every request takes the full translate+execute hot
+/// path) and times only the query loop, not service start/stop.
+fn time_serve(ctx: &EvalContext<'_>, requests: &[QueryRequest], telemetry: bool, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let config = ServeConfig::builder().workers(2).telemetry(telemetry).build().unwrap();
+        let secs = Service::run_with_methods(config, ctx, &[METHOD], |handle| {
+            let started = Instant::now();
+            for req in requests {
+                handle.query(req.clone()).expect("served");
+            }
+            started.elapsed().as_secs_f64()
+        });
+        best = best.min(secs);
+    }
+    best
+}
+
+fn bench_registry(
+    ctx: &EvalContext<'_>,
+    corpus: &Corpus,
+    iters: usize,
+    reps: usize,
+) -> RegistryPoint {
+    // --- micro: the labeled hot path serve runs per request ---
+    let registry = obs::registry::Registry::new();
+    let counters = registry.counter_vec("bench_requests_total", "bench", &["method"]);
+    let hists = registry.histogram_vec("bench_latency_us", "bench", &["method"]);
+    let cell = counters.with(&[METHOD]);
+    let cell_hist = hists.with(&[METHOD]);
+    let cell_pair_ns = time_ns(iters, || {
+        cell.inc();
+        cell_hist.record(137);
+        0
+    });
+    let lookup_inc_ns = time_ns(iters, || {
+        counters.with(&[METHOD]).inc();
+        0
+    });
+
+    // --- macro: closed-loop serving with the plane on vs off ---
+    // distinct (sample, variant) questions so a fresh cache never hits
+    let requests: Vec<QueryRequest> = corpus
+        .dev
+        .iter()
+        .flat_map(|sample| {
+            sample.variants.iter().map(|q| QueryRequest {
+                method: METHOD.to_string(),
+                db_id: sample.db_id.clone(),
+                question: q.clone(),
+                deadline: None,
+            })
+        })
+        .collect();
+    time_serve(ctx, &requests, true, 1); // warmup
+    let on_secs = time_serve(ctx, &requests, true, reps);
+    let off_secs = time_serve(ctx, &requests, false, reps);
+    RegistryPoint {
+        cell_pair_ns,
+        lookup_inc_ns,
+        requests: requests.len(),
+        off_qps: requests.len() as f64 / off_secs,
+        on_qps: requests.len() as f64 / on_secs,
+        telemetry_overhead_pct: (on_secs - off_secs) / off_secs * 100.0,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let cores = nl2sql360::default_workers();
     let reps = if args.quick { 1 } else { 3 };
-    let plan_iters = if args.quick { 50 } else { 400 };
+    // Every measurement a --validate gate compares runs best-of-3 at a
+    // fixed iteration count, --quick or not: single-shot ratios flap.
+    let ratio_reps = 3;
+    let plan_iters = 400;
 
     eprintln!("bench_eval: corpus evaluation sweep (cores available: {cores}) ...");
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
@@ -256,11 +349,13 @@ fn main() {
     }
 
     eprintln!("bench_eval: observability overhead (tracing on/off) ...");
-    let base4 = {
-        let at4 = eval_points.iter().find(|p| p.workers == 4).expect("4 in sweep");
-        n_samples as f64 / at4.samples_per_sec
-    };
-    let trace = bench_trace(&ctx, &model, n_samples, base4, reps);
+    // The pre-tracing baseline the disabled_regression gate divides by is
+    // measured here, immediately before the traced passes, not taken from
+    // the sweep above: the plan benches in between leave enough thermal /
+    // scheduler drift on a shared box to flap a 5% ratio gate. (Still
+    // before any tracing has run in this process, which is what matters.)
+    let base4 = time_evaluate(&ctx, &model, 4, ratio_reps);
+    let trace = bench_trace(&ctx, &model, n_samples, base4, ratio_reps);
     eprintln!(
         "  workers={} off {:>9.0} samples/sec  on {:>9.0} samples/sec  trace-on overhead {:+.1}%",
         trace.workers, trace.off_samples_per_sec, trace.on_samples_per_sec,
@@ -269,6 +364,18 @@ fn main() {
     eprintln!(
         "  disabled path: x{:.3} vs pre-trace baseline, {:.1}ns per span+counter pair",
         trace.disabled_regression, trace.disabled_ns_per_op
+    );
+
+    eprintln!("bench_eval: registry recording overhead (telemetry on/off) ...");
+    let registry =
+        bench_registry(&ctx, &corpus, if args.quick { 20_000 } else { 200_000 }, ratio_reps);
+    eprintln!(
+        "  micro: cell pair {:.1}ns  with()+inc {:.1}ns",
+        registry.cell_pair_ns, registry.lookup_inc_ns
+    );
+    eprintln!(
+        "  serve ({} requests): off {:>7.0} qps  on {:>7.0} qps  telemetry overhead {:+.1}%",
+        registry.requests, registry.off_qps, registry.on_qps, registry.telemetry_overhead_pct
     );
 
     let mut json = String::new();
@@ -309,6 +416,18 @@ fn main() {
         "    \"trace_on_overhead_pct\": {:.2}, \"disabled_regression\": {:.4}, \"disabled_ns_per_op\": {:.1}",
         trace.trace_on_overhead_pct, trace.disabled_regression, trace.disabled_ns_per_op
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"registry\": {{");
+    let _ = writeln!(
+        json,
+        "    \"cell_pair_ns\": {:.1}, \"lookup_inc_ns\": {:.1}, \"serve_requests\": {},",
+        registry.cell_pair_ns, registry.lookup_inc_ns, registry.requests
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"telemetry_overhead_pct\": {:.2}",
+        registry.off_qps, registry.on_qps, registry.telemetry_overhead_pct
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
@@ -340,6 +459,20 @@ fn main() {
             eprintln!(
                 "FAIL: a disabled span+counter pair costs {:.0}ns (budget: 250ns)",
                 trace.disabled_ns_per_op
+            );
+            failed = true;
+        }
+        if registry.telemetry_overhead_pct > 5.0 {
+            eprintln!(
+                "FAIL: telemetry costs {:.1}% of serve throughput (budget: 5%)",
+                registry.telemetry_overhead_pct
+            );
+            failed = true;
+        }
+        if registry.cell_pair_ns > 250.0 {
+            eprintln!(
+                "FAIL: a labeled counter+histogram record pair costs {:.0}ns (budget: 250ns)",
+                registry.cell_pair_ns
             );
             failed = true;
         }

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! nl2sql360 generate   --kind spider|bird --size tiny|quick|full --seed N --out corpus.json
-//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" [--parallel N] [--trace out.json] --logs DIR
+//! nl2sql360 evaluate   --corpus corpus.json --methods all|"A,B,C" [--parallel N] [--trace out.json]
+//!                      [--emit-metrics out.prom] --logs DIR
 //! nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD --metric ex|em|qvt|ves|cost|tokens
 //!                       [--filter "hardness=extra,subquery=yes,joins=2+"]
 //! nl2sql360 methods    # list the model zoo
@@ -58,7 +59,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   nl2sql360 generate    --kind spider|bird --size tiny|quick|full [--seed N] --out FILE
-  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] [--parallel N] [--trace OUT.json] --logs DIR
+  nl2sql360 evaluate    --corpus FILE [--methods all|\"A,B\"] [--parallel N] [--trace OUT.json]
+                        [--emit-metrics OUT.prom] --logs DIR
   nl2sql360 leaderboard --logs DIR --dataset Spider|BIRD [--metric ex|em|qvt|ves|cost|tokens] [--filter SPEC]
   nl2sql360 methods
   nl2sql360 dashboard   --logs DIR --dataset Spider|BIRD --method NAME
@@ -198,7 +200,24 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     let ctx = EvalContext::new(&corpus);
     let trace = trace_start(opts);
+    // --emit-metrics needs the recorder too; enable it ourselves only
+    // when --trace has not already done so.
+    let metrics_out = opts.get("emit-metrics").cloned();
+    let metrics_guard = (metrics_out.is_some() && trace.is_none()).then(|| {
+        obs::reset();
+        obs::enable()
+    });
     let logs = evaluate_all_with_workers(&ctx, &selected, workers);
+    if let Some(path) = &metrics_out {
+        let exposition =
+            obs::registry::bridge_recorder(&obs::snapshot()).render_prometheus();
+        std::fs::write(path, exposition).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("prometheus exposition written to {path}");
+    }
+    if let Some(guard) = metrics_guard {
+        drop(guard);
+        obs::reset();
+    }
     trace_finish(trace)?;
     let store = LogStore::open(logs_dir).map_err(|e| e.to_string())?;
     for log in &logs {

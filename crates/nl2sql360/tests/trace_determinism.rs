@@ -37,6 +37,44 @@ fn tracing_on_or_off_yields_byte_identical_eval_logs() {
     }
 }
 
+/// The `evaluate --emit-metrics` path: run with the recorder on, bridge
+/// the snapshot into a registry, and render the exposition — the EvalLog
+/// must stay byte-identical to an untelemetered run at any worker count,
+/// and the exposition must carry the recorder's families.
+#[test]
+fn emit_metrics_path_is_outcome_neutral() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(31));
+    let ctx = EvalContext::new(&corpus);
+    let model = modelzoo::SimulatedModel::new(method_by_name("C3SQL").unwrap());
+
+    obs::reset();
+    let baseline = serde_json::to_string(
+        &ctx.evaluate_with(&model, &EvalOptions::new().subset(16)).expect("runs"),
+    )
+    .unwrap();
+
+    for workers in [1usize, 4] {
+        obs::reset();
+        let guard = obs::enable();
+        let log = ctx
+            .evaluate_with(&model, &EvalOptions::new().subset(16).workers(workers))
+            .expect("runs");
+        let exposition = obs::registry::bridge_recorder(&obs::snapshot()).render_prometheus();
+        drop(guard);
+        obs::reset();
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&log).unwrap(),
+            "emit-metrics run diverged at {workers} workers"
+        );
+        assert!(
+            exposition.contains("obs_spans_total{"),
+            "bridged exposition must carry recorder span families:\n{exposition}"
+        );
+    }
+}
+
 #[test]
 fn deprecated_entry_points_match_evaluate_with() {
     let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());

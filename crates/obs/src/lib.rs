@@ -25,6 +25,11 @@
 //! self-time attribution.
 
 pub mod export;
+pub mod registry;
+
+pub use registry::{
+    AtomicHistogram, Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramVec, Registry,
+};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -69,16 +74,16 @@ struct ThreadBuf {
     dropped: u64,
 }
 
-struct Registry {
+struct RecorderState {
     bufs: Vec<Arc<Mutex<ThreadBuf>>>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
 }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY.get_or_init(|| {
-        Mutex::new(Registry {
+fn recorder_state() -> &'static Mutex<RecorderState> {
+    static STATE: OnceLock<Mutex<RecorderState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(RecorderState {
             bufs: Vec::new(),
             counters: BTreeMap::new(),
             hists: BTreeMap::new(),
@@ -86,8 +91,8 @@ fn registry() -> &'static Mutex<Registry> {
     })
 }
 
-fn lock_registry() -> std::sync::MutexGuard<'static, Registry> {
-    registry().lock().unwrap_or_else(|e| e.into_inner())
+fn lock_registry() -> std::sync::MutexGuard<'static, RecorderState> {
+    recorder_state().lock().unwrap_or_else(|e| e.into_inner())
 }
 
 type SpanStack = RefCell<Vec<(&'static str, u64)>>;
@@ -267,9 +272,10 @@ pub fn count(name: &'static str, delta: u64) {
 // ---------------------------------------------------------------------------
 
 /// Power-of-two bucketed histogram: bucket 0 holds value 0, bucket `i`
-/// holds `[2^(i-1), 2^i)`. Same bucket math as the serve-layer latency
-/// histogram so quantiles are comparable across layers.
-const HIST_BUCKETS: usize = 64;
+/// holds `[2^(i-1), 2^i)`. One bucket-boundary table is shared by the
+/// tracing recorder, the serve-layer metrics, and the labeled
+/// [`registry`] families so quantiles are comparable across layers.
+pub const HIST_BUCKETS: usize = 64;
 
 #[derive(Debug, Clone)]
 struct Hist {

@@ -16,7 +16,8 @@ use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use nl2sql360::EvalContext;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serve::{QueryError, QueryRequest, ServeConfig, Service};
+use serve::{QueryError, QueryRequest, ServeConfig, Service, WindowReport};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const DEFAULT_METHODS: &[&str] = &["C3SQL", "DINSQL", "DAILSQL(SC)", "SuperSQL"];
@@ -31,6 +32,7 @@ struct Args {
     batch: usize,
     deadline_ms: Option<u64>,
     open_loop: bool,
+    scrape: bool,
 }
 
 impl Default for Args {
@@ -45,6 +47,7 @@ impl Default for Args {
             batch: 8,
             deadline_ms: None,
             open_loop: false,
+            scrape: false,
         }
     }
 }
@@ -55,7 +58,7 @@ fn parse_args() -> Args {
     let mut i = 0;
     let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
                  [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
-                 [--deadline-ms N] [--open]";
+                 [--deadline-ms N] [--open] [--scrape]";
     while i < argv.len() {
         let need_value = |i: usize| -> &str {
             argv.get(i + 1).unwrap_or_else(|| {
@@ -80,6 +83,11 @@ fn parse_args() -> Args {
             "--deadline-ms" => args.deadline_ms = Some(parse(need_value(i))),
             "--open" => {
                 args.open_loop = true;
+                i += 1;
+                continue;
+            }
+            "--scrape" => {
+                args.scrape = true;
                 i += 1;
                 continue;
             }
@@ -142,6 +150,19 @@ impl Tally {
     }
 }
 
+fn print_window(w: &WindowReport) {
+    println!(
+        "    last {:>3}s: {} req ({:.0} qps), {:.1}% errors, p50/p95/p99 {} / {} / {}",
+        w.window.as_secs(),
+        w.requests,
+        w.qps,
+        100.0 * w.error_rate,
+        fmt_duration(w.p50),
+        fmt_duration(w.p95),
+        fmt_duration(w.p99)
+    );
+}
+
 fn fmt_duration(d: Option<Duration>) -> String {
     match d {
         None => "-".to_string(),
@@ -173,53 +194,103 @@ fn main() {
         })
         .collect();
 
-    let config = ServeConfig {
+    let mut config = ServeConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         max_batch: args.batch,
         ..ServeConfig::default()
     };
+    if args.scrape {
+        config.admin_addr = Some("127.0.0.1:0".parse().expect("loopback addr"));
+    }
 
     let started = Instant::now();
-    let (tally, metrics) = Service::run_with_methods(config, &ctx, DEFAULT_METHODS, |handle| {
-        let mut tally = Tally::default();
-        if args.open_loop {
-            // submit everything as fast as admission allows, then collect
-            let mut tickets = Vec::with_capacity(requests.len());
-            for req in &requests {
-                match handle.submit(req.clone()) {
-                    Ok(t) => tickets.push(t),
-                    Err(e) => tally.absorb(&Err(e)),
-                }
-            }
-            for t in tickets {
-                tally.absorb(&t.wait());
-            }
-        } else {
-            // closed loop: each client thread keeps one request in flight
-            let clients = args.clients.min(requests.len().max(1));
-            let chunk = requests.len().div_ceil(clients).max(1);
-            let tallies = std::thread::scope(|scope| {
-                let handles: Vec<_> = requests
-                    .chunks(chunk)
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let mut local = Tally::default();
-                            for req in chunk {
-                                local.absorb(&handle.query(req.clone()));
+    let (tally, metrics, windows, scrape_result) =
+        Service::run_with_methods(config, &ctx, DEFAULT_METHODS, |handle| {
+            let stop_scraper = AtomicBool::new(false);
+            let (tally, scrape_result) = std::thread::scope(|scope| {
+                // Mid-run scraper: polls the live admin endpoint the way an
+                // external Prometheus would, while traffic is in flight.
+                let scraper = args.scrape.then(|| {
+                    let addr = handle.admin_addr().expect("admin endpoint bound");
+                    let stop = &stop_scraper;
+                    scope.spawn(move || -> Result<u64, String> {
+                        let mut scrapes = 0u64;
+                        loop {
+                            let (status, body) = serve::admin::http_get(addr, "/metrics")
+                                .map_err(|e| format!("GET /metrics: {e}"))?;
+                            if status != 200 || !body.contains("serve_requests_total{") {
+                                return Err(format!(
+                                    "bad /metrics scrape: status {status}, {} bytes",
+                                    body.len()
+                                ));
                             }
-                            local
-                        })
+                            for path in ["/healthz", "/readyz"] {
+                                let (status, _) = serve::admin::http_get(addr, path)
+                                    .map_err(|e| format!("GET {path}: {e}"))?;
+                                // readyz may legitimately be 503 under load
+                                if status != 200 && !(path == "/readyz" && status == 503) {
+                                    return Err(format!("GET {path}: status {status}"));
+                                }
+                            }
+                            scrapes += 1;
+                            if stop.load(Ordering::Acquire) {
+                                return Ok(scrapes);
+                            }
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("client panicked")).collect::<Vec<_>>()
+                });
+
+                let mut tally = Tally::default();
+                if args.open_loop {
+                    // submit everything as fast as admission allows, then
+                    // collect
+                    let mut tickets = Vec::with_capacity(requests.len());
+                    for req in &requests {
+                        match handle.submit(req.clone()) {
+                            Ok(t) => tickets.push(t),
+                            Err(e) => tally.absorb(&Err(e)),
+                        }
+                    }
+                    for t in tickets {
+                        tally.absorb(&t.wait());
+                    }
+                } else {
+                    // closed loop: each client thread keeps one request in
+                    // flight
+                    let clients = args.clients.min(requests.len().max(1));
+                    let chunk = requests.len().div_ceil(clients).max(1);
+                    let tallies = std::thread::scope(|clients_scope| {
+                        let handles: Vec<_> = requests
+                            .chunks(chunk)
+                            .map(|chunk| {
+                                clients_scope.spawn(move || {
+                                    let mut local = Tally::default();
+                                    for req in chunk {
+                                        local.absorb(&handle.query(req.clone()));
+                                    }
+                                    local
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("client panicked"))
+                            .collect::<Vec<_>>()
+                    });
+                    for t in tallies {
+                        tally.merge(t);
+                    }
+                }
+                stop_scraper.store(true, Ordering::Release);
+                let scrape_result = scraper.map(|s| s.join().expect("scraper panicked"));
+                (tally, scrape_result)
             });
-            for t in tallies {
-                tally.merge(t);
-            }
-        }
-        (tally, handle.metrics())
-    });
+            let windows = [1u64, 10, 60]
+                .map(|s| handle.window_report(Duration::from_secs(s)));
+            (tally, handle.metrics(), windows, scrape_result)
+        });
     let wall = started.elapsed();
 
     let mode = if args.open_loop { "open-loop" } else { "closed-loop" };
@@ -290,6 +361,10 @@ fn main() {
         100.0 * metrics.cache_hit_rate,
         metrics.mean_batch_size
     );
+    println!("  windowed (sampled at shutdown):");
+    for w in &windows {
+        print_window(w);
+    }
     if !metrics.exec_failures.is_empty() {
         let kinds: Vec<String> = metrics
             .exec_failures
@@ -297,6 +372,18 @@ fn main() {
             .map(|(k, n)| format!("{}: {n}", k.label()))
             .collect();
         println!("  exec failures by kind: {}", kinds.join("  "));
+    }
+
+    if let Some(result) = scrape_result {
+        match result {
+            Ok(scrapes) => println!(
+                "  scrape: {scrapes} live scrape rounds of /metrics + /healthz + /readyz"
+            ),
+            Err(e) => {
+                eprintln!("FATAL: admin endpoint scrape failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let lost = metrics.lost();

@@ -24,16 +24,31 @@
 //!   whose deadline passed while queued ([`QueryError::DeadlineExceeded`]).
 //! * **Metrics**: lock-free counters and a log2 latency histogram
 //!   (p50/p95/p99), plus per-kind execution-failure counts.
+//! * **Live telemetry**: labeled metric families ([`obs::Registry`]) keyed
+//!   by method and failure kind, sliding-window QPS/error-rate/quantiles
+//!   over the last 1s/10s/60s ([`window`]), and a bounded top-K slow-query
+//!   log ([`slowlog`]).
+//! * **Admin endpoint**: an optional loopback HTTP listener ([`admin`])
+//!   serving `GET /metrics` (Prometheus text exposition), `/metrics.json`,
+//!   `/healthz`, `/readyz` (unready while draining or saturated), and
+//!   `/slow`.
 //! * **Graceful drain**: shutdown answers every queued request before
-//!   workers exit; nothing is lost.
+//!   workers exit; nothing is lost. Drain flips readiness *before* the
+//!   queue starts refusing, so an external balancer watching `/readyz`
+//!   never sees an `Overloaded` refusal from a service that still claimed
+//!   to be ready.
 //!
 //! Outcome determinism: translations are deterministic per (method,
 //! sample, variant) and execution is deterministic per query, so the
 //! EX/EM outcome of every request is independent of worker count, batch
 //! boundaries, cache state, and scheduling. Only timing varies.
 
+pub mod admin;
 pub mod cache;
 pub mod metrics;
+pub mod slowlog;
+pub(crate) mod telemetry;
+pub mod window;
 
 use cache::{ExecCache, ExecOutcome};
 use crossbeam::channel;
@@ -42,10 +57,15 @@ pub use metrics::MetricsSnapshot;
 use modelzoo::Nl2SqlModel;
 use nl2sql360::{EvalContext, ExecFailureKind};
 use serde::{Deserialize, Serialize};
+pub use slowlog::{fnv1a64, SlowLog, SlowQueryEntry};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use telemetry::Telemetry;
+pub use window::{WindowReport, WindowRing};
 
 /// Service tuning knobs. Prefer [`ServeConfig::builder`], which rejects
 /// degenerate values (zero-size queues/pools) at construction time; a
@@ -68,6 +88,28 @@ pub struct ServeConfig {
     /// (restored on shutdown). Spans/counters are then snapshot-able via
     /// [`obs::snapshot`] while the service runs.
     pub trace: bool,
+    /// Record into the labeled telemetry plane (registry families,
+    /// sliding windows, slow-query log). On by default; turning it off
+    /// leaves the families registered but empty, which is how the bench
+    /// measures the plane's own overhead.
+    pub telemetry: bool,
+    /// Bind the admin HTTP endpoint here (loopback only; port 0 picks an
+    /// ephemeral port, readable via [`ServiceHandle::admin_addr`]).
+    /// `None` (the default) runs no listener.
+    pub admin_addr: Option<SocketAddr>,
+    /// Width of one sliding-window interval bucket, in milliseconds.
+    pub window_bucket_ms: u64,
+    /// Number of interval buckets in the window ring; together with
+    /// `window_bucket_ms` this caps the longest answerable window
+    /// (default 250ms × 256 = 64s, enough for a 60s window).
+    pub window_buckets: usize,
+    /// Slow-query log capacity (top-K by latency); 0 disables the log.
+    pub slow_log_k: usize,
+    /// Max lock-taking slow-log admissions per second.
+    pub slow_log_rate_per_sec: u64,
+    /// `/readyz` reports unready once the queue is at least this percent
+    /// full (1..=100). 100 means "only unready when actually full".
+    pub unready_queue_pct: u8,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +121,13 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_capacity_per_shard: 128,
             trace: false,
+            telemetry: true,
+            admin_addr: None,
+            window_bucket_ms: 250,
+            window_buckets: 256,
+            slow_log_k: 32,
+            slow_log_rate_per_sec: 64,
+            unready_queue_pct: 90,
         }
     }
 }
@@ -106,6 +155,20 @@ impl ServeConfig {
         if self.cache_capacity_per_shard == 0 {
             return Err(ServeConfigError::ZeroCacheCapacity);
         }
+        if self.window_bucket_ms == 0 {
+            return Err(ServeConfigError::ZeroWindowBucket);
+        }
+        if self.window_buckets == 0 {
+            return Err(ServeConfigError::ZeroWindowBuckets);
+        }
+        if self.unready_queue_pct == 0 || self.unready_queue_pct > 100 {
+            return Err(ServeConfigError::BadUnreadyQueuePct);
+        }
+        if let Some(addr) = self.admin_addr {
+            if !addr.ip().is_loopback() {
+                return Err(ServeConfigError::NonLoopbackAdmin);
+            }
+        }
         Ok(())
     }
 }
@@ -123,6 +186,15 @@ pub enum ServeConfigError {
     ZeroCacheShards,
     /// `cache_capacity_per_shard` was zero — the cache could hold nothing.
     ZeroCacheCapacity,
+    /// `window_bucket_ms` was zero — intervals must have width.
+    ZeroWindowBucket,
+    /// `window_buckets` was zero — the ring could hold no history.
+    ZeroWindowBuckets,
+    /// `unready_queue_pct` was outside `1..=100`.
+    BadUnreadyQueuePct,
+    /// `admin_addr` was not a loopback address; the admin endpoint speaks
+    /// unauthenticated plaintext HTTP and must not be reachable off-host.
+    NonLoopbackAdmin,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -134,6 +206,14 @@ impl fmt::Display for ServeConfigError {
             ServeConfigError::ZeroCacheShards => write!(f, "cache_shards must be >= 1"),
             ServeConfigError::ZeroCacheCapacity => {
                 write!(f, "cache_capacity_per_shard must be >= 1")
+            }
+            ServeConfigError::ZeroWindowBucket => write!(f, "window_bucket_ms must be >= 1"),
+            ServeConfigError::ZeroWindowBuckets => write!(f, "window_buckets must be >= 1"),
+            ServeConfigError::BadUnreadyQueuePct => {
+                write!(f, "unready_queue_pct must be in 1..=100")
+            }
+            ServeConfigError::NonLoopbackAdmin => {
+                write!(f, "admin_addr must be a loopback address")
             }
         }
     }
@@ -185,6 +265,42 @@ impl ServeConfigBuilder {
     /// Enable the obs recorder for the service's lifetime.
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
+        self
+    }
+
+    /// Record into the labeled telemetry plane (default on).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.config.telemetry = on;
+        self
+    }
+
+    /// Bind the admin HTTP endpoint at `addr` (must be loopback; port 0
+    /// picks an ephemeral port).
+    pub fn admin_addr(mut self, addr: SocketAddr) -> Self {
+        self.config.admin_addr = Some(addr);
+        self
+    }
+
+    /// Sliding-window ring geometry: `bucket_ms`-wide intervals, `buckets`
+    /// of history.
+    pub fn window(mut self, bucket_ms: u64, buckets: usize) -> Self {
+        self.config.window_bucket_ms = bucket_ms;
+        self.config.window_buckets = buckets;
+        self
+    }
+
+    /// Slow-query log: keep the top `k` by latency, admit at most
+    /// `rate_per_sec` lock-taking insertions per second. `k == 0`
+    /// disables the log.
+    pub fn slow_log(mut self, k: usize, rate_per_sec: u64) -> Self {
+        self.config.slow_log_k = k;
+        self.config.slow_log_rate_per_sec = rate_per_sec;
+        self
+    }
+
+    /// Queue-fullness percentage at which `/readyz` reports unready.
+    pub fn unready_queue_pct(mut self, pct: u8) -> Self {
+        self.config.unready_queue_pct = pct;
         self
     }
 
@@ -300,7 +416,7 @@ struct QueueState {
     shutdown: bool,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     config: ServeConfig,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
@@ -310,12 +426,57 @@ struct Inner {
     question_index: HashMap<(String, String), (usize, usize)>,
     cache: ExecCache,
     metrics: Metrics,
+    pub(crate) telemetry: Telemetry,
+    /// Readiness flag behind `/readyz`; true from start until drain.
+    ready: AtomicBool,
+    /// Service epoch: windows and the slow log timestamp against this.
+    started: Instant,
+    /// Tells the admin accept loop to exit once the serve closure is done.
+    pub(crate) admin_stop: AtomicBool,
+    /// Actual bound admin address (resolves port 0), when configured.
+    admin_addr: Option<SocketAddr>,
 }
 
 impl Inner {
     fn drain(&self) {
+        // Readiness-before-refusal ordering: flip `/readyz` unready
+        // *before* taking the queue lock to set `shutdown`. A submitter
+        // refused with `Overloaded` acquired that same lock after us, so
+        // by the time any shutdown-caused refusal is observable the
+        // readiness flag is already false — a balancer that stops sending
+        // on unready never has traffic refused by a "ready" service.
+        self.ready.store(false, Ordering::SeqCst);
         self.queue.lock().unwrap().shutdown = true;
         self.not_empty.notify_all();
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.lock().unwrap().items.len()
+    }
+
+    /// Why `/readyz` would refuse, if it would.
+    pub(crate) fn readiness(&self) -> Result<(), &'static str> {
+        if !self.ready.load(Ordering::SeqCst) {
+            return Err("draining");
+        }
+        let threshold =
+            (self.config.queue_capacity * self.config.unready_queue_pct as usize / 100).max(1);
+        if self.queue_len() >= threshold {
+            return Err("saturated");
+        }
+        Ok(())
+    }
+
+    /// Point-in-time gauges are set at scrape time, not on the hot path.
+    pub(crate) fn refresh_gauges(&self) {
+        self.telemetry.queue_depth.set(self.queue_len() as u64);
+        self.telemetry.ready.set(u64::from(self.readiness().is_ok()));
+    }
+
+    /// The `/metrics` exposition body.
+    pub(crate) fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.telemetry.render_prometheus(self.started.elapsed())
     }
 }
 
@@ -326,6 +487,9 @@ struct DrainOnDrop<'i>(&'i Inner);
 impl Drop for DrainOnDrop<'_> {
     fn drop(&mut self) {
         self.0.drain();
+        // The serve closure is done (or panicked): nobody scrapes anymore,
+        // so the admin accept loop may exit and let the scope join.
+        self.0.admin_stop.store(true, Ordering::Release);
     }
 }
 
@@ -350,6 +514,9 @@ impl ServiceHandle<'_> {
             None => {
                 Metrics::inc(&inner.metrics.submitted);
                 Metrics::inc(&inner.metrics.failed);
+                if inner.telemetry.enabled {
+                    inner.telemetry.unknown_method.inc();
+                }
                 let _ = tx.send(Err(QueryError::UnknownMethod(req.method)));
                 return Ok(ticket);
             }
@@ -360,6 +527,9 @@ impl ServiceHandle<'_> {
                 None => {
                     Metrics::inc(&inner.metrics.submitted);
                     Metrics::inc(&inner.metrics.failed);
+                    if inner.telemetry.enabled {
+                        inner.telemetry.unknown_question.inc();
+                    }
                     let _ = tx.send(Err(QueryError::UnknownQuestion));
                     return Ok(ticket);
                 }
@@ -377,6 +547,9 @@ impl ServiceHandle<'_> {
             let mut q = inner.queue.lock().unwrap();
             if q.shutdown || q.items.len() >= inner.config.queue_capacity {
                 Metrics::inc(&inner.metrics.rejected_overloaded);
+                if inner.telemetry.enabled {
+                    inner.telemetry.rejected_overloaded.inc();
+                }
                 return Err(QueryError::Overloaded);
             }
             Metrics::inc(&inner.metrics.submitted);
@@ -404,7 +577,44 @@ impl ServiceHandle<'_> {
 
     /// Requests currently queued.
     pub fn queue_len(&self) -> usize {
-        self.inner.queue.lock().unwrap().items.len()
+        self.inner.queue_len()
+    }
+
+    /// Whether the service currently reports ready on `/readyz` (false
+    /// while draining or while the queue is saturated past the configured
+    /// threshold).
+    pub fn ready(&self) -> bool {
+        self.inner.readiness().is_ok()
+    }
+
+    /// Start a graceful drain early, before the serve closure returns:
+    /// readiness flips to false first, then the queue refuses new
+    /// requests; everything already admitted is still answered.
+    pub fn begin_drain(&self) {
+        self.inner.drain();
+    }
+
+    /// Bound address of the admin endpoint, when one was configured
+    /// (resolves an ephemeral `:0` bind to the actual port).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.inner.admin_addr
+    }
+
+    /// Aggregate over the last `window` of finished requests (clamped to
+    /// the ring's coverage): windowed QPS, error rate, p50/p95/p99.
+    pub fn window_report(&self, window: Duration) -> WindowReport {
+        self.inner.telemetry.window_report(self.inner.started.elapsed(), window)
+    }
+
+    /// Current slow-query log, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.inner.telemetry.slow.entries()
+    }
+
+    /// The Prometheus text exposition `/metrics` would serve right now
+    /// (works without an admin listener).
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics_text()
     }
 }
 
@@ -456,6 +666,18 @@ impl Service {
                 question_index.insert((sample.db_id.clone(), question.clone()), (i, v));
             }
         }
+        let method_names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        let telemetry = Telemetry::new(&method_names, &config);
+        // Bind before the scope starts so `ServiceHandle::admin_addr`
+        // resolves an ephemeral `:0` port immediately — tests and loadgen
+        // can scrape as soon as the closure runs.
+        let admin_listener = config.admin_addr.map(|addr| {
+            std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| panic!("bind admin endpoint {addr}: {e}"))
+        });
+        let admin_addr = admin_listener
+            .as_ref()
+            .map(|l| l.local_addr().expect("admin endpoint has a local addr"));
         let inner = Inner {
             cache: ExecCache::new(config.cache_shards, config.cache_capacity_per_shard),
             config,
@@ -465,6 +687,11 @@ impl Service {
             method_index,
             question_index,
             metrics: Metrics::default(),
+            telemetry,
+            ready: AtomicBool::new(true),
+            started: Instant::now(),
+            admin_stop: AtomicBool::new(false),
+            admin_addr,
         };
         crossbeam::thread::scope(|scope| {
             let guard = DrainOnDrop(&inner);
@@ -472,8 +699,12 @@ impl Service {
                 let inner_ref = &inner;
                 scope.spawn(move |_| worker_loop(inner_ref, ctx));
             }
+            if let Some(listener) = admin_listener {
+                let inner_ref = &inner;
+                scope.spawn(move |_| admin::run(listener, inner_ref));
+            }
             let out = f(&ServiceHandle { inner: &inner });
-            drop(guard); // initiate drain; scope joins the workers
+            drop(guard); // initiate drain + admin stop; scope joins all
             out
         })
         .expect("serve worker panicked")
@@ -548,11 +779,25 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     // everything after is this worker's own processing time.
     let queue_wait = p.enqueued.elapsed();
     let started = Instant::now();
-    inner.metrics.queue_wait.record(queue_wait);
+    inner.metrics.queue_wait.record_duration(queue_wait);
     obs::observe_duration("serve.queue_wait", queue_wait);
+    // All telemetry cells were pre-registered at startup: the hot path
+    // only touches relaxed atomics through these handles.
+    let t = &inner.telemetry;
+    let cells = t.enabled.then(|| &t.per_method[p.method_idx]);
+    if let Some(c) = cells {
+        c.requests.inc();
+        t.queue_wait.record_duration(queue_wait);
+    }
     if let Some(deadline) = p.deadline {
         if queue_wait > deadline {
             Metrics::inc(&inner.metrics.deadline_exceeded);
+            if let Some(c) = cells {
+                c.deadline.inc();
+                let latency = p.enqueued.elapsed();
+                c.latency.record_duration(latency);
+                t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
+            }
             let _ = p.reply.send(Err(QueryError::DeadlineExceeded));
             return;
         }
@@ -561,11 +806,18 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     let task = ctx.task(sample, p.variant);
     let Some(pred) = inner.models[p.method_idx].translate(&task) else {
         Metrics::inc(&inner.metrics.failed);
+        if let Some(c) = cells {
+            c.refused.inc();
+            let latency = p.enqueued.elapsed();
+            c.latency.record_duration(latency);
+            t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
+        }
         let _ = p.reply.send(Err(QueryError::TranslationRefused));
         return;
     };
 
     let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query));
+    let sql_hash = if t.enabled { slowlog::fnv1a64(&normalized) } else { 0 };
     let key = (sample.db_id.clone(), normalized);
     let (outcome, cache_hit) = match inner.cache.get(&key) {
         Some(v) => {
@@ -584,12 +836,18 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
             (v, false)
         }
     };
+    if t.enabled {
+        if cache_hit { &t.cache_hit } else { &t.cache_miss }.inc();
+    }
 
     let gold = ctx.gold_result(p.sample_idx);
     let (ex, pred_work, exec_failure) = match &*outcome {
         ExecOutcome::Ok(rs) => (minidb::results_equivalent(gold, rs), Some(rs.work), None),
         ExecOutcome::Failed(kind) => {
             inner.metrics.record_exec_failure(*kind);
+            if t.enabled {
+                t.exec_failures[*kind as usize].inc();
+            }
             (false, None, Some(*kind))
         }
     };
@@ -597,9 +855,29 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     let exec_time = started.elapsed();
     let latency = p.enqueued.elapsed();
     Metrics::inc(&inner.metrics.completed);
-    inner.metrics.latency.record(latency);
-    inner.metrics.exec_time.record(exec_time);
+    inner.metrics.latency.record_duration(latency);
+    inner.metrics.exec_time.record_duration(exec_time);
     obs::observe_duration("serve.exec", exec_time);
+    if let Some(c) = cells {
+        c.ok.inc();
+        c.latency.record_duration(latency);
+        c.exec.record_duration(exec_time);
+        let now = inner.started.elapsed();
+        t.windows.record(now, latency.as_micros() as u64, exec_failure.is_some());
+        t.slow.offer(
+            now.as_millis() as u64,
+            SlowQueryEntry {
+                sql_hash,
+                method: inner.models[p.method_idx].name().to_string(),
+                db_id: sample.db_id.clone(),
+                latency_us: latency.as_micros() as u64,
+                queue_wait_us: queue_wait.as_micros() as u64,
+                exec_us: exec_time.as_micros() as u64,
+                cache_hit,
+                at_ms: now.as_millis() as u64,
+            },
+        );
+    }
     let _ = p.reply.send(Ok(QueryResponse {
         ex,
         em,
@@ -705,6 +983,27 @@ mod tests {
             ServeConfig::builder().cache_capacity_per_shard(0).build(),
             Err(ServeConfigError::ZeroCacheCapacity)
         );
+        assert_eq!(
+            ServeConfig::builder().window(0, 8).build(),
+            Err(ServeConfigError::ZeroWindowBucket)
+        );
+        assert_eq!(
+            ServeConfig::builder().window(250, 0).build(),
+            Err(ServeConfigError::ZeroWindowBuckets)
+        );
+        assert_eq!(
+            ServeConfig::builder().unready_queue_pct(0).build(),
+            Err(ServeConfigError::BadUnreadyQueuePct)
+        );
+        assert_eq!(
+            ServeConfig::builder().unready_queue_pct(101).build(),
+            Err(ServeConfigError::BadUnreadyQueuePct)
+        );
+        // the admin endpoint is unauthenticated plaintext — loopback only
+        assert_eq!(
+            ServeConfig::builder().admin_addr("192.0.2.1:9090".parse().unwrap()).build(),
+            Err(ServeConfigError::NonLoopbackAdmin)
+        );
         // errors explain themselves
         let msg = ServeConfig::builder().workers(0).build().unwrap_err().to_string();
         assert!(msg.contains("workers"), "{msg}");
@@ -719,6 +1018,11 @@ mod tests {
             .cache_shards(2)
             .cache_capacity_per_shard(9)
             .trace(false)
+            .telemetry(true)
+            .admin_addr("127.0.0.1:0".parse().unwrap())
+            .window(100, 64)
+            .slow_log(16, 32)
+            .unready_queue_pct(75)
             .build()
             .expect("all sizes nonzero");
         assert_eq!(config.workers, 3);
@@ -727,6 +1031,13 @@ mod tests {
         assert_eq!(config.cache_shards, 2);
         assert_eq!(config.cache_capacity_per_shard, 9);
         assert!(!config.trace);
+        assert!(config.telemetry);
+        assert_eq!(config.admin_addr, Some("127.0.0.1:0".parse().unwrap()));
+        assert_eq!(config.window_bucket_ms, 100);
+        assert_eq!(config.window_buckets, 64);
+        assert_eq!(config.slow_log_k, 16);
+        assert_eq!(config.slow_log_rate_per_sec, 32);
+        assert_eq!(config.unready_queue_pct, 75);
         assert!(config.validate().is_ok());
         assert!(ServeConfig::default().validate().is_ok());
     }

@@ -1,61 +1,15 @@
-//! Lock-cheap service metrics: monotonic counters plus a log2-bucketed
-//! latency histogram, all on relaxed atomics so the request path never
+//! Lock-cheap service metrics: monotonic counters plus log2-bucketed
+//! latency histograms, all on relaxed atomics so the request path never
 //! takes a lock to record an observation.
+//!
+//! The histograms are [`obs::AtomicHistogram`] — the same fixed bucket
+//! table the obs recorder and the registry's exported histograms use, so
+//! a latency read off [`MetricsSnapshot`] and the same latency scraped
+//! off `/metrics` land in the same bucket.
 
+use obs::AtomicHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-
-/// Number of log2 latency buckets: bucket `i` holds observations in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), so the top bucket
-/// covers everything past ~2.3 hours — more than any request lives.
-const BUCKETS: usize = 44;
-
-/// Log2-bucketed latency histogram over microseconds.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros() as u64;
-        let idx = if us == 0 { 0 } else { (64 - us.leading_zeros()) as usize };
-        self.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Approximate quantile (`0.0..=1.0`): the upper bound of the bucket
-    /// containing the q-th observation. Resolution is a factor of two,
-    /// which is enough to read p50/p95/p99 off a load test.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper_us = if i == 0 { 1 } else { 1u64 << i };
-                return Some(Duration::from_micros(upper_us));
-            }
-        }
-        None
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-}
 
 /// Counter + histogram registry shared by the admission controller, the
 /// worker pool, and the execution cache.
@@ -84,15 +38,15 @@ pub struct Metrics {
     /// Execution failures by kind, indexed like
     /// [`nl2sql360::ExecFailureKind`] in declaration order.
     pub exec_failures: [AtomicU64; 10],
-    /// Queue-to-response latency of completed requests.
-    pub latency: LatencyHistogram,
+    /// Queue-to-response latency of completed requests (microseconds).
+    pub latency: AtomicHistogram,
     /// Time spent queued before a worker picked the request up. Recorded
     /// for every dequeued request, including deadline drops — queue
     /// pressure is most visible exactly when requests die waiting.
-    pub queue_wait: LatencyHistogram,
+    pub queue_wait: AtomicHistogram,
     /// Dequeue-to-response time (translate + execute + compare) of
     /// completed requests.
-    pub exec_time: LatencyHistogram,
+    pub exec_time: AtomicHistogram,
 }
 
 impl Metrics {
@@ -127,15 +81,15 @@ impl Metrics {
                 hits as f64 / (hits + misses) as f64
             },
             mean_batch_size: if batches == 0 { 0.0 } else { batched as f64 / batches as f64 },
-            p50: self.latency.quantile(0.50),
-            p95: self.latency.quantile(0.95),
-            p99: self.latency.quantile(0.99),
-            queue_p50: self.queue_wait.quantile(0.50),
-            queue_p95: self.queue_wait.quantile(0.95),
-            queue_p99: self.queue_wait.quantile(0.99),
-            exec_p50: self.exec_time.quantile(0.50),
-            exec_p95: self.exec_time.quantile(0.95),
-            exec_p99: self.exec_time.quantile(0.99),
+            p50: self.latency.quantile_duration(0.50),
+            p95: self.latency.quantile_duration(0.95),
+            p99: self.latency.quantile_duration(0.99),
+            queue_p50: self.queue_wait.quantile_duration(0.50),
+            queue_p95: self.queue_wait.quantile_duration(0.95),
+            queue_p99: self.queue_wait.quantile_duration(0.99),
+            exec_p50: self.exec_time.quantile_duration(0.50),
+            exec_p95: self.exec_time.quantile_duration(0.95),
+            exec_p99: self.exec_time.quantile_duration(0.99),
             exec_failures: nl2sql360::ExecFailureKind::ALL
                 .iter()
                 .map(|&k| (k, self.exec_failures[k as usize].load(Ordering::Relaxed)))
@@ -193,12 +147,21 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Requests that entered the system but got no reply of any kind.
-    /// Must be zero once the service has drained.
+    /// Zero once the service has drained.
+    ///
+    /// Counters are loaded one by one with relaxed ordering while workers
+    /// keep recording, so a snapshot can read `submitted` *before* a
+    /// request is admitted yet read `completed` *after* that same request
+    /// finished — making the raw difference transiently negative. That
+    /// transient says nothing about lost requests, so it is clamped to 0;
+    /// a genuinely lost request shows up as a *stable* positive value
+    /// after drain.
     pub fn lost(&self) -> i64 {
-        self.submitted as i64
+        (self.submitted as i64
             - self.completed as i64
             - self.deadline_exceeded as i64
-            - self.failed as i64
+            - self.failed as i64)
+            .max(0)
     }
 }
 
@@ -208,17 +171,17 @@ mod tests {
 
     #[test]
     fn histogram_quantiles_bracket_observations() {
-        let h = LatencyHistogram::default();
+        let h = AtomicHistogram::default();
         for us in [10u64, 20, 30, 40, 50, 1000, 2000, 4000, 100_000, 200_000] {
-            h.record(Duration::from_micros(us));
+            h.record_duration(Duration::from_micros(us));
         }
         assert_eq!(h.count(), 10);
-        let p50 = h.quantile(0.5).unwrap();
+        let p50 = h.quantile_duration(0.5).unwrap();
         assert!(p50 >= Duration::from_micros(32) && p50 <= Duration::from_micros(128), "{p50:?}");
-        let p99 = h.quantile(0.99).unwrap();
+        let p99 = h.quantile_duration(0.99).unwrap();
         assert!(p99 >= Duration::from_micros(100_000), "{p99:?}");
-        assert!(h.quantile(0.0).is_some());
-        assert_eq!(LatencyHistogram::default().quantile(0.5), None);
+        assert!(h.quantile_duration(0.0).is_some());
+        assert_eq!(AtomicHistogram::default().quantile_duration(0.5), None);
     }
 
     #[test]
@@ -235,6 +198,35 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.cache_hit_rate, 0.5);
         assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.lost(), 0);
+    }
+
+    #[test]
+    fn lost_is_clamped_against_torn_reads() {
+        // A snapshot whose counter loads interleaved badly with recording:
+        // completed already includes a request submitted "after" the
+        // submitted load. The raw difference is negative; lost() is not.
+        let s = MetricsSnapshot {
+            submitted: 5,
+            completed: 6,
+            rejected_overloaded: 0,
+            deadline_exceeded: 0,
+            failed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_hit_rate: 0.0,
+            mean_batch_size: 0.0,
+            p50: None,
+            p95: None,
+            p99: None,
+            queue_p50: None,
+            queue_p95: None,
+            queue_p99: None,
+            exec_p50: None,
+            exec_p95: None,
+            exec_p99: None,
+            exec_failures: Vec::new(),
+        };
         assert_eq!(s.lost(), 0);
     }
 }

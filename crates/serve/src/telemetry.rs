@@ -1,0 +1,216 @@
+//! The service's labeled telemetry plane: registry families keyed by
+//! method and failure kind, the sliding-window ring, and the slow-query
+//! log, built once at service start so the request hot path only touches
+//! pre-registered lock-free cells.
+
+use crate::slowlog::SlowLog;
+use crate::window::{WindowRing, WindowReport};
+use crate::ServeConfig;
+use nl2sql360::ExecFailureKind;
+use obs::{bucket_upper_bound, Counter, Gauge, Histogram, Registry, HIST_BUCKETS};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The windows exported on `/metrics` (label value, width). Longer
+/// windows clamp to the ring's coverage at scrape time.
+const EXPORTED_WINDOWS: [(&str, Duration); 3] = [
+    ("1s", Duration::from_secs(1)),
+    ("10s", Duration::from_secs(10)),
+    ("60s", Duration::from_secs(60)),
+];
+
+/// Pre-registered cells for one served method.
+pub(crate) struct MethodCells {
+    /// `serve_requests_total{method=...}` — requests a worker picked up.
+    pub requests: Counter,
+    /// `serve_responses_total{method,outcome="ok"}`.
+    pub ok: Counter,
+    /// `outcome="deadline_exceeded"`.
+    pub deadline: Counter,
+    /// `outcome="refused"`.
+    pub refused: Counter,
+    /// `serve_latency_us{method=...}` — submit-to-response.
+    pub latency: Histogram,
+    /// `serve_exec_us{method=...}` — worker pickup-to-response.
+    pub exec: Histogram,
+}
+
+/// All live-telemetry state; one instance per running service.
+pub(crate) struct Telemetry {
+    /// Master switch: when false the cells exist but nothing records into
+    /// them (used to measure the plane's own overhead and to pin that
+    /// outcomes never depend on it).
+    pub enabled: bool,
+    pub registry: Registry,
+    /// Indexed like `Inner::models`.
+    pub per_method: Vec<MethodCells>,
+    /// Indexed by `ExecFailureKind as usize`.
+    pub exec_failures: Vec<Counter>,
+    pub cache_hit: Counter,
+    pub cache_miss: Counter,
+    pub rejected_overloaded: Counter,
+    pub unknown_method: Counter,
+    pub unknown_question: Counter,
+    pub queue_wait: Histogram,
+    pub queue_depth: Gauge,
+    pub ready: Gauge,
+    pub windows: WindowRing,
+    pub slow: SlowLog,
+}
+
+/// Prometheus-safe form of an [`ExecFailureKind`] label.
+pub(crate) fn kind_label(kind: ExecFailureKind) -> String {
+    kind.label().replace(' ', "_")
+}
+
+impl Telemetry {
+    pub(crate) fn new(method_names: &[&str], config: &ServeConfig) -> Telemetry {
+        let registry = Registry::new();
+        let requests = registry.counter_vec(
+            "serve_requests_total",
+            "Requests picked up by a worker, by method.",
+            &["method"],
+        );
+        let responses = registry.counter_vec(
+            "serve_responses_total",
+            "Worker-answered requests by method and outcome.",
+            &["method", "outcome"],
+        );
+        let latency = registry.histogram_vec(
+            "serve_latency_us",
+            "Submit-to-response latency in microseconds, by method.",
+            &["method"],
+        );
+        let exec = registry.histogram_vec(
+            "serve_exec_us",
+            "Worker processing time (translate+execute+compare) in microseconds, by method.",
+            &["method"],
+        );
+        let per_method = method_names
+            .iter()
+            .map(|m| MethodCells {
+                requests: requests.with(&[m]),
+                ok: responses.with(&[m, "ok"]),
+                deadline: responses.with(&[m, "deadline_exceeded"]),
+                refused: responses.with(&[m, "refused"]),
+                latency: latency.with(&[m]),
+                exec: exec.with(&[m]),
+            })
+            .collect();
+        let failures = registry.counter_vec(
+            "serve_exec_failures_total",
+            "Execution failures by minidb error kind.",
+            &["kind"],
+        );
+        let exec_failures = ExecFailureKind::ALL
+            .iter()
+            .map(|&k| failures.with(&[&kind_label(k)]))
+            .collect();
+        let cache = registry.counter_vec(
+            "serve_cache_requests_total",
+            "Execution-cache lookups by result.",
+            &["result"],
+        );
+        let rejects = registry.counter_vec(
+            "serve_admission_rejects_total",
+            "Requests answered without reaching a worker, by reason.",
+            &["reason"],
+        );
+        Telemetry {
+            enabled: config.telemetry,
+            per_method,
+            exec_failures,
+            cache_hit: cache.with(&["hit"]),
+            cache_miss: cache.with(&["miss"]),
+            rejected_overloaded: rejects.with(&["overloaded"]),
+            unknown_method: rejects.with(&["unknown_method"]),
+            unknown_question: rejects.with(&["unknown_question"]),
+            queue_wait: registry
+                .histogram_vec(
+                    "serve_queue_wait_us",
+                    "Time spent queued before worker pickup, in microseconds.",
+                    &[],
+                )
+                .with(&[]),
+            queue_depth: registry
+                .gauge_vec("serve_queue_depth", "Requests currently queued.", &[])
+                .with(&[]),
+            ready: registry
+                .gauge_vec(
+                    "serve_ready",
+                    "1 while the service accepts traffic, 0 while draining or saturated.",
+                    &[],
+                )
+                .with(&[]),
+            windows: WindowRing::new(config.window_bucket_ms, config.window_buckets),
+            slow: SlowLog::new(config.slow_log_k, config.slow_log_rate_per_sec),
+            registry,
+        }
+    }
+
+    /// Windowed aggregate over the last `window` (clamped to ring
+    /// coverage); `now` is service-relative.
+    pub(crate) fn window_report(&self, now: Duration, window: Duration) -> WindowReport {
+        self.windows.report(now, window)
+    }
+
+    /// The exposition body served on `/metrics`: the service registry
+    /// (cumulative families), the sliding-window series as of `now`
+    /// (service-relative), and the bridged global-recorder families (span
+    /// data from the tracing layer, when the recorder is on).
+    pub(crate) fn render_prometheus(&self, now: Duration) -> String {
+        let mut out = self.registry.render_prometheus();
+        out.push_str(&self.render_windows(now));
+        let snap = obs::snapshot();
+        if !snap.counters.is_empty() || !snap.histograms.is_empty() || !snap.events.is_empty() {
+            out.push_str(&obs::registry::bridge_recorder(&snap).render_prometheus());
+        }
+        out
+    }
+
+    /// Hand-rendered windowed series, in the same exposition dialect the
+    /// registry emits (`window` label values are fixed strings, so no
+    /// escaping is needed).
+    fn render_windows(&self, now: Duration) -> String {
+        let mut out = String::new();
+        out.push_str("# HELP serve_window_qps Finished requests per second over the window.\n");
+        out.push_str("# TYPE serve_window_qps gauge\n");
+        for (label, width) in EXPORTED_WINDOWS {
+            let r = self.windows.report(now, width);
+            let _ = writeln!(out, "serve_window_qps{{window=\"{label}\"}} {}", r.qps);
+        }
+        out.push_str(
+            "# HELP serve_window_error_rate Fraction of windowed requests that errored.\n",
+        );
+        out.push_str("# TYPE serve_window_error_rate gauge\n");
+        for (label, width) in EXPORTED_WINDOWS {
+            let r = self.windows.report(now, width);
+            let _ =
+                writeln!(out, "serve_window_error_rate{{window=\"{label}\"}} {}", r.error_rate);
+        }
+        out.push_str(
+            "# HELP serve_window_latency_us Windowed request latency in microseconds.\n",
+        );
+        out.push_str("# TYPE serve_window_latency_us histogram\n");
+        for (label, width) in EXPORTED_WINDOWS {
+            let snap = self.windows.histogram(now, width);
+            let mut cum = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate().take(HIST_BUCKETS) {
+                cum += n;
+                let le = if i + 1 == HIST_BUCKETS {
+                    "+Inf".to_string()
+                } else {
+                    bucket_upper_bound(i).to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "serve_window_latency_us_bucket{{window=\"{label}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(out, "serve_window_latency_us_sum{{window=\"{label}\"}} {}", snap.sum);
+            let _ =
+                writeln!(out, "serve_window_latency_us_count{{window=\"{label}\"}} {}", snap.count);
+        }
+        out
+    }
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Evaluation performance benchmark: parallel corpus evaluation across
-# worker counts, compiled query plans vs the AST interpreter, and
+# worker counts, compiled query plans vs the AST interpreter,
 # observability overhead (the same evaluation traced vs untraced — the
-# trace-on/off delta lands in BENCH_eval.json under "trace").
+# trace-on/off delta lands in BENCH_eval.json under "trace"), and
+# registry recording overhead (labeled-cell ns/op plus a closed-loop
+# serve run with the telemetry plane on vs off, under "registry").
 #
 #   ./scripts/bench.sh             # full run, writes BENCH_eval.json
 #   ./scripts/bench.sh --quick     # reduced smoke run
@@ -10,8 +12,10 @@
 # Extra arguments are forwarded to the bench_eval binary (see
 # `bench_eval --help`). The full run validates that compiled plans beat
 # the interpreter, that the disabled-tracing path stays within 5% of the
-# pre-tracing baseline; the >=2x 4-worker throughput target is enforced
-# only on machines with >= 4 cores (see BENCH_eval.json "cores").
+# pre-tracing baseline, and that serve telemetry costs <= 5% of
+# closed-loop throughput; the >=2x 4-worker throughput target is
+# enforced only on machines with >= 4 cores (see BENCH_eval.json
+# "cores").
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -34,11 +34,20 @@ if [ "$lint" -eq 1 ]; then
 
   # Observability overhead smoke: bench_eval runs the same evaluation with
   # tracing on and off; --validate fails if the disabled path regressed
-  # more than 5% after tracing ran (a recorder leaking past its guard) or
-  # a disabled span+counter pair exceeds its ns budget.
+  # more than 5% after tracing ran (a recorder leaking past its guard), a
+  # disabled span+counter pair exceeds its ns budget, or the serve
+  # telemetry plane costs more than 5% of closed-loop throughput.
   echo "==> obs overhead smoke (bench_eval --quick --validate)"
   cargo run --offline --release -p nl2sql360-bench --bin bench_eval -- \
     --quick --out /tmp/BENCH_obs_smoke.json --validate
+
+  # Admin-endpoint smoke: drive real load with a live scraper thread
+  # hitting /metrics, /healthz, and /readyz on an ephemeral loopback
+  # port; loadgen exits nonzero if any scrape fails or returns a body
+  # without the expected exposition families.
+  echo "==> admin endpoint smoke (serve-loadgen --scrape)"
+  cargo run --offline --release -p serve --bin serve-loadgen -- \
+    --requests 300 --scrape
 fi
 
 if [ "$bench" -eq 1 ]; then

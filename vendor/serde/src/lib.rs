@@ -85,6 +85,20 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, Error>;
 }
 
+// A `Value` round-trips through itself, so callers can parse arbitrary
+// JSON text into the data model without naming a concrete target type.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----
 
 macro_rules! ser_de_int {
