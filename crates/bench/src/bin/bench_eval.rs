@@ -17,6 +17,9 @@
 //!    path (a pre-registered counter+histogram cell pair, and the
 //!    `with()` label-resolution path), plus a closed-loop serve
 //!    mini-workload timed with the telemetry plane on vs off.
+//! 5. **Static-check overhead**: ns/query for the `sqlcheck` analyzer
+//!    over the corpus gold queries, plus the same closed-loop serve
+//!    mini-workload with the `static_check` admission stage on vs off.
 //!
 //! ```text
 //! bench_eval [--quick] [--out FILE] [--validate]
@@ -239,20 +242,118 @@ struct RegistryPoint {
 /// Best-of-`reps` closed-loop serve pass. Each rep runs a fresh service
 /// (fresh cache, so every request takes the full translate+execute hot
 /// path) and times only the query loop, not service start/stop.
-fn time_serve(ctx: &EvalContext<'_>, requests: &[QueryRequest], telemetry: bool, reps: usize) -> f64 {
+fn time_serve(
+    ctx: &EvalContext<'_>,
+    requests: &[QueryRequest],
+    telemetry: bool,
+    static_check: bool,
+    reps: usize,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
-        let config = ServeConfig::builder().workers(2).telemetry(telemetry).build().unwrap();
+        let config = ServeConfig::builder()
+            .workers(2)
+            .telemetry(telemetry)
+            .static_check(static_check)
+            .build()
+            .unwrap();
         let secs = Service::run_with_methods(config, ctx, &[METHOD], |handle| {
             let started = Instant::now();
             for req in requests {
-                handle.query(req.clone()).expect("served");
+                match handle.query(req.clone()) {
+                    Ok(_) | Err(serve::QueryError::StaticRejected(_)) => {}
+                    Err(e) => panic!("served: {e}"),
+                }
             }
             started.elapsed().as_secs_f64()
         });
         best = best.min(secs);
     }
     best
+}
+
+/// Distinct (sample, variant) questions so a fresh serve cache never hits.
+fn build_requests(corpus: &Corpus) -> Vec<QueryRequest> {
+    corpus
+        .dev
+        .iter()
+        .flat_map(|sample| {
+            sample.variants.iter().map(|q| QueryRequest {
+                method: METHOD.to_string(),
+                db_id: sample.db_id.clone(),
+                question: q.clone(),
+                deadline: None,
+            })
+        })
+        .collect()
+}
+
+struct SqlcheckPoint {
+    /// ns for one full static analysis of a gold query.
+    analyze_ns_per_query: f64,
+    requests: usize,
+    off_qps: f64,
+    on_qps: f64,
+    /// (on - off) / off as a percentage; what the static-check admission
+    /// stage costs per served request.
+    static_check_overhead_pct: f64,
+}
+
+fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
+    // A dedicated corpus with a larger dev split: the tiny corpus yields
+    // ~35ms closed-loop passes, too short for a 5% ratio gate on a busy
+    // box. ~500 distinct requests stretch each timed window to ~150ms.
+    let config = CorpusConfig { dev_samples: 300, ..CorpusConfig::tiny(5) };
+    let corpus = generate_corpus(CorpusKind::Spider, &config);
+    let corpus = &corpus;
+    let ctx = &EvalContext::new(corpus);
+
+    // --- micro: analyzer cost per gold query, catalogs pre-built as in
+    // the serve admission path ---
+    let catalogs: std::collections::HashMap<&str, sqlcheck::Catalog> = corpus
+        .databases
+        .iter()
+        .map(|(id, db)| (id.as_str(), sqlcheck::Catalog::from_database(&db.database)))
+        .collect();
+    let per_pass = corpus.dev.len();
+    let pass_ns = time_ns(iters, || {
+        corpus
+            .dev
+            .iter()
+            .map(|s| sqlcheck::analyze(&catalogs[s.db_id.as_str()], &s.query).len())
+            .sum()
+    });
+    let analyze_ns_per_query = pass_ns / per_pass as f64;
+
+    // --- macro: closed-loop serving with the admission stage on vs off ---
+    // The true per-request cost is ~1µs of analysis against hundreds of µs
+    // of translate+execute, while one closed-loop pass lasts only tens of
+    // ms — a single on/off ratio is pure scheduler noise. Run back-to-back
+    // on/off pairs (drift cancels within a pair) and gate on the median of
+    // the per-pair ratios (outlier passes drop out).
+    let requests = build_requests(corpus);
+    time_serve(ctx, &requests, false, true, 1); // warmup
+    time_serve(ctx, &requests, false, false, 1); // warmup
+    let pairs = reps.max(9);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut on_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    for _ in 0..pairs {
+        let on = time_serve(ctx, &requests, false, true, 1);
+        let off = time_serve(ctx, &requests, false, false, 1);
+        on_secs = on_secs.min(on);
+        off_secs = off_secs.min(off);
+        ratios.push(on / off);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[pairs / 2];
+    SqlcheckPoint {
+        analyze_ns_per_query,
+        requests: requests.len(),
+        off_qps: requests.len() as f64 / off_secs,
+        on_qps: requests.len() as f64 / on_secs,
+        static_check_overhead_pct: (median_ratio - 1.0) * 100.0,
+    }
 }
 
 fn bench_registry(
@@ -278,22 +379,10 @@ fn bench_registry(
     });
 
     // --- macro: closed-loop serving with the plane on vs off ---
-    // distinct (sample, variant) questions so a fresh cache never hits
-    let requests: Vec<QueryRequest> = corpus
-        .dev
-        .iter()
-        .flat_map(|sample| {
-            sample.variants.iter().map(|q| QueryRequest {
-                method: METHOD.to_string(),
-                db_id: sample.db_id.clone(),
-                question: q.clone(),
-                deadline: None,
-            })
-        })
-        .collect();
-    time_serve(ctx, &requests, true, 1); // warmup
-    let on_secs = time_serve(ctx, &requests, true, reps);
-    let off_secs = time_serve(ctx, &requests, false, reps);
+    let requests = build_requests(corpus);
+    time_serve(ctx, &requests, true, false, 1); // warmup
+    let on_secs = time_serve(ctx, &requests, true, false, reps);
+    let off_secs = time_serve(ctx, &requests, false, false, reps);
     RegistryPoint {
         cell_pair_ns,
         lookup_inc_ns,
@@ -378,6 +467,14 @@ fn main() {
         registry.requests, registry.off_qps, registry.on_qps, registry.telemetry_overhead_pct
     );
 
+    eprintln!("bench_eval: static-check overhead (sqlcheck analyzer + serve admission) ...");
+    let check = bench_sqlcheck(if args.quick { 40 } else { 200 }, ratio_reps);
+    eprintln!("  micro: analyze {:.0}ns per gold query", check.analyze_ns_per_query);
+    eprintln!(
+        "  serve ({} requests): off {:>7.0} qps  on {:>7.0} qps  static-check overhead {:+.1}%",
+        check.requests, check.off_qps, check.on_qps, check.static_check_overhead_pct
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -428,6 +525,18 @@ fn main() {
         "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"telemetry_overhead_pct\": {:.2}",
         registry.off_qps, registry.on_qps, registry.telemetry_overhead_pct
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sqlcheck\": {{");
+    let _ = writeln!(
+        json,
+        "    \"analyze_ns_per_query\": {:.1}, \"serve_requests\": {},",
+        check.analyze_ns_per_query, check.requests
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"static_check_overhead_pct\": {:.2}",
+        check.off_qps, check.on_qps, check.static_check_overhead_pct
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
@@ -473,6 +582,13 @@ fn main() {
             eprintln!(
                 "FAIL: a labeled counter+histogram record pair costs {:.0}ns (budget: 250ns)",
                 registry.cell_pair_ns
+            );
+            failed = true;
+        }
+        if check.static_check_overhead_pct > 5.0 {
+            eprintln!(
+                "FAIL: static-check admission costs {:.1}% of serve throughput (budget: 5%)",
+                check.static_check_overhead_pct
             );
             failed = true;
         }

@@ -351,13 +351,19 @@ impl<'a> QueryGenerator<'a> {
         if rng.gen_bool(0.5) {
             if let Some((cond2, nl2)) = self.condition(&t, None, rng) {
                 let op = if rng.gen_bool(0.25) { BinOp::Or } else { BinOp::And };
-                if op == BinOp::Or {
+                // `x = 'a' AND x = 'b'` selects nothing: such degenerate
+                // gold would execute fine but trip sqlcheck's corpus
+                // hygiene pin, so the second condition is dropped.
+                if op == BinOp::And && conflicting_eq(&where_clause, &cond2) {
+                    // keep the single-condition query; RNG draws unchanged
+                } else if op == BinOp::Or {
                     let last = conditions.pop().expect("one condition present");
                     conditions.push(format!("{last} or {nl2}"));
+                    where_clause = Expr::binary(op, where_clause, cond2);
                 } else {
                     conditions.push(nl2);
+                    where_clause = Expr::binary(op, where_clause, cond2);
                 }
-                where_clause = Expr::binary(op, where_clause, cond2);
             }
         }
         core.where_clause = Some(where_clause);
@@ -833,6 +839,23 @@ impl<'a> QueryGenerator<'a> {
             ..Default::default()
         };
         Some((Query::simple(core), parts))
+    }
+}
+
+/// Would `a AND b` be trivially unsatisfiable — both equality tests on the
+/// same column against different literals?
+fn conflicting_eq(a: &Expr, b: &Expr) -> bool {
+    fn eq_parts(e: &Expr) -> Option<(&str, &Expr)> {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = e {
+            if let Expr::Column { column, .. } = left.as_ref() {
+                return Some((column.as_str(), right.as_ref()));
+            }
+        }
+        None
+    }
+    match (eq_parts(a), eq_parts(b)) {
+        (Some((c1, v1)), Some((c2, v2))) => c1.eq_ignore_ascii_case(c2) && v1 != v2,
+        _ => false,
     }
 }
 

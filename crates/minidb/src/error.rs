@@ -52,6 +52,42 @@ impl fmt::Display for ExecError {
     }
 }
 
+impl ExecError {
+    /// The offending table/column/function name, when the error payload
+    /// identifies one:
+    ///
+    /// - `UnknownTable` / `UnknownColumn` / `AmbiguousColumn`: the payload
+    ///   itself (columns render as `table.column` when qualified).
+    /// - `Arity`: the leading all-uppercase token of a function-arity
+    ///   message (`"ROUND expects 1 or 2 args"` → `ROUND`); width-mismatch
+    ///   messages (`"set operation arms ..."`, `"insert ..."`) name nothing.
+    /// - `Unsupported`: `"function X"` → `X`, `"aggregate X ..."` → `X`.
+    ///
+    /// Static analysis (the `sqlcheck` crate) matches this against its
+    /// `Diagnostic::ident` in the differential parity suite.
+    pub fn offending_name(&self) -> Option<&str> {
+        match self {
+            ExecError::UnknownTable(t) | ExecError::DuplicateTable(t) => Some(t),
+            ExecError::UnknownColumn(c) | ExecError::AmbiguousColumn(c) => Some(c),
+            ExecError::Arity(m) => {
+                let first = m.split_whitespace().next()?;
+                (!first.is_empty() && first.chars().all(|c| c.is_ascii_uppercase()))
+                    .then_some(first)
+            }
+            ExecError::Unsupported(m) => {
+                if let Some(rest) = m.strip_prefix("function ") {
+                    Some(rest)
+                } else if let Some(rest) = m.strip_prefix("aggregate ") {
+                    rest.split_whitespace().next()
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
 impl std::error::Error for ExecError {}
 
 impl From<sqlkit::Error> for ExecError {
@@ -68,6 +104,37 @@ mod tests {
     fn display_variants() {
         assert_eq!(ExecError::UnknownTable("t".into()).to_string(), "unknown table: t");
         assert_eq!(ExecError::UnknownColumn("c".into()).to_string(), "unknown column: c");
+    }
+
+    #[test]
+    fn offending_name_extraction() {
+        assert_eq!(ExecError::UnknownTable("t".into()).offending_name(), Some("t"));
+        assert_eq!(
+            ExecError::UnknownColumn("t1.age".into()).offending_name(),
+            Some("t1.age")
+        );
+        assert_eq!(
+            ExecError::Arity("ROUND expects 1 or 2 args".into()).offending_name(),
+            Some("ROUND")
+        );
+        assert_eq!(
+            ExecError::Arity("set operation arms have 1 vs 2 columns".into()).offending_name(),
+            None
+        );
+        assert_eq!(
+            ExecError::Unsupported("function TRIM".into()).offending_name(),
+            Some("TRIM")
+        );
+        assert_eq!(
+            ExecError::Unsupported("aggregate SUM outside GROUP context".into())
+                .offending_name(),
+            Some("SUM")
+        );
+        assert_eq!(
+            ExecError::Unsupported("SELECT * without FROM".into()).offending_name(),
+            None
+        );
+        assert_eq!(ExecError::Parse("boom".into()).offending_name(), None);
     }
 
     #[test]

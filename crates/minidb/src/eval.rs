@@ -706,9 +706,9 @@ fn eval_aggregate(
     arg: Option<&Expr>,
     distinct: bool,
 ) -> ExecResult<Value> {
-    let group = ctx
-        .group
-        .ok_or_else(|| ExecError::Unsupported("aggregate outside GROUP context".to_string()))?;
+    let group = ctx.group.ok_or_else(|| {
+        ExecError::Unsupported(format!("aggregate {} outside GROUP context", func.as_str()))
+    })?;
 
     // COUNT(*) is just the group size.
     if arg.is_none() {

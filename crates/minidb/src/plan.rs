@@ -980,13 +980,16 @@ fn ceval(
         CExpr::Col(i) => Ok(row[*i].clone()),
         CExpr::AggCountStar => {
             let group = group.ok_or_else(|| {
-                ExecError::Unsupported("aggregate outside GROUP context".to_string())
+                ExecError::Unsupported("aggregate COUNT outside GROUP context".to_string())
             })?;
             Ok(Value::Int(group.len() as i64))
         }
         CExpr::Agg { func, distinct, arg } => {
             let group = group.ok_or_else(|| {
-                ExecError::Unsupported("aggregate outside GROUP context".to_string())
+                ExecError::Unsupported(format!(
+                    "aggregate {} outside GROUP context",
+                    func.as_str()
+                ))
             })?;
             let mut values = Vec::with_capacity(group.len());
             for grow in group {

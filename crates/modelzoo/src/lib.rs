@@ -19,6 +19,7 @@ pub mod modules;
 pub mod profiles;
 pub mod prompt;
 pub mod registry;
+pub mod repair;
 pub mod restyle;
 pub mod sft;
 pub mod taxonomy;
@@ -28,6 +29,7 @@ pub use catalog::{table1_rows, TaxonomyRow};
 pub use economy::{count_tokens, ApiPricing, LocalServing};
 pub use profiles::{CapabilityProfile, DatasetKind, SampleTraits};
 pub use registry::{all_methods, leaderboard_timeline, method_by_name, MethodSpec, Serving};
+pub use repair::{static_repair, static_repair_with};
 pub use taxonomy::{
     Decoding, FewShot, Intermediate, MethodClass, ModuleSet, MultiStep, PostProcessing,
 };

@@ -263,6 +263,10 @@ pub fn module_ex_bonus(m: &ModuleSet) -> f64 {
                 0.1
             }
         }
+        // identifier repair works on the single decoded output, so it pays
+        // off regardless of the decoder — but only recovers schema-binding
+        // mistakes, a slice of all errors
+        PostProcessing::StaticRepair => 0.5,
     };
     // decomposition stages and similarity-selected exemplars fight for the
     // same prompt structure

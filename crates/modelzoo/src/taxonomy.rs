@@ -94,6 +94,10 @@ pub enum PostProcessing {
     ExecutionGuided,
     /// N-best reranking.
     Reranker,
+    /// Schema-aware static repair: run the `sqlcheck` analyzer over the
+    /// decoded SQL and fix unresolvable identifiers by nearest-name
+    /// matching before execution.
+    StaticRepair,
 }
 
 /// The full module configuration of one method — one row of Table 1, and

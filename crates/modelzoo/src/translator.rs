@@ -18,6 +18,7 @@ use crate::profiles::{fnv1a, hash_unit, CapabilityProfile, DatasetKind, SampleTr
 use crate::prompt::build_prompt;
 use crate::registry::{MethodSpec, Serving};
 use crate::restyle::restyle;
+use crate::taxonomy::PostProcessing;
 use crate::modules::FewShotIndex;
 use datagen::{GeneratedDb, Sample};
 use rand::rngs::StdRng;
@@ -186,14 +187,17 @@ impl SimulatedModel {
             if !style_rng.gen_bool(alignment.clamp(0.0, 1.0)) {
                 let _ = restyle(&mut pred_query, &mut style_rng);
             }
+            if self.spec.modules.post == PostProcessing::StaticRepair {
+                crate::repair::static_repair(&mut pred_query, task.db);
+            }
             Some(pred_query)
         } else {
-            Some(corrupt_prediction(
-                &task.sample.query,
-                self.spec.class,
-                task.db,
-                &mut style_rng,
-            ))
+            let mut pred_query =
+                corrupt_prediction(&task.sample.query, self.spec.class, task.db, &mut style_rng);
+            if self.spec.modules.post == PostProcessing::StaticRepair {
+                crate::repair::static_repair(&mut pred_query, task.db);
+            }
+            Some(pred_query)
         }
     }
 }
@@ -223,9 +227,12 @@ impl Nl2SqlModel for SimulatedModel {
         }
         drop(decode);
 
-        // surface-form finalization: render the decoded query to SQL text
+        // post-processing + surface-form finalization
         let sql = {
             let _post = obs::span("modelzoo.post_process");
+            if self.spec.modules.post == PostProcessing::StaticRepair {
+                crate::repair::static_repair(&mut pred_query, task.db);
+            }
             sqlkit::to_sql(&pred_query)
         };
 
@@ -406,5 +413,30 @@ mod tests {
     #[test]
     fn zoo_instantiates_everything() {
         assert_eq!(zoo().len(), 16);
+    }
+
+    #[test]
+    fn static_repair_applies_identically_in_both_prediction_paths() {
+        let c = corpus();
+        let mut spec = method_by_name("SFT CodeS-7B").unwrap();
+        spec.modules.post = crate::taxonomy::PostProcessing::StaticRepair;
+        let repaired = SimulatedModel::new(spec);
+        let baseline = SimulatedModel::new(method_by_name("SFT CodeS-7B").unwrap());
+        assert_ne!(baseline.spec.modules.post, crate::taxonomy::PostProcessing::StaticRepair);
+
+        let mut changed = 0;
+        for i in 0..c.dev.len() {
+            let t = task(&c, i);
+            // fast path and full path must produce the same repaired query
+            let full = repaired.translate(&t).unwrap();
+            let fast = repaired.predict_query_only(&t).unwrap();
+            assert_eq!(full.query, fast, "paths diverge on sample {i}");
+            assert_eq!(full.sql, sqlkit::to_sql(&fast));
+            if baseline.predict_query_only(&t).unwrap() != fast {
+                changed += 1;
+            }
+        }
+        // the module must actually fire on some corrupted predictions
+        assert!(changed > 0, "static repair never changed a prediction");
     }
 }

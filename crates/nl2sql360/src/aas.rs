@@ -114,6 +114,7 @@ fn random_modules(rng: &mut StdRng) -> ModuleSet {
                 PostProcessing::SelfConsistency,
                 PostProcessing::ExecutionGuided,
                 PostProcessing::Reranker,
+                PostProcessing::StaticRepair,
             ],
         ),
     }
@@ -147,6 +148,7 @@ fn mutate_layer(m: &mut ModuleSet, layer: usize, rng: &mut StdRng) {
                     PostProcessing::SelfConsistency,
                     PostProcessing::ExecutionGuided,
                     PostProcessing::Reranker,
+                    PostProcessing::StaticRepair,
                 ],
             )
         }

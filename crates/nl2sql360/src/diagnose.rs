@@ -207,6 +207,32 @@ pub fn exec_failure_profile(log: &crate::EvalLog) -> Vec<(crate::ExecFailureKind
     counts.into_iter().collect()
 }
 
+/// Cross-tabulate static diagnostics against dynamic execution outcomes
+/// over a log evaluated with [`crate::EvalOptions::static_check`]: for
+/// every rule that fired, how often the same prediction then failed at
+/// execution (and with which [`crate::ExecFailureKind`]) versus executed
+/// anyway. `None` in the second column means the flagged query ran — the
+/// silent-failure band a static analyzer exists to expose (e.g. a bad
+/// column in SELECT masked by a WHERE that matched zero rows).
+///
+/// Returns `(rule_id, exec_failure, count)` triples sorted by rule then
+/// failure kind. Empty when the log carries no verdicts.
+pub fn static_failure_profile(
+    log: &crate::EvalLog,
+) -> Vec<(String, Option<crate::ExecFailureKind>, usize)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<(String, Option<crate::ExecFailureKind>), usize> = BTreeMap::new();
+    for record in &log.records {
+        for variant in &record.variants {
+            let Some(verdict) = &variant.static_verdict else { continue };
+            for rule in &verdict.rules {
+                *counts.entry((rule.clone(), variant.exec_failure)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.into_iter().map(|((rule, kind), n)| (rule, kind, n)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +337,39 @@ mod tests {
         let profile = error_profile(pairs.into_iter());
         assert!(profile.contains(&(Mismatch::Where, 1)));
         assert!(profile.contains(&(Mismatch::Projection, 1)));
+    }
+
+    #[test]
+    fn static_failure_profile_cross_tabulates_rules_with_exec_outcomes() {
+        use crate::{EvalContext, EvalOptions};
+        use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+        use modelzoo::SimulatedModel;
+        let c = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(31));
+        let ctx = EvalContext::new(&c);
+        let m = SimulatedModel::new(modelzoo::method_by_name("C3SQL").unwrap());
+
+        // no verdicts recorded → empty profile
+        let plain = ctx.evaluate_with(&m, &EvalOptions::new().subset(40)).unwrap();
+        assert!(static_failure_profile(&plain).is_empty());
+
+        let log =
+            ctx.evaluate_with(&m, &EvalOptions::new().subset(40).static_check(true)).unwrap();
+        let profile = static_failure_profile(&log);
+        assert!(!profile.is_empty(), "corrupted predictions must fire rules");
+        for (rule, _, n) in &profile {
+            assert!(sqlcheck::Rule::from_id(rule).is_some(), "unstable rule id {rule}");
+            assert!(*n > 0);
+        }
+        // the profile totals must match a direct walk over the log
+        let direct: usize = log
+            .records
+            .iter()
+            .flat_map(|r| &r.variants)
+            .filter_map(|v| v.static_verdict.as_ref())
+            .map(|s| s.rules.len())
+            .sum();
+        let total: usize = profile.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, direct);
     }
 
     #[test]

@@ -93,6 +93,19 @@ impl ExecFailureKind {
     }
 }
 
+/// What the static analyzer said about a predicted query, recorded next
+/// to the dynamic outcome so error analyses can cross-tabulate "flagged
+/// before execution" against "failed during execution".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticVerdict {
+    /// No Error-severity diagnostics: the analyzer would have admitted
+    /// this query.
+    pub clean: bool,
+    /// Stable ids of every rule that fired (warnings included), deduped
+    /// in registry order.
+    pub rules: Vec<String>,
+}
+
 /// Outcome of one NL variant of one sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VariantRecord {
@@ -109,6 +122,11 @@ pub struct VariantRecord {
     /// mismatch). Defaulted so logs written before this field deserialize.
     #[serde(default)]
     pub exec_failure: Option<ExecFailureKind>,
+    /// Static analysis of the predicted SQL, present only when the run
+    /// asked for it ([`EvalOptions::static_check`]). Defaulted so logs
+    /// written before this field deserialize.
+    #[serde(default)]
+    pub static_verdict: Option<StaticVerdict>,
     /// Prompt tokens spent.
     pub prompt_tokens: u64,
     /// Completion tokens spent.
@@ -178,6 +196,7 @@ pub struct EvalOptions {
     subset: Option<usize>,
     workers: Option<usize>,
     trace: bool,
+    static_check: bool,
 }
 
 impl EvalOptions {
@@ -220,6 +239,19 @@ impl EvalOptions {
     pub fn trace_enabled(&self) -> bool {
         self.trace
     }
+
+    /// Record a [`StaticVerdict`] for every predicted query. Purely
+    /// additive: every other field of the log is byte-identical with the
+    /// check off (test-enforced).
+    pub fn static_check(mut self, on: bool) -> Self {
+        self.static_check = on;
+        self
+    }
+
+    /// Whether static verdicts will be recorded.
+    pub fn static_check_enabled(&self) -> bool {
+        self.static_check
+    }
 }
 
 /// Evaluation context over one corpus: gold executions cached, few-shot
@@ -238,6 +270,9 @@ pub struct EvalContext<'a> {
     /// the primary instance AND on every suite instance.
     suite: Vec<HashMap<String, GeneratedDb>>,
     suite_gold: Vec<Vec<Option<ResultSet>>>,
+    /// Per-database schema catalogs for the optional static check —
+    /// derived once here so verdicts cost one lookup per prediction.
+    catalogs: HashMap<String, sqlcheck::Catalog>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -310,6 +345,11 @@ impl<'a> EvalContext<'a> {
             suite.push(instance);
             suite_gold.push(golds);
         }
+        let catalogs = corpus
+            .databases
+            .iter()
+            .map(|(id, db)| (id.clone(), sqlcheck::Catalog::from_database(&db.database)))
+            .collect();
         Self {
             corpus,
             dataset,
@@ -319,6 +359,7 @@ impl<'a> EvalContext<'a> {
             avg_domain_train,
             suite,
             suite_gold,
+            catalogs,
         }
     }
 
@@ -366,7 +407,7 @@ impl<'a> EvalContext<'a> {
         let _span = obs::span("eval.run");
         let n = opts.subset.unwrap_or(usize::MAX).min(self.corpus.dev.len());
         let workers = opts.workers.unwrap_or_else(default_workers);
-        self.run_eval(model, n, workers)
+        self.run_eval(model, n, workers, opts.static_check)
     }
 
     /// Evaluate one model over the full dev split (all NL variants).
@@ -407,12 +448,18 @@ impl<'a> EvalContext<'a> {
     /// without spawning.
     ///
     /// [`evaluate_with`]: EvalContext::evaluate_with
-    fn run_eval(&self, model: &dyn Nl2SqlModel, n: usize, workers: usize) -> Option<EvalLog> {
+    fn run_eval(
+        &self,
+        model: &dyn Nl2SqlModel,
+        n: usize,
+        workers: usize,
+        static_check: bool,
+    ) -> Option<EvalLog> {
         let records = if workers <= 1 || n < 2 {
             let mut records = Vec::with_capacity(n);
             for i in 0..n {
                 obs::count("eval.claim", 1);
-                records.push(self.eval_sample(model, i)?);
+                records.push(self.eval_sample(model, i, static_check)?);
             }
             obs::observe("eval.samples_per_worker", n as u64);
             records
@@ -441,7 +488,7 @@ impl<'a> EvalContext<'a> {
                             }
                             claimed += 1;
                             obs::count("eval.claim", 1);
-                            match self.eval_sample(model, i) {
+                            match self.eval_sample(model, i, static_check) {
                                 Some(rec) => *slots[i].lock().expect("slot poisoned") = Some(rec),
                                 None => {
                                     // model refuses this dataset: the whole
@@ -481,7 +528,12 @@ impl<'a> EvalContext<'a> {
     /// Evaluate a single dev sample (all its NL variants). Pure in
     /// `(self, model, i)`, which is what makes the parallel fan-out safe:
     /// no evaluation-order state leaks between samples.
-    fn eval_sample(&self, model: &dyn Nl2SqlModel, i: usize) -> Option<SampleRecord> {
+    fn eval_sample(
+        &self,
+        model: &dyn Nl2SqlModel,
+        i: usize,
+        static_check: bool,
+    ) -> Option<SampleRecord> {
         let _span = obs::span("eval.sample");
         let sample = &self.corpus.dev[i];
         let gold_rs = &self.gold_results[i];
@@ -495,12 +547,15 @@ impl<'a> EvalContext<'a> {
                 ex = self.suite_confirms(i, sample, &pred.query);
             }
             let em = sqlkit::exact_match(&sample.query, &pred.query);
+            let static_verdict =
+                static_check.then(|| self.static_verdict(&sample.db_id, &pred.query));
             variants.push(VariantRecord {
                 ex,
                 em,
                 pred_sql: pred.sql,
                 pred_work,
                 exec_failure,
+                static_verdict,
                 prompt_tokens: pred.prompt_tokens,
                 completion_tokens: pred.completion_tokens,
                 cost_usd: pred.cost_usd,
@@ -518,6 +573,19 @@ impl<'a> EvalContext<'a> {
             gold_work: gold_rs.work,
             variants,
         })
+    }
+
+    /// Analyze a predicted query against its database's schema catalog.
+    pub fn static_verdict(&self, db_id: &str, pred: &sqlkit::Query) -> StaticVerdict {
+        let Some(catalog) = self.catalogs.get(db_id) else {
+            return StaticVerdict { clean: true, rules: Vec::new() };
+        };
+        let diags = sqlcheck::analyze(catalog, pred);
+        let clean = sqlcheck::is_clean(&diags);
+        let mut fired: Vec<sqlcheck::Rule> = diags.into_iter().map(|d| d.rule).collect();
+        fired.sort_by_key(|&r| r as usize);
+        fired.dedup();
+        StaticVerdict { clean, rules: fired.into_iter().map(|r| r.id().to_string()).collect() }
     }
 
     /// Does the prediction match gold on every test-suite instance?
@@ -754,6 +822,52 @@ mod tests {
                     assert!(v.exec_failure.is_none());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn static_verdicts_are_recorded_and_leave_the_rest_byte_identical() {
+        let corpus = ctx_corpus();
+        let ctx = EvalContext::new(&corpus);
+        let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
+        let base = ctx.evaluate_with(&m, &EvalOptions::new().subset(30).workers(1)).unwrap();
+        for r in &base.records {
+            for v in &r.variants {
+                assert!(v.static_verdict.is_none(), "off by default");
+            }
+        }
+        // the check is additive at any worker count
+        for workers in [1usize, 4] {
+            let opts = EvalOptions::new().subset(30).workers(workers).static_check(true);
+            let log = ctx.evaluate_with(&m, &opts).unwrap();
+            let mut verdicts = 0usize;
+            let mut flagged = 0usize;
+            for (rb, rc) in base.records.iter().zip(&log.records) {
+                for (vb, vc) in rb.variants.iter().zip(&rc.variants) {
+                    let v = vc.static_verdict.as_ref().expect("verdict recorded");
+                    verdicts += 1;
+                    flagged += (!v.rules.is_empty()) as usize;
+                    // an Error-free verdict is exactly `clean`
+                    assert_eq!(
+                        v.clean,
+                        v.rules.iter().all(|r| {
+                            sqlcheck::Rule::from_id(r).expect("stable id").severity()
+                                != sqlcheck::Severity::Error
+                        }),
+                        "{v:?}"
+                    );
+                    // neutrality: strip the verdict and the variant is
+                    // byte-identical to the uninstrumented run
+                    let mut stripped = vc.clone();
+                    stripped.static_verdict = None;
+                    assert_eq!(
+                        serde_json::to_string(&stripped).unwrap(),
+                        serde_json::to_string(vb).unwrap(),
+                    );
+                }
+            }
+            assert!(verdicts > 0);
+            assert!(flagged > 0, "corrupted predictions must trip at least one rule");
         }
     }
 

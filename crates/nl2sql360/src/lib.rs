@@ -46,7 +46,10 @@ pub mod pipeline;
 pub mod report;
 
 pub use aas::{search, search_with_workers, AasConfig, AasResult};
-pub use diagnose::{diagnose as diagnose_queries, error_profile, exec_failure_profile, Mismatch};
+pub use diagnose::{
+    diagnose as diagnose_queries, error_profile, exec_failure_profile, static_failure_profile,
+    Mismatch,
+};
 pub use extensions::{adaptive_plan, evaluate_with_rewriter, DomainDeficit};
 pub use evaluator::{
     evaluate_all, evaluate_all_with_workers, leaderboard, render_accuracy_leaderboard,
@@ -54,7 +57,7 @@ pub use evaluator::{
 };
 pub use executor::{
     default_workers, EvalContext, EvalLog, EvalOptions, ExecFailureKind, SampleRecord,
-    VariantRecord,
+    StaticVerdict, VariantRecord,
 };
 pub use filter::{CountBucket, Filter};
 pub use logs::LogStore;

@@ -104,6 +104,7 @@ mod tests {
                     pred_sql: "SELECT 1".into(),
                     pred_work: Some(3),
                     exec_failure: None,
+                    static_verdict: None,
                     prompt_tokens: 10,
                     completion_tokens: 2,
                     cost_usd: 0.001,

@@ -139,6 +139,7 @@ mod tests {
             pred_sql: "SELECT 1".into(),
             pred_work: Some(work),
             exec_failure: None,
+            static_verdict: None,
             prompt_tokens: 100,
             completion_tokens: 20,
             cost_usd: 0.01,

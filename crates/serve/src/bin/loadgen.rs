@@ -12,6 +12,8 @@
 //! serve-loadgen --requests 2000 --workers 8 --seed 7
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use datagen::{generate_corpus, CorpusConfig, CorpusKind};
 use nl2sql360::EvalContext;
 use rand::rngs::StdRng;

@@ -62,7 +62,7 @@ impl ExecCache {
 
     /// Look up a key, refreshing its recency on hit.
     pub fn get(&self, key: &Key) -> Option<Arc<ExecOutcome>> {
-        let mut shard = self.shard_for(key).lock().unwrap();
+        let mut shard = self.shard_for(key).lock().expect("cache shard lock poisoned");
         shard.tick += 1;
         let tick = shard.tick;
         shard.map.get_mut(key).map(|(v, last)| {
@@ -75,7 +75,7 @@ impl ExecCache {
     /// Concurrent inserts of the same key are harmless: execution is
     /// deterministic, so both writers carry the same value.
     pub fn insert(&self, key: Key, value: Arc<ExecOutcome>) {
-        let mut shard = self.shard_for(&key).lock().unwrap();
+        let mut shard = self.shard_for(&key).lock().expect("cache shard lock poisoned");
         shard.tick += 1;
         let tick = shard.tick;
         if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
@@ -90,7 +90,7 @@ impl ExecCache {
 
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock poisoned").map.len()).sum()
     }
 
     /// Whether the cache holds no entries.

@@ -43,6 +43,8 @@
 //! EX/EM outcome of every request is independent of worker count, batch
 //! boundaries, cache state, and scheduling. Only timing varies.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod admin;
 pub mod cache;
 pub mod metrics;
@@ -110,6 +112,14 @@ pub struct ServeConfig {
     /// `/readyz` reports unready once the queue is at least this percent
     /// full (1..=100). 100 means "only unready when actually full".
     pub unready_queue_pct: u8,
+    /// Statically analyze predicted SQL against the target database's
+    /// schema (via `sqlcheck`) before execution; queries with
+    /// Error-severity diagnostics are rejected with
+    /// [`QueryError::StaticRejected`] instead of being executed. Clean
+    /// queries are unaffected — sqlcheck guarantees a clean query never
+    /// raises a minidb binding error, so enabling the check never changes
+    /// the outcome of valid SQL. Off by default.
+    pub static_check: bool,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +138,7 @@ impl Default for ServeConfig {
             slow_log_k: 32,
             slow_log_rate_per_sec: 64,
             unready_queue_pct: 90,
+            static_check: false,
         }
     }
 }
@@ -304,6 +315,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Reject statically-invalid predicted SQL before execution
+    /// (default off).
+    pub fn static_check(mut self, on: bool) -> Self {
+        self.config.static_check = on;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         self.config.validate()?;
@@ -363,6 +381,11 @@ pub enum QueryError {
     UnknownQuestion,
     /// The model declined the task (dataset unsupported).
     TranslationRefused,
+    /// Rejected by the static admission check ([`ServeConfig::static_check`]):
+    /// the predicted SQL carries Error-severity `sqlcheck` diagnostics and
+    /// would raise a binding error if executed. Carries the stable rule ids
+    /// that fired, in registry order.
+    StaticRejected(Vec<String>),
     /// The service stopped before answering (worker panic).
     Internal,
 }
@@ -375,6 +398,9 @@ impl fmt::Display for QueryError {
             QueryError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
             QueryError::UnknownQuestion => write!(f, "unknown (db, question) pair"),
             QueryError::TranslationRefused => write!(f, "model declined the task"),
+            QueryError::StaticRejected(rules) => {
+                write!(f, "statically invalid SQL ({})", rules.join(", "))
+            }
             QueryError::Internal => write!(f, "service stopped before answering"),
         }
     }
@@ -425,6 +451,9 @@ pub(crate) struct Inner {
     // (db_id, question) → (dev sample index, variant index)
     question_index: HashMap<(String, String), (usize, usize)>,
     cache: ExecCache,
+    /// Per-database schema catalogs for the static admission check; empty
+    /// unless `config.static_check` is on.
+    catalogs: HashMap<String, sqlcheck::Catalog>,
     metrics: Metrics,
     pub(crate) telemetry: Telemetry,
     /// Readiness flag behind `/readyz`; true from start until drain.
@@ -446,12 +475,12 @@ impl Inner {
         // readiness flag is already false — a balancer that stops sending
         // on unready never has traffic refused by a "ready" service.
         self.ready.store(false, Ordering::SeqCst);
-        self.queue.lock().unwrap().shutdown = true;
+        self.queue.lock().expect("queue lock poisoned").shutdown = true;
         self.not_empty.notify_all();
     }
 
     fn queue_len(&self) -> usize {
-        self.queue.lock().unwrap().items.len()
+        self.queue.lock().expect("queue lock poisoned").items.len()
     }
 
     /// Why `/readyz` would refuse, if it would.
@@ -544,7 +573,7 @@ impl ServiceHandle<'_> {
             reply: tx,
         };
         {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = inner.queue.lock().expect("queue lock poisoned");
             if q.shutdown || q.items.len() >= inner.config.queue_capacity {
                 Metrics::inc(&inner.metrics.rejected_overloaded);
                 if inner.telemetry.enabled {
@@ -678,9 +707,21 @@ impl Service {
         let admin_addr = admin_listener
             .as_ref()
             .map(|l| l.local_addr().expect("admin endpoint has a local addr"));
+        // Schema catalogs are derived once at startup so the static check
+        // costs one hash lookup plus an AST walk per request, no locks.
+        let catalogs = if config.static_check {
+            ctx.corpus
+                .databases
+                .iter()
+                .map(|(id, db)| (id.clone(), sqlcheck::Catalog::from_database(&db.database)))
+                .collect()
+        } else {
+            HashMap::new()
+        };
         let inner = Inner {
             cache: ExecCache::new(config.cache_shards, config.cache_capacity_per_shard),
             config,
+            catalogs,
             queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
             not_empty: Condvar::new(),
             models,
@@ -738,7 +779,7 @@ fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
     loop {
         let mut batch: Vec<Pending> = Vec::new();
         {
-            let mut q = inner.queue.lock().unwrap();
+            let mut q = inner.queue.lock().expect("queue lock poisoned");
             loop {
                 if let Some(first) = q.items.pop_front() {
                     batch.push(first);
@@ -747,7 +788,7 @@ fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
                 if q.shutdown {
                     return;
                 }
-                q = inner.not_empty.wait(q).unwrap();
+                q = inner.not_empty.wait(q).expect("queue lock poisoned");
             }
             // micro-batch: pull queued requests for the same method, in
             // arrival order, without skipping past more than we inspect
@@ -815,6 +856,38 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
         let _ = p.reply.send(Err(QueryError::TranslationRefused));
         return;
     };
+
+    // Static admission: reject SQL the analyzer can prove will fail before
+    // spending execution (or cache) budget on it. Warning-severity
+    // diagnostics never reject, so clean queries are byte-identical with
+    // the check off.
+    if inner.config.static_check {
+        if let Some(catalog) = inner.catalogs.get(&sample.db_id) {
+            let mut fired: Vec<sqlcheck::Rule> = sqlcheck::analyze(catalog, &pred.query)
+                .into_iter()
+                .filter(|d| d.severity == sqlcheck::Severity::Error)
+                .map(|d| d.rule)
+                .collect();
+            fired.sort_by_key(|&r| r as usize);
+            fired.dedup();
+            if !fired.is_empty() {
+                Metrics::inc(&inner.metrics.failed);
+                Metrics::inc(&inner.metrics.static_rejected);
+                if let Some(c) = cells {
+                    c.static_rejected.inc();
+                    for &rule in &fired {
+                        t.static_rejects[rule as usize].inc();
+                    }
+                    let latency = p.enqueued.elapsed();
+                    c.latency.record_duration(latency);
+                    t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
+                }
+                let rules = fired.into_iter().map(|r| r.id().to_string()).collect();
+                let _ = p.reply.send(Err(QueryError::StaticRejected(rules)));
+                return;
+            }
+        }
+    }
 
     let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query));
     let sql_hash = if t.enabled { slowlog::fnv1a64(&normalized) } else { 0 };
@@ -1023,6 +1096,7 @@ mod tests {
             .window(100, 64)
             .slow_log(16, 32)
             .unready_queue_pct(75)
+            .static_check(true)
             .build()
             .expect("all sizes nonzero");
         assert_eq!(config.workers, 3);
@@ -1038,6 +1112,8 @@ mod tests {
         assert_eq!(config.slow_log_k, 16);
         assert_eq!(config.slow_log_rate_per_sec, 32);
         assert_eq!(config.unready_queue_pct, 75);
+        assert!(config.static_check);
+        assert!(!ServeConfig::default().static_check, "static check must be opt-in");
         assert!(config.validate().is_ok());
         assert!(ServeConfig::default().validate().is_ok());
     }
@@ -1092,6 +1168,7 @@ mod tests {
         for err in [
             QueryError::Overloaded,
             QueryError::UnknownMethod("DINSQL".into()),
+            QueryError::StaticRejected(vec!["unknown-column".into(), "function-arity".into()]),
             QueryError::Internal,
         ] {
             let json = serde_json::to_string(&err).expect("serializes");
@@ -1115,6 +1192,82 @@ mod tests {
             assert!(m.p99 >= m.exec_p50);
             assert!(m.exec_failures.iter().all(|&(_, n)| n > 0));
         });
+    }
+
+    #[test]
+    fn static_check_rejects_invalid_sql_and_is_neutral_for_the_rest() {
+        let ctx = EvalContext::new(corpus());
+        let n = corpus().dev.len().min(60);
+        // Baseline pass with the check off: every request gets a normal
+        // response (simulated models never refuse on this corpus slice).
+        let baseline: Vec<Result<QueryResponse, QueryError>> =
+            Service::run_with_methods(ServeConfig::default(), &ctx, &["C3SQL"], |handle| {
+                corpus().dev.iter().take(n).map(|s| handle.query(request(s, 0, "C3SQL"))).collect()
+            });
+        let config = ServeConfig::builder()
+            .static_check(true)
+            .telemetry(true)
+            .build()
+            .expect("valid config");
+        let (checked, text) =
+            Service::run_with_methods(config, &ctx, &["C3SQL"], |handle| {
+                let replies: Vec<Result<QueryResponse, QueryError>> = corpus()
+                    .dev
+                    .iter()
+                    .take(n)
+                    .map(|s| handle.query(request(s, 0, "C3SQL")))
+                    .collect();
+                let m = handle.metrics();
+                assert_eq!(m.lost(), 0, "static rejections must still count as answered");
+                assert!(m.static_rejected > 0, "corpus 91 simulated SQL must trip the check");
+                assert_eq!(
+                    m.static_rejected,
+                    replies.iter().filter(|r| matches!(r, Err(QueryError::StaticRejected(_)))).count()
+                        as u64,
+                    "snapshot counter must match observed rejections"
+                );
+                (replies, handle.metrics_text())
+            });
+        assert!(
+            text.contains("serve_static_rejects_total{rule="),
+            "per-rule rejection counters must be scrapable:\n{text}"
+        );
+        let mut rejected = 0usize;
+        let mut rejected_and_failed = 0usize;
+        for (base, chk) in baseline.iter().zip(&checked) {
+            match chk {
+                Err(QueryError::StaticRejected(rules)) => {
+                    rejected += 1;
+                    assert!(!rules.is_empty(), "rejection must name the rules that fired");
+                    assert!(
+                        rules.iter().all(|r| sqlcheck::Rule::from_id(r).is_some()),
+                        "rule ids must be registry-stable: {rules:?}"
+                    );
+                    // minidb evaluates row-at-a-time, so a bad column in
+                    // SELECT is masked when the WHERE matches zero rows —
+                    // some statically-certain errors "execute fine". They
+                    // still never produce a correct answer.
+                    let resp = base.as_ref().expect("baseline answered");
+                    rejected_and_failed += resp.exec_failure.is_some() as usize;
+                }
+                Ok(resp) => {
+                    // Neutrality: everything the check admits is
+                    // byte-identical to the uncensored run.
+                    let b = base.as_ref().expect("baseline answered");
+                    assert_eq!(resp.ex, b.ex);
+                    assert_eq!(resp.em, b.em);
+                    assert_eq!(resp.pred_sql, b.pred_sql);
+                    assert_eq!(resp.pred_work, b.pred_work);
+                    assert_eq!(resp.exec_failure, b.exec_failure);
+                }
+                Err(e) => panic!("unexpected error with static_check on: {e}"),
+            }
+        }
+        assert!(rejected > 0);
+        assert!(
+            rejected_and_failed > 0,
+            "at least one rejection must line up with a baseline exec failure"
+        );
     }
 
     #[test]

@@ -24,8 +24,12 @@ pub struct Metrics {
     /// Requests dropped by a worker because their deadline had passed.
     pub deadline_exceeded: AtomicU64,
     /// Requests answered with a non-deadline error (unknown method or
-    /// question, translation refused).
+    /// question, translation refused, static rejection).
     pub failed: AtomicU64,
+    /// Requests rejected by the static semantic check before execution.
+    /// Counted *in addition to* `failed` (a static rejection is one kind
+    /// of failure), so `lost()` stays zero after drain.
+    pub static_rejected: AtomicU64,
     /// Execution-cache hits.
     pub cache_hits: AtomicU64,
     /// Execution-cache misses.
@@ -73,6 +77,7 @@ impl Metrics {
             rejected_overloaded: load(&self.rejected_overloaded),
             deadline_exceeded: load(&self.deadline_exceeded),
             failed: load(&self.failed),
+            static_rejected: load(&self.static_rejected),
             cache_hits: hits,
             cache_misses: misses,
             cache_hit_rate: if hits + misses == 0 {
@@ -112,6 +117,8 @@ pub struct MetricsSnapshot {
     pub deadline_exceeded: u64,
     /// Other errors.
     pub failed: u64,
+    /// Statically-invalid SQL rejections (subset of `failed`).
+    pub static_rejected: u64,
     /// Cache hits.
     pub cache_hits: u64,
     /// Cache misses.
@@ -212,6 +219,7 @@ mod tests {
             rejected_overloaded: 0,
             deadline_exceeded: 0,
             failed: 0,
+            static_rejected: 0,
             cache_hits: 0,
             cache_misses: 0,
             cache_hit_rate: 0.0,

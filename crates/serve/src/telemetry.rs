@@ -29,6 +29,8 @@ pub(crate) struct MethodCells {
     pub deadline: Counter,
     /// `outcome="refused"`.
     pub refused: Counter,
+    /// `outcome="static_rejected"`.
+    pub static_rejected: Counter,
     /// `serve_latency_us{method=...}` — submit-to-response.
     pub latency: Histogram,
     /// `serve_exec_us{method=...}` — worker pickup-to-response.
@@ -46,6 +48,8 @@ pub(crate) struct Telemetry {
     pub per_method: Vec<MethodCells>,
     /// Indexed by `ExecFailureKind as usize`.
     pub exec_failures: Vec<Counter>,
+    /// Indexed by `sqlcheck::Rule as usize` (registry declaration order).
+    pub static_rejects: Vec<Counter>,
     pub cache_hit: Counter,
     pub cache_miss: Counter,
     pub rejected_overloaded: Counter,
@@ -93,6 +97,7 @@ impl Telemetry {
                 ok: responses.with(&[m, "ok"]),
                 deadline: responses.with(&[m, "deadline_exceeded"]),
                 refused: responses.with(&[m, "refused"]),
+                static_rejected: responses.with(&[m, "static_rejected"]),
                 latency: latency.with(&[m]),
                 exec: exec.with(&[m]),
             })
@@ -106,6 +111,12 @@ impl Telemetry {
             .iter()
             .map(|&k| failures.with(&[&kind_label(k)]))
             .collect();
+        let statics = registry.counter_vec(
+            "serve_static_rejects_total",
+            "Static-check admission rejections by diagnostic rule.",
+            &["rule"],
+        );
+        let static_rejects = sqlcheck::Rule::ALL.iter().map(|r| statics.with(&[r.id()])).collect();
         let cache = registry.counter_vec(
             "serve_cache_requests_total",
             "Execution-cache lookups by result.",
@@ -120,6 +131,7 @@ impl Telemetry {
             enabled: config.telemetry,
             per_method,
             exec_failures,
+            static_rejects,
             cache_hit: cache.with(&["hit"]),
             cache_miss: cache.with(&["miss"]),
             rejected_overloaded: rejects.with(&["overloaded"]),

@@ -1,0 +1,305 @@
+//! `sqlcheck` CLI: static SQL linting against a generated corpus schema.
+//!
+//! ```text
+//! sqlcheck gold [--corpus spider|bird] [--size tiny|quick|full] [--seed N]
+//! sqlcheck file <path.sql> --db <db_id> [--corpus ...] [--size ...] [--seed N]
+//! sqlcheck log  <evallog.json> [--corpus ...] [--size ...] [--seed N]
+//! ```
+//!
+//! `gold` analyzes every gold query (train + dev) of a freshly generated
+//! corpus and exits nonzero on any diagnostic — the hygiene smoke used by
+//! `scripts/check.sh --lint`. `file` lints a SQL file (one statement per
+//! line; blank lines and `--` comments skipped) against one database.
+//! `log` lints the predicted SQL recorded in an `EvalLog` JSON file,
+//! regenerating the corpus named by the flags to obtain the schemas; the
+//! log file is read loosely (only `records[].db_id` and
+//! `records[].variants[].pred_sql` are required), so logs written by
+//! older builds lint fine.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind};
+use serde::Value;
+use sqlcheck::{Catalog, Diagnostic, Rule, Severity};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: sqlcheck <gold|file|log> [args] [options]
+  gold                     lint every gold query of a generated corpus
+  file <path.sql> --db ID  lint a SQL file against one database
+  log <evallog.json>       lint the predictions recorded in an EvalLog
+options:
+  --corpus spider|bird     corpus family to generate (default spider)
+  --size tiny|quick|full   corpus size (default tiny)
+  --seed N                 corpus generator seed (default 42)
+  --db ID                  database id (required for `file`)";
+
+struct Args {
+    command: String,
+    path: Option<String>,
+    corpus: String,
+    size: String,
+    seed: u64,
+    db: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return Err("missing command".into());
+    };
+    if command == "--help" || command == "-h" {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut args = Args {
+        command,
+        path: None,
+        corpus: "spider".into(),
+        size: "tiny".into(),
+        seed: 42,
+        db: None,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<String, String> {
+            argv.get(i + 1).cloned().ok_or_else(|| format!("missing value for {}", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--corpus" => args.corpus = value(i)?,
+            "--size" => args.size = value(i)?,
+            "--seed" => {
+                let v = value(i)?;
+                args.seed = v.parse().map_err(|_| format!("not a number: {v}"))?;
+            }
+            "--db" => args.db = Some(value(i)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
+            positional => {
+                if args.path.is_some() {
+                    return Err(format!("unexpected argument: {positional}"));
+                }
+                args.path = Some(positional.to_string());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn build_corpus(args: &Args) -> Result<Corpus, String> {
+    let kind = match args.corpus.as_str() {
+        "spider" => CorpusKind::Spider,
+        "bird" => CorpusKind::Bird,
+        other => return Err(format!("unknown corpus: {other} (want spider|bird)")),
+    };
+    // size names and configs match `nl2sql360 generate --size ...`, so a
+    // log produced by that CLI lints with the same size/seed flags
+    let config = match (args.size.as_str(), kind) {
+        ("tiny", _) => CorpusConfig::tiny(args.seed),
+        ("quick", _) => CorpusConfig {
+            train_dbs: 40,
+            dev_dbs: 8,
+            train_samples: 600,
+            dev_samples: 200,
+            variant_prob: 0.5,
+            seed: args.seed,
+        },
+        ("full", CorpusKind::Spider) => CorpusConfig::spider(args.seed),
+        ("full", CorpusKind::Bird) => CorpusConfig::bird(args.seed),
+        (other, _) => return Err(format!("unknown size: {other} (want tiny|quick|full)")),
+    };
+    Ok(generate_corpus(kind, &config))
+}
+
+fn catalogs_of(corpus: &Corpus) -> HashMap<String, Catalog> {
+    corpus
+        .databases
+        .iter()
+        .map(|(id, db)| (id.clone(), Catalog::from_database(&db.database)))
+        .collect()
+}
+
+/// Per-rule tally printed as the diagnostic table.
+#[derive(Default)]
+struct Tally {
+    by_rule: HashMap<Rule, usize>,
+    statements: usize,
+    clean: usize,
+    parse_errors: usize,
+    unknown_db: usize,
+}
+
+impl Tally {
+    fn absorb(&mut self, diags: &[Diagnostic]) {
+        self.statements += 1;
+        if diags.is_empty() {
+            self.clean += 1;
+        }
+        for d in diags {
+            *self.by_rule.entry(d.rule).or_insert(0) += 1;
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.by_rule.values().sum()
+    }
+
+    fn errors(&self) -> usize {
+        self.by_rule
+            .iter()
+            .filter(|(r, _)| r.severity() == Severity::Error)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    fn print(&self) {
+        if self.total() > 0 {
+            println!("{:<28} {:<8} {:>6}", "rule", "severity", "count");
+            for rule in Rule::ALL {
+                if let Some(n) = self.by_rule.get(&rule) {
+                    println!("{:<28} {:<8} {n:>6}", rule.id(), rule.severity().label());
+                }
+            }
+        }
+        println!(
+            "{} statements, {} clean, {} diagnostics ({} errors)",
+            self.statements,
+            self.clean,
+            self.total(),
+            self.errors()
+        );
+        if self.parse_errors > 0 {
+            println!("{} statements failed to parse", self.parse_errors);
+        }
+        if self.unknown_db > 0 {
+            println!(
+                "{} predictions skipped (database not in the generated corpus)",
+                self.unknown_db
+            );
+        }
+    }
+}
+
+fn lint_gold(args: &Args) -> Result<ExitCode, String> {
+    let corpus = build_corpus(args)?;
+    let catalogs = catalogs_of(&corpus);
+    let mut tally = Tally::default();
+    for sample in corpus.train.iter().chain(corpus.dev.iter()) {
+        let catalog = catalogs
+            .get(&sample.db_id)
+            .ok_or_else(|| format!("corpus lacks database {}", sample.db_id))?;
+        tally.absorb(&sqlcheck::analyze(catalog, &sample.query));
+    }
+    tally.print();
+    Ok(if tally.total() == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn lint_file(args: &Args) -> Result<ExitCode, String> {
+    let path = args.path.as_deref().ok_or("file: missing <path.sql>")?;
+    let db_id = args.db.as_deref().ok_or("file: missing --db <db_id>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let corpus = build_corpus(args)?;
+    let db = corpus.databases.get(db_id).ok_or_else(|| {
+        format!("no database {db_id}; corpus has: {:?}", corpus.databases.keys().collect::<Vec<_>>())
+    })?;
+    let catalog = Catalog::from_database(&db.database);
+    let mut tally = Tally::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let sql = line.trim().trim_end_matches(';');
+        if sql.is_empty() || sql.starts_with("--") {
+            continue;
+        }
+        match sqlcheck::analyze_sql(&catalog, sql) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{path}:{}: [{}] {}", lineno + 1, d.rule.id(), d.message);
+                }
+                tally.absorb(&diags);
+            }
+            Err(e) => {
+                println!("{path}:{}: parse error: {e}", lineno + 1);
+                tally.statements += 1;
+                tally.parse_errors += 1;
+            }
+        }
+    }
+    tally.print();
+    let failed = tally.errors() > 0 || tally.parse_errors > 0;
+    Ok(if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn as_array(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn lint_log(args: &Args) -> Result<ExitCode, String> {
+    let path = args.path.as_deref().ok_or("log: missing <evallog.json>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let records = log
+        .get("records")
+        .and_then(as_array)
+        .ok_or_else(|| format!("{path}: no `records` array — not an EvalLog?"))?;
+    let corpus = build_corpus(args)?;
+    let catalogs = catalogs_of(&corpus);
+    let mut tally = Tally::default();
+    for record in records {
+        let Some(db_id) = record.get("db_id").and_then(as_str) else { continue };
+        let variants = record.get("variants").and_then(as_array).unwrap_or(&[]);
+        for variant in variants {
+            let Some(sql) = variant.get("pred_sql").and_then(as_str) else { continue };
+            let Some(catalog) = catalogs.get(db_id) else {
+                tally.unknown_db += 1;
+                continue;
+            };
+            match sqlcheck::analyze_sql(catalog, sql) {
+                Ok(diags) => tally.absorb(&diags),
+                Err(_) => {
+                    tally.statements += 1;
+                    tally.parse_errors += 1;
+                }
+            }
+        }
+    }
+    if let Some(method) = log.get("method").and_then(as_str) {
+        println!("method: {method}");
+    }
+    tally.print();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "gold" => lint_gold(&args),
+        "file" => lint_file(&args),
+        "log" => lint_log(&args),
+        other => Err(format!("unknown command: {other}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

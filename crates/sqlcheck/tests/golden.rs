@@ -1,0 +1,176 @@
+//! Golden diagnostics: for every rule in the registry, one minimal query
+//! that fires it and one near-miss that must stay silent.
+
+use sqlcheck::{analyze_sql, Catalog, Rule, Ty};
+
+fn cat() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        "singer",
+        vec![
+            ("id", Ty::Num),
+            ("name", Ty::Text),
+            ("country", Ty::Text),
+            ("age", Ty::Num),
+        ],
+    );
+    c.add_table(
+        "concert",
+        vec![
+            ("cid", Ty::Num),
+            ("singer_id", Ty::Num),
+            ("year", Ty::Num),
+            ("venue", Ty::Text),
+        ],
+    );
+    c
+}
+
+fn fires(sql: &str, rule: Rule) {
+    let d = analyze_sql(&cat(), sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+    assert!(
+        d.iter().any(|x| x.rule == rule),
+        "`{sql}` should fire {rule:?}, got {d:?}"
+    );
+}
+
+fn silent(sql: &str, rule: Rule) {
+    let d = analyze_sql(&cat(), sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+    assert!(
+        d.iter().all(|x| x.rule != rule),
+        "`{sql}` must not fire {rule:?}, got {d:?}"
+    );
+}
+
+#[test]
+fn unknown_table() {
+    fires("SELECT id FROM nope", Rule::UnknownTable);
+    fires("SELECT nope.* FROM singer", Rule::UnknownTable);
+    silent("SELECT id FROM SINGER", Rule::UnknownTable);
+}
+
+#[test]
+fn unknown_column() {
+    fires("SELECT bogus FROM singer", Rule::UnknownColumn);
+    fires("SELECT concert.name FROM singer JOIN concert ON singer.id = concert.singer_id", Rule::UnknownColumn);
+    silent("SELECT NAME FROM singer", Rule::UnknownColumn);
+    // select aliases resolve in ORDER BY (runtime fallback), nowhere else
+    silent("SELECT age * 2 AS doubled FROM singer ORDER BY doubled", Rule::UnknownColumn);
+    fires("SELECT age * 2 AS doubled FROM singer GROUP BY doubled", Rule::UnknownColumn);
+}
+
+#[test]
+fn ambiguous_column() {
+    fires(
+        "SELECT name FROM singer AS a JOIN singer AS b ON a.id = b.id",
+        Rule::AmbiguousColumn,
+    );
+    silent(
+        "SELECT a.name FROM singer AS a JOIN singer AS b ON a.id = b.id",
+        Rule::AmbiguousColumn,
+    );
+}
+
+#[test]
+fn type_mismatch() {
+    fires("SELECT id FROM singer WHERE name > 5", Rule::TypeMismatch);
+    fires("SELECT name + 1 FROM singer", Rule::TypeMismatch);
+    // numeric-looking string literals coerce cleanly on a numeric side
+    silent("SELECT id FROM singer WHERE age = '42'", Rule::TypeMismatch);
+    // text-to-text comparison is fine even when the literal looks numeric
+    silent("SELECT id FROM singer WHERE name = '5'", Rule::TypeMismatch);
+}
+
+#[test]
+fn function_arity() {
+    fires("SELECT ABS(age, 2) FROM singer", Rule::FunctionArity);
+    fires("SELECT SUBSTR(name) FROM singer", Rule::FunctionArity);
+    silent("SELECT ABS(age) FROM singer", Rule::FunctionArity);
+    silent("SELECT SUBSTR(name, 1, 2) FROM singer", Rule::FunctionArity);
+}
+
+#[test]
+fn unknown_function() {
+    fires("SELECT TRIM(name) FROM singer", Rule::UnknownFunction);
+    silent("SELECT UPPER(name) FROM singer", Rule::UnknownFunction);
+}
+
+#[test]
+fn aggregate_misuse() {
+    fires("SELECT id FROM singer WHERE COUNT(*) > 1", Rule::AggregateMisuse);
+    fires("SELECT MAX(COUNT(*)) FROM singer", Rule::AggregateMisuse);
+    fires("SELECT age FROM singer GROUP BY COUNT(*)", Rule::AggregateMisuse);
+    // aggregates are fine in SELECT / HAVING / simple ORDER BY
+    silent(
+        "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) > 1 ORDER BY COUNT(*)",
+        Rule::AggregateMisuse,
+    );
+    // and even without GROUP BY (the whole table is one group)
+    silent("SELECT MAX(age) FROM singer", Rule::AggregateMisuse);
+}
+
+#[test]
+fn ungrouped_column() {
+    fires("SELECT country, age FROM singer GROUP BY country", Rule::UngroupedColumn);
+    fires("SELECT country FROM singer GROUP BY country ORDER BY age", Rule::UngroupedColumn);
+    silent("SELECT country, MAX(age) FROM singer GROUP BY country", Rule::UngroupedColumn);
+    // qualified/unqualified spellings of a group key are the same column
+    silent(
+        "SELECT name FROM singer AS T1 GROUP BY T1.name",
+        Rule::UngroupedColumn,
+    );
+}
+
+#[test]
+fn setop_arity() {
+    fires(
+        "SELECT id FROM singer UNION SELECT cid, year FROM concert",
+        Rule::SetOpArity,
+    );
+    silent("SELECT id FROM singer UNION SELECT cid FROM concert", Rule::SetOpArity);
+}
+
+#[test]
+fn subquery_arity() {
+    fires(
+        "SELECT name FROM singer WHERE id IN (SELECT cid, year FROM concert)",
+        Rule::SubqueryArity,
+    );
+    fires(
+        "SELECT name FROM singer WHERE age > (SELECT cid, year FROM concert)",
+        Rule::SubqueryArity,
+    );
+    silent(
+        "SELECT name FROM singer WHERE id IN (SELECT singer_id FROM concert)",
+        Rule::SubqueryArity,
+    );
+}
+
+#[test]
+fn unsatisfiable_predicate() {
+    fires("SELECT id FROM singer WHERE age = 1 AND age = 2", Rule::UnsatisfiablePredicate);
+    fires("SELECT id FROM singer WHERE age = NULL", Rule::UnsatisfiablePredicate);
+    fires("SELECT id FROM singer WHERE age BETWEEN 9 AND 3", Rule::UnsatisfiablePredicate);
+    // same value twice is merely redundant; OR branches are not folded
+    silent("SELECT id FROM singer WHERE age = 1 AND age = 1", Rule::UnsatisfiablePredicate);
+    silent("SELECT id FROM singer WHERE age = 1 OR age = 2", Rule::UnsatisfiablePredicate);
+    // same name, different tables: no conflict
+    silent(
+        "SELECT a.id FROM singer AS a JOIN singer AS b ON a.id = b.id \
+         WHERE a.age = 1 AND b.age = 2",
+        Rule::UnsatisfiablePredicate,
+    );
+}
+
+#[test]
+fn tautological_predicate() {
+    fires("SELECT id FROM singer WHERE 1 = 1", Rule::TautologicalPredicate);
+    silent("SELECT id FROM singer WHERE age = age", Rule::TautologicalPredicate);
+}
+
+#[test]
+fn star_without_from() {
+    fires("SELECT *", Rule::StarWithoutFrom);
+    silent("SELECT * FROM singer", Rule::StarWithoutFrom);
+    silent("SELECT 1", Rule::StarWithoutFrom);
+}

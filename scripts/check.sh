@@ -32,6 +32,18 @@ if [ "$lint" -eq 1 ]; then
   echo "==> cargo clippy (-D warnings)"
   cargo clippy --offline --workspace --all-targets -- -D warnings
 
+  # Panic hygiene: sqlcheck and serve deny clippy::unwrap_used in non-test
+  # code (crate-level #![cfg_attr(not(test), deny(...))] attributes; this
+  # run compiles the non-test targets so the deny is active).
+  echo "==> cargo clippy (sqlcheck + serve, unwrap_used denied)"
+  cargo clippy --offline -p sqlcheck -p serve --lib --bins -- -D warnings
+
+  # Gold-SQL hygiene: the static analyzer must find zero diagnostics in
+  # the generated corpora's gold queries (nonzero exit otherwise).
+  echo "==> sqlcheck gold smoke (spider + bird)"
+  cargo run --offline --release -p sqlcheck --bin sqlcheck -- gold --corpus spider
+  cargo run --offline --release -p sqlcheck --bin sqlcheck -- gold --corpus bird
+
   # Observability overhead smoke: bench_eval runs the same evaluation with
   # tracing on and off; --validate fails if the disabled path regressed
   # more than 5% after tracing ran (a recorder leaking past its guard), a
