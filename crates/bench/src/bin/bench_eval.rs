@@ -20,6 +20,13 @@
 //! 5. **Static-check overhead**: ns/query for the `sqlcheck` analyzer
 //!    over the corpus gold queries, plus the same closed-loop serve
 //!    mini-workload with the `static_check` admission stage on vs off.
+//! 6. **Distributed serve overhead**: the same closed loop driven through
+//!    an embedded scheduler + 1 worker over real loopback TCP vs the
+//!    in-process engine at matched client concurrency, plus a 2-worker
+//!    scale record. Like the parallel-evaluation gate, the <= 5% budget
+//!    is only enforced on machines with >= 4 cores: with a single core
+//!    the hop's framing and context switches serialize with query
+//!    execution instead of overlapping it.
 //!
 //! ```text
 //! bench_eval [--quick] [--out FILE] [--validate]
@@ -356,6 +363,174 @@ fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
     }
 }
 
+struct ClusterPoint {
+    requests: usize,
+    clients: usize,
+    inproc_qps: f64,
+    one_worker_qps: f64,
+    /// Median over back-to-back pairs of (1-worker cluster secs /
+    /// in-process secs) - 1 as a percentage: what the scheduler hop
+    /// (framing, loopback TCP, forward streams) costs per request.
+    single_worker_overhead_pct: f64,
+    /// 2-worker throughput, recorded but not gated: on a single-core box
+    /// a second worker process cannot add throughput, and the bench must
+    /// not fail for lack of hardware.
+    two_worker_qps: f64,
+}
+
+/// Matched-concurrency closed loop against the in-process engine:
+/// `clients` threads, one request in flight each — the same drive shape
+/// [`time_cluster`] uses, so the ratio isolates the distribution tax.
+fn time_inproc_concurrent(ctx: &EvalContext<'_>, requests: &[QueryRequest], clients: usize) -> f64 {
+    let config = ServeConfig::builder().workers(2).telemetry(false).build().unwrap();
+    Service::run_with_methods(config, ctx, &[METHOD], |handle| {
+        let chunk = requests.len().div_ceil(clients).max(1);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in requests.chunks(chunk) {
+                scope.spawn(move || {
+                    for req in chunk {
+                        match handle.query(req.clone()) {
+                            Ok(_) | Err(serve::QueryError::TranslationRefused) => {}
+                            Err(e) => panic!("in-process query: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        started.elapsed().as_secs_f64()
+    })
+}
+
+/// Boot an embedded scheduler plus `n_workers` embedded workers, drive
+/// the same closed loop through real loopback TCP, and time only the
+/// query window (boot, registration, and teardown stay off the clock).
+fn time_cluster(
+    requests: &[QueryRequest],
+    clients: usize,
+    n_workers: usize,
+    corpus_seed: u64,
+    dev_samples: usize,
+) -> f64 {
+    let (addr_tx, addr_rx) = std::sync::mpsc::sync_channel(1);
+    let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+    let scheduler = std::thread::spawn(move || {
+        let config = cluster::SchedulerConfig {
+            admin_addr: Some("127.0.0.1:0".parse().expect("loopback literal parses")),
+            streams_per_worker: clients,
+            ..cluster::SchedulerConfig::default()
+        };
+        cluster::Scheduler::run(config, |handle| {
+            let _ = addr_tx
+                .send((handle.client_addr(), handle.admin_addr().expect("admin configured")));
+            let _ = stop_rx.recv();
+        })
+    });
+    let (client_addr, admin_addr) = addr_rx.recv().expect("scheduler binds");
+    let mut worker_stops = Vec::new();
+    let mut worker_joins = Vec::new();
+    for i in 0..n_workers {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let worker_id = format!("bench-w{i}");
+        let scheduler_addr = client_addr.to_string();
+        worker_joins.push(std::thread::spawn(move || {
+            let config = cluster::WorkerConfig {
+                worker_id,
+                scheduler: scheduler_addr,
+                corpus_seed,
+                corpus_dev_samples: Some(dev_samples),
+                methods: vec![METHOD.to_string()],
+                serve: ServeConfig::builder().workers(2).telemetry(false).build().unwrap(),
+                ..cluster::WorkerConfig::default()
+            };
+            cluster::Worker::run(config, |_| {
+                let _ = rx.recv();
+            })
+        }));
+        worker_stops.push(tx);
+    }
+    let registered = cluster::worker::wait_for(std::time::Duration::from_secs(60), || {
+        matches!(serve::admin::http_get(admin_addr, "/workers"),
+            Ok((200, body)) if body.matches("\"worker_id\"").count() == n_workers)
+    });
+    assert!(registered, "cluster bench: workers never registered");
+
+    let chunk = requests.len().div_ceil(clients).max(1);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in requests.chunks(chunk) {
+            let addr = client_addr.to_string();
+            scope.spawn(move || {
+                let mut client = serve::proto::ClusterClient::connect(
+                    &addr,
+                    std::time::Duration::from_secs(5),
+                )
+                .expect("bench client connects");
+                client
+                    .set_reply_timeout(Some(std::time::Duration::from_secs(120)))
+                    .expect("timeout set");
+                for req in chunk {
+                    match client.query(req.clone()).expect("cluster transport") {
+                        Ok(_) | Err(serve::QueryError::TranslationRefused) => {}
+                        Err(e) => panic!("cluster query: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let secs = started.elapsed().as_secs_f64();
+
+    drop(stop_tx);
+    scheduler.join().expect("scheduler exits cleanly");
+    drop(worker_stops);
+    for j in worker_joins {
+        j.join().expect("worker exits cleanly");
+    }
+    secs
+}
+
+fn bench_cluster(reps: usize) -> ClusterPoint {
+    // Same oversized dev split as bench_sqlcheck, same reason: the tiny
+    // corpus's ~35ms windows are too short for a stable 5% ratio gate.
+    // Workers regenerate this exact corpus from (seed, dev_samples).
+    let corpus_seed = 5;
+    let dev_samples = 300;
+    let clients = 4;
+    let config = CorpusConfig { dev_samples, ..CorpusConfig::tiny(corpus_seed) };
+    let corpus = generate_corpus(CorpusKind::Spider, &config);
+    let ctx = EvalContext::new(&corpus);
+    let requests = build_requests(&corpus);
+
+    time_cluster(&requests, clients, 1, corpus_seed, dev_samples); // warmup
+    time_inproc_concurrent(&ctx, &requests, clients); // warmup
+    // Back-to-back pairs, gate on the median of per-pair ratios — the
+    // same drift-cancelling shape bench_sqlcheck uses, because the
+    // distribution tax (~tens of µs/request) rides on top of ~hundreds
+    // of µs of translate+execute and single-shot ratios flap.
+    let pairs = reps.max(5);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut cluster_secs = f64::INFINITY;
+    let mut inproc_secs = f64::INFINITY;
+    for _ in 0..pairs {
+        let c = time_cluster(&requests, clients, 1, corpus_seed, dev_samples);
+        let i = time_inproc_concurrent(&ctx, &requests, clients);
+        cluster_secs = cluster_secs.min(c);
+        inproc_secs = inproc_secs.min(i);
+        ratios.push(c / i);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[pairs / 2];
+    let two_secs = time_cluster(&requests, clients, 2, corpus_seed, dev_samples);
+    ClusterPoint {
+        requests: requests.len(),
+        clients,
+        inproc_qps: requests.len() as f64 / inproc_secs,
+        one_worker_qps: requests.len() as f64 / cluster_secs,
+        single_worker_overhead_pct: (median_ratio - 1.0) * 100.0,
+        two_worker_qps: requests.len() as f64 / two_secs,
+    }
+}
+
 fn bench_registry(
     ctx: &EvalContext<'_>,
     corpus: &Corpus,
@@ -475,6 +650,18 @@ fn main() {
         check.requests, check.off_qps, check.on_qps, check.static_check_overhead_pct
     );
 
+    eprintln!("bench_eval: distributed serve overhead (scheduler + worker vs in-process) ...");
+    let cluster = bench_cluster(ratio_reps);
+    eprintln!(
+        "  {} requests / {} clients: in-process {:>7.0} qps  1-worker cluster {:>7.0} qps  overhead {:+.1}%",
+        cluster.requests, cluster.clients, cluster.inproc_qps, cluster.one_worker_qps,
+        cluster.single_worker_overhead_pct
+    );
+    eprintln!(
+        "  2-worker cluster: {:>7.0} qps (recorded; not gated on < 4 cores)",
+        cluster.two_worker_qps
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
@@ -537,6 +724,18 @@ fn main() {
         "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"static_check_overhead_pct\": {:.2}",
         check.off_qps, check.on_qps, check.static_check_overhead_pct
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"cluster\": {{");
+    let _ = writeln!(
+        json,
+        "    \"requests\": {}, \"clients\": {}, \"inproc_qps\": {:.1},",
+        cluster.requests, cluster.clients, cluster.inproc_qps
+    );
+    let _ = writeln!(
+        json,
+        "    \"one_worker_qps\": {:.1}, \"single_worker_overhead_pct\": {:.2}, \"two_worker_qps\": {:.1}",
+        cluster.one_worker_qps, cluster.single_worker_overhead_pct, cluster.two_worker_qps
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
@@ -591,6 +790,29 @@ fn main() {
                 check.static_check_overhead_pct
             );
             failed = true;
+        }
+        // Like the evaluate-speedup gate below: the scheduler hop's cost
+        // (framing, forward streams, extra threads) can only overlap with
+        // engine work when there are spare cores to run it on. On a
+        // single core every context switch and JSON frame is stolen from
+        // the same core that executes queries, so the budget is recorded
+        // but only enforced where the hardware can meet it.
+        if cores >= 4 {
+            if cluster.single_worker_overhead_pct > 5.0 {
+                eprintln!(
+                    "FAIL: the scheduler hop costs {:.1}% of closed-loop throughput vs \
+                     in-process serve (budget: 5%)",
+                    cluster.single_worker_overhead_pct
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "note: {cores} core(s) available; single-worker cluster overhead \
+                 ({:+.1}%) recorded but the <= 5% budget is only enforced on machines \
+                 with >= 4 cores",
+                cluster.single_worker_overhead_pct
+            );
         }
         let at4 = eval_points.iter().find(|p| p.workers == 4).expect("4 in sweep");
         if cores >= 4 {

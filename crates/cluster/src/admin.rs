@@ -1,0 +1,130 @@
+//! The scheduler's admin HTTP endpoint: the same minimal loopback
+//! HTTP/1.0 responder pattern as `serve::admin`, serving the cluster
+//! control plane instead of one engine's telemetry —
+//!
+//! * `/metrics` — Prometheus text exposition of the cluster families
+//!   (per-worker forwarded/requeued/reaped counters, forward latency,
+//!   membership gauges);
+//! * `/metrics.json` — the same registry as JSON;
+//! * `/workers` — the live member table (readiness, last-reported
+//!   `/readyz` reason, heartbeat age, queue depths);
+//! * `/healthz` — process liveness;
+//! * `/readyz` — 200 while at least one worker is ready, 503 otherwise.
+//!
+//! Scrapable with the same `serve::admin::http_get` client the loadgen
+//! and tests already use.
+
+use crate::scheduler::Inner;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Accept-and-respond loop; exits when the scheduler stops.
+pub(crate) fn run(listener: TcpListener, inner: Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, &inner);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = respond(method, target, inner);
+    write_response(&mut stream, status, content_type, &body)
+}
+
+fn respond(method: &str, target: &str, inner: &Arc<Inner>) -> (u16, &'static str, String) {
+    if method != "GET" {
+        return (405, "text/plain; charset=utf-8", "method not allowed\n".to_string());
+    }
+    let path = target.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => {
+            inner.refresh_gauges();
+            (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                inner.metrics.registry.render_prometheus(),
+            )
+        }
+        "/metrics.json" => {
+            inner.refresh_gauges();
+            (200, "application/json", inner.metrics.registry.render_json())
+        }
+        "/workers" => {
+            let workers = inner.workers();
+            let json = serde_json::to_string(&workers).unwrap_or_else(|_| "[]".to_string());
+            (200, "application/json", json)
+        }
+        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/readyz" => {
+            let ready = inner.ready_workers();
+            if ready > 0 {
+                (200, "text/plain; charset=utf-8", format!("ready ({ready} worker(s))\n"))
+            } else {
+                (503, "text/plain; charset=utf-8", "no ready workers\n".to_string())
+            }
+        }
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

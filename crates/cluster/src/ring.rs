@@ -1,0 +1,180 @@
+//! Consistent-hash ring over worker ids.
+//!
+//! Each worker contributes `vnodes` points at
+//! `fnv1a64("{worker_id}#{vnode}")`; a key is owned by the first point at
+//! or clockwise after its hash (wrapping). The hash is the shared
+//! [`serve::hash`] FNV-1a, so ring placement is stable across processes
+//! and across scheduler restarts — no process-seeded hasher anywhere in
+//! the routing path.
+//!
+//! Why a ring instead of `hash % n`: when a worker joins or is reaped,
+//! only the keys in its arcs move. Every other `(db_id, question)` keeps
+//! its owner, which keeps the surviving workers' execution caches hot —
+//! the whole point of sharding by key in the first place.
+
+use serve::hash::fnv1a64;
+
+/// Default virtual nodes per worker; enough to keep the largest/smallest
+/// arc ratio low at single-digit worker counts.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// SplitMix64 finalizer. FNV-1a is a fine bucket hash (its low bits mix
+/// well, which is all `shard_index` needs) but its high bits barely
+/// avalanche for short, similar strings — and ring placement compares
+/// *full* 64-bit values, where that skew turns into arcs differing by
+/// 10x+. Running both the vnode points and the lookup key through the
+/// same finalizer restores uniformity without touching the pinned
+/// [`serve::hash`] values.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Immutable consistent-hash ring; rebuild on membership change (member
+/// sets are tiny — a rebuild is microseconds, and immutability means the
+/// routing lock never covers hashing).
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    /// `(point, index into ids)`, sorted by point.
+    points: Vec<(u64, u32)>,
+    ids: Vec<String>,
+}
+
+impl Ring {
+    /// Build a ring from worker ids (order-insensitive: ids are sorted and
+    /// deduped, so any permutation of the same member set yields the same
+    /// ring).
+    pub fn build<S: AsRef<str>>(worker_ids: &[S], vnodes: usize) -> Ring {
+        let mut ids: Vec<String> =
+            worker_ids.iter().map(|s| s.as_ref().to_string()).collect();
+        ids.sort();
+        ids.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for (idx, id) in ids.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((mix64(fnv1a64(&format!("{id}#{v}"))), idx as u32));
+            }
+        }
+        // Sorting (point, idx) pairs breaks point collisions by sorted-id
+        // index, keeping ownership deterministic even on a hash tie.
+        points.sort_unstable();
+        Ring { points, ids }
+    }
+
+    /// Number of distinct workers on the ring.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ring has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The worker owning `key` (a [`serve::hash::key_hash`] value), or
+    /// `None` on an empty ring.
+    pub fn owner(&self, key: u64) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let key = mix64(key);
+        let i = self.points.partition_point(|&(h, _)| h < key);
+        let (_, idx) = self.points[if i == self.points.len() { 0 } else { i }];
+        Some(&self.ids[idx as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serve::hash::key_hash;
+
+    fn keys(n: usize) -> Vec<u64> {
+        (0..n).map(|i| key_hash(&format!("db_{}", i % 7), &format!("question {i}"))).collect()
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let ring = Ring::build(&["w0"], DEFAULT_VNODES);
+        for k in keys(100) {
+            assert_eq!(ring.owner(k), Some("w0"));
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::build::<&str>(&[], DEFAULT_VNODES);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(42), None);
+    }
+
+    #[test]
+    fn membership_order_is_irrelevant() {
+        let a = Ring::build(&["w2", "w0", "w1"], DEFAULT_VNODES);
+        let b = Ring::build(&["w0", "w1", "w2", "w2"], DEFAULT_VNODES);
+        for k in keys(1000) {
+            assert_eq!(a.owner(k), b.owner(k));
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_workers_keys() {
+        let full = Ring::build(&["w0", "w1", "w2"], DEFAULT_VNODES);
+        let without_w1 = Ring::build(&["w0", "w2"], DEFAULT_VNODES);
+        let mut moved = 0usize;
+        let ks = keys(2000);
+        for &k in &ks {
+            let before = full.owner(k).unwrap();
+            let after = without_w1.owner(k).unwrap();
+            if before == "w1" {
+                moved += 1;
+                assert_ne!(after, "w1");
+            } else {
+                // the consistent-hash property: survivors keep their keys
+                assert_eq!(before, after);
+            }
+        }
+        assert!(moved > 0, "w1 owned none of {} keys", ks.len());
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = Ring::build(&["w0", "w1", "w2"], DEFAULT_VNODES);
+        let mut counts = std::collections::HashMap::new();
+        let ks = keys(12_000);
+        for &k in &ks {
+            *counts.entry(ring.owner(k).unwrap().to_string()).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for (id, n) in &counts {
+            // loose bound: each worker gets at least 10% of a fair share's
+            // triple, i.e. no worker is starved or hoards the ring
+            assert!(
+                *n > ks.len() / 10 && *n < ks.len() * 6 / 10,
+                "worker {id} owns {n}/{} keys",
+                ks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_points_are_pinned_to_the_shared_hash() {
+        // routing stability across processes depends on points being
+        // exactly mix64(fnv1a64("{id}#{vnode}")); pin one point's placement
+        let ring = Ring::build(&["w0"], 1);
+        assert_eq!(ring.points.len(), 1);
+        assert_eq!(ring.points[0].0, mix64(fnv1a64("w0#0")));
+    }
+
+    #[test]
+    fn mix64_is_a_bijective_finalizer_with_pinned_values() {
+        // pinned so a future "optimization" cannot silently re-shard every
+        // key (which would cold every worker cache on upgrade)
+        assert_eq!(mix64(0), 0);
+        assert_eq!(mix64(1), 0x5692_161d_100b_05e5);
+        assert_eq!(mix64(fnv1a64("w0#0")), mix64(fnv1a64("w0#0")));
+        assert_ne!(mix64(fnv1a64("w0#0")), mix64(fnv1a64("w0#1")));
+    }
+}

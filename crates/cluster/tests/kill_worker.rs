@@ -1,0 +1,182 @@
+//! The hard version of the requeue pin: real processes, a real SIGKILL.
+//!
+//! Boots `serve-scheduler` and two `serve-worker` processes, floods the
+//! scheduler with a burst, SIGKILLs one worker mid-burst, and requires
+//! that every request is answered exactly once anyway — the killed
+//! worker's queued and in-flight work requeues to the survivor through
+//! eviction (control-connection loss and forward IO errors both fire
+//! within milliseconds of the kill; the heartbeat reaper is the backstop).
+
+use serve::admin::http_get;
+use serve::proto::ClusterClient;
+use serve::QueryRequest;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CORPUS_SEED: u64 = 11;
+const METHODS: [&str; 2] = ["C3SQL", "DINSQL"];
+
+/// Kills the child on drop so a failing assert never leaks processes.
+struct Proc(Child);
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn a binary, read its first stdout line (the "listening" line).
+fn spawn_with_banner(mut cmd: Command) -> (Proc, String) {
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("binary spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("banner line");
+    (Proc(child), line.trim().to_string())
+}
+
+/// Pull `key=value` out of a banner line.
+fn banner_field(line: &str, key: &str) -> String {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in banner {line:?}"))
+        .to_string()
+}
+
+fn requests() -> Vec<QueryRequest> {
+    let corpus =
+        datagen::generate_corpus(datagen::CorpusKind::Spider, &datagen::CorpusConfig::tiny(CORPUS_SEED));
+    let mut out = Vec::new();
+    for method in METHODS {
+        for sample in &corpus.dev {
+            for question in &sample.variants {
+                out.push(QueryRequest {
+                    method: method.to_string(),
+                    db_id: sample.db_id.clone(),
+                    question: question.clone(),
+                    deadline: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let started = Instant::now();
+    while started.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cond()
+}
+
+/// Extract a counter's value from a Prometheus exposition.
+fn metric_value(exposition: &str, name: &str) -> Option<u64> {
+    exposition.lines().find_map(|line| {
+        line.strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+#[test]
+fn sigkilled_workers_requeue_and_every_request_answers_exactly_once() {
+    // scheduler first; tight reaper timings keep the heartbeat backstop
+    // relevant inside the test budget
+    let mut sched_cmd = Command::new(env!("CARGO_BIN_EXE_serve-scheduler"));
+    sched_cmd.args([
+        "--listen", "127.0.0.1:0",
+        "--admin", "127.0.0.1:0",
+        "--heartbeat-timeout-ms", "800",
+        "--reap-interval-ms", "100",
+    ]);
+    let (_sched, sched_banner) = spawn_with_banner(sched_cmd);
+    let client_addr = banner_field(&sched_banner, "client");
+    let admin_addr: SocketAddr =
+        banner_field(&sched_banner, "admin").parse().expect("admin addr parses");
+
+    let spawn_worker = |id: &str| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_serve-worker"));
+        cmd.args([
+            "--scheduler", &client_addr,
+            "--id", id,
+            "--corpus-seed", &CORPUS_SEED.to_string(),
+            "--methods", &METHODS.join(","),
+            "--workers", "2",
+            "--queue", "1024",
+            "--heartbeat-ms", "150",
+        ]);
+        spawn_with_banner(cmd)
+    };
+    let (_w1, w1_banner) = spawn_worker("w1");
+    let (w2, w2_banner) = spawn_worker("w2");
+    assert!(w1_banner.contains("serve-worker w1"), "{w1_banner}");
+    assert!(w2_banner.contains("serve-worker w2"), "{w2_banner}");
+
+    // both workers on the ring before the burst, so both own arcs
+    let both_registered = wait_for(Duration::from_secs(30), || {
+        matches!(http_get(admin_addr, "/workers"),
+            Ok((200, body)) if body.matches("\"worker_id\"").count() == 2)
+    });
+    assert!(both_registered, "both workers never registered");
+
+    let reqs = requests();
+    let mut client =
+        ClusterClient::connect(&client_addr, Duration::from_secs(5)).expect("client connects");
+    client.set_reply_timeout(Some(Duration::from_secs(60))).expect("timeout set");
+    let mut ids = Vec::with_capacity(reqs.len());
+    for req in &reqs {
+        ids.push(client.submit(req.clone()).expect("submit"));
+    }
+
+    // read a sliver of the burst, then SIGKILL w2 with most of its shard
+    // still queued or on the wire
+    let kill_after = reqs.len() / 10;
+    let mut by_id: BTreeMap<u64, bool> = BTreeMap::new();
+    let mut victim = Some(w2);
+    while by_id.len() < reqs.len() {
+        let (id, reply) = client.next_reply().expect("reply within timeout");
+        assert!(
+            by_id.insert(id, reply.is_ok()).is_none(),
+            "request {id} answered twice"
+        );
+        if by_id.len() >= kill_after {
+            if let Some(mut w2) = victim.take() {
+                w2.0.kill().expect("SIGKILL w2");
+                let _ = w2.0.wait();
+            }
+        }
+    }
+    assert!(victim.is_none(), "the kill never happened");
+    for id in &ids {
+        assert_eq!(by_id.get(id), Some(&true), "request {id} missing or failed");
+    }
+
+    // the scheduler noticed: w2 evicted, its work requeued, one member left
+    let (status, exposition) = http_get(admin_addr, "/metrics").expect("metrics scrape");
+    assert_eq!(status, 200);
+    let requeued = metric_value(&exposition, "cluster_requeued_all_total").expect("requeued family");
+    let reaped = metric_value(&exposition, "cluster_reaped_workers_all_total").expect("reaped family");
+    assert!(requeued >= 1, "SIGKILL requeued nothing:\n{exposition}");
+    assert!(reaped >= 1, "w2 was never evicted:\n{exposition}");
+    let (status, members) = http_get(admin_addr, "/workers").expect("workers scrape");
+    assert_eq!(status, 200);
+    assert_eq!(
+        members.matches("\"worker_id\"").count(),
+        1,
+        "member table should hold only the survivor: {members}"
+    );
+    assert!(members.contains("\"w1\""), "{members}");
+}

@@ -35,6 +35,12 @@ struct Args {
     deadline_ms: Option<u64>,
     open_loop: bool,
     scrape: bool,
+    /// Remote mode: drive these scheduler endpoints over TCP instead of
+    /// an in-process service (clients round-robin across them).
+    endpoints: Vec<String>,
+    /// Extra admin endpoints to scrape once after the run (scheduler +
+    /// worker `/metrics`), any mode.
+    scrape_addrs: Vec<String>,
 }
 
 impl Default for Args {
@@ -50,6 +56,8 @@ impl Default for Args {
             deadline_ms: None,
             open_loop: false,
             scrape: false,
+            endpoints: Vec::new(),
+            scrape_addrs: Vec::new(),
         }
     }
 }
@@ -60,7 +68,8 @@ fn parse_args() -> Args {
     let mut i = 0;
     let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
                  [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
-                 [--deadline-ms N] [--open] [--scrape]";
+                 [--deadline-ms N] [--open] [--scrape] \
+                 [--endpoints ADDR,ADDR,...] [--scrape-addr ADDR,ADDR,...]";
     while i < argv.len() {
         let need_value = |i: usize| -> &str {
             argv.get(i + 1).unwrap_or_else(|| {
@@ -83,6 +92,14 @@ fn parse_args() -> Args {
             "--queue" => args.queue = (parse(need_value(i)) as usize).max(1),
             "--batch" => args.batch = (parse(need_value(i)) as usize).max(1),
             "--deadline-ms" => args.deadline_ms = Some(parse(need_value(i))),
+            "--endpoints" => {
+                args.endpoints =
+                    need_value(i).split(',').map(str::trim).map(str::to_string).collect()
+            }
+            "--scrape-addr" => {
+                args.scrape_addrs =
+                    need_value(i).split(',').map(str::trim).map(str::to_string).collect()
+            }
             "--open" => {
                 args.open_loop = true;
                 i += 1;
@@ -173,6 +190,110 @@ fn fmt_duration(d: Option<Duration>) -> String {
     }
 }
 
+/// One-shot `/metrics` scrape of every `--scrape-addr` endpoint after the
+/// run; any failure is fatal so scripted smokes can't silently skip it.
+fn scrape_admin_endpoints(addrs: &[String]) {
+    for addr in addrs {
+        let parsed: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
+            eprintln!("FATAL: --scrape-addr {addr}: {e}");
+            std::process::exit(1);
+        });
+        match serve::admin::http_get(parsed, "/metrics") {
+            Ok((200, body)) if !body.trim().is_empty() => {
+                println!("  scrape {addr}: 200, {} bytes of /metrics", body.len());
+            }
+            Ok((status, body)) => {
+                eprintln!(
+                    "FATAL: scrape {addr}/metrics: status {status}, {} bytes",
+                    body.len()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("FATAL: scrape {addr}/metrics: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Remote mode: drive scheduler endpoints over loopback TCP with
+/// [`serve::proto::ClusterClient`] connections instead of an in-process
+/// service. Any transport error is fatal — a lost connection means lost
+/// requests, which is exactly what the zero-lost pin exists to catch.
+fn run_remote(args: &Args, requests: &[QueryRequest]) -> Tally {
+    fn connect(endpoint: &str) -> serve::proto::ClusterClient {
+        let mut client =
+            serve::proto::ClusterClient::connect(endpoint, Duration::from_secs(5))
+                .unwrap_or_else(|e| {
+                    eprintln!("FATAL: connect {endpoint}: {e}");
+                    std::process::exit(1);
+                });
+        client
+            .set_reply_timeout(Some(Duration::from_secs(120)))
+            .expect("reply timeout set");
+        client
+    }
+
+    let mut tally = Tally::default();
+    if args.open_loop {
+        // one connection: submit the whole burst, then collect every reply
+        // and require each id to be answered exactly once
+        let mut client = connect(&args.endpoints[0]);
+        let mut ids = std::collections::BTreeSet::new();
+        for req in requests {
+            let id = client.submit(req.clone()).unwrap_or_else(|e| {
+                eprintln!("FATAL: submit: {e}");
+                std::process::exit(1);
+            });
+            assert!(ids.insert(id), "scheduler reused request id {id}");
+        }
+        for _ in 0..requests.len() {
+            let (id, reply) = client.next_reply().unwrap_or_else(|e| {
+                eprintln!("FATAL: reply: {e}");
+                std::process::exit(1);
+            });
+            assert!(ids.remove(&id), "request {id} answered twice or never submitted");
+            tally.absorb(&reply);
+        }
+        assert!(ids.is_empty(), "{} requests were never answered", ids.len());
+    } else {
+        // closed loop: each client thread owns one connection,
+        // round-robined across the endpoints
+        let clients = args.clients.min(requests.len().max(1));
+        let chunk = requests.len().div_ceil(clients).max(1);
+        let tallies = std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let endpoint = &args.endpoints[i % args.endpoints.len()];
+                    scope.spawn(move || {
+                        let mut client = connect(endpoint);
+                        let mut local = Tally::default();
+                        for req in chunk {
+                            let reply = client.query(req.clone()).unwrap_or_else(|e| {
+                                eprintln!("FATAL: query via {endpoint}: {e}");
+                                std::process::exit(1);
+                            });
+                            local.absorb(&reply);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client panicked"))
+                .collect::<Vec<_>>()
+        });
+        for t in tallies {
+            tally.merge(t);
+        }
+    }
+    tally
+}
+
 fn main() {
     let args = parse_args();
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(args.corpus_seed));
@@ -195,6 +316,57 @@ fn main() {
             }
         })
         .collect();
+
+    if !args.endpoints.is_empty() {
+        let mode = if args.open_loop { "open-loop" } else { "closed-loop" };
+        let started = Instant::now();
+        let tally = run_remote(&args, &requests);
+        let wall = started.elapsed();
+
+        println!("serve-loadgen report (remote cluster mode)");
+        println!(
+            "  corpus: Spider tiny(seed={})  dev samples: {}  methods: {}",
+            args.corpus_seed,
+            corpus.dev.len(),
+            DEFAULT_METHODS.join(", ")
+        );
+        println!(
+            "  endpoints: {}  {} / {} clients, {} requests, seed {}",
+            args.endpoints.join(", "),
+            mode,
+            args.clients,
+            args.requests,
+            args.seed
+        );
+        println!("outcomes (seed-deterministic; scheduling-independent):");
+        println!(
+            "  ok: {}  overloaded: {}  deadline: {}  refused: {}  other: {}",
+            tally.ok, tally.overloaded, tally.deadline, tally.refused, tally.other_err
+        );
+        let pct =
+            |n: u64| if tally.ok == 0 { 0.0 } else { 100.0 * n as f64 / tally.ok as f64 };
+        println!(
+            "  EX: {} ({:.1}% of ok)  EM: {} ({:.1}% of ok)",
+            tally.ex,
+            pct(tally.ex),
+            tally.em,
+            pct(tally.em)
+        );
+        println!("performance (timing-dependent):");
+        println!(
+            "  wall: {:.3}s  throughput: {:.0} req/s",
+            wall.as_secs_f64(),
+            tally.resolved() as f64 / wall.as_secs_f64().max(1e-9)
+        );
+        scrape_admin_endpoints(&args.scrape_addrs);
+        assert_eq!(
+            tally.resolved(),
+            args.requests as u64,
+            "every submitted request must resolve exactly once"
+        );
+        println!("  lost requests: 0");
+        return;
+    }
 
     let mut config = ServeConfig {
         workers: args.workers,
@@ -387,6 +559,8 @@ fn main() {
             }
         }
     }
+
+    scrape_admin_endpoints(&args.scrape_addrs);
 
     let lost = metrics.lost();
     println!("  lost requests: {lost}");

@@ -12,11 +12,10 @@
 //! scans the shard for the coldest entry — O(shard size), fine for the
 //! few-hundred-entry shards a service uses.
 
+use crate::hash::shard_index;
 use minidb::ResultSet;
 use nl2sql360::ExecFailureKind;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 /// Cached outcome of executing one normalized query on one database.
@@ -54,10 +53,12 @@ impl ExecCache {
         }
     }
 
+    // Shards by the shared FNV-1a key hash (`crate::hash`), not
+    // `DefaultHasher`: the same `(db_id, sql)` lands on the same shard in
+    // every process, so a cluster scheduler that places requests with the
+    // same hash can reason about which worker owns a key's hot cache set.
     fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[shard_index(&key.0, &key.1, self.shards.len())]
     }
 
     /// Look up a key, refreshing its recency on hit.
@@ -139,6 +140,37 @@ mod tests {
         assert!(c.get(&key("b")).is_none());
         assert!(c.get(&key("c")).is_some());
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shard_placement_follows_the_shared_key_hash() {
+        // Keys that `hash::shard_index` maps to the same shard must evict
+        // each other; a key on another shard must be untouched. This pins
+        // that the cache's internal sharding *is* the shared hash, so the
+        // cluster ring and the cache agree on key ownership.
+        let shards = 4;
+        let cap = 2;
+        let c = ExecCache::new(shards, cap);
+        let mut by_shard: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for i in 0..64 {
+            let sql = format!("SELECT {i}");
+            by_shard[shard_index("db", &sql, shards)].push(sql);
+        }
+        let crowded = by_shard.iter().position(|v| v.len() > cap).expect("64 keys fill a shard");
+        let lonely = (0..shards).find(|&s| s != crowded && !by_shard[s].is_empty()).unwrap();
+        let survivor = ("db".to_string(), by_shard[lonely][0].clone());
+        c.insert(survivor.clone(), outcome(99));
+        for sql in &by_shard[crowded] {
+            c.insert(("db".to_string(), sql.clone()), outcome(1));
+        }
+        // the crowded shard evicted down to its capacity...
+        let crowded_alive = by_shard[crowded]
+            .iter()
+            .filter(|sql| c.get(&("db".to_string(), (*sql).clone())).is_some())
+            .count();
+        assert_eq!(crowded_alive, cap);
+        // ...without disturbing the key the shared hash put elsewhere
+        assert!(c.get(&survivor).is_some());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The one key-hash the serving planes share.
+//!
+//! Three layers key work by SQL (or question) text: the slow-query log
+//! groups repeats by a hash of the normalized SQL, the execution cache
+//! picks an LRU shard per `(db_id, normalized SQL)` key, and the cluster
+//! scheduler's consistent-hash ring assigns each `(db_id, question)` to
+//! the worker that owns its cache shard. If those planes hashed
+//! differently, a scheduler could not reason about worker-local cache
+//! affinity and a slow-log entry could not be correlated with the cache
+//! shard that served it. They all route through [`fnv1a64`] /
+//! [`key_hash`], and the tests pin the exact values so a silent algorithm
+//! change cannot split the planes apart.
+
+/// FNV-1a 64-bit over raw bytes — stable across runs, platforms, and
+/// processes (no per-process seed, unlike `DefaultHasher`), cheap enough
+/// for per-request use, and dependency-free.
+pub fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64-bit of a string (the slow log's SQL hash).
+pub fn fnv1a64(text: &str) -> u64 {
+    fnv1a64_bytes(text.as_bytes())
+}
+
+/// Hash of a two-part `(db_id, text)` key, as used by the execution
+/// cache's shard selector and the cluster ring's request placement. The
+/// parts are separated by a NUL byte (which cannot occur in either part)
+/// so `("ab", "c")` and `("a", "bc")` hash differently.
+pub fn key_hash(db_id: &str, text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in db_id.as_bytes().iter().chain(&[0u8]).chain(text.as_bytes()) {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Shard index for a `(db_id, text)` key over `shards` partitions. Both
+/// the execution cache and the consistent-hash ring's fallback placement
+/// reduce [`key_hash`] this way, so "which cache shard" and "which
+/// worker" agree on what the key *is*.
+pub fn shard_index(db_id: &str, text: &str, shards: usize) -> usize {
+    (key_hash(db_id, text) % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_pinned() {
+        // Published FNV-1a test vectors: the offset basis for "", and
+        // known digests — any algorithm drift breaks cross-plane
+        // agreement, so the exact values are load-bearing.
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64("foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv1a64("SELECT 1"), fnv1a64_bytes(b"SELECT 1"));
+    }
+
+    #[test]
+    fn key_hash_separates_parts() {
+        assert_ne!(key_hash("ab", "c"), key_hash("a", "bc"));
+        assert_ne!(key_hash("db", "SELECT 1"), key_hash("db", "SELECT 2"));
+        // pin one composite value: the cache sharder, the ring, and any
+        // future plane must keep agreeing on it
+        assert_eq!(key_hash("db", "q"), fnv1a64("db\0q"));
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_bounded() {
+        for shards in [1usize, 2, 8, 13] {
+            let idx = shard_index("concert_singer", "SELECT count(*) FROM singer", shards);
+            assert!(idx < shards);
+            // same key, same shard, every call
+            assert_eq!(idx, shard_index("concert_singer", "SELECT count(*) FROM singer", shards));
+        }
+        assert_eq!(shard_index("a", "b", 0), 0, "zero shards clamps instead of dividing by zero");
+    }
+}

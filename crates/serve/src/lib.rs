@@ -47,7 +47,9 @@
 
 pub mod admin;
 pub mod cache;
+pub mod hash;
 pub mod metrics;
+pub mod proto;
 pub mod slowlog;
 pub(crate) mod telemetry;
 pub mod window;
@@ -330,7 +332,7 @@ impl ServeConfigBuilder {
 }
 
 /// One translation request against the service.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryRequest {
     /// Method name (must match a registered model's `name()`).
     pub method: String,
@@ -344,7 +346,7 @@ pub struct QueryRequest {
 }
 
 /// Successful service answer for one request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryResponse {
     /// Execution accuracy against the gold result.
     pub ex: bool,
@@ -483,15 +485,26 @@ impl Inner {
         self.queue.lock().expect("queue lock poisoned").items.len()
     }
 
-    /// Why `/readyz` would refuse, if it would.
-    pub(crate) fn readiness(&self) -> Result<(), &'static str> {
+    /// Why `/readyz` would refuse, if it would. The reason names the
+    /// condition *and* the numbers behind it ("saturated: queue 230/256 at
+    /// or past the 90% threshold"), because the body is what a balancer
+    /// operator — or the cluster scheduler's reaper, which logs a worker's
+    /// last-reported reason when it evicts it — gets to see.
+    pub(crate) fn readiness(&self) -> Result<(), String> {
         if !self.ready.load(Ordering::SeqCst) {
-            return Err("draining");
+            return Err(format!(
+                "draining: shutdown in progress, {} request(s) still queued",
+                self.queue_len()
+            ));
         }
         let threshold =
             (self.config.queue_capacity * self.config.unready_queue_pct as usize / 100).max(1);
-        if self.queue_len() >= threshold {
-            return Err("saturated");
+        let len = self.queue_len();
+        if len >= threshold {
+            return Err(format!(
+                "saturated: queue {len}/{} >= {}% threshold",
+                self.config.queue_capacity, self.config.unready_queue_pct
+            ));
         }
         Ok(())
     }
@@ -614,6 +627,14 @@ impl ServiceHandle<'_> {
     /// threshold).
     pub fn ready(&self) -> bool {
         self.inner.readiness().is_ok()
+    }
+
+    /// Like [`ready`](Self::ready), but carrying the reason a `/readyz`
+    /// probe would report in its body ("draining: ..." or "saturated:
+    /// queue N/C >= P% threshold"). Cluster workers forward this in their
+    /// heartbeats so the scheduler knows *why* a worker stopped admitting.
+    pub fn readiness(&self) -> Result<(), String> {
+        self.inner.readiness()
     }
 
     /// Start a graceful drain early, before the serve closure returns:

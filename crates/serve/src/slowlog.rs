@@ -160,16 +160,10 @@ impl SlowLog {
     }
 }
 
-/// FNV-1a 64-bit hash — the stable, dependency-free hash the slow log
-/// keys SQL text by.
-pub fn fnv1a64(text: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in text.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// The slow log's SQL hash is the shared key hash (see `crate::hash`):
+// re-exported here because this is where it historically lived, and the
+// slow-log entry docs promise "FNV-1a of the normalized SQL".
+pub use crate::hash::fnv1a64;
 
 #[cfg(test)]
 mod tests {

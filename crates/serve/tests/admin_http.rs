@@ -257,7 +257,10 @@ fn readyz_flips_to_503_during_drain() {
         handle.begin_drain();
         let (status, body) = http_get(addr, "/readyz").expect("readyz during drain");
         assert_eq!(status, 503);
-        assert_eq!(body, "draining\n");
+        // the body carries the reason *and* its detail, not a bare 503
+        assert!(body.starts_with("draining"), "body: {body}");
+        assert!(body.contains("queued"), "drain reason must carry detail: {body}");
+        assert_eq!(handle.readiness().unwrap_err().trim_end(), body.trim_end());
         // the queue now refuses — and readiness was already false
         assert!(matches!(
             handle.submit(request(sample, 0, "Gate")),
@@ -267,5 +270,53 @@ fn readyz_flips_to_503_during_drain() {
 
         gate.release(1);
         assert!(matches!(wedged.wait(), Err(QueryError::TranslationRefused)));
+    });
+}
+
+#[test]
+fn readyz_saturation_reason_reports_queue_numbers() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let (started_tx, started_rx) = mpsc::sync_channel(16);
+    let gate = std::sync::Arc::new(GateModel::new(started_tx));
+    struct Shared(std::sync::Arc<GateModel>);
+    impl Nl2SqlModel for Shared {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn translate(&self, task: &TranslationTask<'_>) -> Option<Prediction> {
+            self.0.translate(task)
+        }
+    }
+    let config = ServeConfig::builder()
+        .workers(1)
+        .queue_capacity(10)
+        .unready_queue_pct(50)
+        .admin_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .expect("valid config");
+    let models: Vec<Box<dyn Nl2SqlModel>> = vec![Box::new(Shared(gate.clone()))];
+    Service::run(config, &ctx, models, |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+        let sample = &corpus.dev[0];
+        // wedge the single worker, then queue past the 50% threshold
+        let mut tickets = vec![handle.submit(request(sample, 0, "Gate")).expect("admitted")];
+        started_rx.recv_timeout(Duration::from_secs(5)).expect("worker wedged");
+        for _ in 0..6 {
+            tickets.push(handle.submit(request(sample, 0, "Gate")).expect("admitted"));
+        }
+        let reason = handle.readiness().expect_err("6/10 queued >= 50% must be unready");
+        assert!(
+            reason.contains("saturated: queue 6/10") && reason.contains("50%"),
+            "reason must carry the numbers: {reason}"
+        );
+        let (status, body) = http_get(addr, "/readyz").expect("readyz while saturated");
+        assert_eq!(status, 503);
+        assert_eq!(body.trim_end(), reason);
+
+        gate.release(tickets.len());
+        for t in tickets {
+            assert!(matches!(t.wait(), Err(QueryError::TranslationRefused)));
+        }
     });
 }

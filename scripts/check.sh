@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: what must stay green on every commit.
 #
-#   ./scripts/check.sh          # build + tests (the hard gate)
-#   ./scripts/check.sh --lint   # also run clippy, warnings as errors
-#   ./scripts/check.sh --bench  # also smoke the evaluation benchmark
+#   ./scripts/check.sh            # build + tests (the hard gate)
+#   ./scripts/check.sh --lint     # also run clippy, warnings as errors
+#   ./scripts/check.sh --bench    # also smoke the evaluation benchmark
+#   ./scripts/check.sh --cluster  # also smoke the distributed serve plane
 #
 # The build is fully offline (all external deps vendored under vendor/),
 # so --offline is passed everywhere to fail fast instead of trying the
@@ -14,10 +15,12 @@ cd "$(dirname "$0")/.."
 
 lint=0
 bench=0
+cluster=0
 for arg in "$@"; do
   case "$arg" in
     --lint) lint=1 ;;
     --bench) bench=1 ;;
+    --cluster) cluster=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -60,6 +63,63 @@ if [ "$lint" -eq 1 ]; then
   echo "==> admin endpoint smoke (serve-loadgen --scrape)"
   cargo run --offline --release -p serve --bin serve-loadgen -- \
     --requests 300 --scrape
+fi
+
+if [ "$cluster" -eq 1 ]; then
+  # Distributed serve smoke: boot a scheduler and two workers as real
+  # processes on ephemeral loopback ports, push a 200-request burst
+  # through the scheduler with the remote loadgen mode, and scrape
+  # /metrics from all three processes. loadgen exits nonzero on any lost
+  # request or failed scrape; the trap kills the processes either way.
+  echo "==> cluster smoke (serve-scheduler + 2 serve-worker + loadgen burst)"
+  cargo build --offline --release -p cluster -p serve --bins
+
+  cluster_pids=()
+  cleanup_cluster() {
+    for pid in "${cluster_pids[@]:-}"; do
+      kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+  }
+  trap cleanup_cluster EXIT
+
+  sched_banner=$(mktemp)
+  ./target/release/serve-scheduler \
+    --listen 127.0.0.1:0 --admin 127.0.0.1:0 > "$sched_banner" &
+  cluster_pids+=($!)
+  for _ in $(seq 1 100); do
+    grep -q 'serve-scheduler listening' "$sched_banner" && break
+    sleep 0.1
+  done
+  sched_client=$(sed -n 's/.*client=\([^ ]*\).*/\1/p' "$sched_banner")
+  sched_admin=$(sed -n 's/.*admin=\([^ ]*\).*/\1/p' "$sched_banner")
+  [ -n "$sched_client" ] || { echo "scheduler never printed its banner" >&2; exit 1; }
+
+  worker_admins=()
+  for wid in w1 w2; do
+    banner=$(mktemp)
+    ./target/release/serve-worker \
+      --scheduler "$sched_client" --id "$wid" \
+      --corpus-seed 42 --admin 127.0.0.1:0 > "$banner" &
+    cluster_pids+=($!)
+    for _ in $(seq 1 300); do
+      grep -q "serve-worker $wid" "$banner" && break
+      sleep 0.1
+    done
+    admin=$(sed -n 's/.*admin=\([^ ]*\).*/\1/p' "$banner")
+    [ -n "$admin" ] || { echo "worker $wid never printed its banner" >&2; exit 1; }
+    worker_admins+=("$admin")
+  done
+
+  # corpus-seed 42 matches loadgen's default, so the workers recognize
+  # every generated question; scrape-addr covers all three processes
+  ./target/release/serve-loadgen \
+    --requests 200 --clients 8 \
+    --endpoints "$sched_client" \
+    --scrape-addr "$sched_admin,${worker_admins[0]},${worker_admins[1]}"
+
+  cleanup_cluster
+  trap - EXIT
 fi
 
 if [ "$bench" -eq 1 ]; then

@@ -260,6 +260,28 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+// Externally tagged like real serde: Ok(v) -> {"Ok": v}, Err(e) ->
+// {"Err": e}. Needed by the cluster wire protocol, whose reply frames
+// carry a `Result<QueryResponse, QueryError>` verbatim.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize(&self) -> Value {
+        match self {
+            Ok(v) => Value::Map(vec![("Ok".to_string(), v.serialize())]),
+            Err(e) => Value::Map(vec![("Err".to_string(), e.serialize())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v.as_map() {
+            Some([(tag, inner)]) if tag == "Ok" => Ok(Ok(T::deserialize(inner)?)),
+            Some([(tag, inner)]) if tag == "Err" => Ok(Err(E::deserialize(inner)?)),
+            _ => Err(Error::msg(format!("expected {{\"Ok\": ...}} or {{\"Err\": ...}}, got {v:?}"))),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn serialize(&self) -> Value {
         (**self).serialize()
@@ -427,6 +449,16 @@ mod tests {
         assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
         assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
         assert_eq!(Vec::<i32>::deserialize(&vec![1, 2].serialize()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn results_roundtrip_externally_tagged() {
+        let ok: Result<u32, String> = Ok(7);
+        let err: Result<u32, String> = Err("boom".to_string());
+        assert_eq!(ok.serialize(), Value::Map(vec![("Ok".to_string(), Value::Int(7))]));
+        assert_eq!(Result::<u32, String>::deserialize(&ok.serialize()).unwrap(), ok);
+        assert_eq!(Result::<u32, String>::deserialize(&err.serialize()).unwrap(), err);
+        assert!(Result::<u32, String>::deserialize(&Value::Null).is_err());
     }
 
     #[test]
