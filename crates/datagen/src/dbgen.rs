@@ -96,7 +96,8 @@ pub fn generate_db(
         let n_rows = rng.gen_range(profile.rows_min..=profile.rows_max);
         let rows = populate(schema, n_rows, spec, &schemas, &pk_values, &mut rng);
         pk_values.push((1..=n_rows as i64).collect());
-        let table = minidb::database::Table { schema: schema.clone(), rows };
+        let table = minidb::database::Table::from_rows(schema.clone(), rows)
+            .expect("generated rows match the generated schema");
         database.add_table(table).expect("generated schema names are unique");
     }
     GeneratedDb { db_id, domain, database }
@@ -128,9 +129,9 @@ pub fn regenerate_content(db: &GeneratedDb, profile: &SchemaProfile, seed: u64) 
         let n_rows = rng.gen_range(profile.rows_min..=profile.rows_max);
         let rows = populate(schema, n_rows, spec, &schemas, &pk_values, &mut rng);
         pk_values.push((1..=n_rows as i64).collect());
-        database
-            .add_table(minidb::database::Table { schema: schema.clone(), rows })
-            .expect("schema names unchanged");
+        let table = minidb::database::Table::from_rows(schema.clone(), rows)
+            .expect("regenerated rows match the schema");
+        database.add_table(table).expect("schema names unchanged");
     }
     GeneratedDb { db_id: db.db_id.clone(), domain: db.domain, database }
 }
@@ -364,8 +365,8 @@ mod tests {
         let a = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
         let b = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
         assert_eq!(a.database.table_count(), b.database.table_count());
-        let ta: Vec<_> = a.database.tables().map(|t| (&t.schema.name, t.rows.len())).collect();
-        let tb: Vec<_> = b.database.tables().map(|t| (&t.schema.name, t.rows.len())).collect();
+        let ta: Vec<_> = a.database.tables().map(|t| (&t.schema.name, t.n_rows())).collect();
+        let tb: Vec<_> = b.database.tables().map(|t| (&t.schema.name, t.n_rows())).collect();
         assert_eq!(ta, tb);
     }
 
@@ -373,8 +374,8 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate_db("college_0", college(), &SchemaProfile::spider(), 7);
         let b = generate_db("college_1", college(), &SchemaProfile::spider(), 8);
-        let ra: usize = a.database.tables().map(|t| t.rows.len()).sum();
-        let rb: usize = b.database.tables().map(|t| t.rows.len()).sum();
+        let ra: usize = a.database.tables().map(|t| t.n_rows()).sum();
+        let rb: usize = b.database.tables().map(|t| t.n_rows()).sum();
         // extremely unlikely to coincide exactly on both counts and names
         assert!(
             ra != rb || a.database.table_count() != b.database.table_count(),
@@ -391,7 +392,7 @@ mod tests {
             assert!((p.tables_min..=p.tables_max).contains(&n), "tables {n}");
             for t in g.database.tables() {
                 assert!(t.schema.columns.len() > p.attrs_min);
-                assert!((p.rows_min..=p.rows_max).contains(&t.rows.len()));
+                assert!((p.rows_min..=p.rows_max).contains(&t.n_rows()));
                 assert_eq!(t.schema.primary_key, vec![0]);
             }
         }
@@ -405,14 +406,14 @@ mod tests {
                 for fk in &t.schema.foreign_keys {
                     let parent = g.database.table(&fk.ref_table).expect("parent exists");
                     let parent_ids: Vec<i64> = parent
-                        .rows
+                        .to_rows()
                         .iter()
                         .map(|r| match &r[0] {
                             Value::Int(i) => *i,
                             _ => panic!("pk not int"),
                         })
                         .collect();
-                    for row in &t.rows {
+                    for row in t.to_rows() {
                         match &row[fk.column] {
                             Value::Null => {}
                             Value::Int(v) => {
@@ -461,21 +462,21 @@ mod tests {
             .database
             .tables()
             .zip(r.database.tables())
-            .any(|(x, y)| x.rows.len() != y.rows.len() || x.rows != y.rows);
+            .any(|(x, y)| x.n_rows() != y.n_rows() || x.to_rows() != y.to_rows());
         assert!(differs, "new seed must change content");
         // referential integrity holds in the regenerated instance
         for t in r.database.tables() {
             for fk in &t.schema.foreign_keys {
                 let parent = r.database.table(&fk.ref_table).expect("parent exists");
                 let ids: Vec<i64> = parent
-                    .rows
+                    .to_rows()
                     .iter()
                     .map(|row| match &row[0] {
                         Value::Int(i) => *i,
                         other => panic!("pk {other:?}"),
                     })
                     .collect();
-                for row in &t.rows {
+                for row in t.to_rows() {
                     if let Value::Int(v) = &row[fk.column] {
                         assert!(ids.contains(v), "dangling FK after regeneration");
                     }
@@ -492,8 +493,8 @@ mod tests {
         let g = generate_db("db0", college(), &SchemaProfile::bird(), 5);
         let a = regenerate_content(&g, &SchemaProfile::bird(), 7);
         let b = regenerate_content(&g, &SchemaProfile::bird(), 7);
-        let ra: Vec<usize> = a.database.tables().map(|t| t.rows.len()).collect();
-        let rb: Vec<usize> = b.database.tables().map(|t| t.rows.len()).collect();
+        let ra: Vec<usize> = a.database.tables().map(|t| t.n_rows()).collect();
+        let rb: Vec<usize> = b.database.tables().map(|t| t.n_rows()).collect();
         assert_eq!(ra, rb);
     }
 

@@ -192,7 +192,10 @@ fn rename_database(
             }
         }
         new_database
-            .add_table(minidb::database::Table { schema, rows: t.rows.clone() })
+            .add_table(
+                minidb::database::Table::from_rows(schema, t.to_rows())
+                    .expect("renaming does not change cell values"),
+            )
             .expect("renamed tables stay unique");
     }
     (
@@ -323,8 +326,8 @@ fn perturb_content(corpus: &Corpus, rng: &mut StdRng) -> Corpus {
         let mut vmap: BTreeMap<String, String> = BTreeMap::new();
         let mut new_database = minidb::Database::new(db.database.name());
         for t in db.database.tables() {
-            let rows = t
-                .rows
+            let rows: Vec<Vec<minidb::Value>> = t
+                .to_rows()
                 .iter()
                 .map(|row| {
                     row.iter()
@@ -342,7 +345,10 @@ fn perturb_content(corpus: &Corpus, rng: &mut StdRng) -> Corpus {
                 })
                 .collect();
             new_database
-                .add_table(minidb::database::Table { schema: t.schema.clone(), rows })
+                .add_table(
+                    minidb::database::Table::from_rows(t.schema.clone(), rows)
+                        .expect("mangling maps text to text"),
+                )
                 .expect("table names unchanged");
         }
         out.databases.insert(

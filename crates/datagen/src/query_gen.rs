@@ -182,8 +182,9 @@ impl<'a> QueryGenerator<'a> {
 
     /// Sample an existing non-null value from a column.
     fn sample_value(&self, t: &TableInfo<'_>, col: usize, rng: &mut StdRng) -> Option<Value> {
-        let non_null: Vec<&Value> =
-            t.table.rows.iter().map(|r| &r[col]).filter(|v| !v.is_null()).collect();
+        let column = t.table.column(col);
+        let non_null: Vec<Value> =
+            (0..t.table.n_rows()).map(|r| column.get(r)).filter(|v| !v.is_null()).collect();
         if non_null.is_empty() {
             return None;
         }

@@ -18,13 +18,18 @@ fn build_db(domain: &str, seed: u64) -> GeneratedDb {
     )
 }
 
-/// Execute one generated query through both engines and assert parity.
+/// Execute one generated query through all three engines — the interpreter,
+/// the row-wise compiled path, and the default compiled path (vectorized
+/// where the shape is eligible) — and assert observational identity:
+/// rows, columns, ordered flag, and deterministic work units (the VES
+/// currency), or the same execution error.
 /// Returns whether the query actually compiled (for vacuity accounting).
 fn check_parity(db: &GeneratedDb, sql: &str, query: &sqlkit::Query) -> bool {
     let Some(plan) = minidb::compile(&db.database, query) else {
         return false;
     };
     let compiled = plan.execute(&db.database);
+    let rowwise = plan.execute_rowwise(&db.database);
     let interpreted = exec::execute(&db.database, query);
     match (&compiled, &interpreted) {
         (Ok(c), Ok(i)) => {
@@ -36,15 +41,67 @@ fn check_parity(db: &GeneratedDb, sql: &str, query: &sqlkit::Query) -> bool {
             );
             assert_eq!(c.ordered, i.ordered, "`{sql}` ordered flag diverged");
             assert_eq!(c.work, i.work, "`{sql}` work units diverged");
+            let r = rowwise.as_ref().expect("rowwise diverged in outcome");
+            assert_eq!(
+                format!("{:?}", c.rows),
+                format!("{:?}", r.rows),
+                "`{sql}` vectorized vs rowwise rows diverged"
+            );
+            assert_eq!(c.work, r.work, "`{sql}` vectorized vs rowwise work diverged");
         }
         (Err(ce), Err(ie)) => {
             assert_eq!(format!("{ce:?}"), format!("{ie:?}"), "`{sql}` errors diverged");
+            let re = rowwise.as_ref().expect_err("rowwise diverged in outcome");
+            assert_eq!(format!("{ce:?}"), format!("{re:?}"), "`{sql}` rowwise error diverged");
         }
         _ => panic!(
             "`{sql}` outcome diverged: compiled {compiled:?} vs interpreted {interpreted:?}"
         ),
     }
     true
+}
+
+/// Rebuild a database with most non-key cells replaced by NULL: validity
+/// bitmaps go sparse, zone maps lose whole batches, aggregates fold over
+/// mostly-empty columns. Column 0 (the PK) survives so joins still match.
+fn null_dense(db: &GeneratedDb, seed: u64) -> GeneratedDb {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut database = minidb::Database::new(db.database.name());
+    for t in db.database.tables() {
+        let rows: Vec<Vec<minidb::Value>> = t
+            .to_rows()
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .map(|(c, v)| {
+                        if c > 0 && rng.gen_bool(0.7) {
+                            minidb::Value::Null
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let table = minidb::Table::from_rows(t.schema.clone(), rows)
+            .expect("nulling cells never violates affinity");
+        database.add_table(table).expect("names unchanged");
+    }
+    GeneratedDb { db_id: db.db_id.clone(), domain: db.domain, database }
+}
+
+/// Rebuild a database with every table empty: zero-row scans, empty hash
+/// builds, the all-NULL aggregate head row.
+fn emptied(db: &GeneratedDb) -> GeneratedDb {
+    let mut database = minidb::Database::new(db.database.name());
+    for t in db.database.tables() {
+        let table = minidb::Table::from_rows(t.schema.clone(), Vec::new())
+            .expect("empty tables are trivially valid");
+        database.add_table(table).expect("names unchanged");
+    }
+    GeneratedDb { db_id: db.db_id.clone(), domain: db.domain, database }
 }
 
 proptest! {
@@ -61,6 +118,37 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(query_seed);
         if let Some(g) = qg.generate(Recipe::ALL[recipe_idx], &mut rng) {
             check_parity(&db, &g.sql, &g.query);
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_interpreter_on_null_dense_content(
+        query_seed in 0u64..250,
+    ) {
+        // queries are generated against the *original* content (value
+        // sampling needs non-null cells) but executed against the
+        // NULL-dense twin, whose schema is identical
+        let db = build_db("College", 3);
+        let sparse = null_dense(&db, 41);
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let recipe = Recipe::ALL[(query_seed as usize) % Recipe::ALL.len()];
+        if let Some(g) = qg.generate(recipe, &mut rng) {
+            check_parity(&sparse, &g.sql, &g.query);
+        }
+    }
+
+    #[test]
+    fn compiled_plan_matches_interpreter_on_empty_tables(
+        query_seed in 0u64..150,
+    ) {
+        let db = build_db("College", 5);
+        let empty = emptied(&db);
+        let qg = QueryGenerator::new(&db);
+        let mut rng = StdRng::seed_from_u64(query_seed);
+        let recipe = Recipe::ALL[(query_seed as usize) % Recipe::ALL.len()];
+        if let Some(g) = qg.generate(recipe, &mut rng) {
+            check_parity(&empty, &g.sql, &g.query);
         }
     }
 

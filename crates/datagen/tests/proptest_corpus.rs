@@ -93,7 +93,7 @@ proptest! {
         let n = db.database.table_count();
         prop_assert!(n >= profile.tables_min && n <= profile.tables_max);
         for t in db.database.tables() {
-            prop_assert!(!t.rows.is_empty());
+            prop_assert!(t.n_rows() > 0);
             prop_assert_eq!(t.schema.primary_key.as_slice(), &[0][..]);
         }
         let _ = DOMAINS[domain_idx].name;

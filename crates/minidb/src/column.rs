@@ -1,0 +1,358 @@
+//! Columnar table storage: typed column vectors with validity bitmaps and
+//! sorted-batch zone maps.
+//!
+//! Tables store one [`Column`] per schema column instead of row-major
+//! `Vec<Vec<Value>>`. A column holds its cells in a typed vector (`i64`,
+//! `f64`, or `String`) plus a validity bitmap marking non-NULL slots, so the
+//! vectorized executor ([`crate::plan`]'s columnar path) can scan, filter,
+//! hash and aggregate without materializing [`Value`]s. Columns whose cells
+//! mix types (legal under SQLite dynamic typing, e.g. integers stored into a
+//! REAL column) degrade to a `Mixed` vector of values — correct, just not
+//! kernel-accelerated.
+//!
+//! Every Int/Real column also carries **zone maps**: min/max (over valid
+//! cells) per fixed-size batch of rows. Equality/range predicates consult
+//! them to skip whole batches; generated primary keys are sequential, so
+//! point lookups typically touch one batch in [`ZONE_ROWS`].
+
+use crate::value::Value;
+
+/// Rows per zone-map batch. Small enough that benchmark tables (tens to a
+/// few hundred rows) split into several prunable zones, large enough that
+/// the per-zone bookkeeping is negligible.
+pub const ZONE_ROWS: usize = 128;
+
+/// Validity bitmap: bit set ⇒ the cell is non-NULL.
+#[derive(Debug, Clone, Default)]
+pub struct Validity {
+    words: Vec<u64>,
+    len: usize,
+    invalid: usize,
+}
+
+impl Validity {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one validity bit.
+    pub fn push(&mut self, valid: bool) {
+        let (w, b) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if valid {
+            self.words[w] |= 1 << b;
+        } else {
+            self.invalid += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Is cell `i` non-NULL?
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No bits at all?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Are all cells non-NULL? (Lets kernels skip per-row validity tests.)
+    #[inline]
+    pub fn all_valid(&self) -> bool {
+        self.invalid == 0
+    }
+
+    /// Number of non-NULL cells.
+    pub fn count_valid(&self) -> usize {
+        self.len - self.invalid
+    }
+}
+
+/// Min/max summary of one zone of rows (valid cells only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Zone<T> {
+    pub(crate) min: T,
+    pub(crate) max: T,
+    /// Whether the zone has at least one non-NULL cell; `min`/`max` are
+    /// meaningless when false.
+    pub(crate) any_valid: bool,
+}
+
+impl<T: PartialOrd + Copy> Zone<T> {
+    fn empty(init: T) -> Self {
+        Zone { min: init, max: init, any_valid: false }
+    }
+
+    fn observe(&mut self, v: T) {
+        if !self.any_valid {
+            self.min = v;
+            self.max = v;
+            self.any_valid = true;
+        } else {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        }
+    }
+}
+
+/// The typed cell store of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// All non-NULL cells are integers; NULL slots hold 0.
+    Int(Vec<i64>),
+    /// All non-NULL cells are reals; NULL slots hold 0.0.
+    Real(Vec<f64>),
+    /// All non-NULL cells are text; NULL slots hold "".
+    Text(Vec<String>),
+    /// Mixed-type cells (dynamic typing); stored as-is.
+    Mixed(Vec<Value>),
+}
+
+/// Zone maps for numeric columns (others carry none).
+#[derive(Debug, Clone)]
+pub(crate) enum Zones {
+    Int(Vec<Zone<i64>>),
+    Real(Vec<Zone<f64>>),
+}
+
+/// One stored column: typed data + validity + optional zone maps.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Validity,
+    zones: Option<Zones>,
+}
+
+impl Column {
+    /// Build a column from row-major cells. Storage type is chosen from the
+    /// cells themselves: homogeneous Int/Real/Text get typed vectors,
+    /// anything mixed degrades to [`ColumnData::Mixed`]. An all-NULL (or
+    /// empty) column uses the declared affinity `ty`.
+    pub fn from_values(ty: crate::schema::ColumnType, values: &[Value]) -> Self {
+        use crate::schema::ColumnType as CT;
+        let mut has_int = false;
+        let mut has_real = false;
+        let mut has_text = false;
+        for v in values {
+            match v {
+                Value::Null => {}
+                Value::Int(_) => has_int = true,
+                Value::Real(_) => has_real = true,
+                Value::Text(_) => has_text = true,
+            }
+        }
+        let mut col = match (has_int, has_real, has_text) {
+            (true, false, false) => Self::empty_typed(CT::Integer),
+            (false, true, false) => Self::empty_typed(CT::Real),
+            (false, false, true) => Self::empty_typed(CT::Text),
+            (false, false, false) => Self::empty_typed(ty),
+            _ => Column { data: ColumnData::Mixed(Vec::new()), validity: Validity::new(), zones: None },
+        };
+        for v in values {
+            col.push(v.clone());
+        }
+        col
+    }
+
+    fn empty_typed(ty: crate::schema::ColumnType) -> Self {
+        use crate::schema::ColumnType as CT;
+        match ty {
+            CT::Integer => Column {
+                data: ColumnData::Int(Vec::new()),
+                validity: Validity::new(),
+                zones: Some(Zones::Int(Vec::new())),
+            },
+            CT::Real => Column {
+                data: ColumnData::Real(Vec::new()),
+                validity: Validity::new(),
+                zones: Some(Zones::Real(Vec::new())),
+            },
+            CT::Text => Column {
+                data: ColumnData::Text(Vec::new()),
+                validity: Validity::new(),
+                zones: None,
+            },
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// No cells?
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Is cell `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        !self.validity.get(i)
+    }
+
+    /// Typed cell store.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity bitmap.
+    pub fn validity(&self) -> &Validity {
+        &self.validity
+    }
+
+    pub(crate) fn zones(&self) -> Option<&Zones> {
+        self.zones.as_ref()
+    }
+
+    /// Materialize cell `i` as a [`Value`] (the row-view shim's unit of
+    /// work; the vectorized kernels read the typed vectors directly).
+    pub fn get(&self, i: usize) -> Value {
+        if !self.validity.get(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Real(v) => Value::Real(v[i]),
+            ColumnData::Text(v) => Value::Text(v[i].clone()),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Append one cell, promoting typed storage to `Mixed` when the value's
+    /// type does not fit (dynamic typing tolerated, kernels lost).
+    pub fn push(&mut self, v: Value) {
+        let i = self.validity.len();
+        let fits = match (&self.data, &v) {
+            (_, Value::Null) => true,
+            (ColumnData::Int(_), Value::Int(_)) => true,
+            (ColumnData::Real(_), Value::Real(_)) => true,
+            (ColumnData::Text(_), Value::Text(_)) => true,
+            (ColumnData::Mixed(_), _) => true,
+            _ => false,
+        };
+        if !fits {
+            self.promote_to_mixed();
+        }
+        match (&mut self.data, &v) {
+            (ColumnData::Int(cells), Value::Int(x)) => {
+                cells.push(*x);
+                if let Some(Zones::Int(zs)) = &mut self.zones {
+                    if i / ZONE_ROWS == zs.len() {
+                        zs.push(Zone::empty(0));
+                    }
+                    zs[i / ZONE_ROWS].observe(*x);
+                }
+            }
+            (ColumnData::Real(cells), Value::Real(x)) => {
+                cells.push(*x);
+                if let Some(Zones::Real(zs)) = &mut self.zones {
+                    if i / ZONE_ROWS == zs.len() {
+                        zs.push(Zone::empty(0.0));
+                    }
+                    zs[i / ZONE_ROWS].observe(*x);
+                }
+            }
+            (ColumnData::Text(cells), Value::Text(s)) => cells.push(s.clone()),
+            (ColumnData::Mixed(cells), _) => cells.push(v.clone()),
+            (ColumnData::Int(cells), Value::Null) => {
+                cells.push(0);
+                if let Some(Zones::Int(zs)) = &mut self.zones {
+                    if i / ZONE_ROWS == zs.len() {
+                        zs.push(Zone::empty(0));
+                    }
+                }
+            }
+            (ColumnData::Real(cells), Value::Null) => {
+                cells.push(0.0);
+                if let Some(Zones::Real(zs)) = &mut self.zones {
+                    if i / ZONE_ROWS == zs.len() {
+                        zs.push(Zone::empty(0.0));
+                    }
+                }
+            }
+            (ColumnData::Text(cells), Value::Null) => cells.push(String::new()),
+            _ => unreachable!("promotion above guarantees fit"),
+        }
+        self.validity.push(!v.is_null());
+    }
+
+    fn promote_to_mixed(&mut self) {
+        let n = self.len();
+        let mut cells = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            cells.push(self.get(i));
+        }
+        self.data = ColumnData::Mixed(cells);
+        self.zones = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    #[test]
+    fn typed_roundtrip_with_nulls() {
+        let vals = vec![Value::Int(3), Value::Null, Value::Int(-7)];
+        let c = Column::from_values(ColumnType::Integer, &vals);
+        assert!(matches!(c.data(), ColumnData::Int(_)));
+        assert_eq!((0..3).map(|i| c.get(i)).collect::<Vec<_>>(), vals);
+        assert!(c.is_null(1));
+        assert_eq!(c.validity().count_valid(), 2);
+    }
+
+    #[test]
+    fn mixed_cells_degrade_to_value_storage() {
+        let vals = vec![Value::Int(1), Value::text("x")];
+        let c = Column::from_values(ColumnType::Integer, &vals);
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert_eq!(c.get(1), Value::text("x"));
+    }
+
+    #[test]
+    fn push_promotes_when_type_changes() {
+        let mut c = Column::from_values(ColumnType::Integer, &[Value::Int(1)]);
+        assert!(matches!(c.data(), ColumnData::Int(_)));
+        c.push(Value::Real(2.5));
+        assert!(matches!(c.data(), ColumnData::Mixed(_)));
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Real(2.5));
+    }
+
+    #[test]
+    fn zone_maps_track_min_max_per_batch() {
+        let vals: Vec<Value> = (0..300).map(|i| Value::Int(i)).collect();
+        let c = Column::from_values(ColumnType::Integer, &vals);
+        let Some(Zones::Int(zs)) = c.zones() else { panic!("int zones") };
+        assert_eq!(zs.len(), 3);
+        assert_eq!((zs[0].min, zs[0].max), (0, 127));
+        assert_eq!((zs[1].min, zs[1].max), (128, 255));
+        assert_eq!((zs[2].min, zs[2].max), (256, 299));
+        assert!(zs.iter().all(|z| z.any_valid));
+    }
+
+    #[test]
+    fn all_null_zone_has_no_valid_cells() {
+        let c = Column::from_values(ColumnType::Integer, &[Value::Null, Value::Null]);
+        let Some(Zones::Int(zs)) = c.zones() else { panic!("int zones") };
+        assert_eq!(zs.len(), 1);
+        assert!(!zs[0].any_valid);
+        assert!(!c.validity().all_valid());
+    }
+}

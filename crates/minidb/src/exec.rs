@@ -86,6 +86,27 @@ pub(crate) fn execute_query(
     Ok(acc)
 }
 
+/// Row-key set over the engine's trusted-key hasher: callers preserve
+/// first-encounter order and never iterate, so the hasher is unobservable.
+type KeySet = HashSet<RowKey, crate::value::KeyHashBuilder>;
+
+/// Dedup key for one result row. Single-column rows (the common
+/// `SELECT col UNION ...`) key by the bare [`KeyPart`], skipping a per-row
+/// `Vec` allocation; set-op arms always agree on arity (checked upstream),
+/// so the two variants never meet inside one set.
+#[derive(PartialEq, Eq, Hash)]
+enum RowKey {
+    One(KeyPart),
+    Many(Vec<KeyPart>),
+}
+
+fn row_key(row: &[Value]) -> RowKey {
+    match row {
+        [v] => RowKey::One(v.key_part()),
+        _ => RowKey::Many(row_key_parts(row)),
+    }
+}
+
 pub(crate) fn combine_set_op(
     op: SetOp,
     left: Vec<Vec<Value>>,
@@ -100,31 +121,31 @@ pub(crate) fn combine_set_op(
             out
         }
         SetOp::Union => {
-            let mut seen = HashSet::new();
+            let mut seen: KeySet = KeySet::default();
             let mut out = Vec::new();
             for row in left.into_iter().chain(right) {
-                if seen.insert(row_key_parts(&row)) {
+                if seen.insert(row_key(&row)) {
                     out.push(row);
                 }
             }
             out
         }
         SetOp::Intersect => {
-            let rhs: HashSet<Vec<KeyPart>> = right.iter().map(|r| row_key_parts(r)).collect();
-            let mut seen = HashSet::new();
+            let rhs: KeySet = right.iter().map(|r| row_key(r)).collect();
+            let mut seen: KeySet = KeySet::default();
             left.into_iter()
                 .filter(|r| {
-                    let k = row_key_parts(r);
+                    let k = row_key(r);
                     rhs.contains(&k) && seen.insert(k)
                 })
                 .collect()
         }
         SetOp::Except => {
-            let rhs: HashSet<Vec<KeyPart>> = right.iter().map(|r| row_key_parts(r)).collect();
-            let mut seen = HashSet::new();
+            let rhs: KeySet = right.iter().map(|r| row_key(r)).collect();
+            let mut seen: KeySet = KeySet::default();
             left.into_iter()
                 .filter(|r| {
-                    let k = row_key_parts(r);
+                    let k = row_key(r);
                     !rhs.contains(&k) && seen.insert(k)
                 })
                 .collect()
@@ -149,7 +170,7 @@ fn table_source(
     match tref {
         TableRef::Named { name, alias } => {
             let t = db.table(name)?;
-            counters.charge(WorkOp::Scan, t.rows.len() as u64)?;
+            counters.charge(WorkOp::Scan, t.n_rows() as u64)?;
             let binding = Binding {
                 name: Some(alias.clone().unwrap_or_else(|| name.clone())),
                 columns: t.schema.column_names(),
@@ -158,7 +179,7 @@ fn table_source(
             Ok(Relation {
                 width: t.schema.columns.len(),
                 bindings: vec![binding],
-                rows: t.rows.clone(),
+                rows: t.to_rows(),
             })
         }
         TableRef::Subquery { query, alias } => {
@@ -604,7 +625,7 @@ fn order_keys(
 }
 
 /// Stable sort of `(keys, row)` pairs by the per-key descending flags.
-pub(crate) fn sort_keyed(keyed: &mut [(Vec<Value>, Vec<Value>)], desc: &[bool]) {
+pub(crate) fn sort_keyed<T>(keyed: &mut [(Vec<Value>, T)], desc: &[bool]) {
     keyed.sort_by(|(ka, _), (kb, _)| {
         for (i, d) in desc.iter().enumerate() {
             let ord = ka[i].sql_cmp(&kb[i]);
@@ -617,7 +638,7 @@ pub(crate) fn sort_keyed(keyed: &mut [(Vec<Value>, Vec<Value>)], desc: &[bool]) 
     });
 }
 
-pub(crate) fn apply_limit(rows: Vec<Vec<Value>>, limit: Limit) -> Vec<Vec<Value>> {
+pub(crate) fn apply_limit<T>(rows: Vec<T>, limit: Limit) -> Vec<T> {
     rows.into_iter().skip(limit.offset as usize).take(limit.count as usize).collect()
 }
 

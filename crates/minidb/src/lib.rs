@@ -28,6 +28,7 @@
 //! assert_eq!(rs.rows, vec![vec![Value::text("Ann")]]);
 //! ```
 
+pub mod column;
 pub mod database;
 pub mod error;
 pub mod eval;
@@ -36,8 +37,10 @@ pub mod plan;
 pub mod result;
 pub mod schema;
 pub mod value;
+mod vector;
 
-pub use database::{Database, TableBuilder};
+pub use column::{Column, ColumnData, Validity};
+pub use database::{Database, Table, TableBuilder};
 pub use error::{ExecError, ExecResult};
 pub use plan::{compile, CompiledQuery};
 pub use result::{results_equivalent, ResultSet};

@@ -53,14 +53,18 @@ use sqlkit::ast::*;
 use std::collections::{HashMap, HashSet};
 
 /// A compiled expression: column references are flat row offsets, literals
-/// are pre-converted values, functions are pre-validated. No subqueries —
-/// those fall back to the interpreter at compile time.
+/// are pre-converted values, functions are pre-validated (arity checked at
+/// compile time, so evaluation of non-aggregate expressions is infallible).
+/// No subqueries — those fall back to the interpreter at compile time.
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     /// A pre-converted literal.
     Lit(Value),
     /// A resolved column: index into the concatenated row.
     Col(usize),
+    /// A pre-computed aggregate slot (vectorized path only): index into the
+    /// per-group fold results. Never produced by `compile_expr`.
+    Pre(usize),
     /// `COUNT(*)`-style aggregate over the whole group.
     AggCountStar,
     /// An aggregate with an argument, compiled for per-group-row evaluation.
@@ -81,7 +85,7 @@ enum CExpr {
 /// (argument skipping is observable through aggregate work charges);
 /// everything else evaluates its arguments strictly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FnKind {
+pub(crate) enum FnKind {
     Strict,
     Iif,
     Coalesce,
@@ -89,14 +93,14 @@ enum FnKind {
 
 /// One table scan: name plus the expected schema width (stale-plan guard).
 #[derive(Debug, Clone)]
-struct CScan {
-    table: String,
-    width: usize,
+pub(crate) struct CScan {
+    pub(crate) table: String,
+    pub(crate) width: usize,
 }
 
 /// One join step against the next scan in the chain.
 #[derive(Debug, Clone)]
-enum CJoinStep {
+pub(crate) enum CJoinStep {
     /// Hash equi-join: pre-extracted key offsets (left is relative to the
     /// accumulated row, right is relative to the right table's row).
     Hash { kind: JoinKind, lcol: usize, rcol: usize },
@@ -107,7 +111,7 @@ enum CJoinStep {
 
 /// A projection item: a resolved offset range (wildcards) or an expression.
 #[derive(Debug, Clone)]
-enum CItem {
+pub(crate) enum CItem {
     /// Copy `row[start..end]` (SELECT `*` / `t.*` with resolved offsets).
     Range(usize, usize),
     Expr(CExpr),
@@ -115,7 +119,7 @@ enum CItem {
 
 /// A compiled ORDER BY key.
 #[derive(Debug, Clone)]
-enum COrderKey {
+pub(crate) enum COrderKey {
     /// A select-alias reference: key is the already-projected column.
     Projected(usize),
     /// An expression over the row/group context.
@@ -124,27 +128,30 @@ enum COrderKey {
 
 /// One compiled SELECT core (an arm of a possibly-compound query).
 #[derive(Debug, Clone)]
-struct CompiledCore {
+pub(crate) struct CompiledCore {
     /// Base scan; `None` for `SELECT`s without FROM.
-    base: Option<CScan>,
-    joins: Vec<(CJoinStep, CScan)>,
+    pub(crate) base: Option<CScan>,
+    pub(crate) joins: Vec<(CJoinStep, CScan)>,
     /// Concatenated row width after all joins.
-    width: usize,
+    pub(crate) width: usize,
     /// Whether the query has a WHERE clause at all (drives charge parity).
-    has_where: bool,
+    pub(crate) has_where: bool,
     /// WHERE conjuncts evaluated against the *base* row, below the joins.
-    pushed: Vec<CExpr>,
+    pub(crate) pushed: Vec<CExpr>,
     /// Remaining WHERE conjuncts, evaluated against the combined row.
-    where_rest: Vec<CExpr>,
-    agg_mode: bool,
-    group_by: Vec<CExpr>,
-    having: Option<CExpr>,
-    distinct: bool,
-    items: Vec<CItem>,
-    columns: Vec<String>,
-    order_keys: Vec<COrderKey>,
-    order_desc: Vec<bool>,
-    limit: Option<Limit>,
+    pub(crate) where_rest: Vec<CExpr>,
+    pub(crate) agg_mode: bool,
+    pub(crate) group_by: Vec<CExpr>,
+    pub(crate) having: Option<CExpr>,
+    pub(crate) distinct: bool,
+    pub(crate) items: Vec<CItem>,
+    pub(crate) columns: Vec<String>,
+    pub(crate) order_keys: Vec<COrderKey>,
+    pub(crate) order_desc: Vec<bool>,
+    pub(crate) limit: Option<Limit>,
+    /// Vectorized-execution plan, when the shape is eligible (lowered once
+    /// at compile time by [`crate::vector::lower`]).
+    pub(crate) vcore: Option<crate::vector::VecCore>,
 }
 
 /// A fully compiled query: set-op arms plus compound ordering.
@@ -354,7 +361,7 @@ fn compile_core(
         order_desc.push(k.desc);
     }
 
-    Some(CompiledCore {
+    let mut cc = CompiledCore {
         base,
         joins,
         width,
@@ -370,7 +377,10 @@ fn compile_core(
         order_keys,
         order_desc,
         limit,
-    })
+        vcore: None,
+    };
+    cc.vcore = crate::vector::lower(&cc);
+    Some(cc)
 }
 
 /// Flatten a predicate's top-level AND tree into conjuncts. A row passes
@@ -391,7 +401,7 @@ fn max_col_offset(e: &CExpr) -> Option<usize> {
     fn walk(e: &CExpr, max: &mut Option<usize>) {
         let mut upd = |i: usize| *max = Some(max.map_or(i, |m: usize| m.max(i)));
         match e {
-            CExpr::Lit(_) | CExpr::AggCountStar => {}
+            CExpr::Lit(_) | CExpr::AggCountStar | CExpr::Pre(_) => {}
             CExpr::Col(i) => upd(*i),
             CExpr::Agg { arg, .. } => walk(arg, max),
             CExpr::Func { args, .. } => args.iter().for_each(|a| walk(a, max)),
@@ -463,6 +473,11 @@ fn compile_expr(bindings: &[Binding], e: &Expr, allow_agg: bool) -> Option<CExpr
             if !known_function(name) {
                 return None;
             }
+            // bad arity raises at the first evaluation in the interpreter;
+            // falling back reproduces that error (and any laziness around
+            // it) exactly, and makes compiled evaluation infallible — the
+            // property the vectorized path's bulk work charges rest on
+            check_function_arity(name, args.len()).ok()?;
             let kind = match name.as_str() {
                 "IIF" => FnKind::Iif,
                 "COALESCE" => FnKind::Coalesce,
@@ -551,22 +566,46 @@ impl CompiledQuery {
 
     /// Execute with an explicit work budget (rows touched).
     pub fn execute_with_budget(&self, db: &Database, budget: u64) -> ExecResult<ResultSet> {
+        self.execute_impl(db, budget, true)
+    }
+
+    /// Execute forcing the row-at-a-time compiled path, even for shapes with
+    /// a vectorized plan. Exists so benchmarks (and parity tests) can compare
+    /// the two compiled executors directly; results and work charges are
+    /// identical by construction.
+    pub fn execute_rowwise(&self, db: &Database) -> ExecResult<ResultSet> {
+        self.execute_impl(db, DEFAULT_WORK_BUDGET, false)
+    }
+
+    /// True when every arm of this plan lowered to a vectorized (columnar)
+    /// executor, i.e. [`CompiledQuery::execute`] takes the batch path for
+    /// the whole query rather than falling back row at a time anywhere.
+    pub fn is_vectorized(&self) -> bool {
+        self.arms.iter().all(|core| core.vcore.is_some())
+    }
+
+    fn execute_impl(&self, db: &Database, budget: u64, use_vector: bool) -> ExecResult<ResultSet> {
         let _span = obs::span("minidb.exec.compiled");
         let counters = Counters::new(budget);
-        let result = self.execute_inner(db, &counters);
+        let result = self.execute_inner(db, &counters, use_vector);
         counters.flush_obs();
         let mut rs = result?;
         rs.work = counters.work();
         Ok(rs)
     }
 
-    fn execute_inner(&self, db: &Database, counters: &Counters) -> ExecResult<ResultSet> {
+    fn execute_inner(
+        &self,
+        db: &Database,
+        counters: &Counters,
+        use_vector: bool,
+    ) -> ExecResult<ResultSet> {
         let rs = if self.ops.is_empty() {
-            exec_compiled_core(db, &self.arms[0], counters)?
+            exec_compiled_core(db, &self.arms[0], counters, use_vector)?
         } else {
-            let mut acc = exec_compiled_core(db, &self.arms[0], counters)?;
+            let mut acc = exec_compiled_core(db, &self.arms[0], counters, use_vector)?;
             for (op, core) in self.ops.iter().zip(&self.arms[1..]) {
-                let rhs = exec_compiled_core(db, core, counters)?;
+                let rhs = exec_compiled_core(db, core, counters, use_vector)?;
                 counters.charge(WorkOp::SetOp, (acc.rows.len() + rhs.rows.len()) as u64)?;
                 acc.rows = combine_set_op(*op, std::mem::take(&mut acc.rows), rhs.rows);
             }
@@ -577,7 +616,7 @@ impl CompiledQuery {
                     counters.charge(WorkOp::Sort, 1)?;
                     let mut keys = Vec::with_capacity(self.compound_order.len());
                     for k in &self.compound_order {
-                        keys.push(ceval(counters, &row, None, k)?);
+                        keys.push(ceval(counters, &row, None, &[], k)?);
                     }
                     keyed.push((keys, row));
                 }
@@ -598,7 +637,7 @@ impl CompiledQuery {
 /// is true (identical to evaluating the original AND tree).
 fn pass_all(counters: &Counters, row: &[Value], preds: &[CExpr]) -> ExecResult<bool> {
     for p in preds {
-        if ceval(counters, row, None, p)?.truth() != Some(true) {
+        if ceval(counters, row, None, &[], p)?.truth() != Some(true) {
             return Ok(false);
         }
     }
@@ -619,7 +658,7 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
         return Ok(rows);
     };
     let base_t = scan_table(db, base)?;
-    counters.charge(WorkOp::Scan, base_t.rows.len() as u64)?;
+    counters.charge(WorkOp::Scan, base_t.n_rows() as u64)?;
 
     if core.joins.is_empty() {
         // fused scan-filter: predicates run below the materialization, so
@@ -627,15 +666,16 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
         // up front + 1 WHERE unit per scanned row)
         if core.has_where {
             let mut rows = Vec::new();
-            for r in &base_t.rows {
+            for i in 0..base_t.n_rows() {
                 counters.charge(WorkOp::Filter, 1)?;
-                if pass_all(counters, r, &core.pushed)? {
-                    rows.push(r.clone());
+                let r = base_t.row(i);
+                if pass_all(counters, &r, &core.pushed)? {
+                    rows.push(r);
                 }
             }
             return Ok(rows);
         }
-        return Ok(base_t.rows.clone());
+        return Ok(base_t.to_rows());
     }
 
     if core.joins.len() == 1 && !core.pushed.is_empty() {
@@ -643,17 +683,19 @@ fn materialize(db: &Database, core: &CompiledCore, counters: &Counters) -> ExecR
     }
 
     // general chain: join steps over resolved offsets, then WHERE
+    let base_rows = base_t.to_rows();
     let mut cur: Vec<Vec<Value>> = Vec::new();
     let mut width = base.width;
     for (ji, (step, scan)) in core.joins.iter().enumerate() {
         let rt = scan_table(db, scan)?;
-        counters.charge(WorkOp::Scan, rt.rows.len() as u64)?;
+        counters.charge(WorkOp::Scan, rt.n_rows() as u64)?;
+        let rt_rows = rt.to_rows();
         let cw = width + scan.width;
         cur = if ji == 0 {
-            join_step(counters, &base_t.rows, width, &rt.rows, scan.width, cw, step)?
+            join_step(counters, &base_rows, width, &rt_rows, scan.width, cw, step)?
         } else {
             let left = std::mem::take(&mut cur);
-            join_step(counters, &left, width, &rt.rows, scan.width, cw, step)?
+            join_step(counters, &left, width, &rt_rows, scan.width, cw, step)?
         };
         width = cw;
     }
@@ -683,20 +725,22 @@ fn join_with_pushdown(
 ) -> ExecResult<Vec<Vec<Value>>> {
     let (step, scan) = &core.joins[0];
     let rt = scan_table(db, scan)?;
-    counters.charge(WorkOp::Scan, rt.rows.len() as u64)?;
+    counters.charge(WorkOp::Scan, rt.n_rows() as u64)?;
+    let rt_rows = rt.to_rows();
+    let base_rows = base_t.to_rows();
     let cw = core.width;
     let mut out: Vec<Vec<Value>> = Vec::new();
     match step {
         CJoinStep::Hash { kind, lcol, rcol } => {
-            let mut table: HashMap<KeyPart, Vec<usize>> = HashMap::with_capacity(rt.rows.len());
-            for (i, r) in rt.rows.iter().enumerate() {
+            let mut table: HashMap<KeyPart, Vec<usize>> = HashMap::with_capacity(rt_rows.len());
+            for (i, r) in rt_rows.iter().enumerate() {
                 counters.charge(WorkOp::Join, 1)?;
                 let key = &r[*rcol];
                 if !key.is_null() {
                     table.entry(key.key_part()).or_default().push(i);
                 }
             }
-            for l in &base_t.rows {
+            for l in &base_rows {
                 counters.charge(WorkOp::Join, 1)?; // probe
                 let key = &l[*lcol];
                 let matches: &[usize] = if key.is_null() {
@@ -719,7 +763,7 @@ fn join_with_pushdown(
                     }
                 } else {
                     for &ri in matches {
-                        let row = joined_row(l, &rt.rows[ri], cw);
+                        let row = joined_row(l, &rt_rows[ri], cw);
                         if pass_all(counters, &row, &core.where_rest)? {
                             out.push(row);
                         }
@@ -730,14 +774,14 @@ fn join_with_pushdown(
         CJoinStep::Nested { .. } => {
             // pushdown is only planned for ON-less Inner/Cross joins: every
             // pair both charges one pair unit and emits one joined row
-            let m = rt.rows.len() as u64;
-            for l in &base_t.rows {
+            let m = rt_rows.len() as u64;
+            for l in &base_rows {
                 counters.charge(WorkOp::Join, m)?; // pair units
                 counters.charge(WorkOp::Filter, m)?; // WHERE units
                 if !pass_all(counters, l, &core.pushed)? {
                     continue;
                 }
-                for r in &rt.rows {
+                for r in &rt_rows {
                     let row = joined_row(l, r, cw);
                     if pass_all(counters, &row, &core.where_rest)? {
                         out.push(row);
@@ -749,7 +793,7 @@ fn join_with_pushdown(
     Ok(out)
 }
 
-fn scan_table<'a>(db: &'a Database, scan: &CScan) -> ExecResult<&'a crate::database::Table> {
+pub(crate) fn scan_table<'a>(db: &'a Database, scan: &CScan) -> ExecResult<&'a crate::database::Table> {
     let t = db.table(&scan.table)?;
     if t.schema.columns.len() != scan.width {
         return Err(ExecError::Unsupported(format!(
@@ -803,7 +847,7 @@ fn join_step<L: AsRef<[Value]>>(
             let eval_on = |row: &[Value]| -> ExecResult<bool> {
                 match on {
                     None => Ok(true),
-                    Some(e) => Ok(ceval(counters, row, None, e)?.truth() == Some(true)),
+                    Some(e) => Ok(ceval(counters, row, None, &[], e)?.truth() == Some(true)),
                 }
             };
             match kind {
@@ -866,7 +910,13 @@ fn exec_compiled_core(
     db: &Database,
     core: &CompiledCore,
     counters: &Counters,
+    use_vector: bool,
 ) -> ExecResult<ResultSet> {
+    if use_vector {
+        if let Some(v) = &core.vcore {
+            return crate::vector::exec_core(db, core, v, counters);
+        }
+    }
     let rows = materialize(db, core, counters)?;
     let null_row: Vec<Value> = vec![Value::Null; core.width];
 
@@ -881,7 +931,7 @@ fn exec_compiled_core(
                 counters.charge(WorkOp::Group, 1)?;
                 let mut key = Vec::with_capacity(core.group_by.len());
                 for g in &core.group_by {
-                    key.push(ceval(counters, &row, None, g)?.key_part());
+                    key.push(ceval(counters, &row, None, &[], g)?.key_part());
                 }
                 let gi = *index.entry(key).or_insert_with(|| {
                     groups.push(Vec::new());
@@ -894,7 +944,7 @@ fn exec_compiled_core(
             counters.charge(WorkOp::Group, 1)?;
             let head: &[Value] = group.first().map(|r| r.as_slice()).unwrap_or(&null_row);
             if let Some(having) = &core.having {
-                if ceval(counters, head, Some(group), having)?.truth() != Some(true) {
+                if ceval(counters, head, Some(group), &[], having)?.truth() != Some(true) {
                     continue;
                 }
             }
@@ -943,7 +993,7 @@ fn cproject(
     for item in &core.items {
         match item {
             CItem::Range(start, end) => out.extend_from_slice(&head[*start..*end]),
-            CItem::Expr(e) => out.push(ceval(counters, head, group, e)?),
+            CItem::Expr(e) => out.push(ceval(counters, head, group, &[], e)?),
         }
     }
     Ok(out)
@@ -960,24 +1010,49 @@ fn corder_keys(
     for k in &core.order_keys {
         keys.push(match k {
             COrderKey::Projected(idx) => projected[*idx].clone(),
-            COrderKey::Expr(e) => ceval(counters, head, group, e)?,
+            COrderKey::Expr(e) => ceval(counters, head, group, &[], e)?,
         });
     }
     Ok(keys)
 }
 
+/// Row access for compiled-expression evaluation: the row-wise path reads
+/// materialized `Vec<Value>` rows, the vectorized path gathers cells from
+/// column storage on demand (late materialization).
+pub(crate) trait RowView {
+    /// Materialize the cell at flat offset `i`.
+    fn cell(&self, i: usize) -> Value;
+}
+
+impl RowView for [Value] {
+    #[inline]
+    fn cell(&self, i: usize) -> Value {
+        self[i].clone()
+    }
+}
+
+impl RowView for Vec<Value> {
+    #[inline]
+    fn cell(&self, i: usize) -> Value {
+        self[i].clone()
+    }
+}
+
 /// Evaluate a compiled expression against a row (and optional group).
 /// Mirrors [`crate::eval::eval`] exactly, including laziness and the
-/// aggregate-argument work charges.
-fn ceval(
+/// aggregate-argument work charges. `pre` resolves [`CExpr::Pre`] slots
+/// (vectorized path); row-wise callers pass `&[]`.
+pub(crate) fn ceval<R: RowView + ?Sized>(
     counters: &Counters,
-    row: &[Value],
+    row: &R,
     group: Option<&[Vec<Value>]>,
+    pre: &[Value],
     e: &CExpr,
 ) -> ExecResult<Value> {
     match e {
         CExpr::Lit(v) => Ok(v.clone()),
-        CExpr::Col(i) => Ok(row[*i].clone()),
+        CExpr::Col(i) => Ok(row.cell(*i)),
+        CExpr::Pre(i) => Ok(pre[*i].clone()),
         CExpr::AggCountStar => {
             let group = group.ok_or_else(|| {
                 ExecError::Unsupported("aggregate COUNT outside GROUP context".to_string())
@@ -994,7 +1069,7 @@ fn ceval(
             let mut values = Vec::with_capacity(group.len());
             for grow in group {
                 counters.charge(WorkOp::Group, 1)?;
-                let v = ceval(counters, grow, None, arg)?;
+                let v = ceval(counters, grow, None, &[], arg)?;
                 if !v.is_null() {
                     values.push(v);
                 }
@@ -1005,15 +1080,15 @@ fn ceval(
             check_function_arity(name, args.len())?;
             match kind {
                 FnKind::Iif => {
-                    if ceval(counters, row, group, &args[0])?.truth() == Some(true) {
-                        ceval(counters, row, group, &args[1])
+                    if ceval(counters, row, group, pre, &args[0])?.truth() == Some(true) {
+                        ceval(counters, row, group, pre, &args[1])
                     } else {
-                        ceval(counters, row, group, &args[2])
+                        ceval(counters, row, group, pre, &args[2])
                     }
                 }
                 FnKind::Coalesce => {
                     for a in args {
-                        let v = ceval(counters, row, group, a)?;
+                        let v = ceval(counters, row, group, pre, a)?;
                         if !v.is_null() {
                             return Ok(v);
                         }
@@ -1023,7 +1098,7 @@ fn ceval(
                 FnKind::Strict => {
                     let mut vals = Vec::with_capacity(args.len());
                     for a in args {
-                        vals.push(ceval(counters, row, group, a)?);
+                        vals.push(ceval(counters, row, group, pre, a)?);
                     }
                     apply_scalar_function(name, vals)
                 }
@@ -1031,24 +1106,24 @@ fn ceval(
         }
         CExpr::Binary { op, left, right } => match op {
             BinOp::And => {
-                let l = ceval(counters, row, group, left)?.truth();
+                let l = ceval(counters, row, group, pre, left)?.truth();
                 if l == Some(false) {
                     return Ok(Value::Int(0));
                 }
-                let r = ceval(counters, row, group, right)?.truth();
+                let r = ceval(counters, row, group, pre, right)?.truth();
                 Ok(bool3_to_value(and3(l, r)))
             }
             BinOp::Or => {
-                let l = ceval(counters, row, group, left)?.truth();
+                let l = ceval(counters, row, group, pre, left)?.truth();
                 if l == Some(true) {
                     return Ok(Value::Int(1));
                 }
-                let r = ceval(counters, row, group, right)?.truth();
+                let r = ceval(counters, row, group, pre, right)?.truth();
                 Ok(bool3_to_value(or3(l, r)))
             }
             BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-                let l = ceval(counters, row, group, left)?;
-                let r = ceval(counters, row, group, right)?;
+                let l = ceval(counters, row, group, pre, left)?;
+                let r = ceval(counters, row, group, pre, right)?;
                 let ord = l.sql_ord(&r);
                 let b = ord.map(|o| match op {
                     BinOp::Eq => o == std::cmp::Ordering::Equal,
@@ -1062,13 +1137,13 @@ fn ceval(
                 Ok(bool3_to_value(b))
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                let l = ceval(counters, row, group, left)?;
-                let r = ceval(counters, row, group, right)?;
+                let l = ceval(counters, row, group, pre, left)?;
+                let r = ceval(counters, row, group, pre, right)?;
                 eval_arith(*op, l, r)
             }
             BinOp::Concat => {
-                let l = ceval(counters, row, group, left)?;
-                let r = ceval(counters, row, group, right)?;
+                let l = ceval(counters, row, group, pre, left)?;
+                let r = ceval(counters, row, group, pre, right)?;
                 if l.is_null() || r.is_null() {
                     Ok(Value::Null)
                 } else {
@@ -1077,23 +1152,23 @@ fn ceval(
             }
         },
         CExpr::Unary { op, expr } => {
-            let v = ceval(counters, row, group, expr)?;
+            let v = ceval(counters, row, group, pre, expr)?;
             Ok(apply_unary(*op, v))
         }
         CExpr::Between { expr, negated, low, high } => {
-            let v = ceval(counters, row, group, expr)?;
-            let lo = ceval(counters, row, group, low)?;
-            let hi = ceval(counters, row, group, high)?;
+            let v = ceval(counters, row, group, pre, expr)?;
+            let lo = ceval(counters, row, group, pre, low)?;
+            let hi = ceval(counters, row, group, pre, high)?;
             let ge = v.sql_ord(&lo).map(|o| o != std::cmp::Ordering::Less);
             let le = v.sql_ord(&hi).map(|o| o != std::cmp::Ordering::Greater);
             Ok(bool3_to_value(and3(ge, le).map(|b| b ^ negated)))
         }
         CExpr::InList { expr, negated, list } => {
-            let v = ceval(counters, row, group, expr)?;
+            let v = ceval(counters, row, group, pre, expr)?;
             let mut saw_null = v.is_null();
             let mut found = false;
             for item in list {
-                let iv = ceval(counters, row, group, item)?;
+                let iv = ceval(counters, row, group, pre, item)?;
                 match v.sql_eq(&iv) {
                     Some(true) => {
                         found = true;
@@ -1113,8 +1188,8 @@ fn ceval(
             Ok(bool3_to_value(r.map(|b| b ^ negated)))
         }
         CExpr::Like { expr, negated, pattern } => {
-            let v = ceval(counters, row, group, expr)?;
-            let p = ceval(counters, row, group, pattern)?;
+            let v = ceval(counters, row, group, pre, expr)?;
+            let p = ceval(counters, row, group, pre, pattern)?;
             if v.is_null() || p.is_null() {
                 return Ok(Value::Null);
             }
@@ -1122,30 +1197,30 @@ fn ceval(
             Ok(Value::Int(i64::from(matched ^ negated)))
         }
         CExpr::IsNull { expr, negated } => {
-            let v = ceval(counters, row, group, expr)?;
+            let v = ceval(counters, row, group, pre, expr)?;
             Ok(Value::Int(i64::from(v.is_null() ^ negated)))
         }
         CExpr::Case { operand, branches, else_expr } => {
             for (when, then) in branches {
                 let hit = match operand {
                     Some(op) => {
-                        let ov = ceval(counters, row, group, op)?;
-                        let wv = ceval(counters, row, group, when)?;
+                        let ov = ceval(counters, row, group, pre, op)?;
+                        let wv = ceval(counters, row, group, pre, when)?;
                         ov.sql_eq(&wv) == Some(true)
                     }
-                    None => ceval(counters, row, group, when)?.truth() == Some(true),
+                    None => ceval(counters, row, group, pre, when)?.truth() == Some(true),
                 };
                 if hit {
-                    return ceval(counters, row, group, then);
+                    return ceval(counters, row, group, pre, then);
                 }
             }
             match else_expr {
-                Some(e) => ceval(counters, row, group, e),
+                Some(e) => ceval(counters, row, group, pre, e),
                 None => Ok(Value::Null),
             }
         }
         CExpr::Cast { expr, ty } => {
-            let v = ceval(counters, row, group, expr)?;
+            let v = ceval(counters, row, group, pre, expr)?;
             Ok(cast_value(v, ty))
         }
     }

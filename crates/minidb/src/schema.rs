@@ -27,6 +27,22 @@ impl ColumnType {
             ColumnType::Text => "text",
         }
     }
+
+    /// Whether a value may be stored in a column of this affinity. NULL is
+    /// always storable; REAL columns also accept integers (SQLite keeps the
+    /// integer representation, which the `Mixed` column storage preserves).
+    /// Anything else would poison a typed column vector and is rejected at
+    /// ingest by [`crate::database::Database::insert`] / `add_table`.
+    pub fn accepts(&self, v: &crate::value::Value) -> bool {
+        use crate::value::Value;
+        match (self, v) {
+            (_, Value::Null) => true,
+            (ColumnType::Integer, Value::Int(_)) => true,
+            (ColumnType::Real, Value::Int(_) | Value::Real(_)) => true,
+            (ColumnType::Text, Value::Text(_)) => true,
+            _ => false,
+        }
+    }
 }
 
 /// One column definition.

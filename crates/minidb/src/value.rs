@@ -35,6 +35,16 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Human-readable type name, for ingest-validation error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Real(_) => "real",
+            Value::Text(_) => "text",
+        }
+    }
+
     /// Numeric view: Int and Real yield a float; text parses if numeric
     /// (SQLite affinity); NULL and non-numeric text yield `None`.
     pub fn as_f64(&self) -> Option<f64> {
@@ -179,6 +189,67 @@ pub enum KeyPart {
 pub fn row_key_parts(row: &[Value]) -> Vec<KeyPart> {
     row.iter().map(Value::key_part).collect()
 }
+
+/// Fibonacci-multiplicative hasher for trusted in-memory keys (raw `i64`
+/// cells, [`KeyPart`] rows). std's SipHash is DoS-hardened but costs tens
+/// of ns per key, which dominates tight grouping / dedup / join-build
+/// loops over engine-owned data. Only bucket placement depends on the
+/// hasher — every caller preserves first-encounter order and never
+/// iterates the map — so swapping it is unobservable in results.
+#[derive(Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl KeyHasher {
+    #[inline]
+    fn mix(&mut self, n: u64) {
+        let h = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // length in the top byte so "ab" and "ab\0" stay distinct
+            tail[7] = rest.len() as u8;
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap`/`HashSet` state plugging in [`KeyHasher`].
+pub(crate) type KeyHashBuilder = std::hash::BuildHasherDefault<KeyHasher>;
 
 fn cmp_f64(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or_else(|| {

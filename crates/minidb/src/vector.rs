@@ -1,0 +1,1413 @@
+//! Vectorized batch execution over columnar storage.
+//!
+//! The row-wise compiled path in [`crate::plan`] materializes every
+//! intermediate row as a `Vec<Value>` and dispatches on the `Value` enum per
+//! cell. This module executes eligible plan shapes directly against the
+//! typed column vectors of [`crate::database::Table`]:
+//!
+//! * **fused scan + filter** builds a selection vector of surviving row ids;
+//!   comparison/BETWEEN/LIKE/IS NULL conjuncts against literals run as typed
+//!   kernels (one storage dispatch per batch, not per cell), and zone maps
+//!   skip whole [`crate::column::ZONE_ROWS`]-row batches that provably
+//!   cannot match an equality or range predicate;
+//! * **batch hash join** builds the hash table once from the right column
+//!   (an integer-keyed map when the column has `Int` storage) and probes
+//!   with raw column values; joined rows are *pairs of row ids*, never
+//!   materialized tuples;
+//! * **batch aggregation** groups by raw column values where possible and
+//!   folds aggregates column-at-a-time (a hand-rolled kernel for `Int`
+//!   storage, [`fold_aggregate`] on gathered values otherwise);
+//! * **late materialization**: ORDER BY + LIMIT sorts (key, row-id) pairs
+//!   and gathers output cells only for the rows that survive the limit.
+//!
+//! **Observational identity.** The vectorized path must be indistinguishable
+//! from the interpreter: same rows, same order, same errors, and the same
+//! deterministic work-unit totals per [`WorkOp`] (the VES efficiency metric
+//! and the budget trip point both read them). Two facts make bulk charging
+//! sound: compiled non-aggregate expression evaluation is infallible (arity
+//! is validated at compile time, arithmetic edge cases yield NULL), and the
+//! only charge inside expression evaluation is the per-group-row unit of an
+//! argful aggregate. So per-op totals equal to the row path's imply the
+//! same success value and the same failure (`ResourceExhausted` depends
+//! only on the budget). Aggregates are pre-folded into [`CExpr::Pre`]
+//! slots only when every argful aggregate sits in a *strict* position —
+//! evaluated exactly once whenever its containing expression is evaluated —
+//! so the bulk `group-len × occurrences` charge reproduces the
+//! interpreter's per-row charges exactly. Anything else (short-circuited
+//! aggregates, CASE operands, nested joins, subquery fallbacks) declines
+//! vectorization at compile time and runs on the row path unchanged.
+
+use crate::column::{ColumnData, Zones, ZONE_ROWS};
+use crate::database::{Database, Table};
+use crate::error::ExecResult;
+use crate::eval::{fold_aggregate, like_match, Counters, WorkOp};
+use crate::plan::{
+    ceval, scan_table, CExpr, CItem, CJoinStep, COrderKey, CompiledCore, RowView,
+};
+use crate::result::ResultSet;
+use crate::value::{row_key_parts, KeyPart, Value};
+use sqlkit::ast::{AggFunc, BinOp, JoinKind};
+use std::collections::{HashMap, HashSet};
+
+/// Sentinel row id for the right side of an unmatched LEFT join: the row
+/// view reads NULL for every column of that table.
+const SENT: u32 = u32::MAX;
+
+/// Raw-`i64` hash map over the engine's trusted-key hasher (see
+/// [`crate::value::KeyHasher`]): bucket placement is the only thing the
+/// hasher decides, so the cheap multiplicative hash is unobservable.
+type IntMap<V> = HashMap<i64, V, crate::value::KeyHashBuilder>;
+
+// ---------------------------------------------------------------------------
+// compiled vectorized plan
+// ---------------------------------------------------------------------------
+
+/// The vectorized execution plan for one eligible [`CompiledCore`]. Built
+/// once at compile time by [`lower`]; holds only shape, never data.
+#[derive(Debug, Clone)]
+pub(crate) struct VecCore {
+    /// Typed filter kernels over base-table columns (from pushed conjuncts).
+    kernels: Vec<Kernel>,
+    /// Pushed conjuncts that did not kernelize; evaluated per base row.
+    residual: Vec<CExpr>,
+    /// At most one hash equi-join (larger chains run on the row path).
+    join: Option<VJoin>,
+    /// Aggregation plan with pre-fold slots, when the core aggregates.
+    agg: Option<AggPlan>,
+}
+
+#[derive(Debug, Clone)]
+struct VJoin {
+    kind: JoinKind,
+    /// Key offset in the base row.
+    lcol: usize,
+    /// Key offset in the right table's row.
+    rcol: usize,
+}
+
+/// Comparison kernels recognize `col <op> literal` conjuncts (either
+/// operand order) plus BETWEEN / LIKE / IS NULL on a bare column.
+#[derive(Debug, Clone)]
+enum Kernel {
+    Cmp { col: usize, op: CmpOp, lit: Value },
+    Between { col: usize, lo: Value, hi: Value, negated: bool },
+    IsNull { col: usize, negated: bool },
+    Like { col: usize, pattern: String, negated: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Aggregation with HAVING / projection / order keys rewritten so every
+/// aggregate occurrence reads a pre-folded [`CExpr::Pre`] slot. Each
+/// section numbers its own slots.
+#[derive(Debug, Clone)]
+struct AggPlan {
+    having: Option<CExpr>,
+    having_specs: Vec<AggSpec>,
+    items: Vec<CItem>,
+    item_specs: Vec<AggSpec>,
+    okeys: Vec<COrderKey>,
+    okey_specs: Vec<AggSpec>,
+}
+
+/// One pre-folded aggregate occurrence.
+#[derive(Debug, Clone)]
+enum AggSpec {
+    /// `COUNT(*)`: group length, charges nothing.
+    CountStar,
+    /// An argful aggregate: charges one Group unit per group row, exactly
+    /// like the interpreter's per-row evaluation.
+    Fold { func: AggFunc, distinct: bool, arg: CExpr },
+}
+
+fn argful(specs: &[AggSpec]) -> u64 {
+    specs.iter().filter(|s| matches!(s, AggSpec::Fold { .. })).count() as u64
+}
+
+// ---------------------------------------------------------------------------
+// lowering (compile time)
+// ---------------------------------------------------------------------------
+
+/// Lower an eligible core to a vectorized plan, or `None` when any part of
+/// the shape would break observational identity (the row path runs it).
+pub(crate) fn lower(core: &CompiledCore) -> Option<VecCore> {
+    core.base.as_ref()?;
+    let join = match core.joins.len() {
+        0 => None,
+        1 => match &core.joins[0].0 {
+            CJoinStep::Hash { kind, lcol, rcol } => {
+                Some(VJoin { kind: *kind, lcol: *lcol, rcol: *rcol })
+            }
+            CJoinStep::Nested { .. } => return None,
+        },
+        _ => return None,
+    };
+    // WHERE and GROUP BY compile with aggregates rejected, but the charge
+    // argument depends on it — decline rather than assume
+    if core.pushed.iter().any(contains_agg)
+        || core.where_rest.iter().any(contains_agg)
+        || core.group_by.iter().any(contains_agg)
+    {
+        return None;
+    }
+    let mut kernels = Vec::new();
+    let mut residual = Vec::new();
+    for p in &core.pushed {
+        match kernelize(p) {
+            Some(k) => kernels.push(k),
+            None => residual.push(p.clone()),
+        }
+    }
+    let agg = if core.agg_mode { Some(lower_agg(core)?) } else { None };
+    Some(VecCore { kernels, residual, join, agg })
+}
+
+fn lower_agg(core: &CompiledCore) -> Option<AggPlan> {
+    let mut having_specs = Vec::new();
+    let having = match &core.having {
+        None => None,
+        Some(h) => Some(strip_aggs(h, true, &mut having_specs)?),
+    };
+    let mut item_specs = Vec::new();
+    let mut items = Vec::with_capacity(core.items.len());
+    for it in &core.items {
+        items.push(match it {
+            CItem::Range(s, e) => CItem::Range(*s, *e),
+            CItem::Expr(e) => CItem::Expr(strip_aggs(e, true, &mut item_specs)?),
+        });
+    }
+    let mut okey_specs = Vec::new();
+    let mut okeys = Vec::with_capacity(core.order_keys.len());
+    for k in &core.order_keys {
+        okeys.push(match k {
+            COrderKey::Projected(i) => COrderKey::Projected(*i),
+            COrderKey::Expr(e) => COrderKey::Expr(strip_aggs(e, true, &mut okey_specs)?),
+        });
+    }
+    Some(AggPlan { having, having_specs, items, item_specs, okeys, okey_specs })
+}
+
+/// Replace aggregate occurrences with [`CExpr::Pre`] slots. `strict` means
+/// this position is evaluated exactly once whenever the whole expression
+/// is evaluated — the condition under which a bulk per-group charge equals
+/// the interpreter's per-evaluation charge. An argful aggregate in a
+/// non-strict position (short-circuited operand, CASE branch, IN-list
+/// item …) returns `None`: its charges are data-dependent and cannot be
+/// bulk-reproduced. `COUNT(*)` charges nothing and is pure, so it
+/// substitutes anywhere.
+fn strip_aggs(e: &CExpr, strict: bool, specs: &mut Vec<AggSpec>) -> Option<CExpr> {
+    let b = |e: Option<CExpr>| e.map(Box::new);
+    Some(match e {
+        CExpr::Lit(v) => CExpr::Lit(v.clone()),
+        CExpr::Col(i) => CExpr::Col(*i),
+        CExpr::Pre(i) => CExpr::Pre(*i),
+        CExpr::AggCountStar => {
+            specs.push(AggSpec::CountStar);
+            CExpr::Pre(specs.len() - 1)
+        }
+        CExpr::Agg { func, distinct, arg } => {
+            if !strict || contains_agg(arg) {
+                return None;
+            }
+            specs.push(AggSpec::Fold {
+                func: *func,
+                distinct: *distinct,
+                arg: (**arg).clone(),
+            });
+            CExpr::Pre(specs.len() - 1)
+        }
+        CExpr::Func { kind, name, args } => {
+            use crate::plan::FnKind;
+            let mut out = Vec::with_capacity(args.len());
+            for (i, a) in args.iter().enumerate() {
+                let child_strict = match kind {
+                    FnKind::Strict => strict,
+                    // IIF picks one branch, COALESCE stops at the first
+                    // non-NULL: only the first argument always evaluates
+                    FnKind::Iif | FnKind::Coalesce => strict && i == 0,
+                };
+                out.push(strip_aggs(a, child_strict, specs)?);
+            }
+            CExpr::Func { kind: *kind, name: name.clone(), args: out }
+        }
+        CExpr::Binary { op, left, right } => {
+            let right_strict = match op {
+                BinOp::And | BinOp::Or => false, // short-circuit
+                _ => strict,
+            };
+            CExpr::Binary {
+                op: *op,
+                left: Box::new(strip_aggs(left, strict, specs)?),
+                right: Box::new(strip_aggs(right, right_strict, specs)?),
+            }
+        }
+        CExpr::Unary { op, expr } => CExpr::Unary {
+            op: *op,
+            expr: Box::new(strip_aggs(expr, strict, specs)?),
+        },
+        CExpr::Between { expr, negated, low, high } => CExpr::Between {
+            expr: Box::new(strip_aggs(expr, strict, specs)?),
+            negated: *negated,
+            low: Box::new(strip_aggs(low, strict, specs)?),
+            high: Box::new(strip_aggs(high, strict, specs)?),
+        },
+        CExpr::InList { expr, negated, list } => {
+            let mut out = Vec::with_capacity(list.len());
+            for item in list {
+                // the list scan stops at the first match
+                out.push(strip_aggs(item, false, specs)?);
+            }
+            CExpr::InList {
+                expr: Box::new(strip_aggs(expr, strict, specs)?),
+                negated: *negated,
+                list: out,
+            }
+        }
+        CExpr::Like { expr, negated, pattern } => CExpr::Like {
+            expr: Box::new(strip_aggs(expr, strict, specs)?),
+            negated: *negated,
+            pattern: Box::new(strip_aggs(pattern, strict, specs)?),
+        },
+        CExpr::IsNull { expr, negated } => CExpr::IsNull {
+            expr: Box::new(strip_aggs(expr, strict, specs)?),
+            negated: *negated,
+        },
+        CExpr::Case { operand, branches, else_expr } => {
+            // the operand re-evaluates once per branch until a hit — not
+            // exactly-once, so aggregates inside it must decline
+            let operand = match operand {
+                None => None,
+                Some(o) => Some(strip_aggs(o, false, specs)?),
+            };
+            let mut out = Vec::with_capacity(branches.len());
+            for (i, (when, then)) in branches.iter().enumerate() {
+                // only the first WHEN is guaranteed to evaluate
+                let w = strip_aggs(when, strict && i == 0, specs)?;
+                let t = strip_aggs(then, false, specs)?;
+                out.push((w, t));
+            }
+            let else_expr = match else_expr {
+                None => None,
+                Some(e) => Some(strip_aggs(e, false, specs)?),
+            };
+            CExpr::Case { operand: b(operand), branches: out, else_expr: b(else_expr) }
+        }
+        CExpr::Cast { expr, ty } => CExpr::Cast {
+            expr: Box::new(strip_aggs(expr, strict, specs)?),
+            ty: ty.clone(),
+        },
+    })
+}
+
+fn contains_agg(e: &CExpr) -> bool {
+    match e {
+        CExpr::Lit(_) | CExpr::Col(_) | CExpr::Pre(_) => false,
+        CExpr::AggCountStar | CExpr::Agg { .. } => true,
+        CExpr::Func { args, .. } => args.iter().any(contains_agg),
+        CExpr::Binary { left, right, .. } => contains_agg(left) || contains_agg(right),
+        CExpr::Unary { expr, .. } | CExpr::IsNull { expr, .. } | CExpr::Cast { expr, .. } => {
+            contains_agg(expr)
+        }
+        CExpr::Between { expr, low, high, .. } => {
+            contains_agg(expr) || contains_agg(low) || contains_agg(high)
+        }
+        CExpr::InList { expr, list, .. } => contains_agg(expr) || list.iter().any(contains_agg),
+        CExpr::Like { expr, pattern, .. } => contains_agg(expr) || contains_agg(pattern),
+        CExpr::Case { operand, branches, else_expr } => {
+            operand.as_deref().map(contains_agg).unwrap_or(false)
+                || branches.iter().any(|(w, t)| contains_agg(w) || contains_agg(t))
+                || else_expr.as_deref().map(contains_agg).unwrap_or(false)
+        }
+    }
+}
+
+fn kernelize(e: &CExpr) -> Option<Kernel> {
+    let cmp_op = |op: &BinOp| match op {
+        BinOp::Eq => Some(CmpOp::Eq),
+        BinOp::NotEq => Some(CmpOp::Ne),
+        BinOp::Lt => Some(CmpOp::Lt),
+        BinOp::LtEq => Some(CmpOp::Le),
+        BinOp::Gt => Some(CmpOp::Gt),
+        BinOp::GtEq => Some(CmpOp::Ge),
+        _ => None,
+    };
+    match e {
+        CExpr::Binary { op, left, right } => {
+            let op = cmp_op(op)?;
+            match (left.as_ref(), right.as_ref()) {
+                (CExpr::Col(c), CExpr::Lit(v)) if !v.is_null() => {
+                    Some(Kernel::Cmp { col: *c, op, lit: v.clone() })
+                }
+                (CExpr::Lit(v), CExpr::Col(c)) if !v.is_null() => {
+                    let flipped = match op {
+                        CmpOp::Eq => CmpOp::Eq,
+                        CmpOp::Ne => CmpOp::Ne,
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Ge => CmpOp::Le,
+                    };
+                    Some(Kernel::Cmp { col: *c, op: flipped, lit: v.clone() })
+                }
+                _ => None,
+            }
+        }
+        CExpr::Between { expr, negated, low, high } => {
+            match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+                (CExpr::Col(c), CExpr::Lit(lo), CExpr::Lit(hi))
+                    if !lo.is_null() && !hi.is_null() =>
+                {
+                    Some(Kernel::Between {
+                        col: *c,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        negated: *negated,
+                    })
+                }
+                _ => None,
+            }
+        }
+        CExpr::IsNull { expr, negated } => match expr.as_ref() {
+            CExpr::Col(c) => Some(Kernel::IsNull { col: *c, negated: *negated }),
+            _ => None,
+        },
+        CExpr::Like { expr, negated, pattern } => {
+            match (expr.as_ref(), pattern.as_ref()) {
+                (CExpr::Col(c), CExpr::Lit(p)) if !p.is_null() => Some(Kernel::Like {
+                    col: *c,
+                    pattern: p.render(),
+                    negated: *negated,
+                }),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// filter kernels (execution time)
+// ---------------------------------------------------------------------------
+
+fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        _ => std::cmp::Ordering::Greater,
+    })
+}
+
+fn ord_passes(op: CmpOp, o: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => o == Equal,
+        CmpOp::Ne => o != Equal,
+        CmpOp::Lt => o == Less,
+        CmpOp::Le => o != Greater,
+        CmpOp::Gt => o == Greater,
+        CmpOp::Ge => o != Less,
+    }
+}
+
+impl Kernel {
+    /// Conservative zone test: `false` only when *no* row of the zone can
+    /// pass. Literal cells compare through the same `as f64` projection the
+    /// row comparison uses, which is monotone, so min/max bounds transfer.
+    fn zone_may_match(&self, t: &Table, zi: usize) -> bool {
+        let (col, numeric) = match self {
+            Kernel::Cmp { col, lit, .. } => (*col, lit.as_f64()),
+            Kernel::Between { col, negated: false, lo, hi } => {
+                // range check below needs both bounds numeric
+                match (lo.as_f64(), hi.as_f64()) {
+                    (Some(_), Some(_)) => (*col, None),
+                    _ => return true,
+                }
+            }
+            Kernel::Like { col, .. } => (*col, None),
+            // IS [NOT] NULL passes NULL cells; zones say nothing useful
+            Kernel::IsNull { .. } => return true,
+            Kernel::Between { .. } => return true, // negated: no pruning
+        };
+        // text literals compare by type rank, not magnitude — no pruning
+        if matches!(self, Kernel::Cmp { lit: Value::Text(_), .. }) {
+            return true;
+        }
+        let Some(zones) = t.column(col).zones() else { return true };
+        let (zmin, zmax, any_valid) = match zones {
+            Zones::Int(z) => {
+                let z = &z[zi];
+                (z.min as f64, z.max as f64, z.any_valid)
+            }
+            Zones::Real(z) => {
+                let z = &z[zi];
+                (z.min, z.max, z.any_valid)
+            }
+        };
+        // NULL cells fail every kernel here; an all-NULL zone can't match
+        if !any_valid {
+            return false;
+        }
+        match self {
+            Kernel::Cmp { op, .. } => {
+                let Some(b) = numeric else { return true };
+                match op {
+                    CmpOp::Eq => !(b < zmin || b > zmax),
+                    CmpOp::Lt => zmin < b,
+                    CmpOp::Le => zmin <= b,
+                    CmpOp::Gt => zmax > b,
+                    CmpOp::Ge => zmax >= b,
+                    CmpOp::Ne => true,
+                }
+            }
+            Kernel::Between { negated: false, lo, hi, .. } => {
+                let (lo, hi) = (lo.as_f64().unwrap(), hi.as_f64().unwrap());
+                !(zmax < lo || zmin > hi)
+            }
+            _ => true,
+        }
+    }
+
+    /// Drop candidate row ids that fail this kernel. Typed fast paths pick
+    /// the storage/literal combination once per batch; everything else goes
+    /// through cell-level [`Value`] comparison with identical semantics.
+    fn filter(&self, t: &Table, cand: &mut Vec<u32>) {
+        match self {
+            Kernel::Cmp { col, op, lit } => {
+                let c = t.column(*col);
+                let va = c.validity();
+                match (c.data(), lit) {
+                    (ColumnData::Int(d), Value::Int(b)) => {
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            va.get(i) && ord_passes(*op, d[i].cmp(b))
+                        });
+                    }
+                    (ColumnData::Int(d), Value::Real(b)) => {
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            va.get(i) && ord_passes(*op, cmp_f64(d[i] as f64, *b))
+                        });
+                    }
+                    (ColumnData::Real(d), _) if lit.as_f64().is_some() => {
+                        let b = lit.as_f64().unwrap();
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            va.get(i) && ord_passes(*op, cmp_f64(d[i], b))
+                        });
+                    }
+                    (ColumnData::Text(d), Value::Text(b)) => {
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            va.get(i) && ord_passes(*op, d[i].as_str().cmp(b.as_str()))
+                        });
+                    }
+                    _ => {
+                        cand.retain(|&i| {
+                            c.get(i as usize)
+                                .sql_ord(lit)
+                                .map(|o| ord_passes(*op, o))
+                                == Some(true)
+                        });
+                    }
+                }
+            }
+            Kernel::Between { col, lo, hi, negated } => {
+                let c = t.column(*col);
+                // bounds are non-null, so for a non-null cell both sides of
+                // the AND resolve and the result is total
+                cand.retain(|&i| {
+                    let v = c.get(i as usize);
+                    match (v.sql_ord(lo), v.sql_ord(hi)) {
+                        (Some(ge), Some(le)) => {
+                            let inside = ge != std::cmp::Ordering::Less
+                                && le != std::cmp::Ordering::Greater;
+                            inside ^ negated
+                        }
+                        _ => false, // NULL cell: three-valued AND never true
+                    }
+                });
+            }
+            Kernel::IsNull { col, negated } => {
+                let va = t.column(*col).validity();
+                cand.retain(|&i| !va.get(i as usize) ^ negated);
+            }
+            Kernel::Like { col, pattern, negated } => {
+                let c = t.column(*col);
+                let va = c.validity();
+                match c.data() {
+                    ColumnData::Text(d) => {
+                        cand.retain(|&i| {
+                            let i = i as usize;
+                            va.get(i) && (like_match(pattern, &d[i]) ^ negated)
+                        });
+                    }
+                    _ => {
+                        cand.retain(|&i| {
+                            let v = c.get(i as usize);
+                            !v.is_null() && (like_match(pattern, &v.render()) ^ negated)
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// relation of row ids
+// ---------------------------------------------------------------------------
+
+/// The joined/filtered relation as row-id vectors into the source tables —
+/// rows materialize only when an expression actually reads them.
+struct Rel<'a> {
+    tables: Vec<&'a Table>,
+    /// Flat-offset start of each table in the concatenated row.
+    starts: Vec<usize>,
+    /// Per table: one source row id per relation row ([`SENT`] = NULL pad).
+    idx: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl<'a> Rel<'a> {
+    fn locate(&self, off: usize) -> (usize, usize) {
+        let mut t = 0;
+        while t + 1 < self.tables.len() && off >= self.starts[t + 1] {
+            t += 1;
+        }
+        (t, off - self.starts[t])
+    }
+
+    fn cell(&self, row: usize, off: usize) -> Value {
+        let (t, c) = self.locate(off);
+        let ri = self.idx[t][row];
+        if ri == SENT {
+            return Value::Null;
+        }
+        self.tables[t].column(c).get(ri as usize)
+    }
+
+}
+
+struct RelRow<'a, 'b> {
+    rel: &'b Rel<'a>,
+    row: usize,
+}
+
+impl RowView for RelRow<'_, '_> {
+    fn cell(&self, i: usize) -> Value {
+        self.rel.cell(self.row, i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Build-side hash table keyed by raw `i64` when the right column has `Int`
+/// storage; otherwise by the same [`KeyPart`] canonicalization the
+/// interpreter uses, so match sets are identical.
+enum JoinMap {
+    Int(IntMap<Vec<u32>>),
+    Gen(HashMap<KeyPart, Vec<u32>>),
+}
+
+impl JoinMap {
+    fn build(rt: &Table, rcol: usize, counters: &Counters) -> ExecResult<Self> {
+        let n = rt.n_rows();
+        counters.charge(WorkOp::Join, n as u64)?;
+        let c = rt.column(rcol);
+        Ok(match c.data() {
+            ColumnData::Int(d) => {
+                let va = c.validity();
+                let mut m: IntMap<Vec<u32>> =
+                    IntMap::with_capacity_and_hasher(n, Default::default());
+                for (i, &v) in d.iter().enumerate() {
+                    if va.get(i) {
+                        m.entry(v).or_default().push(i as u32);
+                    }
+                }
+                JoinMap::Int(m)
+            }
+            _ => {
+                let mut m: HashMap<KeyPart, Vec<u32>> = HashMap::with_capacity(n);
+                for i in 0..n {
+                    let v = c.get(i);
+                    if !v.is_null() {
+                        m.entry(v.key_part()).or_default().push(i as u32);
+                    }
+                }
+                JoinMap::Gen(m)
+            }
+        })
+    }
+
+    /// Probe with a base-row key value (NULL never matches, as in the
+    /// interpreter's build-side NULL skip + probe-side NULL check).
+    fn probe(&self, key: &Value) -> &[u32] {
+        if key.is_null() {
+            return &[];
+        }
+        match (self, key.key_part()) {
+            (JoinMap::Int(m), KeyPart::Num(a)) => m.get(&a).map(Vec::as_slice).unwrap_or(&[]),
+            (JoinMap::Int(_), _) => &[], // non-integral key can't equal an Int cell
+            (JoinMap::Gen(m), kp) => m.get(&kp).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// execution
+// ---------------------------------------------------------------------------
+
+/// Execute a lowered core. Charges exactly the per-[`WorkOp`] totals of the
+/// row-wise compiled path (itself parity-locked to the interpreter).
+pub(crate) fn exec_core(
+    db: &Database,
+    core: &CompiledCore,
+    v: &VecCore,
+    counters: &Counters,
+) -> ExecResult<ResultSet> {
+    let base = core.base.as_ref().expect("vectorized core always has a base scan");
+    let base_t = scan_table(db, base)?;
+    let n_base = base_t.n_rows();
+    counters.charge(WorkOp::Scan, n_base as u64)?;
+
+    let rel = match &v.join {
+        None => {
+            let ids = if core.has_where {
+                counters.charge(WorkOp::Filter, n_base as u64)?;
+                select_base(base_t, &v.kernels, &v.residual, counters)?
+            } else {
+                (0..n_base as u32).collect()
+            };
+            let len = ids.len();
+            Rel { tables: vec![base_t], starts: vec![0], idx: vec![ids], len }
+        }
+        Some(j) => {
+            let scan = &core.joins[0].1;
+            let rt = scan_table(db, scan)?;
+            counters.charge(WorkOp::Scan, rt.n_rows() as u64)?;
+            let map = JoinMap::build(rt, j.rcol, counters)?;
+            let lc = base_t.column(j.lcol);
+            let mut lids: Vec<u32> = Vec::new();
+            let mut rids: Vec<u32> = Vec::new();
+            if !core.pushed.is_empty() {
+                // pushdown shape: probe/emit/WHERE charges cover every base
+                // row (the row path prices phantom rows before filtering),
+                // but only selected base rows materialize join pairs
+                let sel = select_base(base_t, &v.kernels, &v.residual, counters)?;
+                let mut sp = 0usize;
+                let mut emits = 0u64;
+                let mut filt = 0u64;
+                for i in 0..n_base {
+                    let matches = map.probe(&lc.get(i));
+                    let m = matches.len() as u64;
+                    emits += m;
+                    let padded = matches.is_empty() && j.kind == JoinKind::Left;
+                    filt += if padded { 1 } else { m };
+                    let selected = sp < sel.len() && sel[sp] == i as u32;
+                    if selected {
+                        sp += 1;
+                        if padded {
+                            lids.push(i as u32);
+                            rids.push(SENT);
+                        } else {
+                            for &ri in matches {
+                                lids.push(i as u32);
+                                rids.push(ri);
+                            }
+                        }
+                    }
+                }
+                counters.charge(WorkOp::Join, n_base as u64 + emits)?;
+                counters.charge(WorkOp::Filter, filt)?;
+            } else {
+                // general shape: probe + emit charges, then one WHERE unit
+                // per joined row when a WHERE clause exists
+                let mut emits = 0u64;
+                for i in 0..n_base {
+                    let matches = map.probe(&lc.get(i));
+                    emits += matches.len() as u64;
+                    if matches.is_empty() && j.kind == JoinKind::Left {
+                        lids.push(i as u32);
+                        rids.push(SENT);
+                    } else {
+                        for &ri in matches {
+                            lids.push(i as u32);
+                            rids.push(ri);
+                        }
+                    }
+                }
+                counters.charge(WorkOp::Join, n_base as u64 + emits)?;
+                if core.has_where {
+                    counters.charge(WorkOp::Filter, lids.len() as u64)?;
+                }
+            }
+            let mut rel = Rel {
+                tables: vec![base_t, rt],
+                starts: vec![0, base.width],
+                idx: vec![lids, rids],
+                len: 0,
+            };
+            rel.len = rel.idx[0].len();
+            if !core.where_rest.is_empty() {
+                retain_rel(&mut rel, &core.where_rest, counters)?;
+            }
+            rel
+        }
+    };
+
+    let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+    if let Some(agg) = &v.agg {
+        exec_agg(core, agg, &rel, counters, &mut keyed)?;
+    } else {
+        counters.charge(WorkOp::Project, rel.len as u64)?;
+        return exec_project(core, &rel, counters);
+    }
+
+    finish(core, keyed)
+}
+
+/// Fused scan + filter: zone-pruned kernel passes build the selection
+/// vector; residual conjuncts evaluate per surviving row. All of this is
+/// charge-free (the per-row WHERE units are bulk-charged by the caller) and
+/// infallible, so kernel order is unobservable.
+fn select_base(
+    t: &Table,
+    kernels: &[Kernel],
+    residual: &[CExpr],
+    counters: &Counters,
+) -> ExecResult<Vec<u32>> {
+    let n = t.n_rows();
+    let mut sel: Vec<u32> = Vec::new();
+    let mut zs = 0usize;
+    let mut zi = 0usize;
+    while zs < n {
+        let ze = (zs + ZONE_ROWS).min(n);
+        if kernels.iter().all(|k| k.zone_may_match(t, zi)) {
+            let mut cand: Vec<u32> = (zs as u32..ze as u32).collect();
+            for k in kernels {
+                if cand.is_empty() {
+                    break;
+                }
+                k.filter(t, &mut cand);
+            }
+            if !residual.is_empty() && !cand.is_empty() {
+                let mut keep = Vec::with_capacity(cand.len());
+                for &i in &cand {
+                    let view = TableRow { t, row: i as usize };
+                    if pass_all_view(counters, &view, residual)? {
+                        keep.push(i);
+                    }
+                }
+                cand = keep;
+            }
+            sel.extend(cand);
+        }
+        zs = ze;
+        zi += 1;
+    }
+    Ok(sel)
+}
+
+struct TableRow<'a> {
+    t: &'a Table,
+    row: usize,
+}
+
+impl RowView for TableRow<'_> {
+    fn cell(&self, i: usize) -> Value {
+        self.t.column(i).get(self.row)
+    }
+}
+
+fn pass_all_view<R: RowView + ?Sized>(
+    counters: &Counters,
+    row: &R,
+    preds: &[CExpr],
+) -> ExecResult<bool> {
+    for p in preds {
+        if ceval(counters, row, None, &[], p)?.truth() != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn retain_rel(rel: &mut Rel<'_>, preds: &[CExpr], counters: &Counters) -> ExecResult<()> {
+    let mut keep: Vec<usize> = Vec::with_capacity(rel.len);
+    for row in 0..rel.len {
+        if pass_all_view(counters, &RelRow { rel, row }, preds)? {
+            keep.push(row);
+        }
+    }
+    if keep.len() != rel.len {
+        for col in &mut rel.idx {
+            let mut out = Vec::with_capacity(keep.len());
+            for &r in &keep {
+                out.push(col[r]);
+            }
+            *col = out;
+        }
+        rel.len = keep.len();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// aggregation
+// ---------------------------------------------------------------------------
+
+fn exec_agg(
+    core: &CompiledCore,
+    agg: &AggPlan,
+    rel: &Rel<'_>,
+    counters: &Counters,
+    keyed: &mut Vec<(Vec<Value>, Vec<Value>)>,
+) -> ExecResult<()> {
+    // group rows by key, first-encounter order
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    if core.group_by.is_empty() {
+        groups.push((0..rel.len as u32).collect());
+    } else {
+        counters.charge(WorkOp::Group, rel.len as u64)?;
+        if !group_by_int_column(core, rel, &mut groups) {
+            let mut index: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+            for row in 0..rel.len {
+                let view = RelRow { rel, row };
+                let mut key = Vec::with_capacity(core.group_by.len());
+                for g in &core.group_by {
+                    key.push(ceval(counters, &view, None, &[], g)?.key_part());
+                }
+                let gi = *index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(row as u32);
+            }
+        }
+    }
+
+    for group in &groups {
+        counters.charge(WorkOp::Group, 1)?;
+        let glen = group.len() as u64;
+        // Lazy head: non-aggregate column references read straight from the
+        // columns of the group's first row instead of materializing the full
+        // joined row (most aggregate queries touch one or two grouped
+        // columns out of a wide relation).
+        let head = GroupHead { rel, row: group.first().map(|&r| r as usize) };
+        if let Some(having) = &agg.having {
+            counters.charge(WorkOp::Group, glen * argful(&agg.having_specs))?;
+            let pre = fold_specs(rel, group, &agg.having_specs, counters)?;
+            if ceval(counters, &head, None, &pre, having)?.truth() != Some(true) {
+                continue;
+            }
+        }
+        counters
+            .charge(WorkOp::Group, glen * (argful(&agg.item_specs) + argful(&agg.okey_specs)))?;
+        let pre_i = fold_specs(rel, group, &agg.item_specs, counters)?;
+        let mut out = Vec::with_capacity(agg.items.len());
+        for item in &agg.items {
+            match item {
+                CItem::Range(s, e) => out.extend((*s..*e).map(|off| head.cell(off))),
+                CItem::Expr(e) => out.push(ceval(counters, &head, None, &pre_i, e)?),
+            }
+        }
+        let pre_o = fold_specs(rel, group, &agg.okey_specs, counters)?;
+        let mut keys = Vec::with_capacity(agg.okeys.len());
+        for k in &agg.okeys {
+            keys.push(match k {
+                COrderKey::Projected(idx) => out[*idx].clone(),
+                COrderKey::Expr(e) => ceval(counters, &head, None, &pre_o, e)?,
+            });
+        }
+        keyed.push((keys, out));
+    }
+    Ok(())
+}
+
+/// Row view over a group's first row; an empty group (global aggregate over
+/// an empty relation) reads NULL for every column, matching the
+/// all-NULL head row the row-wise path synthesizes.
+struct GroupHead<'r, 'a> {
+    rel: &'r Rel<'a>,
+    row: Option<usize>,
+}
+
+impl RowView for GroupHead<'_, '_> {
+    fn cell(&self, i: usize) -> Value {
+        match self.row {
+            Some(r) => self.rel.cell(r, i),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Fast grouping for a single bare-column key over `Int` storage: hash raw
+/// `i64`s, with a dedicated NULL group (all NULLs group together, matching
+/// [`KeyPart::Null`]).
+fn group_by_int_column(core: &CompiledCore, rel: &Rel<'_>, groups: &mut Vec<Vec<u32>>) -> bool {
+    let [CExpr::Col(off)] = core.group_by.as_slice() else { return false };
+    let (t, c) = rel.locate(*off);
+    let col = rel.tables[t].column(c);
+    let ColumnData::Int(d) = col.data() else { return false };
+    let va = col.validity();
+    let ids = &rel.idx[t];
+    let mut index: IntMap<usize> = IntMap::default();
+    let mut null_g: Option<usize> = None;
+    for row in 0..rel.len {
+        let ri = ids[row];
+        let gi = if ri == SENT || !va.get(ri as usize) {
+            *null_g.get_or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            })
+        } else {
+            *index.entry(d[ri as usize]).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            })
+        };
+        groups[gi].push(row as u32);
+    }
+    true
+}
+
+/// Fold each pre-slot aggregate over the group's rows. Values gather in row
+/// order (float summation order is observable); NULL arguments are skipped
+/// exactly as the interpreter's per-row accumulation does.
+fn fold_specs(
+    rel: &Rel<'_>,
+    group: &[u32],
+    specs: &[AggSpec],
+    counters: &Counters,
+) -> ExecResult<Vec<Value>> {
+    let mut out = Vec::with_capacity(specs.len());
+    for s in specs {
+        match s {
+            AggSpec::CountStar => out.push(Value::Int(group.len() as i64)),
+            AggSpec::Fold { func, distinct, arg } => {
+                if !*distinct {
+                    if let CExpr::Col(off) = arg {
+                        if let Some(v) = fold_int_col(rel, group, *off, *func) {
+                            out.push(v);
+                            continue;
+                        }
+                    }
+                }
+                let mut vals = Vec::with_capacity(group.len());
+                for &row in group {
+                    let v = ceval(counters, &RelRow { rel, row: row as usize }, None, &[], arg)?;
+                    if !v.is_null() {
+                        vals.push(v);
+                    }
+                }
+                out.push(fold_aggregate(*func, vals, *distinct));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Column-at-a-time fold for a bare `Int`-storage column: no `Value`
+/// allocation per cell. Semantics mirror [`fold_aggregate`] over all-`Int`
+/// inputs: empty → NULL (except COUNT), SUM does checked `i64` addition and
+/// degrades to an in-order `f64` sum on overflow.
+fn fold_int_col(rel: &Rel<'_>, group: &[u32], off: usize, func: AggFunc) -> Option<Value> {
+    let (t, c) = rel.locate(off);
+    let col = rel.tables[t].column(c);
+    let ColumnData::Int(d) = col.data() else { return None };
+    let va = col.validity();
+    let ids = &rel.idx[t];
+    let valid = |row: u32| -> Option<i64> {
+        let ri = ids[row as usize];
+        if ri == SENT || !va.get(ri as usize) {
+            None
+        } else {
+            Some(d[ri as usize])
+        }
+    };
+    Some(match func {
+        AggFunc::Count => Value::Int(group.iter().filter(|&&r| valid(r).is_some()).count() as i64),
+        AggFunc::Min => match group.iter().filter_map(|&r| valid(r)).min() {
+            Some(v) => Value::Int(v),
+            None => Value::Null,
+        },
+        AggFunc::Max => match group.iter().filter_map(|&r| valid(r)).max() {
+            Some(v) => Value::Int(v),
+            None => Value::Null,
+        },
+        AggFunc::Sum => {
+            let mut any = false;
+            let mut acc: i64 = 0;
+            let mut overflow = false;
+            for &r in group {
+                let Some(v) = valid(r) else { continue };
+                any = true;
+                match acc.checked_add(v) {
+                    Some(s) => acc = s,
+                    None => {
+                        overflow = true;
+                        break;
+                    }
+                }
+            }
+            if !any {
+                Value::Null
+            } else if !overflow {
+                Value::Int(acc)
+            } else {
+                let sum: f64 = group.iter().filter_map(|&r| valid(r)).map(|v| v as f64).sum();
+                Value::Real(sum)
+            }
+        }
+        AggFunc::Avg => {
+            let mut n = 0u64;
+            let mut sum = 0f64;
+            for &r in group {
+                if let Some(v) = valid(r) {
+                    n += 1;
+                    sum += v as f64;
+                }
+            }
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Real(sum / n as f64)
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// projection (non-aggregate) with late materialization
+// ---------------------------------------------------------------------------
+
+fn exec_project(
+    core: &CompiledCore,
+    rel: &Rel<'_>,
+    counters: &Counters,
+) -> ExecResult<ResultSet> {
+    let project = |row: usize| -> ExecResult<Vec<Value>> {
+        let view = RelRow { rel, row };
+        let mut out = Vec::with_capacity(core.items.len());
+        for item in &core.items {
+            match item {
+                CItem::Range(s, e) => {
+                    for off in *s..*e {
+                        out.push(rel.cell(row, off));
+                    }
+                }
+                CItem::Expr(e) => out.push(ceval(counters, &view, None, &[], e)?),
+            }
+        }
+        Ok(out)
+    };
+
+    if core.distinct {
+        // DISTINCT needs every projected row up front; no late win here
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.len);
+        let mut seen = HashSet::new();
+        for row in 0..rel.len {
+            let out = project(row)?;
+            if !seen.insert(row_key_parts(&out)) {
+                continue;
+            }
+            let keys = order_keys_for(core, rel, row, &out, counters)?;
+            keyed.push((keys, out));
+        }
+        return finish(core, keyed);
+    }
+
+    if !core.order_keys.is_empty() {
+        // sort (keys, row-id), apply the limit, then materialize only the
+        // surviving window
+        let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rel.len);
+        for row in 0..rel.len {
+            let mut keys = Vec::with_capacity(core.order_keys.len());
+            for k in &core.order_keys {
+                keys.push(match k {
+                    COrderKey::Projected(idx) => projected_pos_value(core, rel, row, *idx, counters)?,
+                    COrderKey::Expr(e) => {
+                        ceval(counters, &RelRow { rel, row }, None, &[], e)?
+                    }
+                });
+            }
+            keyed.push((keys, row));
+        }
+        crate::exec::sort_keyed(&mut keyed, &core.order_desc);
+        let mut ids: Vec<usize> = keyed.into_iter().map(|(_, r)| r).collect();
+        if let Some(limit) = core.limit {
+            ids = crate::exec::apply_limit(ids, limit);
+        }
+        let mut rows = Vec::with_capacity(ids.len());
+        for row in ids {
+            rows.push(project(row)?);
+        }
+        return Ok(ResultSet {
+            columns: core.columns.clone(),
+            rows,
+            ordered: true,
+            work: 0,
+        });
+    }
+
+    let mut ids: Vec<usize> = (0..rel.len).collect();
+    if let Some(limit) = core.limit {
+        ids = crate::exec::apply_limit(ids, limit);
+    }
+    let mut rows = Vec::with_capacity(ids.len());
+    for row in ids {
+        rows.push(project(row)?);
+    }
+    Ok(ResultSet { columns: core.columns.clone(), rows, ordered: false, work: 0 })
+}
+
+fn order_keys_for(
+    core: &CompiledCore,
+    rel: &Rel<'_>,
+    row: usize,
+    projected: &[Value],
+    counters: &Counters,
+) -> ExecResult<Vec<Value>> {
+    let mut keys = Vec::with_capacity(core.order_keys.len());
+    for k in &core.order_keys {
+        keys.push(match k {
+            COrderKey::Projected(idx) => projected[*idx].clone(),
+            COrderKey::Expr(e) => ceval(counters, &RelRow { rel, row }, None, &[], e)?,
+        });
+    }
+    Ok(keys)
+}
+
+/// Value at flattened projected position `idx` without materializing the
+/// whole projected row (alias order keys resolve against the projected row
+/// in the row path; this reproduces that lookup cell-by-cell).
+fn projected_pos_value(
+    core: &CompiledCore,
+    rel: &Rel<'_>,
+    row: usize,
+    idx: usize,
+    counters: &Counters,
+) -> ExecResult<Value> {
+    let mut acc = 0usize;
+    for item in &core.items {
+        match item {
+            CItem::Range(s, e) => {
+                let w = e - s;
+                if idx < acc + w {
+                    return Ok(rel.cell(row, s + (idx - acc)));
+                }
+                acc += w;
+            }
+            CItem::Expr(e) => {
+                if idx == acc {
+                    return ceval(counters, &RelRow { rel, row }, None, &[], e);
+                }
+                acc += 1;
+            }
+        }
+    }
+    unreachable!("projected order-key index {idx} out of range");
+}
+
+/// DISTINCT / sort / limit tail shared with the aggregate path — identical
+/// to the row path's ending.
+fn finish(core: &CompiledCore, mut keyed: Vec<(Vec<Value>, Vec<Value>)>) -> ExecResult<ResultSet> {
+    if core.distinct {
+        let mut seen = HashSet::new();
+        keyed.retain(|(_, row)| seen.insert(row_key_parts(row)));
+    }
+    if !core.order_keys.is_empty() {
+        crate::exec::sort_keyed(&mut keyed, &core.order_desc);
+    }
+    let mut rows: Vec<Vec<Value>> = keyed.into_iter().map(|(_, r)| r).collect();
+    if let Some(limit) = core.limit {
+        rows = crate::exec::apply_limit(rows, limit);
+    }
+    Ok(ResultSet {
+        columns: core.columns.clone(),
+        rows,
+        ordered: !core.order_keys.is_empty(),
+        work: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TableBuilder;
+    use crate::plan::compile;
+    use crate::Database;
+
+    fn db() -> Database {
+        let mut db = Database::new("v");
+        let mut people = TableBuilder::new("people")
+            .column_int("id")
+            .column_text("name")
+            .column_int("dept")
+            .column_int("score");
+        for i in 0..600i64 {
+            let score = if i % 7 == 0 { Value::Null } else { Value::Int(i % 97) };
+            people = people.row(vec![
+                Value::Int(i),
+                Value::text(format!("p{i}")),
+                Value::Int(i % 5),
+                score,
+            ]);
+        }
+        db.add_table(people.build()).unwrap();
+        let mut depts = TableBuilder::new("depts").column_int("dno").column_text("dname");
+        for d in 0..4i64 {
+            depts = depts.row(vec![Value::Int(d), Value::text(format!("d{d}"))]);
+        }
+        db.add_table(depts.build()).unwrap();
+        db
+    }
+
+    fn assert_vec_parity(sql: &str) {
+        let db = db();
+        let q = sqlkit::parse_query(sql).expect("parse");
+        let plan = compile(&db, &q).expect("compiles");
+        let vec_rs = plan.execute(&db).expect("vectorized");
+        let row_rs = plan.execute_rowwise(&db).expect("rowwise");
+        let int_rs = crate::exec::execute(&db, &q).expect("interpreter");
+        assert_eq!(vec_rs.columns, row_rs.columns);
+        assert_eq!(format!("{:?}", vec_rs.rows), format!("{:?}", row_rs.rows), "{sql}");
+        assert_eq!(format!("{:?}", vec_rs.rows), format!("{:?}", int_rs.rows), "{sql}");
+        assert_eq!(vec_rs.work, row_rs.work, "work parity vs rowwise: {sql}");
+        assert_eq!(vec_rs.work, int_rs.work, "work parity vs interpreter: {sql}");
+        assert_eq!(vec_rs.ordered, int_rs.ordered);
+    }
+
+    #[test]
+    fn filter_scan_parity() {
+        assert_vec_parity("SELECT name FROM people WHERE score > 40");
+        assert_vec_parity("SELECT name FROM people WHERE score > 40 AND id < 300");
+        assert_vec_parity("SELECT name FROM people WHERE score BETWEEN 10 AND 20");
+        assert_vec_parity("SELECT name FROM people WHERE score NOT BETWEEN 10 AND 90");
+        assert_vec_parity("SELECT id FROM people WHERE score IS NULL");
+        assert_vec_parity("SELECT id FROM people WHERE name LIKE 'p1%'");
+        assert_vec_parity("SELECT id FROM people WHERE 50 < id");
+        assert_vec_parity("SELECT id FROM people WHERE id % 10 = 3");
+    }
+
+    #[test]
+    fn join_parity() {
+        assert_vec_parity(
+            "SELECT name, dname FROM people JOIN depts ON people.dept = depts.dno WHERE score > 50",
+        );
+        assert_vec_parity(
+            "SELECT name, dname FROM people LEFT JOIN depts ON people.dept = depts.dno",
+        );
+        assert_vec_parity(
+            "SELECT name, dname FROM people LEFT JOIN depts ON people.dept = depts.dno WHERE id < 100",
+        );
+        assert_vec_parity(
+            "SELECT name FROM people JOIN depts ON people.dept = depts.dno WHERE dname = 'd1'",
+        );
+    }
+
+    #[test]
+    fn aggregate_parity() {
+        assert_vec_parity("SELECT dept, COUNT(*), SUM(score) FROM people GROUP BY dept");
+        assert_vec_parity(
+            "SELECT dept, AVG(score) FROM people GROUP BY dept HAVING COUNT(*) > 100",
+        );
+        assert_vec_parity("SELECT MIN(score), MAX(score), COUNT(score) FROM people");
+        assert_vec_parity("SELECT COUNT(*) FROM people WHERE score IS NULL");
+        assert_vec_parity(
+            "SELECT name, SUM(score) FROM people GROUP BY name ORDER BY SUM(score) DESC LIMIT 5",
+        );
+        assert_vec_parity("SELECT dept, COUNT(DISTINCT score) FROM people GROUP BY dept");
+        assert_vec_parity("SELECT SUM(score) FROM people WHERE id > 1000");
+    }
+
+    #[test]
+    fn order_and_set_parity() {
+        assert_vec_parity("SELECT name, score FROM people ORDER BY score DESC, name LIMIT 7");
+        assert_vec_parity("SELECT id AS x FROM people ORDER BY x DESC LIMIT 3");
+        assert_vec_parity("SELECT DISTINCT dept FROM people ORDER BY dept");
+        assert_vec_parity(
+            "SELECT id FROM people WHERE score > 90 UNION SELECT dno FROM depts ORDER BY id",
+        );
+        assert_vec_parity("SELECT id FROM people WHERE id < 5 LIMIT 2");
+    }
+
+    #[test]
+    fn budget_trips_identically() {
+        let db = db();
+        let q = sqlkit::parse_query(
+            "SELECT dept, SUM(score) FROM people GROUP BY dept",
+        )
+        .unwrap();
+        let plan = compile(&db, &q).unwrap();
+        let full = plan.execute(&db).unwrap().work;
+        // one unit short of the total must trip both paths with the same error
+        let ve = plan.execute_with_budget(&db, full - 1).unwrap_err();
+        let ie = crate::exec::execute_with_budget(&db, &q, full - 1).unwrap_err();
+        assert_eq!(ve.to_string(), ie.to_string());
+        // and exactly the total succeeds
+        assert_eq!(plan.execute_with_budget(&db, full).unwrap().work, full);
+    }
+
+    #[test]
+    fn strictness_declines_conditional_aggregates() {
+        // an argful aggregate on the lazy side of AND has data-dependent
+        // charges: the shape must not vectorize (it still runs, via the
+        // row path, with identical results)
+        let db = db();
+        let q = sqlkit::parse_query(
+            "SELECT dept FROM people GROUP BY dept HAVING COUNT(*) > 100 AND SUM(score) > 0",
+        )
+        .unwrap();
+        let plan = compile(&db, &q).unwrap();
+        let a = plan.execute(&db).unwrap();
+        let b = crate::exec::execute(&db, &q).unwrap();
+        assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows));
+        assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn zone_pruning_skips_batches() {
+        // monotone ids: an equality probe touches exactly one zone; the
+        // result must still be identical to the unpruned paths
+        assert_vec_parity("SELECT name FROM people WHERE id = 431");
+        assert_vec_parity("SELECT name FROM people WHERE id > 590");
+        assert_vec_parity("SELECT COUNT(*) FROM people WHERE id <= 3");
+        assert_vec_parity("SELECT name FROM people WHERE id = -1");
+    }
+
+    #[test]
+    fn null_heavy_and_empty_tables() {
+        let mut db = Database::new("edge");
+        let mut t = TableBuilder::new("t").column_int("a").column_int("b");
+        for i in 0..300i64 {
+            t = t.row(vec![Value::Null, Value::Int(i)]);
+        }
+        db.add_table(t.build()).unwrap();
+        db.add_table(TableBuilder::new("e").column_int("x").build()).unwrap();
+        for sql in [
+            "SELECT COUNT(a), COUNT(*), SUM(a) FROM t",
+            "SELECT b FROM t WHERE a = 5",
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT SUM(x), COUNT(*) FROM e",
+            "SELECT x FROM e WHERE x > 0",
+        ] {
+            let q = sqlkit::parse_query(sql).unwrap();
+            let plan = compile(&db, &q).unwrap();
+            let a = plan.execute(&db).unwrap();
+            let b = crate::exec::execute(&db, &q).unwrap();
+            assert_eq!(format!("{:?}", a.rows), format!("{:?}", b.rows), "{sql}");
+            assert_eq!(a.work, b.work, "{sql}");
+        }
+    }
+}

@@ -94,10 +94,11 @@ pub fn match_db_content(db: &GeneratedDb, question: &str, limit: usize) -> Vec<C
                 return out;
             }
             // text columns only; scan distinct values
-            let mut seen: HashSet<&str> = HashSet::new();
-            for row in &t.rows {
-                if let Value::Text(s) = &row[ci] {
-                    if s.len() >= 3 && seen.insert(s) && q_lower.contains(&s.to_lowercase()) {
+            let column = t.column(ci);
+            let mut seen: HashSet<String> = HashSet::new();
+            for r in 0..t.n_rows() {
+                if let Value::Text(s) = column.get(r) {
+                    if s.len() >= 3 && seen.insert(s.clone()) && q_lower.contains(&s.to_lowercase()) {
                         out.push(ContentMatch {
                             table: t.schema.name.clone(),
                             column: col.name.clone(),

@@ -123,9 +123,22 @@ if [ "$cluster" -eq 1 ]; then
 fi
 
 if [ "$bench" -eq 1 ]; then
-  echo "==> bench_eval smoke (--quick)"
+  # Columnar parity first: the vectorized executor's unit tests plus the
+  # three-way (interpreter / row-wise compiled / columnar) differential
+  # proptests, including the NULL-dense and empty-table corpora. A perf
+  # number from an executor that diverges observationally is meaningless.
+  echo "==> columnar parity suite (minidb vector tests + plan_parity proptests)"
+  cargo test --offline --release -p minidb -q vector::
+  cargo test --offline --release -p datagen -q --test plan_parity
+
+  # --validate enforces the plan-section gates: compiled (row-wise and
+  # columnar) beats the interpreter on every microbench everywhere, and
+  # the aggregate columnar speedup reaches >= 5x on machines with >= 4
+  # cores (recorded, not enforced, below that — same arming policy as
+  # the other ratio gates).
+  echo "==> bench_eval smoke (--quick --validate)"
   cargo run --offline --release -p nl2sql360-bench --bin bench_eval -- \
-    --quick --out /tmp/BENCH_eval_smoke.json
+    --quick --out /tmp/BENCH_eval_smoke.json --validate
 fi
 
 echo "==> tier-1 gate passed"
