@@ -13,7 +13,7 @@ fn quick() -> bool {
     std::env::var_os("BENCH_QUICK").is_some()
 }
 
-/// `evaluate_parallel` throughput at 1/2/4/8 workers over one corpus.
+/// `evaluate_with` worker-pool throughput at 1/2/4/8 workers over one corpus.
 fn bench_parallel_evaluate(c: &mut Criterion) {
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(5));
     let ctx = EvalContext::new(&corpus);

@@ -3,7 +3,7 @@
 //! Measures two things:
 //!
 //! 1. **Parallel corpus evaluation**: samples/sec of
-//!    [`EvalContext::evaluate_parallel`] at 1/2/4/8 workers, plus the
+//!    [`EvalContext::evaluate_with`] at 1/2/4/8 workers, plus the
 //!    speedup over the 1-worker (sequential) run.
 //! 2. **Compiled query plans**: ns/op for the minidb AST interpreter vs
 //!    the compiled plan on join, group-by, order-by (with LIMIT), and
@@ -106,7 +106,7 @@ struct EvalPoint {
     speedup_vs_1: f64,
 }
 
-/// Best-of-`reps` wall time for one full `evaluate_parallel` pass.
+/// Best-of-`reps` wall time for one full `evaluate_with` pass.
 fn time_evaluate(ctx: &EvalContext<'_>, model: &SimulatedModel, workers: usize, reps: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {

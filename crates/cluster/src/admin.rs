@@ -1,130 +1,170 @@
-//! The scheduler's admin HTTP endpoint: the same minimal loopback
-//! HTTP/1.0 responder pattern as `serve::admin`, serving the cluster
-//! control plane instead of one engine's telemetry —
+//! The scheduler's admin HTTP endpoint, built on the same route table and
+//! HTTP plumbing as `serve::admin` ([`serve::http`]) —
 //!
-//! * `/metrics` — Prometheus text exposition of the cluster families
+//! * `GET /metrics` — Prometheus text exposition of the cluster families
 //!   (per-worker forwarded/requeued/reaped counters, forward latency,
 //!   membership gauges);
-//! * `/metrics.json` — the same registry as JSON;
-//! * `/workers` — the live member table (readiness, last-reported
+//! * `GET /metrics.json` — the same registry as JSON;
+//! * `GET /workers` — the live member table (readiness, last-reported
 //!   `/readyz` reason, heartbeat age, queue depths);
-//! * `/healthz` — process liveness;
-//! * `/readyz` — 200 while at least one worker is ready, 503 otherwise.
+//! * `GET /healthz` — process liveness;
+//! * `GET /readyz` — 200 while at least one worker is ready, 503 otherwise;
+//! * `POST /v1/sql` — NL translation forwarded through the full scheduler
+//!   path (consistent-hash ring, worker TCP, retries), same request and
+//!   refusal shapes as the per-engine `serve` endpoint. Raw-SQL bodies are
+//!   refused: the scheduler holds no databases.
 //!
-//! Scrapable with the same `serve::admin::http_get` client the loadgen
-//! and tests already use.
+//! Scrapable with the same `serve::admin::http_get`/`http_post` clients
+//! the loadgen and tests already use.
 
 use crate::scheduler::Inner;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use serve::http::{self, PathSpec, Request, Response, Route, Routed};
+use serve::{QueryError, QueryRequest};
+use std::net::TcpListener;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-const IO_TIMEOUT: Duration = Duration::from_millis(500);
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Largest request body the scheduler endpoint accepts.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Metrics,
+    MetricsJson,
+    Workers,
+    Healthz,
+    Readyz,
+    Sql,
+}
+
+const ROUTES: &[Route<Endpoint>] = &[
+    Route { method: "GET", path: PathSpec::Exact("/metrics"), handler: Endpoint::Metrics },
+    Route { method: "GET", path: PathSpec::Exact("/metrics.json"), handler: Endpoint::MetricsJson },
+    Route { method: "GET", path: PathSpec::Exact("/workers"), handler: Endpoint::Workers },
+    Route { method: "GET", path: PathSpec::Exact("/healthz"), handler: Endpoint::Healthz },
+    Route { method: "GET", path: PathSpec::Exact("/readyz"), handler: Endpoint::Readyz },
+    Route { method: "POST", path: PathSpec::Exact("/v1/sql"), handler: Endpoint::Sql },
+];
 
 /// Accept-and-respond loop; exits when the scheduler stops.
 pub(crate) fn run(listener: TcpListener, inner: Arc<Inner>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = handle_connection(stream, &inner);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                if inner.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => {
-                if inner.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-        }
-    }
+    http::serve_loop(
+        listener,
+        || inner.stop.load(Ordering::SeqCst),
+        MAX_BODY_BYTES,
+        |req| respond(req, &inner),
+    );
 }
 
-fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
-        }
+fn respond(req: &Request, inner: &Arc<Inner>) -> Response {
+    let outcome = http::route(ROUTES, &req.method, &req.path);
+    if let Some(refused) = http::refusal(&outcome, &req.path) {
+        return refused;
     }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = respond(method, target, inner);
-    write_response(&mut stream, status, content_type, &body)
-}
-
-fn respond(method: &str, target: &str, inner: &Arc<Inner>) -> (u16, &'static str, String) {
-    if method != "GET" {
-        return (405, "text/plain; charset=utf-8", "method not allowed\n".to_string());
-    }
-    let path = target.split('?').next().unwrap_or("");
-    match path {
-        "/metrics" => {
+    let Routed::Matched { handler, .. } = outcome else {
+        return Response::json_error(500, "unroutable request");
+    };
+    match handler {
+        Endpoint::Metrics => {
             inner.refresh_gauges();
-            (
-                200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                inner.metrics.registry.render_prometheus(),
-            )
+            Response::prometheus(inner.metrics.registry.render_prometheus())
         }
-        "/metrics.json" => {
+        Endpoint::MetricsJson => {
             inner.refresh_gauges();
-            (200, "application/json", inner.metrics.registry.render_json())
+            Response::json(200, inner.metrics.registry.render_json())
         }
-        "/workers" => {
+        Endpoint::Workers => {
             let workers = inner.workers();
-            let json = serde_json::to_string(&workers).unwrap_or_else(|_| "[]".to_string());
-            (200, "application/json", json)
+            Response::json(200, serde_json::to_string(&workers).unwrap_or_else(|_| "[]".into()))
         }
-        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
-        "/readyz" => {
+        Endpoint::Healthz => Response::text(200, "ok\n"),
+        Endpoint::Readyz => {
             let ready = inner.ready_workers();
             if ready > 0 {
-                (200, "text/plain; charset=utf-8", format!("ready ({ready} worker(s))\n"))
+                Response::text(200, format!("ready ({ready} worker(s))\n"))
             } else {
-                (503, "text/plain; charset=utf-8", "no ready workers\n".to_string())
+                Response::text(503, "no ready workers\n")
             }
         }
-        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+        Endpoint::Sql => post_sql(req, inner),
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Unknown",
+/// `POST /v1/sql`: parse the NL form, forward through the scheduler, and
+/// answer with the worker's verdict. The scheduler holds no databases, so
+/// raw-SQL bodies are redirected to a worker's own endpoint.
+fn post_sql(req: &Request, inner: &Arc<Inner>) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::json_error(400, "body is not UTF-8");
     };
-    let head = format!(
-        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    if text.is_empty() {
+        return Response::json_error(400, "missing JSON body");
+    }
+    let body: serde::Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Response::json_error(400, &format!("malformed JSON body: {e}")),
+    };
+    if body.get("sql").is_some() {
+        return Response::json_error(
+            400,
+            "the scheduler forwards NL requests only; POST raw SQL to a worker's /v1/sql",
+        );
+    }
+    let (Some(question), Some(db_id), Some(method)) =
+        (str_field(&body, "question"), str_field(&body, "db_id"), str_field(&body, "method"))
+    else {
+        return Response::json_error(
+            400,
+            "NL requests need \"question\", \"db_id\", and \"method\" strings",
+        );
+    };
+    let deadline = match body.get("deadline_ms") {
+        None | Some(serde::Value::Null) => None,
+        Some(serde::Value::Int(ms)) if *ms >= 0 => Some(Duration::from_millis(*ms as u64)),
+        Some(_) => {
+            return Response::json_error(400, "\"deadline_ms\" must be a non-negative integer")
+        }
+    };
+    let request = QueryRequest {
+        method: method.to_string(),
+        db_id: db_id.to_string(),
+        question: question.to_string(),
+        deadline,
+    };
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    inner.submit_job(0, tx, request);
+    let reply = match rx.recv() {
+        Ok((_, reply)) => reply,
+        Err(_) => Err(QueryError::Internal),
+    };
+    match reply {
+        Err(e) => Response::json_error(e.http_status(), &e.to_string()),
+        Ok(resp) => {
+            let out = serde::Value::Map(vec![
+                ("ex".to_string(), serde::Value::Bool(resp.ex)),
+                ("em".to_string(), serde::Value::Bool(resp.em)),
+                ("pred_sql".to_string(), serde::Value::Str(resp.pred_sql.clone())),
+                (
+                    "exec_failure".to_string(),
+                    resp.exec_failure
+                        .map_or(serde::Value::Null, |k| serde::Value::Str(k.label().to_string())),
+                ),
+                ("cache_hit".to_string(), serde::Value::Bool(resp.cache_hit)),
+                ("batch_size".to_string(), serde::Value::Int(resp.batch_size as i64)),
+                (
+                    "latency_us".to_string(),
+                    serde::Value::Int(resp.latency.as_micros() as i64),
+                ),
+            ]);
+            Response::json(200, serde_json::to_string(&out).unwrap_or_default())
+        }
+    }
+}
+
+fn str_field<'v>(v: &'v serde::Value, key: &str) -> Option<&'v str> {
+    match v.get(key) {
+        Some(serde::Value::Str(s)) => Some(s),
+        _ => None,
+    }
 }

@@ -237,14 +237,14 @@ impl Column {
     /// type does not fit (dynamic typing tolerated, kernels lost).
     pub fn push(&mut self, v: Value) {
         let i = self.validity.len();
-        let fits = match (&self.data, &v) {
-            (_, Value::Null) => true,
-            (ColumnData::Int(_), Value::Int(_)) => true,
-            (ColumnData::Real(_), Value::Real(_)) => true,
-            (ColumnData::Text(_), Value::Text(_)) => true,
-            (ColumnData::Mixed(_), _) => true,
-            _ => false,
-        };
+        let fits = matches!(
+            (&self.data, &v),
+            (_, Value::Null)
+                | (ColumnData::Int(_), Value::Int(_))
+                | (ColumnData::Real(_), Value::Real(_))
+                | (ColumnData::Text(_), Value::Text(_))
+                | (ColumnData::Mixed(_), _)
+        );
         if !fits {
             self.promote_to_mixed();
         }
@@ -337,7 +337,7 @@ mod tests {
 
     #[test]
     fn zone_maps_track_min_max_per_batch() {
-        let vals: Vec<Value> = (0..300).map(|i| Value::Int(i)).collect();
+        let vals: Vec<Value> = (0..300).map(Value::Int).collect();
         let c = Column::from_values(ColumnType::Integer, &vals);
         let Some(Zones::Int(zs)) = c.zones() else { panic!("int zones") };
         assert_eq!(zs.len(), 3);

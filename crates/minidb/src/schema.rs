@@ -35,13 +35,13 @@ impl ColumnType {
     /// ingest by [`crate::database::Database::insert`] / `add_table`.
     pub fn accepts(&self, v: &crate::value::Value) -> bool {
         use crate::value::Value;
-        match (self, v) {
-            (_, Value::Null) => true,
-            (ColumnType::Integer, Value::Int(_)) => true,
-            (ColumnType::Real, Value::Int(_) | Value::Real(_)) => true,
-            (ColumnType::Text, Value::Text(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Integer, Value::Int(_))
+                | (ColumnType::Real, Value::Int(_) | Value::Real(_))
+                | (ColumnType::Text, Value::Text(_))
+        )
     }
 }
 

@@ -963,8 +963,7 @@ fn group_by_int_column(core: &CompiledCore, rel: &Rel<'_>, groups: &mut Vec<Vec<
     let ids = &rel.idx[t];
     let mut index: IntMap<usize> = IntMap::default();
     let mut null_g: Option<usize> = None;
-    for row in 0..rel.len {
-        let ri = ids[row];
+    for (row, &ri) in ids.iter().enumerate().take(rel.len) {
         let gi = if ri == SENT || !va.get(ri as usize) {
             *null_g.get_or_insert_with(|| {
                 groups.push(Vec::new());

@@ -398,9 +398,8 @@ impl<'a> EvalContext<'a> {
 
     /// Evaluate one model according to `opts` — the single evaluation entry
     /// point. [`EvalOptions::default`] means: full dev split, worker pool
-    /// sized by [`default_workers`], no tracing — identical to what the
-    /// deprecated `evaluate` did. Returns `None` when the model does not
-    /// run on this dataset.
+    /// sized by [`default_workers`], no tracing. Returns `None` when the
+    /// model does not run on this dataset.
     pub fn evaluate_with(&self, model: &dyn Nl2SqlModel, opts: &EvalOptions) -> Option<EvalLog> {
         // The guard must outlive the run span so the span is recorded.
         let _trace = opts.trace.then(obs::enable);
@@ -408,36 +407,6 @@ impl<'a> EvalContext<'a> {
         let n = opts.subset.unwrap_or(usize::MAX).min(self.corpus.dev.len());
         let workers = opts.workers.unwrap_or_else(default_workers);
         self.run_eval(model, n, workers, opts.static_check)
-    }
-
-    /// Evaluate one model over the full dev split (all NL variants).
-    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new())")]
-    pub fn evaluate(&self, model: &dyn Nl2SqlModel) -> Option<EvalLog> {
-        self.evaluate_with(model, &EvalOptions::new())
-    }
-
-    /// Evaluate on the first `n` dev samples (used by quick experiments).
-    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().subset(n))")]
-    pub fn evaluate_subset(&self, model: &dyn Nl2SqlModel, n: usize) -> Option<EvalLog> {
-        self.evaluate_with(model, &EvalOptions::new().subset(n))
-    }
-
-    /// Evaluate the full dev split over a worker pool.
-    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().workers(w))")]
-    pub fn evaluate_parallel(&self, model: &dyn Nl2SqlModel, workers: usize) -> Option<EvalLog> {
-        self.evaluate_with(model, &EvalOptions::new().workers(workers))
-    }
-
-    /// Parallel evaluation of the first `n` dev samples over `workers`
-    /// threads.
-    #[deprecated(note = "use evaluate_with(model, &EvalOptions::new().subset(n).workers(w))")]
-    pub fn evaluate_subset_parallel(
-        &self,
-        model: &dyn Nl2SqlModel,
-        n: usize,
-        workers: usize,
-    ) -> Option<EvalLog> {
-        self.evaluate_with(model, &EvalOptions::new().subset(n).workers(workers))
     }
 
     /// Evaluation core shared by every [`evaluate_with`] path. Samples are

@@ -44,6 +44,7 @@ pub mod logs;
 pub mod metrics;
 pub mod pipeline;
 pub mod report;
+pub mod store;
 
 pub use aas::{search, search_with_workers, AasConfig, AasResult};
 pub use diagnose::{
@@ -63,3 +64,4 @@ pub use filter::{CountBucket, Filter};
 pub use logs::LogStore;
 pub use pipeline::{compose, gpt35, gpt4, Backbone};
 pub use report::{fmt_opt, fmt_pct, render_series, TextTable};
+pub use store::EvalStore;

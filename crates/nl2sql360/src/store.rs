@@ -1,0 +1,357 @@
+//! Eval runs as queryable `minidb` tables.
+//!
+//! The paper's leaderboards and diagnose cross-tabs are views over
+//! evaluation logs; this module gives those logs a storage substrate the
+//! engine itself can query. Every completed [`EvalLog`] becomes one row in
+//! `eval_runs` plus one row per (sample, variant) in `eval_results`, and
+//! the report paths that used to walk `EvalLog` structs become plain SQL
+//! executed by `minidb` — the same engine the evaluations score. The serve
+//! crate exposes the store over `POST /v1/sql`, so a run launched through
+//! `POST /v1/evals/<corpus>` is immediately queryable over HTTP.
+//!
+//! Determinism: the schema deliberately carries no wall-clock columns.
+//! Everything stored is derived from the `EvalLog` alone, which is
+//! byte-identical at any worker count — so whole-table dumps are stable
+//! across runs and concurrency, which is what the serve crate's
+//! eval-vs-traffic isolation pin compares.
+
+use crate::executor::{EvalLog, ExecFailureKind};
+use crate::filter::Filter;
+use crate::metrics;
+use crate::report::{fmt_pct, TextTable};
+use minidb::{Database, ExecError, ExecResult, ResultSet, TableBuilder, Value};
+
+/// Name of the per-run summary table.
+pub const RUNS_TABLE: &str = "eval_runs";
+/// Name of the per-(sample, variant) outcome table.
+pub const RESULTS_TABLE: &str = "eval_results";
+
+/// A `minidb` database holding evaluation runs as queryable tables.
+///
+/// Run ids are assigned sequentially starting at 1, in insertion order —
+/// which is what lets SQL reproduce the legacy leaderboard's stable tie
+/// order (`ORDER BY ... DESC, run_id`).
+pub struct EvalStore {
+    db: Database,
+    next_run_id: i64,
+}
+
+impl Default for EvalStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalStore {
+    /// An empty store with both tables created.
+    pub fn new() -> Self {
+        let mut db = Database::new("evals");
+        db.add_table(
+            TableBuilder::new(RUNS_TABLE)
+                .column_int("run_id")
+                .column_text("method")
+                .column_text("class")
+                .column_text("dataset")
+                .column_text("corpus")
+                .column_int("samples")
+                .column_int("variants")
+                .column_real("ex")
+                .column_real("em")
+                .column_real("qvt")
+                .column_real("ves")
+                .column_real("avg_latency_s")
+                .column_real("avg_cost_usd")
+                .build(),
+        )
+        .expect("eval_runs schema is valid");
+        db.add_table(
+            TableBuilder::new(RESULTS_TABLE)
+                .column_int("run_id")
+                .column_int("sample_id")
+                .column_int("variant")
+                .column_text("db_id")
+                .column_text("hardness")
+                .column_text("difficulty")
+                .column_int("ex")
+                .column_int("em")
+                .column_text("pred_sql")
+                .column_int("gold_work")
+                .column_int("pred_work")
+                .column_int("exec_failure")
+                .column_text("exec_failure_label")
+                .column_int("static_clean")
+                .column_text("static_rules")
+                .column_int("prompt_tokens")
+                .column_int("completion_tokens")
+                .column_real("cost_usd")
+                .column_real("latency_s")
+                .build(),
+        )
+        .expect("eval_results schema is valid");
+        EvalStore { db, next_run_id: 1 }
+    }
+
+    /// Persist one completed run under `corpus_label` (what the API caller
+    /// named the corpus, e.g. "spider"). Returns the assigned run id.
+    ///
+    /// `exec_failure` is stored as the kind's declaration index
+    /// (`kind as i64`), so `ORDER BY exec_failure` reproduces the
+    /// `BTreeMap<ExecFailureKind>` iteration order the legacy diagnose
+    /// profile uses; `exec_failure_label` carries the human label
+    /// alongside for ad-hoc queries.
+    pub fn insert_run(&mut self, log: &EvalLog, corpus_label: &str) -> ExecResult<i64> {
+        let run_id = self.next_run_id;
+        let filter = Filter::all();
+        let mut result_rows = Vec::new();
+        for rec in &log.records {
+            for (v_idx, v) in rec.variants.iter().enumerate() {
+                let verdict = v.static_verdict.as_ref();
+                result_rows.push(vec![
+                    Value::Int(run_id),
+                    Value::Int(rec.sample_id as i64),
+                    Value::Int(v_idx as i64),
+                    Value::text(&rec.db_id),
+                    Value::text(rec.hardness.label()),
+                    Value::text(rec.bird_difficulty.label()),
+                    Value::Int(v.ex as i64),
+                    Value::Int(v.em as i64),
+                    Value::text(&v.pred_sql),
+                    Value::Int(rec.gold_work as i64),
+                    v.pred_work.map_or(Value::Null, |w| Value::Int(w as i64)),
+                    v.exec_failure.map_or(Value::Null, |k| Value::Int(k as i64)),
+                    v.exec_failure.map_or(Value::Null, |k| Value::text(k.label())),
+                    verdict.map_or(Value::Null, |s| Value::Int(s.clean as i64)),
+                    verdict.map_or(Value::Null, |s| Value::text(s.rules.join(","))),
+                    Value::Int(v.prompt_tokens as i64),
+                    Value::Int(v.completion_tokens as i64),
+                    Value::Real(v.cost_usd),
+                    Value::Real(v.latency_s),
+                ]);
+            }
+        }
+        let variants: i64 = log.records.iter().map(|r| r.variants.len() as i64).sum();
+        let run_row = vec![
+            Value::Int(run_id),
+            Value::text(&log.method),
+            Value::text(&log.class_label),
+            Value::text(&log.dataset),
+            Value::text(corpus_label),
+            Value::Int(log.records.len() as i64),
+            Value::Int(variants),
+            opt_real(metrics::ex(log, &filter)),
+            opt_real(metrics::em(log, &filter)),
+            opt_real(metrics::qvt(log, &filter)),
+            opt_real(metrics::ves(log, &filter)),
+            opt_real(metrics::avg_latency(log, &filter)),
+            opt_real(metrics::avg_cost(log, &filter)),
+        ];
+        // Results first, summary last: the eval_runs row is the commit
+        // marker, so a query joining through it never sees a partial run.
+        self.db.insert(RESULTS_TABLE, result_rows)?;
+        self.db.insert(RUNS_TABLE, vec![run_row])?;
+        self.next_run_id += 1;
+        Ok(run_id)
+    }
+
+    /// Run raw SQL against the store.
+    pub fn sql(&self, sql: &str) -> ExecResult<ResultSet> {
+        self.db.run(sql)
+    }
+
+    /// The underlying database (for catalogs and schema dumps).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of persisted runs.
+    pub fn run_count(&self) -> usize {
+        (self.next_run_id - 1) as usize
+    }
+
+    /// The accuracy leaderboard as a SQL aggregation over the stored
+    /// tables, rendered byte-identical to
+    /// [`crate::evaluator::render_accuracy_leaderboard`] over the same
+    /// logs with [`Filter::all`] (test-pinned): EX/EM are recomputed by
+    /// the engine from per-sample rows (`AVG(ex) * 100` over canonical
+    /// variants — the same float expression the metrics module evaluates),
+    /// and ties keep insertion order via the `run_id` sort key, matching
+    /// the legacy stable sort.
+    pub fn sql_accuracy_leaderboard(&self, dataset: &str) -> ExecResult<String> {
+        if dataset.contains('\'') {
+            return Err(ExecError::Unsupported(format!("bad dataset label: {dataset}")));
+        }
+        let rs = self.db.run(&format!(
+            "SELECT r.method, r.class, AVG(s.ex) * 100, AVG(s.em) * 100 \
+             FROM {RUNS_TABLE} AS r JOIN {RESULTS_TABLE} AS s ON r.run_id = s.run_id \
+             WHERE s.variant = 0 AND r.dataset = '{dataset}' \
+             GROUP BY r.run_id, r.method, r.class \
+             ORDER BY AVG(s.ex) * 100 DESC, r.run_id"
+        ))?;
+        let mut table = TextTable::new(&["Method", "Class", "EX", "EM"]);
+        for row in &rs.rows {
+            table.row(vec![
+                text_cell(&row[0]),
+                text_cell(&row[1]),
+                fmt_pct(row[2].as_f64()),
+                fmt_pct(row[3].as_f64()),
+            ]);
+        }
+        Ok(table.render())
+    }
+
+    /// Execution-failure profile of one run as a SQL aggregation,
+    /// identical to [`crate::diagnose::exec_failure_profile`] over the
+    /// log the run was persisted from (test-pinned). `GROUP BY` + `ORDER
+    /// BY` the stored kind index reproduces the legacy `BTreeMap`
+    /// declaration-order iteration.
+    pub fn sql_exec_failure_profile(
+        &self,
+        run_id: i64,
+    ) -> ExecResult<Vec<(ExecFailureKind, usize)>> {
+        let rs = self.db.run(&format!(
+            "SELECT exec_failure, COUNT(*) FROM {RESULTS_TABLE} \
+             WHERE run_id = {run_id} AND exec_failure IS NOT NULL \
+             GROUP BY exec_failure ORDER BY exec_failure"
+        ))?;
+        rs.rows
+            .iter()
+            .map(|row| {
+                let idx = match row[0] {
+                    Value::Int(i) if (i as usize) < ExecFailureKind::ALL.len() => i as usize,
+                    ref other => {
+                        return Err(ExecError::Type(format!(
+                            "exec_failure index out of range: {other:?}"
+                        )))
+                    }
+                };
+                let n = match row[1] {
+                    Value::Int(n) => n as usize,
+                    ref other => {
+                        return Err(ExecError::Type(format!("COUNT(*) not an int: {other:?}")))
+                    }
+                };
+                Ok((ExecFailureKind::ALL[idx], n))
+            })
+            .collect()
+    }
+}
+
+fn opt_real(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Real)
+}
+
+fn text_cell(v: &Value) -> String {
+    match v {
+        Value::Text(s) => s.clone(),
+        other => format!("{other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::exec_failure_profile;
+    use crate::evaluator::render_accuracy_leaderboard;
+    use crate::executor::{EvalContext, EvalOptions};
+    use datagen::{generate_corpus, CorpusConfig, CorpusKind};
+    use modelzoo::{method_by_name, SimulatedModel};
+
+    fn logs_for(names: &[&str], seed: u64) -> (Vec<EvalLog>, EvalStore) {
+        let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(seed));
+        let ctx = EvalContext::new(&corpus);
+        let mut store = EvalStore::new();
+        let mut logs = Vec::new();
+        for name in names {
+            let m = SimulatedModel::new(method_by_name(name).expect("registered"));
+            let log = ctx
+                .evaluate_with(&m, &EvalOptions::new().subset(40).static_check(true))
+                .expect("model runs on Spider");
+            store.insert_run(&log, "spider").expect("insert");
+            logs.push(log);
+        }
+        (logs, store)
+    }
+
+    #[test]
+    fn runs_and_results_row_counts_match_the_log() {
+        let (logs, store) = logs_for(&["C3SQL"], 41);
+        let runs = store.sql("SELECT COUNT(*) FROM eval_runs").unwrap();
+        assert_eq!(runs.rows[0][0], Value::Int(1));
+        let expected: i64 = logs[0].records.iter().map(|r| r.variants.len() as i64).sum();
+        let results = store.sql("SELECT COUNT(*) FROM eval_results").unwrap();
+        assert_eq!(results.rows[0][0], Value::Int(expected));
+        assert_eq!(store.run_count(), 1);
+    }
+
+    #[test]
+    fn run_summary_row_matches_the_metrics_module() {
+        let (logs, store) = logs_for(&["DAILSQL"], 43);
+        let rs = store
+            .sql("SELECT ex, em, ves, samples FROM eval_runs WHERE run_id = 1")
+            .unwrap();
+        let row = &rs.rows[0];
+        let filter = Filter::all();
+        assert_eq!(row[0], Value::Real(metrics::ex(&logs[0], &filter).unwrap()));
+        assert_eq!(row[1], Value::Real(metrics::em(&logs[0], &filter).unwrap()));
+        assert_eq!(row[2], Value::Real(metrics::ves(&logs[0], &filter).unwrap()));
+        assert_eq!(row[3], Value::Int(logs[0].records.len() as i64));
+    }
+
+    #[test]
+    fn sql_leaderboard_is_byte_identical_to_the_legacy_report() {
+        let (logs, store) = logs_for(&["C3SQL", "DAILSQL", "SFT CodeS-7B", "SuperSQL"], 47);
+        let legacy = render_accuracy_leaderboard(&logs, &Filter::all());
+        let via_sql = store.sql_accuracy_leaderboard("Spider").unwrap();
+        assert_eq!(legacy, via_sql, "SQL-backed leaderboard diverged from report.rs");
+    }
+
+    #[test]
+    fn sql_exec_failure_profile_is_identical_to_diagnose() {
+        let (logs, store) = logs_for(&["C3SQL", "RESDSQL-3B"], 53);
+        for (i, log) in logs.iter().enumerate() {
+            let legacy = exec_failure_profile(log);
+            assert!(!legacy.is_empty(), "corpus 53 must produce some exec failures");
+            let via_sql = store.sql_exec_failure_profile(i as i64 + 1).unwrap();
+            assert_eq!(legacy, via_sql, "run {} profile diverged from diagnose.rs", i + 1);
+        }
+    }
+
+    #[test]
+    fn static_verdicts_and_failure_kinds_round_trip_through_sql() {
+        let (logs, store) = logs_for(&["C3SQL"], 59);
+        // every stored failure index maps back to its label
+        let rs = store
+            .sql(
+                "SELECT exec_failure, exec_failure_label FROM eval_results \
+                 WHERE exec_failure IS NOT NULL",
+            )
+            .unwrap();
+        assert!(!rs.rows.is_empty());
+        for row in &rs.rows {
+            let (Value::Int(idx), Value::Text(label)) = (&row[0], &row[1]) else {
+                panic!("unexpected row shape: {row:?}");
+            };
+            assert_eq!(ExecFailureKind::ALL[*idx as usize].label(), label);
+        }
+        // static_clean aggregates match a direct walk over the log
+        let clean_sql = store
+            .sql("SELECT COUNT(*) FROM eval_results WHERE static_clean = 1")
+            .unwrap();
+        let clean_direct = logs[0]
+            .records
+            .iter()
+            .flat_map(|r| &r.variants)
+            .filter(|v| v.static_verdict.as_ref().is_some_and(|s| s.clean))
+            .count() as i64;
+        assert_eq!(clean_sql.rows[0][0], Value::Int(clean_direct));
+    }
+
+    #[test]
+    fn leaderboard_rejects_unescapable_dataset_labels() {
+        let store = EvalStore::new();
+        assert!(store.sql_accuracy_leaderboard("x' OR '1'='1").is_err());
+        // empty store renders an empty (header-only) table
+        let rendered = store.sql_accuracy_leaderboard("Spider").unwrap();
+        assert!(rendered.starts_with("Method"));
+    }
+}

@@ -75,23 +75,37 @@ fn emit_metrics_path_is_outcome_neutral() {
     }
 }
 
+/// `evaluate_with` is the single entry point (the pre-`EvalOptions` shims
+/// are gone): every option combination a shim used to spell must stay
+/// byte-equivalent to the canonical builder chain, so callers migrated off
+/// the shims keep identical logs.
 #[test]
-fn deprecated_entry_points_match_evaluate_with() {
+fn option_combinations_are_byte_equivalent_to_the_canonical_chain() {
     let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(23));
     let ctx = EvalContext::new(&corpus);
     let model = modelzoo::SimulatedModel::new(method_by_name("C3SQL").unwrap());
 
-    let via_options = serde_json::to_string(
+    let canonical = serde_json::to_string(
         &ctx.evaluate_with(&model, &EvalOptions::new().subset(12)).expect("runs"),
     )
     .unwrap();
-    #[allow(deprecated)]
-    let via_shims = [
-        serde_json::to_string(&ctx.evaluate_subset(&model, 12).expect("runs")).unwrap(),
-        serde_json::to_string(&ctx.evaluate_subset_parallel(&model, 12, 3).expect("runs")).unwrap(),
+    // the spellings the removed evaluate/evaluate_subset[_parallel] shims
+    // forwarded to, plus setter-order permutations
+    let equivalents = [
+        EvalOptions::new().subset(12).workers(1),
+        EvalOptions::new().subset(12).workers(3),
+        EvalOptions::new().workers(3).subset(12),
+        EvalOptions::default().subset(12),
     ];
-    for shim in via_shims {
-        assert_eq!(via_options, shim, "shims must stay byte-equivalent to evaluate_with");
+    for (i, opts) in equivalents.iter().enumerate() {
+        let log = serde_json::to_string(&ctx.evaluate_with(&model, opts).expect("runs")).unwrap();
+        assert_eq!(canonical, log, "option spelling {i} diverged from the canonical chain");
     }
+    // a subset larger than the split clamps instead of erroring, like the
+    // old subset shim did
+    let clamped = ctx
+        .evaluate_with(&model, &EvalOptions::new().subset(corpus.dev.len() + 100))
+        .expect("runs");
+    assert_eq!(clamped.records.len(), corpus.dev.len());
 }

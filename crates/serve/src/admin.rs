@@ -1,149 +1,27 @@
-//! Loopback admin endpoint: a minimal HTTP/1.0 responder over
-//! `std::net::TcpListener` serving the scrape and health surface —
-//! `/metrics` (Prometheus text exposition), `/metrics.json`, `/healthz`,
-//! `/readyz`, and `/slow`. One short-lived connection per request,
-//! `Connection: close`, no keep-alive, no external HTTP stack: exactly
-//! enough protocol for `curl`, a Prometheus scraper, and the tests.
+//! Loopback HTTP endpoint: the admin/scrape surface (`/metrics`,
+//! `/metrics.json`, `/healthz`, `/readyz`, `/slow`) and the versioned
+//! `/v1` API (`POST /v1/sql`, `POST /v1/evals/<corpus>`, `GET /v1/evals`)
+//! on one listener, dispatched through the shared route table in
+//! [`crate::api`] over the plumbing in [`crate::http`].
 //!
 //! The listener runs nonblocking inside the service's thread scope and
 //! polls with a short sleep, so it needs no extra signaling to notice
 //! shutdown; it exits once the service closure has returned.
 
-use crate::Inner;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::{http, Inner};
+use nl2sql360::EvalContext;
+use std::net::TcpListener;
 use std::sync::atomic::Ordering;
-use std::time::Duration;
 
-/// Poll interval of the nonblocking accept loop.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Per-connection read/write timeout; an admin client that stalls longer
-/// is dropped so it cannot wedge the endpoint.
-const IO_TIMEOUT: Duration = Duration::from_millis(500);
-/// Upper bound on the request head we are willing to buffer.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+pub use crate::http::{http_get, http_post};
 
 /// Accept-and-respond loop; runs on its own scoped thread until the
 /// service closure returns.
-pub(crate) fn run(listener: TcpListener, inner: &Inner) {
-    listener.set_nonblocking(true).expect("admin listener nonblocking");
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Best-effort: an admin client dying mid-response must not
-                // take the endpoint down.
-                let _ = handle_connection(stream, inner);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                if inner.admin_stop.load(Ordering::Acquire) {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => {
-                if inner.admin_stop.load(Ordering::Acquire) {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_POLL);
-            }
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, inner: &Inner) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 1024];
-    // Read until the end of the request head; GET requests have no body.
-    loop {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, content_type, body) = respond(method, target, inner);
-    write_response(&mut stream, status, content_type, &body)
-}
-
-/// Route one request to its response (status, content type, body).
-fn respond(method: &str, target: &str, inner: &Inner) -> (u16, &'static str, String) {
-    if method != "GET" {
-        return (405, "text/plain; charset=utf-8", "method not allowed\n".to_string());
-    }
-    // Ignore any query string; the surface takes no parameters.
-    let path = target.split('?').next().unwrap_or("");
-    match path {
-        "/metrics" => {
-            (200, "text/plain; version=0.0.4; charset=utf-8", inner.metrics_text())
-        }
-        "/metrics.json" => {
-            inner.refresh_gauges();
-            (200, "application/json", inner.telemetry.registry.render_json())
-        }
-        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
-        "/readyz" => match inner.readiness() {
-            Ok(()) => (200, "text/plain; charset=utf-8", "ready\n".to_string()),
-            Err(why) => (503, "text/plain; charset=utf-8", format!("{why}\n")),
-        },
-        "/slow" => {
-            let entries = inner.telemetry.slow.entries();
-            let json = serde_json::to_string(&entries)
-                .unwrap_or_else(|_| "[]".to_string());
-            (200, "application/json", json)
-        }
-        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
-    }
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    };
-    let head = format!(
-        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+pub(crate) fn run(listener: TcpListener, inner: &Inner, ctx: &EvalContext<'_>) {
+    http::serve_loop(
+        listener,
+        || inner.admin_stop.load(Ordering::Acquire),
+        inner.config.max_body_bytes,
+        |req| crate::api::respond(req, inner, ctx),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// Minimal blocking HTTP GET against the admin endpoint; returns
-/// `(status, body)`. Shared by the integration tests and
-/// `serve-loadgen --scrape`, so scraping goes through the same client
-/// path everywhere.
-pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: admin\r\n\r\n").as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let status = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(ErrorKind::InvalidData, format!("bad status line: {raw:.80}"))
-        })?;
-    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
-    Ok((status, body))
 }

@@ -1,0 +1,94 @@
+//! `serve-apictl`: one-shot client for the serve/cluster HTTP API.
+//!
+//! Sends a single request and prints the response body to stdout, so shell
+//! smokes (`scripts/check.sh --api`) can drive the API without curl:
+//!
+//! ```text
+//! serve-apictl --addr 127.0.0.1:PORT get /healthz
+//! serve-apictl --addr 127.0.0.1:PORT post /v1/sql '{"sql":"SELECT 1"}'
+//! serve-apictl --addr 127.0.0.1:PORT --expect 202 post /v1/evals/spider '{"method":"C3SQL"}'
+//! ```
+//!
+//! Exits 0 when the status is 2xx (or exactly `--expect N` when given),
+//! nonzero otherwise — refusal-path smokes assert the 4xx they expect.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+use serve::http::{http_get, http_post};
+use std::net::SocketAddr;
+
+const USAGE: &str = "serve-apictl: one-shot client for the serve HTTP API
+
+USAGE:
+    serve-apictl --addr ADDR [--expect N] get PATH
+    serve-apictl --addr ADDR [--expect N] post PATH JSON_BODY
+
+OPTIONS:
+    --addr ADDR      the server's admin/API address (required)
+    --expect N       require this exact status instead of any 2xx
+    -h, --help       print this help
+";
+
+fn main() {
+    let mut addr: Option<SocketAddr> = None;
+    let mut expect: Option<u16> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let v = value("--addr");
+                addr = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad address {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--expect" => {
+                let v = value("--expect");
+                expect = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad status {v:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    let outcome = match rest.as_slice() {
+        [verb, path] if verb == "get" => http_get(addr, path),
+        [verb, path, body] if verb == "post" => http_post(addr, path, body),
+        _ => {
+            eprintln!("expected 'get PATH' or 'post PATH JSON_BODY'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let (status, body) = outcome.unwrap_or_else(|e| {
+        eprintln!("request to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{body}");
+    let ok = match expect {
+        Some(want) => status == want,
+        None => (200..300).contains(&status),
+    };
+    if !ok {
+        eprintln!("unexpected status {status} (wanted {})", match expect {
+            Some(want) => want.to_string(),
+            None => "2xx".to_string(),
+        });
+        std::process::exit(1);
+    }
+}

@@ -35,6 +35,10 @@ struct Args {
     deadline_ms: Option<u64>,
     open_loop: bool,
     scrape: bool,
+    /// With `--endpoints`: drive `POST /v1/sql` over HTTP instead of the
+    /// binary cluster protocol. Endpoints are then admin/API addresses
+    /// (a worker's or the scheduler's), not Execute listeners.
+    http: bool,
     /// Remote mode: drive these scheduler endpoints over TCP instead of
     /// an in-process service (clients round-robin across them).
     endpoints: Vec<String>,
@@ -56,6 +60,7 @@ impl Default for Args {
             deadline_ms: None,
             open_loop: false,
             scrape: false,
+            http: false,
             endpoints: Vec::new(),
             scrape_addrs: Vec::new(),
         }
@@ -68,7 +73,7 @@ fn parse_args() -> Args {
     let mut i = 0;
     let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
                  [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
-                 [--deadline-ms N] [--open] [--scrape] \
+                 [--deadline-ms N] [--open] [--scrape] [--http] \
                  [--endpoints ADDR,ADDR,...] [--scrape-addr ADDR,ADDR,...]";
     while i < argv.len() {
         let need_value = |i: usize| -> &str {
@@ -107,6 +112,11 @@ fn parse_args() -> Args {
             }
             "--scrape" => {
                 args.scrape = true;
+                i += 1;
+                continue;
+            }
+            "--http" => {
+                args.http = true;
                 i += 1;
                 continue;
             }
@@ -217,6 +227,92 @@ fn scrape_admin_endpoints(addrs: &[String]) {
     }
 }
 
+/// HTTP mode: drive `POST /v1/sql` on admin/API endpoints, one request
+/// per connection (the API speaks HTTP/1.0 with `Connection: close`), so
+/// this is always closed-loop. The reply status carries the outcome:
+/// 200 parses into ex/em/cache-hit tallies, the refusal statuses map back
+/// onto the same buckets as in-process [`QueryError`]s, and any transport
+/// error or unexpected status is fatal.
+fn run_http(args: &Args, requests: &[QueryRequest]) -> Tally {
+    fn absorb_http(tally: &mut Tally, endpoint: &str, status: u16, body: &str) {
+        match status {
+            200 => {
+                let parsed: serde::Value =
+                    serde_json::from_str(body).unwrap_or_else(|e| {
+                        eprintln!("FATAL: {endpoint} answered 200 with bad JSON: {e}");
+                        std::process::exit(1);
+                    });
+                let flag = |key: &str| matches!(parsed.get(key), Some(serde::Value::Bool(true)));
+                tally.ok += 1;
+                tally.ex += flag("ex") as u64;
+                tally.em += flag("em") as u64;
+                tally.cache_hits += flag("cache_hit") as u64;
+            }
+            503 => tally.overloaded += 1,
+            504 => tally.deadline += 1,
+            422 => tally.refused += 1,
+            404 | 500 => tally.other_err += 1,
+            other => {
+                eprintln!("FATAL: {endpoint} answered status {other}: {body}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let clients = args.clients.min(requests.len().max(1));
+    let chunk = requests.len().div_ceil(clients).max(1);
+    let mut tally = Tally::default();
+    let tallies = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let endpoint = &args.endpoints[i % args.endpoints.len()];
+                scope.spawn(move || {
+                    let addr: std::net::SocketAddr = endpoint.parse().unwrap_or_else(|e| {
+                        eprintln!("FATAL: --endpoints {endpoint}: {e}");
+                        std::process::exit(1);
+                    });
+                    let mut local = Tally::default();
+                    for req in chunk {
+                        let mut fields = vec![
+                            ("question".to_string(), serde::Value::Str(req.question.clone())),
+                            ("db_id".to_string(), serde::Value::Str(req.db_id.clone())),
+                            ("method".to_string(), serde::Value::Str(req.method.clone())),
+                        ];
+                        if let Some(d) = req.deadline {
+                            fields.push((
+                                "deadline_ms".to_string(),
+                                serde::Value::Int(d.as_millis() as i64),
+                            ));
+                        }
+                        let body = serde_json::to_string(&serde::Value::Map(fields))
+                            .unwrap_or_default();
+                        match serve::http::http_post(addr, "/v1/sql", &body) {
+                            Ok((status, reply)) => {
+                                absorb_http(&mut local, endpoint, status, &reply)
+                            }
+                            Err(e) => {
+                                eprintln!("FATAL: POST {endpoint}/v1/sql: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client panicked"))
+            .collect::<Vec<_>>()
+    });
+    for t in tallies {
+        tally.merge(t);
+    }
+    tally
+}
+
 /// Remote mode: drive scheduler endpoints over loopback TCP with
 /// [`serve::proto::ClusterClient`] connections instead of an in-process
 /// service. Any transport error is fatal — a lost connection means lost
@@ -317,13 +413,29 @@ fn main() {
         })
         .collect();
 
+    if args.http && args.endpoints.is_empty() {
+        eprintln!("--http needs --endpoints with admin/API addresses");
+        std::process::exit(2);
+    }
     if !args.endpoints.is_empty() {
-        let mode = if args.open_loop { "open-loop" } else { "closed-loop" };
+        if args.http && args.open_loop {
+            eprintln!("--http is one request per connection; --open does not apply");
+            std::process::exit(2);
+        }
+        let mode = match (args.http, args.open_loop) {
+            (true, _) => "http closed-loop",
+            (false, true) => "open-loop",
+            (false, false) => "closed-loop",
+        };
         let started = Instant::now();
-        let tally = run_remote(&args, &requests);
+        let tally =
+            if args.http { run_http(&args, &requests) } else { run_remote(&args, &requests) };
         let wall = started.elapsed();
 
-        println!("serve-loadgen report (remote cluster mode)");
+        println!(
+            "serve-loadgen report ({})",
+            if args.http { "remote http mode" } else { "remote cluster mode" }
+        );
         println!(
             "  corpus: Spider tiny(seed={})  dev samples: {}  methods: {}",
             args.corpus_seed,

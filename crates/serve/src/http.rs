@@ -1,0 +1,388 @@
+//! Minimal HTTP/1.0 plumbing shared by the serve and cluster admin/API
+//! planes: one accept-and-respond loop, request parsing with bounded
+//! bodies, typed responses with an explicit `Content-Type` on every
+//! reply, a method+path route table with correct `404`/`405` semantics,
+//! and the blocking client helpers the tests, `serve-loadgen`, and
+//! `scripts/check.sh --api` drive requests through.
+//!
+//! Still deliberately not a real HTTP stack: HTTP/1.0 only, one
+//! connection per request, `Connection: close`, no keep-alive, no
+//! chunked transfer — exactly enough protocol for `curl`, a Prometheus
+//! scraper, and the `/v1` JSON API.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection read/write timeout; a client that stalls longer is
+/// dropped so it cannot wedge the endpoint.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request: method, path (query string stripped), raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any `?query` stripped; the surface takes no
+    /// query parameters.
+    pub path: String,
+    /// Raw request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+}
+
+/// One response: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value; every response names one explicitly.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// An `application/json` response from already-serialized JSON.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response { status, content_type: "application/json", body: body.into() }
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// The uniform JSON error shape:
+    /// `{"error":{"status":N,"message":"..."}}`.
+    pub fn json_error(status: u16, message: &str) -> Self {
+        let map = vec![
+            ("status".to_string(), serde::Value::Int(status as i64)),
+            ("message".to_string(), serde::Value::Str(message.to_string())),
+        ];
+        let err = serde::Value::Map(vec![("error".to_string(), serde::Value::Map(map))]);
+        Response::json(status, serde_json::to_string(&err).unwrap_or_default())
+    }
+}
+
+/// Reason phrase for the status codes this surface emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write `resp` as a complete HTTP/1.0 response and flush.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read and parse one request from `stream`.
+///
+/// The outer `Err` is a transport failure (drop the connection); the
+/// inner `Err` is a well-formed refusal to send back: `400` for a
+/// malformed request line, `413` when `Content-Length` exceeds
+/// `max_body`.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> std::io::Result<Result<Request, Response>> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Ok(Err(Response::json_error(413, "request head too large")));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break buf.len();
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || !target.starts_with('/') {
+        return Ok(Err(Response::json_error(400, "malformed request line")));
+    }
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Ok(Err(Response::json_error(
+            413,
+            &format!("request body {content_length} bytes exceeds the {max_body}-byte limit"),
+        )));
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(Response::json_error(400, "request body shorter than Content-Length")));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Ok(Request { method: method.to_string(), path, body }))
+}
+
+/// How a route matches the request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSpec {
+    /// The whole path, exactly.
+    Exact(&'static str),
+    /// A prefix with a nonempty remainder (e.g. `/v1/evals/` matching
+    /// `/v1/evals/3` with suffix `3`).
+    Prefix(&'static str),
+}
+
+/// One entry of a route table: method + path shape + handler tag.
+#[derive(Debug, Clone, Copy)]
+pub struct Route<H> {
+    /// Request method this route answers.
+    pub method: &'static str,
+    /// Path shape this route answers.
+    pub path: PathSpec,
+    /// Opaque handler tag the plane dispatches on.
+    pub handler: H,
+}
+
+/// Outcome of routing one request against a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Routed<'r, H> {
+    /// A route matched; `suffix` is the remainder after a
+    /// [`PathSpec::Prefix`] (empty for exact matches).
+    Matched {
+        /// The matched route's handler tag.
+        handler: &'r H,
+        /// Path remainder after a prefix route; empty for exact routes.
+        suffix: &'r str,
+    },
+    /// The path exists but not under this method; carries the allowed
+    /// methods, in table order.
+    MethodNotAllowed(Vec<&'static str>),
+    /// No route knows the path.
+    NotFound,
+}
+
+/// Match `(method, path)` against the table: first same-method route
+/// wins; a path that matches only under other methods yields
+/// [`Routed::MethodNotAllowed`] (the `405` the old `if`-chains never
+/// produced per-path); anything else is [`Routed::NotFound`].
+pub fn route<'r, H>(routes: &'r [Route<H>], method: &str, path: &'r str) -> Routed<'r, H> {
+    let mut allowed: Vec<&'static str> = Vec::new();
+    for r in routes {
+        let suffix = match r.path {
+            PathSpec::Exact(p) => (p == path).then_some(""),
+            PathSpec::Prefix(p) => path.strip_prefix(p).filter(|s| !s.is_empty()),
+        };
+        let Some(suffix) = suffix else { continue };
+        if r.method == method {
+            return Routed::Matched { handler: &r.handler, suffix };
+        }
+        if !allowed.contains(&r.method) {
+            allowed.push(r.method);
+        }
+    }
+    if allowed.is_empty() {
+        Routed::NotFound
+    } else {
+        Routed::MethodNotAllowed(allowed)
+    }
+}
+
+/// The standard refusal responses for the non-`Matched` outcomes, shared
+/// so both planes emit identical JSON error bodies.
+pub fn refusal<H>(outcome: &Routed<'_, H>, path: &str) -> Option<Response> {
+    match outcome {
+        Routed::Matched { .. } => None,
+        Routed::MethodNotAllowed(allow) => Some(Response::json_error(
+            405,
+            &format!("method not allowed on {path} (allow: {})", allow.join(", ")),
+        )),
+        Routed::NotFound => Some(Response::json_error(404, &format!("no route for {path}"))),
+    }
+}
+
+/// Accept-and-respond loop shared by both admin planes: nonblocking
+/// accepts polled every [`ACCEPT_POLL`], one request per connection,
+/// exits once `stop()` turns true. Handler failures never take the
+/// listener down.
+pub fn serve_loop(
+    listener: TcpListener,
+    stop: impl Fn() -> bool,
+    max_body: usize,
+    handler: impl Fn(&Request) -> Response,
+) {
+    listener.set_nonblocking(true).expect("admin listener nonblocking");
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Best-effort: a client dying mid-response must not take
+                // the endpoint down.
+                let _ = (|| -> std::io::Result<()> {
+                    let resp = match read_request(&mut stream, max_body)? {
+                        Ok(req) => handler(&req),
+                        Err(refused) => refused,
+                    };
+                    write_response(&mut stream, &resp)
+                })();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if stop() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                if stop() {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Minimal blocking HTTP GET; returns `(status, body)`. Shared by the
+/// integration tests, `serve-loadgen --scrape`, and the check script so
+/// scraping goes through the same client path everywhere.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: admin\r\n\r\n").as_bytes())?;
+    read_reply(stream)
+}
+
+/// Minimal blocking HTTP POST with a JSON body; returns `(status, body)`.
+/// The read timeout is generous because `/v1/sql` NL requests block on
+/// the worker pool.
+pub fn http_post(addr: SocketAddr, path: &str, json: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!(
+            "POST {path} HTTP/1.0\r\nHost: admin\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{json}",
+            json.len()
+        )
+        .as_bytes(),
+    )?;
+    read_reply(stream)
+}
+
+fn read_reply(mut stream: TcpStream) -> std::io::Result<(u16, String)> {
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidData, format!("bad status line: {raw:.80}"))
+        })?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Tag {
+        A,
+        B,
+        C,
+    }
+
+    const TABLE: &[Route<Tag>] = &[
+        Route { method: "GET", path: PathSpec::Exact("/x"), handler: Tag::A },
+        Route { method: "POST", path: PathSpec::Exact("/x"), handler: Tag::B },
+        Route { method: "GET", path: PathSpec::Prefix("/runs/"), handler: Tag::C },
+    ];
+
+    #[test]
+    fn routing_dispatches_exact_and_prefix() {
+        assert!(matches!(
+            route(TABLE, "GET", "/x"),
+            Routed::Matched { handler: Tag::A, suffix: "" }
+        ));
+        assert!(matches!(
+            route(TABLE, "POST", "/x"),
+            Routed::Matched { handler: Tag::B, .. }
+        ));
+        match route(TABLE, "GET", "/runs/17") {
+            Routed::Matched { handler: Tag::C, suffix } => assert_eq!(suffix, "17"),
+            other => panic!("expected prefix match, got {other:?}"),
+        }
+        // a bare prefix (empty suffix) does not match the prefix route
+        assert_eq!(route(TABLE, "GET", "/runs/"), Routed::NotFound);
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_the_allowed_set() {
+        match route(TABLE, "DELETE", "/x") {
+            Routed::MethodNotAllowed(allow) => assert_eq!(allow, vec!["GET", "POST"]),
+            other => panic!("expected 405, got {other:?}"),
+        }
+        assert_eq!(route(TABLE, "DELETE", "/nowhere"), Routed::NotFound);
+        let resp = refusal(&route(TABLE, "DELETE", "/x"), "/x").expect("refused");
+        assert_eq!(resp.status, 405);
+        assert!(resp.body.contains("GET, POST"), "{}", resp.body);
+        let resp = refusal(&route(TABLE, "GET", "/nope"), "/nope").expect("refused");
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.content_type, "application/json");
+    }
+
+    #[test]
+    fn json_error_shape_is_uniform() {
+        let resp = Response::json_error(404, "no route for /zz");
+        let v: serde::Value = serde_json::from_str(&resp.body).expect("valid JSON");
+        let err = v.get("error").expect("error key");
+        assert_eq!(err.get("status"), Some(&serde::Value::Int(404)));
+        assert!(matches!(err.get("message"), Some(serde::Value::Str(_))));
+    }
+}

@@ -46,8 +46,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod admin;
+pub(crate) mod api;
 pub mod cache;
 pub mod hash;
+pub mod http;
 pub mod metrics;
 pub mod proto;
 pub mod slowlog;
@@ -59,7 +61,7 @@ use crossbeam::channel;
 use metrics::Metrics;
 pub use metrics::MetricsSnapshot;
 use modelzoo::Nl2SqlModel;
-use nl2sql360::{EvalContext, ExecFailureKind};
+use nl2sql360::{EvalContext, EvalStore, ExecFailureKind};
 use serde::{Deserialize, Serialize};
 pub use slowlog::{fnv1a64, SlowLog, SlowQueryEntry};
 use std::collections::{HashMap, VecDeque};
@@ -122,6 +124,10 @@ pub struct ServeConfig {
     /// raises a minidb binding error, so enabling the check never changes
     /// the outcome of valid SQL. Off by default.
     pub static_check: bool,
+    /// Largest request body the HTTP endpoint accepts; a larger
+    /// `Content-Length` is refused with `413 Payload Too Large` before any
+    /// body bytes are read. Default 64 KiB.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +147,7 @@ impl Default for ServeConfig {
             slow_log_rate_per_sec: 64,
             unready_queue_pct: 90,
             static_check: false,
+            max_body_bytes: 64 * 1024,
         }
     }
 }
@@ -177,6 +184,9 @@ impl ServeConfig {
         if self.unready_queue_pct == 0 || self.unready_queue_pct > 100 {
             return Err(ServeConfigError::BadUnreadyQueuePct);
         }
+        if self.max_body_bytes == 0 {
+            return Err(ServeConfigError::ZeroMaxBody);
+        }
         if let Some(addr) = self.admin_addr {
             if !addr.ip().is_loopback() {
                 return Err(ServeConfigError::NonLoopbackAdmin);
@@ -205,6 +215,8 @@ pub enum ServeConfigError {
     ZeroWindowBuckets,
     /// `unready_queue_pct` was outside `1..=100`.
     BadUnreadyQueuePct,
+    /// `max_body_bytes` was zero — no request body could ever be accepted.
+    ZeroMaxBody,
     /// `admin_addr` was not a loopback address; the admin endpoint speaks
     /// unauthenticated plaintext HTTP and must not be reachable off-host.
     NonLoopbackAdmin,
@@ -225,6 +237,7 @@ impl fmt::Display for ServeConfigError {
             ServeConfigError::BadUnreadyQueuePct => {
                 write!(f, "unready_queue_pct must be in 1..=100")
             }
+            ServeConfigError::ZeroMaxBody => write!(f, "max_body_bytes must be >= 1"),
             ServeConfigError::NonLoopbackAdmin => {
                 write!(f, "admin_addr must be a loopback address")
             }
@@ -324,6 +337,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Largest HTTP request body accepted before a `413` refusal.
+    pub fn max_body_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_body_bytes = bytes;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         self.config.validate()?;
@@ -408,6 +427,22 @@ impl fmt::Display for QueryError {
     }
 }
 
+impl QueryError {
+    /// The HTTP status this error maps to on the `/v1` API, shared by the
+    /// serve endpoint and the cluster scheduler's forwarding endpoint so
+    /// both speak the same refusal language.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            QueryError::UnknownMethod(_) => 400,
+            QueryError::UnknownQuestion => 404,
+            QueryError::TranslationRefused | QueryError::StaticRejected(_) => 422,
+            QueryError::Overloaded => 503,
+            QueryError::DeadlineExceeded => 504,
+            QueryError::Internal => 500,
+        }
+    }
+}
+
 impl std::error::Error for QueryError {}
 
 /// The reply delivered through a [`Ticket`].
@@ -444,18 +479,88 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// One evaluation run registered through `POST /v1/evals/<corpus>`.
+/// API ids are `index + 1` in registration order.
+pub(crate) struct EvalRun {
+    /// Corpus label as the caller spelled it; becomes the `corpus` column
+    /// of the persisted `eval_runs` row.
+    pub(crate) corpus: String,
+    /// Method name (validated against the registered models at submission).
+    pub(crate) method: String,
+    /// Optional dev-split subset size.
+    pub(crate) subset: Option<usize>,
+    /// Optional eval worker-pool size (outcome-neutral by construction).
+    pub(crate) workers: Option<usize>,
+    /// Where the run currently is.
+    pub(crate) status: RunStatus,
+}
+
+/// Lifecycle of an [`EvalRun`].
+pub(crate) enum RunStatus {
+    /// Registered, not yet picked up by the runner thread.
+    Queued,
+    /// The runner thread is evaluating it.
+    Running,
+    /// Evaluated and persisted into the eval store.
+    Completed {
+        /// `run_id` the store assigned (persistence order — can differ
+        /// from the API id when runs overlap).
+        run_id: i64,
+        /// Samples evaluated.
+        samples: usize,
+        /// Overall EX over the run, when computable.
+        ex: Option<f64>,
+        /// Overall EM over the run, when computable.
+        em: Option<f64>,
+    },
+    /// The evaluation could not produce a log or the store rejected it.
+    Failed {
+        /// Human-readable reason.
+        error: String,
+    },
+}
+
+/// Shared state behind the `/v1/evals` endpoints: the persistent store
+/// (queryable through `POST /v1/sql`), the run registry, and the job
+/// channel feeding the single runner thread.
+pub(crate) struct EvalPlane {
+    /// Eval runs persisted as `minidb` tables.
+    pub(crate) store: Mutex<EvalStore>,
+    /// All registered runs, in submission order.
+    pub(crate) runs: Mutex<Vec<EvalRun>>,
+    /// Registration side of the job queue (payload: run index).
+    pub(crate) jobs_tx: channel::Sender<usize>,
+    /// Runner side of the job queue.
+    jobs_rx: channel::Receiver<usize>,
+    /// sqlcheck catalog over the store schema, for static admission of
+    /// raw `/v1/sql` queries; present iff `static_check` is on.
+    pub(crate) catalog: Option<sqlcheck::Catalog>,
+}
+
+impl EvalPlane {
+    fn new(static_check: bool) -> Self {
+        let store = EvalStore::new();
+        let catalog = static_check.then(|| sqlcheck::Catalog::from_database(store.database()));
+        let (jobs_tx, jobs_rx) = channel::unbounded();
+        EvalPlane { store: Mutex::new(store), runs: Mutex::new(Vec::new()), jobs_tx, jobs_rx, catalog }
+    }
+}
+
 pub(crate) struct Inner {
-    config: ServeConfig,
+    pub(crate) config: ServeConfig,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     models: Vec<Box<dyn Nl2SqlModel>>,
-    method_index: HashMap<String, usize>,
+    pub(crate) method_index: HashMap<String, usize>,
     // (db_id, question) → (dev sample index, variant index)
     question_index: HashMap<(String, String), (usize, usize)>,
     cache: ExecCache,
     /// Per-database schema catalogs for the static admission check; empty
     /// unless `config.static_check` is on.
-    catalogs: HashMap<String, sqlcheck::Catalog>,
+    pub(crate) catalogs: HashMap<String, sqlcheck::Catalog>,
+    /// Eval-run registry, persistence store, and runner job queue behind
+    /// the `/v1/evals` endpoints.
+    pub(crate) evals: EvalPlane,
     metrics: Metrics,
     pub(crate) telemetry: Telemetry,
     /// Readiness flag behind `/readyz`; true from start until drain.
@@ -469,6 +574,67 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    /// Admission: resolve the request, then enqueue it. `Err(Overloaded)`
+    /// means the queue was full (or draining) — the request was NOT
+    /// enqueued and no ticket exists. Resolution failures (unknown
+    /// method/question) are admitted and answered through the ticket, so
+    /// they share the normal reply path. This is the one admission path
+    /// for both in-process [`ServiceHandle::submit`] calls and
+    /// `POST /v1/sql` NL requests.
+    pub(crate) fn submit(&self, req: QueryRequest) -> Result<Ticket, QueryError> {
+        let (tx, rx) = channel::bounded(1);
+        let ticket = Ticket { rx };
+
+        let method_idx = match self.method_index.get(&req.method) {
+            Some(&i) => i,
+            None => {
+                Metrics::inc(&self.metrics.submitted);
+                Metrics::inc(&self.metrics.failed);
+                if self.telemetry.enabled {
+                    self.telemetry.unknown_method.inc();
+                }
+                let _ = tx.send(Err(QueryError::UnknownMethod(req.method)));
+                return Ok(ticket);
+            }
+        };
+        let (sample_idx, variant) =
+            match self.question_index.get(&(req.db_id.clone(), req.question.clone())) {
+                Some(&pair) => pair,
+                None => {
+                    Metrics::inc(&self.metrics.submitted);
+                    Metrics::inc(&self.metrics.failed);
+                    if self.telemetry.enabled {
+                        self.telemetry.unknown_question.inc();
+                    }
+                    let _ = tx.send(Err(QueryError::UnknownQuestion));
+                    return Ok(ticket);
+                }
+            };
+
+        let pending = Pending {
+            method_idx,
+            sample_idx,
+            variant,
+            enqueued: Instant::now(),
+            deadline: req.deadline,
+            reply: tx,
+        };
+        {
+            let mut q = self.queue.lock().expect("queue lock poisoned");
+            if q.shutdown || q.items.len() >= self.config.queue_capacity {
+                Metrics::inc(&self.metrics.rejected_overloaded);
+                if self.telemetry.enabled {
+                    self.telemetry.rejected_overloaded.inc();
+                }
+                return Err(QueryError::Overloaded);
+            }
+            Metrics::inc(&self.metrics.submitted);
+            q.items.push_back(pending);
+        }
+        self.not_empty.notify_one();
+        Ok(ticket)
+    }
+
     fn drain(&self) {
         // Readiness-before-refusal ordering: flip `/readyz` unready
         // *before* taking the queue lock to set `shutdown`. A submitter
@@ -547,58 +713,7 @@ impl ServiceHandle<'_> {
     /// admitted and answered through the ticket, so they share the normal
     /// reply path.
     pub fn submit(&self, req: QueryRequest) -> Result<Ticket, QueryError> {
-        let inner = self.inner;
-        let (tx, rx) = channel::bounded(1);
-        let ticket = Ticket { rx };
-
-        let method_idx = match inner.method_index.get(&req.method) {
-            Some(&i) => i,
-            None => {
-                Metrics::inc(&inner.metrics.submitted);
-                Metrics::inc(&inner.metrics.failed);
-                if inner.telemetry.enabled {
-                    inner.telemetry.unknown_method.inc();
-                }
-                let _ = tx.send(Err(QueryError::UnknownMethod(req.method)));
-                return Ok(ticket);
-            }
-        };
-        let (sample_idx, variant) =
-            match inner.question_index.get(&(req.db_id.clone(), req.question.clone())) {
-                Some(&pair) => pair,
-                None => {
-                    Metrics::inc(&inner.metrics.submitted);
-                    Metrics::inc(&inner.metrics.failed);
-                    if inner.telemetry.enabled {
-                        inner.telemetry.unknown_question.inc();
-                    }
-                    let _ = tx.send(Err(QueryError::UnknownQuestion));
-                    return Ok(ticket);
-                }
-            };
-
-        let pending = Pending {
-            method_idx,
-            sample_idx,
-            variant,
-            enqueued: Instant::now(),
-            deadline: req.deadline,
-            reply: tx,
-        };
-        {
-            let mut q = inner.queue.lock().expect("queue lock poisoned");
-            if q.shutdown || q.items.len() >= inner.config.queue_capacity {
-                Metrics::inc(&inner.metrics.rejected_overloaded);
-                if inner.telemetry.enabled {
-                    inner.telemetry.rejected_overloaded.inc();
-                }
-                return Err(QueryError::Overloaded);
-            }
-            Metrics::inc(&inner.metrics.submitted);
-            q.items.push_back(pending);
-        }
-        inner.not_empty.notify_one();
-        Ok(ticket)
+        self.inner.submit(req)
     }
 
     /// Convenience: submit and block for the reply. Admission rejects
@@ -741,6 +856,7 @@ impl Service {
         };
         let inner = Inner {
             cache: ExecCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            evals: EvalPlane::new(config.static_check),
             config,
             catalogs,
             queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
@@ -763,7 +879,11 @@ impl Service {
             }
             if let Some(listener) = admin_listener {
                 let inner_ref = &inner;
-                scope.spawn(move |_| admin::run(listener, inner_ref));
+                scope.spawn(move |_| admin::run(listener, inner_ref, ctx));
+                // Eval jobs only arrive over HTTP, so the runner lives
+                // exactly when the listener does.
+                let inner_ref = &inner;
+                scope.spawn(move |_| eval_runner(inner_ref, ctx));
             }
             let out = f(&ServiceHandle { inner: &inner });
             drop(guard); // initiate drain + admin stop; scope joins all
@@ -793,6 +913,70 @@ impl Service {
             .collect();
         Self::run_inner(config, ctx, models, f)
     }
+}
+
+/// Eval-runner thread: pops registered runs off the job channel, evaluates
+/// them with the service's own models over the shared [`EvalContext`], and
+/// persists each completed log into the eval store. Runs execute one at a
+/// time, in submission order. Evaluation only *reads* the context and
+/// corpus (both planes are read-only over shared state, and the eval path
+/// has its own internal worker fan-out), so a run executing while serve
+/// traffic flows perturbs neither — the isolation pin in the HTTP tests
+/// compares both byte-for-byte against solo executions.
+fn eval_runner<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
+    loop {
+        match inner.evals.jobs_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(idx) => run_eval_job(inner, ctx, idx),
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if inner.admin_stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn run_eval_job<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, idx: usize) {
+    let (corpus_label, method, subset, workers) = {
+        let mut runs = inner.evals.runs.lock().expect("runs lock poisoned");
+        let run = &mut runs[idx];
+        run.status = RunStatus::Running;
+        (run.corpus.clone(), run.method.clone(), run.subset, run.workers)
+    };
+    // The method was validated against `method_index` at submission; a miss
+    // here means the registry changed underneath us, which cannot happen.
+    let status = match inner.method_index.get(&method) {
+        None => RunStatus::Failed { error: format!("unknown method: {method}") },
+        Some(&model_idx) => {
+            let mut opts = nl2sql360::EvalOptions::new().static_check(inner.config.static_check);
+            if let Some(n) = subset {
+                opts = opts.subset(n);
+            }
+            if let Some(w) = workers {
+                opts = opts.workers(w);
+            }
+            match ctx.evaluate_with(inner.models[model_idx].as_ref(), &opts) {
+                None => RunStatus::Failed {
+                    error: format!("method {method} does not run on this dataset"),
+                },
+                Some(log) => {
+                    let filter = nl2sql360::Filter::all();
+                    let (ex, em) = (
+                        nl2sql360::metrics::ex(&log, &filter),
+                        nl2sql360::metrics::em(&log, &filter),
+                    );
+                    let samples = log.records.len();
+                    let mut store = inner.evals.store.lock().expect("eval store lock poisoned");
+                    match store.insert_run(&log, &corpus_label) {
+                        Ok(run_id) => RunStatus::Completed { run_id, samples, ex, em },
+                        Err(e) => RunStatus::Failed { error: format!("persisting run: {e}") },
+                    }
+                }
+            }
+        }
+    };
+    inner.evals.runs.lock().expect("runs lock poisoned")[idx].status = status;
 }
 
 /// Worker: block for work, drain a same-method batch, serve it.

@@ -1,0 +1,477 @@
+//! End-to-end exercise of the `/v1` API over real TCP: raw SQL and NL
+//! translation through `POST /v1/sql`, background eval runs through
+//! `POST /v1/evals/<corpus>` persisted as queryable `minidb` tables, the
+//! refusal surface (malformed JSON, oversized bodies, wrong methods,
+//! deadline expiry), and the isolation pin — an eval run executing while
+//! serve traffic flows must leave both outcomes byte-identical to solo
+//! executions.
+
+use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind, Sample};
+use modelzoo::{method_by_name, Nl2SqlModel, Prediction, SimulatedModel, TranslationTask};
+use nl2sql360::{EvalContext, EvalOptions, Filter};
+use serve::admin::{http_get, http_post};
+use serve::{QueryRequest, ServeConfig, Service};
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn corpus() -> Corpus {
+    generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(91))
+}
+
+fn api_config() -> ServeConfig {
+    ServeConfig::builder()
+        .workers(2)
+        .admin_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .expect("valid api config")
+}
+
+fn request(sample: &Sample, variant: usize, method: &str) -> QueryRequest {
+    QueryRequest {
+        method: method.to_string(),
+        db_id: sample.db_id.clone(),
+        question: sample.variants[variant].clone(),
+        deadline: None,
+    }
+}
+
+fn get_str<'v>(v: &'v serde::Value, key: &str) -> &'v str {
+    match v.get(key) {
+        Some(serde::Value::Str(s)) => s,
+        other => panic!("expected string at {key}, got {other:?}"),
+    }
+}
+
+/// Poll `GET /v1/evals/<id>` until the run reaches a terminal status.
+fn wait_for_run(addr: SocketAddr, id: i64) -> serde::Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http_get(addr, &format!("/v1/evals/{id}")).expect("status poll");
+        assert_eq!(status, 200, "{body}");
+        let v: serde::Value = serde_json::from_str(&body).expect("status JSON");
+        match get_str(&v, "status") {
+            "completed" | "failed" => return v,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "eval run {id} never finished");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected status: {other}"),
+        }
+    }
+}
+
+#[test]
+fn sql_endpoint_serves_raw_sql_and_nl_translation() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    Service::run_with_methods(api_config(), &ctx, &["C3SQL"], |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+        let sample = &corpus.dev[0];
+
+        // raw SQL against a corpus database matches direct execution
+        let db = &corpus.databases[&sample.db_id].database;
+        let direct = db.run(&sample.sql).expect("gold SQL executes");
+        let body = serde_json::to_string(&serde::Value::Map(vec![
+            ("sql".to_string(), serde::Value::Str(sample.sql.clone())),
+            ("db".to_string(), serde::Value::Str(sample.db_id.clone())),
+        ]))
+        .unwrap();
+        let (status, reply) = http_post(addr, "/v1/sql", &body).expect("raw sql");
+        assert_eq!(status, 200, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("result JSON");
+        assert_eq!(v.get("row_count"), Some(&serde::Value::Int(direct.rows.len() as i64)));
+        let Some(serde::Value::Array(cols)) = v.get("columns") else {
+            panic!("columns missing: {reply}");
+        };
+        assert_eq!(cols.len(), direct.columns.len());
+
+        // unknown database → 404 with a JSON error body
+        let (status, reply) =
+            http_post(addr, "/v1/sql", r#"{"sql": "SELECT 1", "db": "nope"}"#).expect("bad db");
+        assert_eq!(status, 404);
+        let v: serde::Value = serde_json::from_str(&reply).expect("error JSON");
+        assert!(get_str(v.get("error").expect("error"), "message").contains("nope"));
+
+        // a broken query is a 422 carrying the engine's error text
+        let (status, reply) = http_post(
+            addr,
+            "/v1/sql",
+            &format!(r#"{{"sql": "SELECT nonsense_column FROM nonsense_table", "db": "{}"}}"#, sample.db_id),
+        )
+        .expect("broken sql");
+        assert_eq!(status, 422, "{reply}");
+
+        // NL translation through the worker pool agrees with the
+        // in-process path on every outcome field
+        let in_process = handle.query(request(sample, 0, "C3SQL")).expect("served");
+        let body = serde_json::to_string(&serde::Value::Map(vec![
+            ("question".to_string(), serde::Value::Str(sample.variants[0].clone())),
+            ("db_id".to_string(), serde::Value::Str(sample.db_id.clone())),
+            ("method".to_string(), serde::Value::Str("C3SQL".to_string())),
+        ]))
+        .unwrap();
+        let (status, reply) = http_post(addr, "/v1/sql", &body).expect("nl query");
+        assert_eq!(status, 200, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("NL JSON");
+        assert_eq!(v.get("ex"), Some(&serde::Value::Bool(in_process.ex)));
+        assert_eq!(v.get("em"), Some(&serde::Value::Bool(in_process.em)));
+        assert_eq!(get_str(&v, "pred_sql"), in_process.pred_sql);
+        if in_process.exec_failure.is_none() {
+            let result = v.get("result").expect("result key");
+            assert!(matches!(result.get("rows"), Some(serde::Value::Array(_))), "{reply}");
+        }
+
+        // unknown method and unknown question speak proper statuses
+        let (status, _) = http_post(
+            addr,
+            "/v1/sql",
+            &format!(
+                r#"{{"question": "{}", "db_id": "{}", "method": "NoSuchMethod"}}"#,
+                sample.variants[0], sample.db_id
+            ),
+        )
+        .expect("unknown method");
+        assert_eq!(status, 400);
+        let (status, _) = http_post(
+            addr,
+            "/v1/sql",
+            &format!(r#"{{"question": "question nobody asked", "db_id": "{}", "method": "C3SQL"}}"#, sample.db_id),
+        )
+        .expect("unknown question");
+        assert_eq!(status, 404);
+    });
+}
+
+#[test]
+fn eval_runs_persist_and_are_queryable_through_sql() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    // the reference: the same evaluation executed directly
+    let model = SimulatedModel::new(method_by_name("C3SQL").expect("registered"));
+    let reference =
+        ctx.evaluate_with(&model, &EvalOptions::new().subset(24)).expect("reference eval");
+    Service::run_with_methods(api_config(), &ctx, &["C3SQL"], |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+
+        // corpus label is case-insensitive; an unknown one is a 404
+        let (status, _) = http_post(addr, "/v1/evals/bird", r#"{"method": "C3SQL"}"#)
+            .expect("wrong corpus");
+        assert_eq!(status, 404);
+        let (status, reply) =
+            http_post(addr, "/v1/evals/spider", r#"{"method": "C3SQL", "subset": 24}"#)
+                .expect("launch eval");
+        assert_eq!(status, 202, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("202 JSON");
+        assert_eq!(v.get("id"), Some(&serde::Value::Int(1)));
+        assert_eq!(get_str(&v, "status"), "queued");
+
+        let done = wait_for_run(addr, 1);
+        assert_eq!(get_str(&done, "status"), "completed", "{done:?}");
+        assert_eq!(done.get("samples"), Some(&serde::Value::Int(24)));
+
+        // the persisted summary row, read back over POST /v1/sql, matches
+        // the metrics module over the reference log
+        let (status, reply) = http_post(
+            addr,
+            "/v1/sql",
+            r#"{"sql": "SELECT method, corpus, samples, ex, em FROM eval_runs"}"#,
+        )
+        .expect("query runs");
+        assert_eq!(status, 200, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("rows JSON");
+        let Some(serde::Value::Array(rows)) = v.get("rows") else { panic!("{reply}") };
+        assert_eq!(rows.len(), 1);
+        let Some(serde::Value::Array(row)) = rows.first() else { panic!("{reply}") };
+        assert_eq!(row[0], serde::Value::Str("C3SQL".to_string()));
+        assert_eq!(row[1], serde::Value::Str("spider".to_string()));
+        assert_eq!(row[2], serde::Value::Int(24));
+        let filter = Filter::all();
+        assert_eq!(
+            row[3],
+            serde::Value::Float(nl2sql360::metrics::ex(&reference, &filter).expect("ex"))
+        );
+        assert_eq!(
+            row[4],
+            serde::Value::Float(nl2sql360::metrics::em(&reference, &filter).expect("em"))
+        );
+
+        // a leaderboard-style aggregate over per-sample rows reproduces
+        // the summary EX exactly — the same float expression
+        let (status, reply) = http_post(
+            addr,
+            "/v1/sql",
+            r#"{"sql": "SELECT AVG(ex) * 100 FROM eval_results WHERE run_id = 1 AND variant = 0"}"#,
+        )
+        .expect("aggregate");
+        assert_eq!(status, 200, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("agg JSON");
+        let Some(serde::Value::Array(rows)) = v.get("rows") else { panic!("{reply}") };
+        let Some(serde::Value::Array(row)) = rows.first() else { panic!("{reply}") };
+        assert_eq!(
+            row[0],
+            serde::Value::Float(nl2sql360::metrics::ex(&reference, &filter).expect("ex"))
+        );
+
+        // the diagnose cross-tab as plain SQL: failure-kind counts agree
+        // with a direct walk of the reference log
+        let legacy = nl2sql360::exec_failure_profile(&reference);
+        let (status, reply) = http_post(
+            addr,
+            "/v1/sql",
+            r#"{"sql": "SELECT exec_failure_label, COUNT(*) FROM eval_results WHERE run_id = 1 AND exec_failure IS NOT NULL GROUP BY exec_failure_label, exec_failure ORDER BY exec_failure"}"#,
+        )
+        .expect("cross-tab");
+        assert_eq!(status, 200, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("cross-tab JSON");
+        let Some(serde::Value::Array(rows)) = v.get("rows") else { panic!("{reply}") };
+        assert_eq!(rows.len(), legacy.len());
+        for (row, (kind, n)) in rows.iter().zip(&legacy) {
+            let serde::Value::Array(cells) = row else { panic!("{reply}") };
+            assert_eq!(cells[0], serde::Value::Str(kind.label().to_string()));
+            assert_eq!(cells[1], serde::Value::Int(*n as i64));
+        }
+
+        // the run registry lists it
+        let (status, reply) = http_get(addr, "/v1/evals").expect("list");
+        assert_eq!(status, 200);
+        let v: serde::Value = serde_json::from_str(&reply).expect("list JSON");
+        assert!(matches!(v, serde::Value::Array(ref runs) if runs.len() == 1), "{reply}");
+    });
+}
+
+#[test]
+fn refusal_surface_speaks_json_and_proper_statuses() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let config = ServeConfig::builder()
+        .workers(1)
+        .admin_addr("127.0.0.1:0".parse().unwrap())
+        .max_body_bytes(256)
+        .build()
+        .expect("valid config");
+    Service::run_with_methods(config, &ctx, &["C3SQL"], |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+
+        // malformed JSON body → 400 with the uniform error shape
+        let (status, reply) = http_post(addr, "/v1/sql", "this is not json").expect("bad json");
+        assert_eq!(status, 400);
+        let v: serde::Value = serde_json::from_str(&reply).expect("error body is JSON");
+        let err = v.get("error").expect("error key");
+        assert_eq!(err.get("status"), Some(&serde::Value::Int(400)));
+        assert!(get_str(err, "message").contains("malformed JSON"));
+
+        // empty body → 400
+        let (status, _) = http_post(addr, "/v1/sql", "").expect("empty body");
+        assert_eq!(status, 400);
+
+        // a body past max_body_bytes → 413 before any parsing
+        let oversized = format!(r#"{{"sql": "SELECT {}"}}"#, "1 + ".repeat(200));
+        assert!(oversized.len() > 256);
+        let (status, reply) = http_post(addr, "/v1/sql", &oversized).expect("oversized");
+        assert_eq!(status, 413, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("413 is JSON too");
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("status")),
+            Some(&serde::Value::Int(413))
+        );
+
+        // wrong method on a known path → 405 naming the allowed methods
+        let (status, reply) = http_get(addr, "/v1/sql").expect("GET on POST route");
+        assert_eq!(status, 405);
+        let v: serde::Value = serde_json::from_str(&reply).expect("405 JSON");
+        assert!(get_str(v.get("error").expect("error"), "message").contains("POST"));
+
+        // unknown path → 404 JSON (the admin text endpoints still pin
+        // their classic text bodies in admin_http.rs)
+        let (status, reply) = http_get(addr, "/no-such-path").expect("404");
+        assert_eq!(status, 404);
+        assert!(serde_json::from_str::<serde::Value>(&reply).is_ok(), "{reply}");
+
+        // eval launch refusals: unknown method, bad id lookups
+        let (status, _) = http_post(addr, "/v1/evals/spider", r#"{"method": "NoSuch"}"#)
+            .expect("unknown eval method");
+        assert_eq!(status, 400);
+        let (status, _) = http_get(addr, "/v1/evals/999").expect("unknown run id");
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/v1/evals/abc").expect("non-numeric run id");
+        assert_eq!(status, 404);
+    });
+}
+
+/// A model whose `translate` blocks until released, to wedge the worker
+/// while a deadlined request waits in the queue.
+struct GateModel {
+    started: mpsc::SyncSender<()>,
+    gate: Mutex<usize>,
+    released: Condvar,
+}
+
+impl GateModel {
+    fn new(started: mpsc::SyncSender<()>) -> Self {
+        GateModel { started, gate: Mutex::new(0), released: Condvar::new() }
+    }
+
+    fn release(&self, n: usize) {
+        *self.gate.lock().unwrap() += n;
+        self.released.notify_all();
+    }
+}
+
+impl Nl2SqlModel for GateModel {
+    fn name(&self) -> &str {
+        "Gate"
+    }
+
+    fn translate(&self, _task: &TranslationTask<'_>) -> Option<Prediction> {
+        let _ = self.started.send(());
+        let mut permits = self.gate.lock().unwrap();
+        while *permits == 0 {
+            permits = self.released.wait(permits).unwrap();
+        }
+        *permits -= 1;
+        None
+    }
+}
+
+#[test]
+fn deadline_expiry_mid_queue_returns_504() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let (started_tx, started_rx) = mpsc::sync_channel(16);
+    let gate = std::sync::Arc::new(GateModel::new(started_tx));
+    struct Shared(std::sync::Arc<GateModel>);
+    impl Nl2SqlModel for Shared {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn translate(&self, task: &TranslationTask<'_>) -> Option<Prediction> {
+            self.0.translate(task)
+        }
+    }
+    let config = ServeConfig::builder()
+        .workers(1)
+        .admin_addr("127.0.0.1:0".parse().unwrap())
+        .build()
+        .expect("valid config");
+    let models: Vec<Box<dyn Nl2SqlModel>> = vec![Box::new(Shared(gate.clone()))];
+    Service::run(config, &ctx, models, |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+        let sample = &corpus.dev[0];
+        // wedge the single worker so the HTTP request's deadline expires
+        // while it waits in the queue
+        let wedged = handle.submit(request(sample, 0, "Gate")).expect("admitted");
+        started_rx.recv_timeout(Duration::from_secs(5)).expect("worker wedged");
+
+        let body = serde_json::to_string(&serde::Value::Map(vec![
+            ("question".to_string(), serde::Value::Str(sample.variants[0].clone())),
+            ("db_id".to_string(), serde::Value::Str(sample.db_id.clone())),
+            ("method".to_string(), serde::Value::Str("Gate".to_string())),
+            ("deadline_ms".to_string(), serde::Value::Int(1)),
+        ]))
+        .unwrap();
+        let poster = std::thread::spawn(move || http_post(addr, "/v1/sql", &body));
+
+        // wait until the deadlined request is queued, then let the worker
+        // finish the wedged one and reach it — past its 1ms deadline
+        let waited = Instant::now() + Duration::from_secs(5);
+        while handle.queue_len() == 0 {
+            assert!(Instant::now() < waited, "deadlined request never queued");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // let the 1ms deadline lapse while the request is still queued;
+        // releasing too early would serve it in time and wedge the gate
+        std::thread::sleep(Duration::from_millis(20));
+        gate.release(1);
+        assert!(wedged.wait().is_err(), "gate model always refuses");
+
+        let (status, reply) = poster.join().expect("poster thread").expect("post");
+        assert_eq!(status, 504, "{reply}");
+        let v: serde::Value = serde_json::from_str(&reply).expect("504 JSON");
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("status")),
+            Some(&serde::Value::Int(504))
+        );
+    });
+}
+
+/// The isolation pin: an eval run executing while serve traffic flows must
+/// not perturb either side. The persisted eval tables are compared
+/// byte-for-byte against a run with no concurrent traffic, and the traffic
+/// outcomes against a run with no concurrent eval.
+#[test]
+fn concurrent_eval_and_serve_traffic_are_byte_identical_to_solo_runs() {
+    let corpus = corpus();
+    let ctx = EvalContext::new(&corpus);
+    let n_traffic = corpus.dev.len().min(40);
+    let dump_sql = r#"{"sql": "SELECT * FROM eval_results"}"#;
+    let runs_sql = r#"{"sql": "SELECT * FROM eval_runs"}"#;
+
+    let launch = |addr: SocketAddr| {
+        let (status, reply) =
+            http_post(addr, "/v1/evals/spider", r#"{"method": "SuperSQL", "workers": 2}"#)
+                .expect("launch eval");
+        assert_eq!(status, 202, "{reply}");
+    };
+    let dump = |addr: SocketAddr| {
+        let (status, results) = http_post(addr, "/v1/sql", dump_sql).expect("dump results");
+        assert_eq!(status, 200);
+        let (status, runs) = http_post(addr, "/v1/sql", runs_sql).expect("dump runs");
+        assert_eq!(status, 200);
+        format!("{runs}\n{results}")
+    };
+    // outcome projection of one traffic reply: everything except timing
+    let outcome = |r: Result<serve::QueryResponse, serve::QueryError>| match r {
+        Ok(resp) => format!(
+            "ok ex={} em={} sql={} work={:?} fail={:?}",
+            resp.ex, resp.em, resp.pred_sql, resp.pred_work, resp.exec_failure
+        ),
+        Err(e) => format!("err {e}"),
+    };
+
+    // solo eval, no traffic
+    let eval_alone = Service::run_with_methods(api_config(), &ctx, &["SuperSQL"], |handle| {
+        let addr = handle.admin_addr().expect("admin endpoint configured");
+        launch(addr);
+        let done = wait_for_run(addr, 1);
+        assert_eq!(get_str(&done, "status"), "completed", "{done:?}");
+        dump(addr)
+    });
+
+    // solo traffic, no eval
+    let traffic_alone: Vec<String> =
+        Service::run_with_methods(api_config(), &ctx, &["SuperSQL"], |handle| {
+            corpus
+                .dev
+                .iter()
+                .take(n_traffic)
+                .map(|s| outcome(handle.query(request(s, 0, "SuperSQL"))))
+                .collect()
+        });
+
+    // both at once: launch the eval, immediately drive the same traffic
+    let (eval_mixed, traffic_mixed) =
+        Service::run_with_methods(api_config(), &ctx, &["SuperSQL"], |handle| {
+            let addr = handle.admin_addr().expect("admin endpoint configured");
+            launch(addr);
+            let traffic: Vec<String> = corpus
+                .dev
+                .iter()
+                .take(n_traffic)
+                .map(|s| outcome(handle.query(request(s, 0, "SuperSQL"))))
+                .collect();
+            let done = wait_for_run(addr, 1);
+            assert_eq!(get_str(&done, "status"), "completed", "{done:?}");
+            (dump(addr), traffic)
+        });
+
+    assert_eq!(
+        eval_alone, eval_mixed,
+        "persisted eval tables diverged under concurrent serve traffic"
+    );
+    assert_eq!(
+        traffic_alone, traffic_mixed,
+        "serve outcomes diverged under a concurrent eval run"
+    );
+}

@@ -5,6 +5,7 @@
 #   ./scripts/check.sh --lint     # also run clippy, warnings as errors
 #   ./scripts/check.sh --bench    # also smoke the evaluation benchmark
 #   ./scripts/check.sh --cluster  # also smoke the distributed serve plane
+#   ./scripts/check.sh --api      # also smoke the HTTP API end to end
 #
 # The build is fully offline (all external deps vendored under vendor/),
 # so --offline is passed everywhere to fail fast instead of trying the
@@ -16,11 +17,13 @@ cd "$(dirname "$0")/.."
 lint=0
 bench=0
 cluster=0
+api=0
 for arg in "$@"; do
   case "$arg" in
     --lint) lint=1 ;;
     --bench) bench=1 ;;
     --cluster) cluster=1 ;;
+    --api) api=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -119,6 +122,73 @@ if [ "$cluster" -eq 1 ]; then
     --scrape-addr "$sched_admin,${worker_admins[0]},${worker_admins[1]}"
 
   cleanup_cluster
+  trap - EXIT
+fi
+
+if [ "$api" -eq 1 ]; then
+  # HTTP API smoke: boot a standalone serve engine as a real process on an
+  # ephemeral loopback port, then exercise the full /v1 surface with the
+  # one-shot client — one NL translation, one raw-SQL query, a small eval
+  # run submitted over POST /v1/evals/spider and polled to completion, and
+  # finally the persisted run queried back through POST /v1/sql. A loadgen
+  # burst over --http closes it out; the trap kills the server either way.
+  echo "==> HTTP API smoke (serve-server + serve-apictl + loadgen --http)"
+  cargo build --offline --release -p serve --bins
+
+  api_pid=""
+  cleanup_api() {
+    [ -n "$api_pid" ] && kill "$api_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+  }
+  trap cleanup_api EXIT
+
+  api_banner=$(mktemp)
+  ./target/release/serve-server --static-check > "$api_banner" &
+  api_pid=$!
+  for _ in $(seq 1 300); do
+    grep -q 'serve-server sample' "$api_banner" && break
+    sleep 0.1
+  done
+  api_addr=$(sed -n 's/.*admin=\([^ ]*\).*/\1/p' "$api_banner")
+  sample_db=$(sed -n 's/.*sample db_id=\([^ ]*\) .*/\1/p' "$api_banner")
+  sample_q=$(sed -n 's/.*sample db_id=[^ ]* question=//p' "$api_banner")
+  [ -n "$api_addr" ] && [ -n "$sample_db" ] && [ -n "$sample_q" ] \
+    || { echo "serve-server never printed its banner" >&2; exit 1; }
+  apictl=./target/release/serve-apictl
+
+  echo "  POST /v1/sql (NL) db_id=$sample_db"
+  "$apictl" --addr "$api_addr" post /v1/sql \
+    "{\"question\":\"$sample_q\",\"db_id\":\"$sample_db\",\"method\":\"C3SQL\"}" \
+    | grep -q '"pred_sql"' || { echo "NL request failed" >&2; exit 1; }
+
+  echo "  POST /v1/sql (raw SQL over the eval store)"
+  "$apictl" --addr "$api_addr" post /v1/sql '{"sql":"SELECT COUNT(*) FROM eval_runs"}' \
+    | grep -q '"rows":\[\[0\]\]' || { echo "raw-SQL probe failed" >&2; exit 1; }
+
+  echo "  POST /v1/evals/spider (C3SQL, subset 16)"
+  "$apictl" --addr "$api_addr" --expect 202 post /v1/evals/spider \
+    '{"method":"C3SQL","subset":16}' > /dev/null \
+    || { echo "eval submission failed" >&2; exit 1; }
+  run_status=""
+  for _ in $(seq 1 600); do
+    run_status=$("$apictl" --addr "$api_addr" get /v1/evals/1)
+    echo "$run_status" | grep -q '"completed"' && break
+    echo "$run_status" | grep -q '"failed"' && break
+    sleep 0.1
+  done
+  echo "$run_status" | grep -q '"completed"' \
+    || { echo "eval run never completed: $run_status" >&2; exit 1; }
+
+  echo "  POST /v1/sql (query the persisted run back)"
+  "$apictl" --addr "$api_addr" post /v1/sql \
+    '{"sql":"SELECT method, samples FROM eval_runs"}' \
+    | grep -q '"C3SQL",16' || { echo "persisted run not queryable" >&2; exit 1; }
+
+  echo "  serve-loadgen --http burst (200 requests)"
+  ./target/release/serve-loadgen --http --endpoints "$api_addr" \
+    --requests 200 --clients 8
+
+  cleanup_api
   trap - EXIT
 fi
 
