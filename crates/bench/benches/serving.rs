@@ -23,6 +23,7 @@ fn build_requests(corpus: &datagen::Corpus, n: usize, seed: u64) -> Vec<QueryReq
                 db_id: sample.db_id.clone(),
                 question: sample.variants[rng.gen_range(0..sample.variants.len())].clone(),
                 deadline: None,
+                trace: None,
             }
         })
         .collect()

@@ -33,6 +33,11 @@
 //!    is only enforced on machines with >= 4 cores: with a single core
 //!    the hop's framing and context switches serialize with query
 //!    execution instead of overlapping it.
+//! 7. **Request-tracing + warehouse overhead**: the closed-loop serve
+//!    mini-workload with per-request span trees and the telemetry
+//!    warehouse (span persistence + metrics snapshots) on vs off, gated
+//!    at <= 5%, plus a micro record of the per-request disabled-path
+//!    check (the single `Option` branch every untraced request pays).
 //!
 //! ```text
 //! bench_eval [--quick] [--out FILE] [--validate]
@@ -46,7 +51,9 @@
 //! aggregate columnar speedup reaches 5x on machines with >= 4 cores
 //! (recorded, not enforced, below that), the disabled-path
 //! throughput after tracing stays within 5% of the pre-tracing
-//! measurement, telemetry costs <= 5% of serve throughput, and (on
+//! measurement, telemetry costs <= 5% of serve throughput, request
+//! tracing + the warehouse cost <= 5% of closed-loop serve throughput
+//! (with the untraced ingress check inside its ns budget), and (on
 //! machines with >= 4 cores) evaluation reaches 2x throughput at 4
 //! workers; parallel scaling is physically impossible on fewer cores, so
 //! that check is recorded but not enforced there.
@@ -54,6 +61,7 @@
 use datagen::{generate_corpus, generate_db, Corpus, CorpusConfig, CorpusKind, SchemaProfile};
 use modelzoo::{method_by_name, SimulatedModel};
 use nl2sql360::{EvalContext, EvalOptions};
+use serve::trace::{SpanRecord, TraceStore};
 use serve::{QueryRequest, ServeConfig, Service};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -324,6 +332,7 @@ fn time_serve(
     requests: &[QueryRequest],
     telemetry: bool,
     static_check: bool,
+    tracing: bool,
     reps: usize,
 ) -> f64 {
     let mut best = f64::INFINITY;
@@ -332,6 +341,8 @@ fn time_serve(
             .workers(2)
             .telemetry(telemetry)
             .static_check(static_check)
+            .request_tracing(tracing)
+            .warehouse(tracing)
             .build()
             .unwrap();
         let secs = Service::run_with_methods(config, ctx, &[METHOD], |handle| {
@@ -360,6 +371,7 @@ fn build_requests(corpus: &Corpus) -> Vec<QueryRequest> {
                 db_id: sample.db_id.clone(),
                 question: q.clone(),
                 deadline: None,
+                trace: None,
             })
         })
         .collect()
@@ -409,15 +421,15 @@ fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
     // on/off pairs (drift cancels within a pair) and gate on the median of
     // the per-pair ratios (outlier passes drop out).
     let requests = build_requests(corpus);
-    time_serve(ctx, &requests, false, true, 1); // warmup
-    time_serve(ctx, &requests, false, false, 1); // warmup
+    time_serve(ctx, &requests, false, true, false, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, 1); // warmup
     let pairs = reps.max(9);
     let mut ratios = Vec::with_capacity(pairs);
     let mut on_secs = f64::INFINITY;
     let mut off_secs = f64::INFINITY;
     for _ in 0..pairs {
-        let on = time_serve(ctx, &requests, false, true, 1);
-        let off = time_serve(ctx, &requests, false, false, 1);
+        let on = time_serve(ctx, &requests, false, true, false, 1);
+        let off = time_serve(ctx, &requests, false, false, false, 1);
         on_secs = on_secs.min(on);
         off_secs = off_secs.min(off);
         ratios.push(on / off);
@@ -430,6 +442,94 @@ fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
         off_qps: requests.len() as f64 / off_secs,
         on_qps: requests.len() as f64 / on_secs,
         static_check_overhead_pct: (median_ratio - 1.0) * 100.0,
+    }
+}
+
+struct TracingPoint {
+    /// ns for the ingress decision an *untraced* request pays: one
+    /// `Option<&TraceStore>` branch. This is the whole disabled path.
+    disabled_check_ns: f64,
+    /// ns to mint a trace id, record the six pipeline spans, complete
+    /// the tree, and drain it for the flusher — the enabled per-request
+    /// bookkeeping in isolation (recorded; the closed-loop ratio is the
+    /// gate).
+    enabled_request_ns: f64,
+    requests: usize,
+    off_qps: f64,
+    on_qps: f64,
+    /// Median over back-to-back pairs of (traced + warehoused secs /
+    /// untraced secs) - 1 as a percentage; what per-request span trees
+    /// plus warehouse persistence cost per served request.
+    tracing_overhead_pct: f64,
+}
+
+fn bench_request_tracing(iters: usize, reps: usize) -> TracingPoint {
+    // --- micro: the disabled path — the exact branch the pipeline takes
+    // when `request_tracing` is off ---
+    let no_store: Option<&TraceStore> = None;
+    let disabled_check_ns = time_ns(iters, || match std::hint::black_box(no_store) {
+        Some(store) => store.next_span_id() as usize,
+        None => 0,
+    });
+
+    // --- micro: the enabled path's bookkeeping, shaped like one real
+    // request (root + queue/translate/static_check/execute/compare),
+    // including the drain the flusher would perform ---
+    let store = TraceStore::new("bench", 1024, Instant::now());
+    let span = |trace_hex: &str, span_id: u64, parent_id: u64, name: &str, attrs: &str| SpanRecord {
+        trace_id: trace_hex.to_string(),
+        span_id,
+        parent_id,
+        name: name.to_string(),
+        process: "bench".to_string(),
+        start_us: 0,
+        dur_us: 1,
+        attrs: attrs.to_string(),
+    };
+    let enabled_request_ns = time_ns(iters, || {
+        let tid = store.mint("concert_singer", "how many singers do we have", METHOD);
+        let hex = serve::trace::format_trace_id(tid);
+        let root = store.next_span_id();
+        for name in ["queue", "translate", "static_check", "execute", "compare"] {
+            store.record(tid, span(&hex, store.next_span_id(), root, name, ""));
+        }
+        store.record(tid, span(&hex, root, 0, "request", "outcome=ok"));
+        store.complete(tid);
+        store.drain_completed(4).len()
+    });
+
+    // --- macro: closed-loop serving with per-request span trees AND the
+    // warehouse flusher persisting them, vs both off. Same oversized
+    // corpus and pair/median shape as the static-check gate: a few µs of
+    // bookkeeping per request against hundreds of µs of translate+execute
+    // needs drift-cancelling pairs, not single-shot ratios. ---
+    let config = CorpusConfig { dev_samples: 300, ..CorpusConfig::tiny(5) };
+    let corpus = generate_corpus(CorpusKind::Spider, &config);
+    let corpus = &corpus;
+    let ctx = &EvalContext::new(corpus);
+    let requests = build_requests(corpus);
+    time_serve(ctx, &requests, false, false, true, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, 1); // warmup
+    let pairs = reps.max(9);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut on_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    for _ in 0..pairs {
+        let on = time_serve(ctx, &requests, false, false, true, 1);
+        let off = time_serve(ctx, &requests, false, false, false, 1);
+        on_secs = on_secs.min(on);
+        off_secs = off_secs.min(off);
+        ratios.push(on / off);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[pairs / 2];
+    TracingPoint {
+        disabled_check_ns,
+        enabled_request_ns,
+        requests: requests.len(),
+        off_qps: requests.len() as f64 / off_secs,
+        on_qps: requests.len() as f64 / on_secs,
+        tracing_overhead_pct: (median_ratio - 1.0) * 100.0,
     }
 }
 
@@ -625,9 +725,9 @@ fn bench_registry(
 
     // --- macro: closed-loop serving with the plane on vs off ---
     let requests = build_requests(corpus);
-    time_serve(ctx, &requests, true, false, 1); // warmup
-    let on_secs = time_serve(ctx, &requests, true, false, reps);
-    let off_secs = time_serve(ctx, &requests, false, false, reps);
+    time_serve(ctx, &requests, true, false, false, 1); // warmup
+    let on_secs = time_serve(ctx, &requests, true, false, false, reps);
+    let off_secs = time_serve(ctx, &requests, false, false, false, reps);
     RegistryPoint {
         cell_pair_ns,
         lookup_inc_ns,
@@ -740,6 +840,18 @@ fn main() {
         check.requests, check.off_qps, check.on_qps, check.static_check_overhead_pct
     );
 
+    eprintln!("bench_eval: request-tracing + warehouse overhead (spans on/off) ...");
+    let tracing =
+        bench_request_tracing(if args.quick { 20_000 } else { 200_000 }, ratio_reps);
+    eprintln!(
+        "  micro: disabled ingress check {:.1}ns  enabled request bookkeeping {:.0}ns",
+        tracing.disabled_check_ns, tracing.enabled_request_ns
+    );
+    eprintln!(
+        "  serve ({} requests): off {:>7.0} qps  on {:>7.0} qps  tracing overhead {:+.1}%",
+        tracing.requests, tracing.off_qps, tracing.on_qps, tracing.tracing_overhead_pct
+    );
+
     eprintln!("bench_eval: distributed serve overhead (scheduler + worker vs in-process) ...");
     let cluster = bench_cluster(ratio_reps);
     eprintln!(
@@ -831,6 +943,18 @@ fn main() {
         json,
         "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"static_check_overhead_pct\": {:.2}",
         check.off_qps, check.on_qps, check.static_check_overhead_pct
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tracing\": {{");
+    let _ = writeln!(
+        json,
+        "    \"disabled_check_ns\": {:.1}, \"enabled_request_ns\": {:.1}, \"serve_requests\": {},",
+        tracing.disabled_check_ns, tracing.enabled_request_ns, tracing.requests
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"tracing_overhead_pct\": {:.2}",
+        tracing.off_qps, tracing.on_qps, tracing.tracing_overhead_pct
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"cluster\": {{");
@@ -926,6 +1050,21 @@ fn main() {
             eprintln!(
                 "FAIL: static-check admission costs {:.1}% of serve throughput (budget: 5%)",
                 check.static_check_overhead_pct
+            );
+            failed = true;
+        }
+        if tracing.tracing_overhead_pct > 5.0 {
+            eprintln!(
+                "FAIL: request tracing + warehouse cost {:.1}% of serve throughput (budget: 5%)",
+                tracing.tracing_overhead_pct
+            );
+            failed = true;
+        }
+        if tracing.disabled_check_ns > 25.0 {
+            eprintln!(
+                "FAIL: the untraced ingress check costs {:.1}ns (budget: 25ns — it is one \
+                 Option branch)",
+                tracing.disabled_check_ns
             );
             failed = true;
         }

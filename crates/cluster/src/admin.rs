@@ -11,8 +11,13 @@
 //! * `GET /readyz` — 200 while at least one worker is ready, 503 otherwise;
 //! * `POST /v1/sql` — NL translation forwarded through the full scheduler
 //!   path (consistent-hash ring, worker TCP, retries), same request and
-//!   refusal shapes as the per-engine `serve` endpoint. Raw-SQL bodies are
-//!   refused: the scheduler holds no databases.
+//!   refusal shapes as the per-engine `serve` endpoint. Raw-SQL bodies run
+//!   against the scheduler's telemetry warehouse when `--warehouse` is on
+//!   (`trace_spans`, `metrics_history`); the scheduler holds no corpus
+//!   databases, so without a warehouse they are refused;
+//! * `GET /v1/traces/<id>` — the assembled cross-process span tree of one
+//!   traced request (scheduler hops + merged worker spans), when
+//!   `--trace` is on.
 //!
 //! Scrapable with the same `serve::admin::http_get`/`http_post` clients
 //! the loadgen and tests already use.
@@ -36,6 +41,7 @@ enum Endpoint {
     Healthz,
     Readyz,
     Sql,
+    Trace,
 }
 
 const ROUTES: &[Route<Endpoint>] = &[
@@ -45,6 +51,7 @@ const ROUTES: &[Route<Endpoint>] = &[
     Route { method: "GET", path: PathSpec::Exact("/healthz"), handler: Endpoint::Healthz },
     Route { method: "GET", path: PathSpec::Exact("/readyz"), handler: Endpoint::Readyz },
     Route { method: "POST", path: PathSpec::Exact("/v1/sql"), handler: Endpoint::Sql },
+    Route { method: "GET", path: PathSpec::Prefix("/v1/traces/"), handler: Endpoint::Trace },
 ];
 
 /// Accept-and-respond loop; exits when the scheduler stops.
@@ -62,7 +69,7 @@ fn respond(req: &Request, inner: &Arc<Inner>) -> Response {
     if let Some(refused) = http::refusal(&outcome, &req.path) {
         return refused;
     }
-    let Routed::Matched { handler, .. } = outcome else {
+    let Routed::Matched { handler, suffix } = outcome else {
         return Response::json_error(500, "unroutable request");
     };
     match handler {
@@ -88,6 +95,29 @@ fn respond(req: &Request, inner: &Arc<Inner>) -> Response {
             }
         }
         Endpoint::Sql => post_sql(req, inner),
+        Endpoint::Trace => get_trace(suffix, inner),
+    }
+}
+
+/// `GET /v1/traces/<id>`: the assembled cross-process span tree — the
+/// scheduler's own hops plus the worker spans merged off `ExecuteResult`
+/// frames — in the same JSON shape as the per-engine endpoint.
+fn get_trace(suffix: &str, inner: &Arc<Inner>) -> Response {
+    let Some(store) = inner.traces.as_ref() else {
+        return Response::json_error(404, "request tracing is not enabled on this scheduler");
+    };
+    let Some(id) = serve::trace::parse_trace_id(suffix) else {
+        return Response::json_error(404, &format!("bad trace id: {suffix}"));
+    };
+    match store.spans(id) {
+        Some(spans) => {
+            let hex = serve::trace::format_trace_id(id);
+            Response::json(
+                200,
+                serde_json::to_string(&serve::trace::trace_json(&hex, &spans)).unwrap_or_default(),
+            )
+        }
+        None => Response::json_error(404, &format!("no trace with id {suffix} (unknown or evicted)")),
     }
 }
 
@@ -105,11 +135,29 @@ fn post_sql(req: &Request, inner: &Arc<Inner>) -> Response {
         Ok(v) => v,
         Err(e) => return Response::json_error(400, &format!("malformed JSON body: {e}")),
     };
-    if body.get("sql").is_some() {
-        return Response::json_error(
-            400,
-            "the scheduler forwards NL requests only; POST raw SQL to a worker's /v1/sql",
-        );
+    if let Some(sql) = body.get("sql") {
+        // Raw SQL runs against the scheduler's own telemetry warehouse
+        // (trace_spans, metrics_history, eval tables) when it has one; the
+        // scheduler still holds no corpus databases, so without a
+        // warehouse raw SQL belongs on a worker.
+        let serde::Value::Str(sql) = sql else {
+            return Response::json_error(400, "\"sql\" must be a string");
+        };
+        let Some(warehouse) = inner.warehouse.as_ref() else {
+            return Response::json_error(
+                400,
+                "the scheduler forwards NL requests only; POST raw SQL to a worker's /v1/sql \
+                 (or start the scheduler with --warehouse to query its telemetry tables)",
+            );
+        };
+        let executed = warehouse.lock().unwrap_or_else(|e| e.into_inner()).sql(sql);
+        return match executed {
+            Ok(rs) => Response::json(
+                200,
+                serde_json::to_string(&http::result_set_json(&rs)).unwrap_or_default(),
+            ),
+            Err(e) => Response::json_error(422, &e.to_string()),
+        };
     }
     let (Some(question), Some(db_id), Some(method)) =
         (str_field(&body, "question"), str_field(&body, "db_id"), str_field(&body, "method"))
@@ -131,6 +179,7 @@ fn post_sql(req: &Request, inner: &Arc<Inner>) -> Response {
         db_id: db_id.to_string(),
         question: question.to_string(),
         deadline,
+        trace: None,
     };
     let (tx, rx) = crossbeam::channel::bounded(1);
     inner.submit_job(0, tx, request);
@@ -141,7 +190,7 @@ fn post_sql(req: &Request, inner: &Arc<Inner>) -> Response {
     match reply {
         Err(e) => Response::json_error(e.http_status(), &e.to_string()),
         Ok(resp) => {
-            let out = serde::Value::Map(vec![
+            let mut fields = vec![
                 ("ex".to_string(), serde::Value::Bool(resp.ex)),
                 ("em".to_string(), serde::Value::Bool(resp.em)),
                 ("pred_sql".to_string(), serde::Value::Str(resp.pred_sql.clone())),
@@ -156,8 +205,14 @@ fn post_sql(req: &Request, inner: &Arc<Inner>) -> Response {
                     "latency_us".to_string(),
                     serde::Value::Int(resp.latency.as_micros() as i64),
                 ),
-            ]);
-            Response::json(200, serde_json::to_string(&out).unwrap_or_default())
+            ];
+            if !resp.trace_id.is_empty() {
+                fields.push(("trace_id".to_string(), serde::Value::Str(resp.trace_id.clone())));
+            }
+            Response::json(
+                200,
+                serde_json::to_string(&serde::Value::Map(fields)).unwrap_or_default(),
+            )
         }
     }
 }

@@ -30,6 +30,11 @@ OPTIONS:
     --streams-per-worker N     concurrent forward streams per worker [default: 2]
     --vnodes N                 ring virtual nodes per worker [default: 64]
     --forward-timeout-ms N     per-forward reply deadline [default: 30000]
+    --trace                    mint per-request trace ids, merge worker spans,
+                               and serve GET /v1/traces/<id> on the admin port
+    --warehouse                persist span trees + cluster metric snapshots
+                               into the telemetry warehouse (implies --trace);
+                               queryable via POST /v1/sql raw-SQL bodies
     -h, --help                 print this help
 ";
 
@@ -67,6 +72,11 @@ fn parse_args() -> SchedulerConfig {
             "--forward-timeout-ms" => {
                 config.forward_timeout =
                     Duration::from_millis(parse_num(&value("--forward-timeout-ms")))
+            }
+            "--trace" => config.request_tracing = true,
+            "--warehouse" => {
+                config.request_tracing = true;
+                config.warehouse = true;
             }
             "-h" | "--help" => {
                 print!("{USAGE}");

@@ -32,6 +32,8 @@ OPTIONS:
     --queue N             engine admission-queue capacity [default: 256]
     --heartbeat-ms N      heartbeat interval [default: 500]
     --static-check        enable the sqlcheck admission gate
+    --trace               trace requests through this engine so forwarded
+                          hops ship their span subtrees back to the scheduler
     -h, --help            print this help
 ";
 
@@ -81,6 +83,7 @@ fn parse_args() -> WorkerConfig {
                 config.heartbeat = Duration::from_millis(parse_num(&value("--heartbeat-ms")))
             }
             "--static-check" => serve_config.static_check = true,
+            "--trace" => serve_config.request_tracing = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);

@@ -38,7 +38,8 @@ use crossbeam::channel;
 use obs::registry::{Counter, CounterVec, Gauge, HistogramVec, Registry};
 use serde::Serialize;
 use serve::proto::{read_frame, write_frame, Message};
-use serve::{hash, QueryError, QueryRequest, QueryReply};
+use serve::trace::{format_trace_id, SpanRecord, TraceStore};
+use serve::{hash, QueryError, QueryRequest, QueryReply, TraceContext};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -69,6 +70,21 @@ pub struct SchedulerConfig {
     /// Read deadline for one forwarded request's reply; a worker that
     /// holds a stream longer is treated as failed on that stream.
     pub forward_timeout: Duration,
+    /// Mint a `trace_id` per submitted request, record the scheduler's
+    /// own routing spans (`sched.request`/`sched.forward`/`sched.requeue`),
+    /// forward the context to workers, and merge the worker-side spans
+    /// shipped back on `ExecuteResult` frames into one cross-process tree,
+    /// served on the admin `GET /v1/traces/<id>`. Off by default.
+    pub request_tracing: bool,
+    /// Traces the scheduler's in-memory store retains before evicting.
+    pub trace_capacity: usize,
+    /// Run the scheduler's telemetry warehouse: completed span trees into
+    /// `trace_spans` and periodic cluster-metrics snapshots into
+    /// `metrics_history`, queryable through the admin `POST /v1/sql` raw
+    /// arm. Off by default.
+    pub warehouse: bool,
+    /// Warehouse flush interval, milliseconds.
+    pub warehouse_flush_ms: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -82,6 +98,10 @@ impl Default for SchedulerConfig {
             streams_per_worker: 2,
             vnodes: crate::ring::DEFAULT_VNODES,
             forward_timeout: Duration::from_secs(30),
+            request_tracing: false,
+            trace_capacity: 1024,
+            warehouse: false,
+            warehouse_flush_ms: 250,
         }
     }
 }
@@ -103,6 +123,12 @@ struct Job {
     /// Where the reply goes: the client connection's writer (TCP) or the
     /// embedded caller's channel.
     reply: channel::Sender<(u64, QueryReply)>,
+    /// Trace id minted at admission; 0 when tracing is off.
+    trace_id: u64,
+    /// The `sched.request` root span every hop of this job parents to.
+    root_span: u64,
+    /// When the scheduler accepted the job (root span start).
+    accepted: Instant,
 }
 
 struct WorkerQueueState {
@@ -261,6 +287,11 @@ pub(crate) struct Inner {
     pub(crate) stop: AtomicBool,
     listen_addr: SocketAddr,
     pub(crate) admin_addr: Option<SocketAddr>,
+    /// Span store for the scheduler's own hops plus merged worker spans;
+    /// `Some` iff `config.request_tracing`.
+    pub(crate) traces: Option<TraceStore>,
+    /// The scheduler's telemetry warehouse; `Some` iff `config.warehouse`.
+    pub(crate) warehouse: Option<Mutex<nl2sql360::EvalStore>>,
 }
 
 /// Point-in-time view of one member, for `/workers` and tests.
@@ -295,7 +326,7 @@ impl Inner {
         self.started.elapsed().as_millis() as u64
     }
 
-    /// Admit one request: hash, count, dispatch.
+    /// Admit one request: hash, count, mint its trace, dispatch.
     pub(crate) fn submit_job(
         self: &Arc<Inner>,
         client_id: u64,
@@ -304,7 +335,23 @@ impl Inner {
     ) {
         let shard = hash::key_hash(&request.db_id, &request.question);
         self.metrics.submitted.inc();
-        self.dispatch(Job { client_id, request, shard, attempts: 0, reply });
+        let (trace_id, root_span) = match &self.traces {
+            Some(store) => {
+                let id = store.mint(&request.db_id, &request.question, &request.method);
+                (id, store.next_span_id())
+            }
+            None => (0, 0),
+        };
+        self.dispatch(Job {
+            client_id,
+            request,
+            shard,
+            attempts: 0,
+            reply,
+            trace_id,
+            root_span,
+            accepted: Instant::now(),
+        });
     }
 
     /// Route a job to its ring owner's queue, or park it pending.
@@ -334,9 +381,27 @@ impl Inner {
         }
     }
 
-    /// Deliver the terminal reply for a job.
+    /// Deliver the terminal reply for a job, closing its root span first
+    /// so a client holding the reply can already read the full trace.
     fn answer(&self, job: &Job, reply: QueryReply) {
-        self.metrics.replied.with(&[if reply.is_ok() { "ok" } else { "error" }]).inc();
+        let outcome = if reply.is_ok() { "ok" } else { "error" };
+        if let (Some(store), true) = (&self.traces, job.trace_id != 0) {
+            store.record(
+                job.trace_id,
+                SpanRecord {
+                    trace_id: format_trace_id(job.trace_id),
+                    span_id: job.root_span,
+                    parent_id: 0,
+                    name: "sched.request".to_string(),
+                    process: store.process().to_string(),
+                    start_us: store.rel_us(job.accepted),
+                    dur_us: job.accepted.elapsed().as_micros() as u64,
+                    attrs: format!("outcome={outcome} attempts={}", job.attempts + 1),
+                },
+            );
+            store.complete(job.trace_id);
+        }
+        self.metrics.replied.with(&[outcome]).inc();
         let _ = job.reply.send((job.client_id, reply));
     }
 
@@ -344,6 +409,23 @@ impl Inner {
     /// burned all its attempts is answered `Internal` instead of looping.
     fn requeue(self: &Arc<Inner>, mut job: Job) {
         job.attempts += 1;
+        // the retry hop, visible in the trace as an instantaneous span
+        if let (Some(store), true) = (&self.traces, job.trace_id != 0) {
+            let now = Instant::now();
+            store.record(
+                job.trace_id,
+                SpanRecord {
+                    trace_id: format_trace_id(job.trace_id),
+                    span_id: store.next_span_id(),
+                    parent_id: job.root_span,
+                    name: "sched.requeue".to_string(),
+                    process: store.process().to_string(),
+                    start_us: store.rel_us(now),
+                    dur_us: 0,
+                    attrs: format!("attempt={}", job.attempts),
+                },
+            );
+        }
         if job.attempts >= self.config.max_attempts {
             self.metrics.retries_exhausted.inc();
             self.answer(&job, Err(QueryError::Internal));
@@ -644,8 +726,18 @@ fn stream_loop(
                 st = guard;
             }
         };
-        let request = job.request.clone();
+        let mut request = job.request.clone();
         let client_id = job.client_id;
+        // Thread the trace across the process boundary: the worker's root
+        // span parents to this forward hop's span, minted before the wire.
+        let trace = (job.trace_id != 0)
+            .then(|| inner.traces.as_ref())
+            .flatten()
+            .map(|store| (job.trace_id, job.root_span, job.attempts, store.next_span_id()));
+        if let Some((trace_id, _, _, forward_span)) = &trace {
+            request.trace =
+                Some(TraceContext { trace_id: format_trace_id(*trace_id), parent_span: *forward_span });
+        }
         {
             let mut st = queue.state.lock().unwrap_or_else(|e| e.into_inner());
             if st.dead {
@@ -662,15 +754,33 @@ fn stream_loop(
         let started = Instant::now();
         next_id += 1;
         match forward(&mut conn, &serve_addr, inner.config.forward_timeout, next_id, &request) {
-            Ok(reply) => {
+            Ok((reply, worker_spans)) => {
                 let taken = {
                     let mut st = queue.state.lock().unwrap_or_else(|e| e.into_inner());
                     st.in_flight[slot].take()
                 };
                 // a None slot means an eviction already took (and requeued)
                 // the job; the requeued run answers the client, this result
-                // is the duplicate and is dropped
+                // is the duplicate and is dropped (its spans with it)
                 if let Some(job) = taken {
+                    if let (Some(store), Some((trace_id, root_span, attempts, forward_span))) =
+                        (&inner.traces, &trace)
+                    {
+                        store.record(
+                            *trace_id,
+                            SpanRecord {
+                                trace_id: format_trace_id(*trace_id),
+                                span_id: *forward_span,
+                                parent_id: *root_span,
+                                name: "sched.forward".to_string(),
+                                process: store.process().to_string(),
+                                start_us: store.rel_us(started),
+                                dur_us: started.elapsed().as_micros() as u64,
+                                attrs: format!("worker={worker_id} attempt={}", attempts + 1),
+                            },
+                        );
+                        store.merge(*trace_id, worker_spans);
+                    }
                     inner.metrics.forwarded.with(&[&worker_id]).inc();
                     inner.metrics.forwarded_all.inc();
                     inner
@@ -686,6 +796,25 @@ fn stream_loop(
                     let mut st = queue.state.lock().unwrap_or_else(|e| e.into_inner());
                     st.in_flight[slot].take()
                 };
+                // the failed hop still lands in the trace: this is what a
+                // retry storm looks like when queried from the warehouse
+                if let (Some(store), Some((trace_id, root_span, attempts, forward_span))) =
+                    (&inner.traces, &trace)
+                {
+                    store.record(
+                        *trace_id,
+                        SpanRecord {
+                            trace_id: format_trace_id(*trace_id),
+                            span_id: *forward_span,
+                            parent_id: *root_span,
+                            name: "sched.forward".to_string(),
+                            process: store.process().to_string(),
+                            start_us: store.rel_us(started),
+                            dur_us: started.elapsed().as_micros() as u64,
+                            attrs: format!("worker={worker_id} attempt={} error=1", attempts + 1),
+                        },
+                    );
+                }
                 // an IO failure on loopback means the worker is gone;
                 // evict it (no-op if another stream already did)
                 if let Some(line) = inner.evict(
@@ -706,15 +835,15 @@ fn stream_loop(
     }
 }
 
-/// Send one `Execute` and block for its `ExecuteResult`, dialing the
-/// worker lazily on first use.
+/// Send one `Execute` and block for its `ExecuteResult` (reply plus the
+/// worker-side spans to merge), dialing the worker lazily on first use.
 fn forward(
     conn: &mut Option<TcpStream>,
     serve_addr: &str,
     timeout: Duration,
     id: u64,
     request: &QueryRequest,
-) -> io::Result<QueryReply> {
+) -> io::Result<(QueryReply, Vec<SpanRecord>)> {
     if conn.is_none() {
         let parsed: SocketAddr = serve_addr
             .parse()
@@ -728,7 +857,7 @@ fn forward(
     let stream = conn.as_mut().expect("connection dialed above");
     write_frame(stream, &Message::Execute { id, request: request.clone() })?;
     match read_frame(stream)? {
-        Message::ExecuteResult { id: got, reply } if got == id => Ok(reply),
+        Message::ExecuteResult { id: got, reply, spans } if got == id => Ok((reply, spans)),
         other => Err(io::Error::new(
             ErrorKind::InvalidData,
             format!("expected ExecuteResult {id}, got {other:?}"),
@@ -794,6 +923,29 @@ impl SchedulerHandle {
         self.inner.refresh_gauges();
         self.inner.metrics.registry.render_prometheus()
     }
+
+    /// All spans of one trace (external hex id) as held by the
+    /// scheduler's store — its own hops plus the merged worker spans.
+    /// `None` when tracing is off or the trace is unknown/evicted.
+    pub fn trace_spans(&self, trace_id: &str) -> Option<Vec<SpanRecord>> {
+        let store = self.inner.traces.as_ref()?;
+        store.spans(serve::trace::parse_trace_id(trace_id)?)
+    }
+
+    /// Run raw SQL against the scheduler's telemetry warehouse; `None`
+    /// when the warehouse is off.
+    pub fn store_sql(&self, sql: &str) -> Option<Result<minidb::ResultSet, minidb::ExecError>> {
+        self.inner
+            .warehouse
+            .as_ref()
+            .map(|w| w.lock().unwrap_or_else(|e| e.into_inner()).sql(sql))
+    }
+
+    /// Force one warehouse flush right now (tests and scripts use this
+    /// instead of sleeping out the flush interval).
+    pub fn flush_warehouse(&self) {
+        flush_warehouse_tick(&self.inner);
+    }
 }
 
 /// The scheduler's scoped-run entry point, mirroring [`serve::Service`]:
@@ -819,6 +971,11 @@ impl Scheduler {
         });
         let admin_addr =
             admin_listener.as_ref().map(|l| l.local_addr().expect("admin listener has an addr"));
+        let started = Instant::now();
+        let traces = config
+            .request_tracing
+            .then(|| TraceStore::new("sched", config.trace_capacity.max(1), started));
+        let warehouse = config.warehouse.then(|| Mutex::new(nl2sql360::EvalStore::new()));
         let inner = Arc::new(Inner {
             config,
             routing: Mutex::new(Routing {
@@ -827,12 +984,14 @@ impl Scheduler {
                 pending: VecDeque::new(),
                 shutdown: false,
             }),
-            started: Instant::now(),
+            started,
             next_generation: AtomicU64::new(0),
             metrics: ClusterMetrics::new(),
             stop: AtomicBool::new(false),
             listen_addr,
             admin_addr,
+            traces,
+            warehouse,
         });
         let accept = {
             let inner = Arc::clone(&inner);
@@ -846,6 +1005,10 @@ impl Scheduler {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || admin::run(listener, inner))
         });
+        let flusher = inner.warehouse.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || warehouse_flusher(&inner))
+        });
         let handle = SchedulerHandle { inner: Arc::clone(&inner) };
         let out = f(&handle);
         inner.shutdown();
@@ -853,6 +1016,9 @@ impl Scheduler {
         let _ = reaper.join();
         if let Some(admin) = admin {
             let _ = admin.join();
+        }
+        if let Some(flusher) = flusher {
+            let _ = flusher.join();
         }
         out
     }
@@ -882,6 +1048,60 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
                 std::thread::sleep(ACCEPT_POLL);
             }
         }
+    }
+}
+
+/// Warehouse flusher thread, mirroring `serve`'s: every
+/// `warehouse_flush_ms` it persists completed cross-process span trees
+/// into `trace_spans` and one cluster-metrics snapshot into
+/// `metrics_history`, with one final flush on shutdown. Like the serve
+/// flusher it is a live-telemetry sink, not a WAL.
+fn warehouse_flusher(inner: &Arc<Inner>) {
+    let interval = Duration::from_millis(inner.config.warehouse_flush_ms.max(1));
+    loop {
+        let stopping = inner.stop.load(Ordering::SeqCst);
+        flush_warehouse_tick(inner);
+        if stopping {
+            return;
+        }
+        let mut slept = Duration::ZERO;
+        while slept < interval && !inner.stop.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(20).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// One scheduler warehouse flush: completed traces, then a snapshot of
+/// the cluster metric families.
+fn flush_warehouse_tick(inner: &Arc<Inner>) {
+    let Some(warehouse) = &inner.warehouse else { return };
+    let mut store = warehouse.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(traces) = &inner.traces {
+        for spans in traces.drain_completed(usize::MAX) {
+            let rows: Vec<nl2sql360::TraceSpanRow> =
+                spans.iter().map(serve::trace::span_row).collect();
+            if store.insert_trace_spans(&rows).is_err() {
+                obs::count("cluster.warehouse.trace_insert_error", 1);
+            }
+        }
+    }
+    inner.refresh_gauges();
+    let m = &inner.metrics;
+    let values = [
+        ("submitted", m.submitted.get() as i64),
+        ("forwarded", m.forwarded_all.get() as i64),
+        ("requeued", m.requeued_all.get() as i64),
+        ("reaped_workers", m.reaped_all.get() as i64),
+        ("retries_exhausted", m.retries_exhausted.get() as i64),
+        ("workers_ready", m.workers_ready.get() as i64),
+        ("workers_total", m.workers_total.get() as i64),
+        ("pending_depth", m.pending_depth.get() as i64),
+    ];
+    let at_ms = inner.started.elapsed().as_millis() as i64;
+    if store.insert_metrics_snapshot(at_ms, &values).is_err() {
+        obs::count("cluster.warehouse.metrics_insert_error", 1);
     }
 }
 
@@ -1019,6 +1239,8 @@ mod tests {
             stop: AtomicBool::new(false),
             listen_addr: "127.0.0.1:1".parse().unwrap(),
             admin_addr: None,
+            traces: None,
+            warehouse: None,
         })
     }
 
@@ -1135,6 +1357,7 @@ mod tests {
             db_id: "db".into(),
             question: "q".into(),
             deadline: None,
+            trace: None,
         };
         let job = Job {
             client_id: 7,
@@ -1142,6 +1365,9 @@ mod tests {
             shard: 42,
             attempts: inner.config.max_attempts - 1,
             reply: tx,
+            trace_id: 0,
+            root_span: 0,
+            accepted: Instant::now(),
         };
         inner.requeue(job);
         let (id, reply) = rx.recv().expect("terminal reply");

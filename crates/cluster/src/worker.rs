@@ -112,7 +112,13 @@ impl Worker {
         let corpus = datagen::generate_corpus(config.corpus_kind, &corpus_config);
         let ctx = nl2sql360::EvalContext::new(&corpus);
         let methods: Vec<&str> = config.methods.iter().map(String::as_str).collect();
-        let serve_config = config.serve.clone();
+        let mut serve_config = config.serve.clone();
+        // Spans should say *which* worker executed, and distinct labels
+        // keep two workers' span-id ranges disjoint within one trace; only
+        // an explicit override beats the worker id.
+        if serve_config.trace_process == "serve" {
+            serve_config.trace_process = config.worker_id.clone();
+        }
         Service::run_with_methods(serve_config, &ctx, &methods, |handle| {
             let listener = TcpListener::bind(config.listen)
                 .unwrap_or_else(|e| panic!("bind worker listener {}: {e}", config.listen));
@@ -174,8 +180,16 @@ fn execute_connection(mut stream: TcpStream, handle: &ServiceHandle<'_>, stop: &
     loop {
         match read_frame_interruptible(&mut stream, stop, &mut buf) {
             Ok(Some(Message::Execute { id, request })) => {
+                // The forwarded trace context names the trace this worker's
+                // engine adopted; query() completes the trace before
+                // replying, so its spans are readable here and ship back on
+                // the result frame for the scheduler to merge.
+                let trace_hex = request.trace.as_ref().map(|t| t.trace_id.clone());
                 let reply: QueryReply = handle.query(request);
-                if write_frame(&mut stream, &Message::ExecuteResult { id, reply }).is_err() {
+                let spans = trace_hex
+                    .and_then(|hex| handle.trace_spans(&hex))
+                    .unwrap_or_default();
+                if write_frame(&mut stream, &Message::ExecuteResult { id, reply, spans }).is_err() {
                     return;
                 }
             }

@@ -32,6 +32,7 @@ fn requests() -> Vec<QueryRequest> {
                     db_id: sample.db_id.clone(),
                     question: question.clone(),
                     deadline: None,
+                    trace: None,
                 });
             }
         }
@@ -39,28 +40,36 @@ fn requests() -> Vec<QueryRequest> {
     out
 }
 
-/// Zero the fields that legitimately vary with scheduling, serialize the
-/// rest; byte equality of these strings is the test's definition of
-/// "identical outcome".
+/// Zero the fields that legitimately vary with scheduling or telemetry
+/// (latency, cache_hit, batch_size, trace_id), serialize the rest; byte
+/// equality of these strings is the test's definition of "identical
+/// outcome".
 fn normalize(reply: QueryReply) -> String {
     let reply = reply.map(|mut r| {
         r.latency = Duration::ZERO;
         r.cache_hit = false;
         r.batch_size = 0;
+        r.trace_id = String::new();
         r
     });
     serde_json::to_string(&reply).expect("reply serializes")
 }
 
-fn engine_config() -> ServeConfig {
-    ServeConfig { workers: 2, queue_capacity: 1024, admin_addr: None, ..ServeConfig::default() }
+fn engine_config(traced: bool) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        admin_addr: None,
+        request_tracing: traced,
+        ..ServeConfig::default()
+    }
 }
 
 /// In-process ground truth: the plain serve engine, closed loop.
 fn inprocess_outcomes(reqs: &[QueryRequest]) -> Vec<String> {
     let corpus = generate_corpus(CorpusKind::Spider, &CorpusConfig::tiny(CORPUS_SEED));
     let ctx = nl2sql360::EvalContext::new(&corpus);
-    Service::run_with_methods(engine_config(), &ctx, &METHODS, |handle| {
+    Service::run_with_methods(engine_config(false), &ctx, &METHODS, |handle| {
         reqs.iter().map(|r| normalize(handle.query(r.clone()))).collect()
     })
 }
@@ -70,14 +79,14 @@ struct EmbeddedWorker {
     join: thread::JoinHandle<()>,
 }
 
-fn spawn_worker(worker_id: &str, scheduler: SocketAddr) -> EmbeddedWorker {
+fn spawn_worker(worker_id: &str, scheduler: SocketAddr, traced: bool) -> EmbeddedWorker {
     let (stop, stop_rx) = channel::bounded::<()>(1);
     let config = WorkerConfig {
         worker_id: worker_id.to_string(),
         scheduler: scheduler.to_string(),
         corpus_seed: CORPUS_SEED,
         methods: METHODS.iter().map(|m| m.to_string()).collect(),
-        serve: engine_config(),
+        serve: engine_config(traced),
         heartbeat: Duration::from_millis(100),
         ..WorkerConfig::default()
     };
@@ -108,6 +117,7 @@ fn cluster_outcomes(
     reqs: &[QueryRequest],
     n_workers: usize,
     kill_after: Option<usize>,
+    traced: bool,
 ) -> (Vec<String>, ClusterStats) {
     let (addr_tx, addr_rx) = channel::bounded(1);
     let (stop_tx, stop_rx) = channel::bounded::<()>(1);
@@ -116,6 +126,8 @@ fn cluster_outcomes(
             admin_addr: Some("127.0.0.1:0".parse().expect("loopback literal parses")),
             heartbeat_timeout: Duration::from_secs(2),
             reap_interval: Duration::from_millis(100),
+            request_tracing: traced,
+            warehouse: traced,
             ..SchedulerConfig::default()
         };
         Scheduler::run(config, |handle| {
@@ -132,7 +144,7 @@ fn cluster_outcomes(
     });
     let (scheduler_addr, admin_addr) = addr_rx.recv().expect("scheduler binds");
     let mut workers: Vec<EmbeddedWorker> = (0..n_workers)
-        .map(|i| spawn_worker(&format!("w{i}"), scheduler_addr))
+        .map(|i| spawn_worker(&format!("w{i}"), scheduler_addr, traced))
         .collect();
     // the burst only means anything once every worker owns ring arcs:
     // wait until all n registered (registration implies ready)
@@ -191,13 +203,28 @@ fn one_process_and_n_processes_agree_byte_for_byte() {
         assert!(o.starts_with("{\"Ok\""), "baseline failure for {r:?}: {o}");
     }
 
-    let (one, stats_one) = cluster_outcomes(&reqs, 1, None);
+    let (one, stats_one) = cluster_outcomes(&reqs, 1, None, false);
     assert_eq!(baseline, one, "1-worker cluster diverged from in-process serve");
     assert_eq!(stats_one.forwarded, reqs.len() as u64);
     assert_eq!(stats_one.reaped, 0);
 
-    let (three, _stats_three) = cluster_outcomes(&reqs, 3, None);
+    let (three, _stats_three) = cluster_outcomes(&reqs, 3, None, false);
     assert_eq!(baseline, three, "3-worker cluster diverged from in-process serve");
+}
+
+/// Tracing + warehouse passivity across process counts: with the
+/// scheduler minting trace ids, workers shipping span subtrees on every
+/// reply, and the warehouse flusher persisting both, outcomes are still
+/// byte-identical to the untraced in-process baseline — for one worker
+/// and for two.
+#[test]
+fn outcomes_identical_with_tracing_and_warehouse_on() {
+    let reqs = requests();
+    let baseline = inprocess_outcomes(&reqs);
+    let (one, _) = cluster_outcomes(&reqs, 1, None, true);
+    assert_eq!(baseline, one, "traced 1-worker cluster diverged from untraced baseline");
+    let (two, _) = cluster_outcomes(&reqs, 2, None, true);
+    assert_eq!(baseline, two, "traced 2-worker cluster diverged from untraced baseline");
 }
 
 #[test]
@@ -207,7 +234,7 @@ fn outcomes_survive_a_worker_leaving_mid_burst() {
     // stop w0 after ~10% of replies: its shard (roughly half the keys) is
     // mostly still queued or in flight and must be requeued to w1
     let kill_after = reqs.len() / 10;
-    let (outcomes, stats) = cluster_outcomes(&reqs, 2, Some(kill_after));
+    let (outcomes, stats) = cluster_outcomes(&reqs, 2, Some(kill_after), false);
     assert_eq!(
         baseline, outcomes,
         "outcomes changed after a worker left mid-burst and its work was requeued"

@@ -7,7 +7,7 @@
 //! eviction (control-connection loss and forward IO errors both fire
 //! within milliseconds of the kill; the heartbeat reaper is the backstop).
 
-use serve::admin::http_get;
+use serve::admin::{http_get, http_post};
 use serve::proto::ClusterClient;
 use serve::QueryRequest;
 use std::collections::BTreeMap;
@@ -64,6 +64,7 @@ fn requests() -> Vec<QueryRequest> {
                     db_id: sample.db_id.clone(),
                     question: question.clone(),
                     deadline: None,
+                    trace: None,
                 });
             }
         }
@@ -101,6 +102,9 @@ fn sigkilled_workers_requeue_and_every_request_answers_exactly_once() {
         "--admin", "127.0.0.1:0",
         "--heartbeat-timeout-ms", "800",
         "--reap-interval-ms", "100",
+        // tracing + warehouse on: the SIGKILL pin below reads the
+        // requeue hop back out of the scheduler's own trace tables
+        "--warehouse",
     ]);
     let (_sched, sched_banner) = spawn_with_banner(sched_cmd);
     let client_addr = banner_field(&sched_banner, "client");
@@ -117,6 +121,7 @@ fn sigkilled_workers_requeue_and_every_request_answers_exactly_once() {
             "--workers", "2",
             "--queue", "1024",
             "--heartbeat-ms", "150",
+            "--trace",
         ]);
         spawn_with_banner(cmd)
     };
@@ -179,4 +184,61 @@ fn sigkilled_workers_requeue_and_every_request_answers_exactly_once() {
         "member table should hold only the survivor: {members}"
     );
     assert!(members.contains("\"w1\""), "{members}");
+
+    // The requeued requests left a paper trail. Wait out the warehouse
+    // flusher, then pull one requeued trace id back out over SQL.
+    let sql = |query: &str| -> serde::Value {
+        let body = format!("{{\"sql\":\"{query}\"}}");
+        let (status, reply) = http_post(admin_addr, "/v1/sql", &body).expect("warehouse query");
+        assert_eq!(status, 200, "{reply}");
+        serde_json::from_str(&reply).expect("warehouse reply parses")
+    };
+    let first_cell = |v: &serde::Value| -> Option<serde::Value> {
+        match v.get("rows") {
+            Some(serde::Value::Array(rows)) => match rows.first() {
+                Some(serde::Value::Array(cells)) => cells.first().cloned(),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let mut requeued_trace = None;
+    wait_for(Duration::from_secs(10), || {
+        let v = sql("SELECT trace_id FROM trace_spans WHERE name = 'sched.requeue'");
+        match first_cell(&v) {
+            Some(serde::Value::Str(hex)) => {
+                requeued_trace = Some(hex);
+                true
+            }
+            _ => false,
+        }
+    });
+    let hex = requeued_trace.expect("no requeued trace reached the warehouse");
+
+    // Exactly ONE complete trace: one scheduler root, one successful
+    // worker execution subtree — the killed worker's partial attempt
+    // died with its connection and never merged.
+    let count_where = |cond: &str| -> i64 {
+        let v = sql(&format!(
+            "SELECT COUNT(*) FROM trace_spans WHERE trace_id = '{hex}' AND {cond}"
+        ));
+        match first_cell(&v) {
+            Some(serde::Value::Int(n)) => n,
+            other => panic!("expected a count, got {other:?}"),
+        }
+    };
+    assert_eq!(count_where("name = 'sched.request'"), 1, "one root for trace {hex}");
+    assert_eq!(count_where("name = 'request'"), 1, "one worker subtree for trace {hex}");
+    assert!(count_where("name = 'sched.requeue'") >= 1, "retry hop missing from {hex}");
+    assert_eq!(
+        count_where("name = 'request' AND process = 'w1'"),
+        1,
+        "the surviving worker must own the execution subtree of {hex}"
+    );
+
+    // and the assembled tree is served back over the trace endpoint
+    let (status, tree) =
+        http_get(admin_addr, &format!("/v1/traces/{hex}")).expect("trace fetch");
+    assert_eq!(status, 200, "{tree}");
+    assert!(tree.contains("sched.requeue"), "retry hop missing from the tree: {tree}");
 }

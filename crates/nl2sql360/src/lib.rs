@@ -64,4 +64,4 @@ pub use filter::{CountBucket, Filter};
 pub use logs::LogStore;
 pub use pipeline::{compose, gpt35, gpt4, Backbone};
 pub use report::{fmt_opt, fmt_pct, render_series, TextTable};
-pub use store::EvalStore;
+pub use store::{EvalStore, TraceSpanRow};

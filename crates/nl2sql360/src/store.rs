@@ -25,6 +25,40 @@ use minidb::{Database, ExecError, ExecResult, ResultSet, TableBuilder, Value};
 pub const RUNS_TABLE: &str = "eval_runs";
 /// Name of the per-(sample, variant) outcome table.
 pub const RESULTS_TABLE: &str = "eval_results";
+/// Name of the distributed-tracing span table: one row per completed
+/// span, flushed from the serving layer's trace store.
+pub const TRACE_TABLE: &str = "trace_spans";
+/// Name of the periodic service-metrics history table: one row per
+/// (snapshot, metric) pair, flushed on the warehouse tick.
+pub const METRICS_TABLE: &str = "metrics_history";
+
+/// One completed span bound for the `trace_spans` table. Mirrors the
+/// serving layer's span record without depending on it — the store stays
+/// the bottom of the dependency stack.
+///
+/// `trace_id` is the external 16-hex-char form (a raw `u64` id can exceed
+/// `i64`, and TEXT keeps `WHERE trace_id = '<id>'` copy-pasteable from
+/// API responses). Timestamps are process-relative microseconds — the
+/// schema deliberately carries no wall-clock columns (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpanRow {
+    /// External (hex) trace id.
+    pub trace_id: String,
+    /// Span id, unique within the trace across processes.
+    pub span_id: i64,
+    /// Parent span id; 0 for the trace root.
+    pub parent_id: i64,
+    /// Stage name.
+    pub name: String,
+    /// Process that recorded the span.
+    pub process: String,
+    /// Process-relative start, microseconds.
+    pub start_us: i64,
+    /// Duration, microseconds.
+    pub dur_us: i64,
+    /// Space-separated `key=value` attributes.
+    pub attrs: String,
+}
 
 /// A `minidb` database holding evaluation runs as queryable tables.
 ///
@@ -34,6 +68,7 @@ pub const RESULTS_TABLE: &str = "eval_results";
 pub struct EvalStore {
     db: Database,
     next_run_id: i64,
+    next_snapshot_id: i64,
 }
 
 impl Default for EvalStore {
@@ -88,7 +123,80 @@ impl EvalStore {
                 .build(),
         )
         .expect("eval_results schema is valid");
-        EvalStore { db, next_run_id: 1 }
+        db.add_table(
+            TableBuilder::new(TRACE_TABLE)
+                .column_text("trace_id")
+                .column_int("span_id")
+                .column_int("parent_id")
+                .column_text("name")
+                .column_text("process")
+                .column_int("start_us")
+                .column_int("dur_us")
+                .column_text("attrs")
+                .build(),
+        )
+        .expect("trace_spans schema is valid");
+        db.add_table(
+            TableBuilder::new(METRICS_TABLE)
+                .column_int("snapshot_id")
+                .column_int("at_ms")
+                .column_text("name")
+                .column_int("value")
+                .build(),
+        )
+        .expect("metrics_history schema is valid");
+        EvalStore { db, next_run_id: 1, next_snapshot_id: 1 }
+    }
+
+    /// Persist completed spans into `trace_spans`. A trace is flushed as a
+    /// unit by the serving layer, so a `WHERE trace_id = ...` query either
+    /// sees the whole tree (per contributing process) or nothing.
+    pub fn insert_trace_spans(&mut self, spans: &[TraceSpanRow]) -> ExecResult<()> {
+        if spans.is_empty() {
+            return Ok(());
+        }
+        let rows = spans
+            .iter()
+            .map(|s| {
+                vec![
+                    Value::text(&s.trace_id),
+                    Value::Int(s.span_id),
+                    Value::Int(s.parent_id),
+                    Value::text(&s.name),
+                    Value::text(&s.process),
+                    Value::Int(s.start_us),
+                    Value::Int(s.dur_us),
+                    Value::text(&s.attrs),
+                ]
+            })
+            .collect();
+        self.db.insert(TRACE_TABLE, rows)
+    }
+
+    /// Persist one named-counter snapshot into `metrics_history` under a
+    /// fresh snapshot id (monotonic from 1, so `GROUP BY snapshot_id`
+    /// reconstructs each scrape and `MAX(snapshot_id)` is "latest").
+    /// `at_ms` is service-relative milliseconds. Returns the id.
+    pub fn insert_metrics_snapshot(
+        &mut self,
+        at_ms: i64,
+        values: &[(&str, i64)],
+    ) -> ExecResult<i64> {
+        let snapshot_id = self.next_snapshot_id;
+        let rows = values
+            .iter()
+            .map(|&(name, value)| {
+                vec![
+                    Value::Int(snapshot_id),
+                    Value::Int(at_ms),
+                    Value::text(name),
+                    Value::Int(value),
+                ]
+            })
+            .collect();
+        self.db.insert(METRICS_TABLE, rows)?;
+        self.next_snapshot_id += 1;
+        Ok(snapshot_id)
     }
 
     /// Persist one completed run under `corpus_label` (what the API caller
@@ -344,6 +452,55 @@ mod tests {
             .filter(|v| v.static_verdict.as_ref().is_some_and(|s| s.clean))
             .count() as i64;
         assert_eq!(clean_sql.rows[0][0], Value::Int(clean_direct));
+    }
+
+    #[test]
+    fn trace_spans_persist_and_answer_sql() {
+        let mut store = EvalStore::new();
+        let span = |trace: &str, span_id: i64, parent: i64, name: &str, dur: i64| TraceSpanRow {
+            trace_id: trace.to_string(),
+            span_id,
+            parent_id: parent,
+            name: name.to_string(),
+            process: "serve".to_string(),
+            start_us: 0,
+            dur_us: dur,
+            attrs: "outcome=ok".to_string(),
+        };
+        store
+            .insert_trace_spans(&[
+                span("00000000000000ab", 1, 0, "request", 100),
+                span("00000000000000ab", 2, 1, "execute", 60),
+                span("00000000000000cd", 3, 0, "request", 40),
+            ])
+            .expect("insert spans");
+        store.insert_trace_spans(&[]).expect("empty insert is a no-op");
+        let rs = store
+            .sql("SELECT COUNT(*) FROM trace_spans WHERE trace_id = '00000000000000ab'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        // stage-level latency attribution is plain SQL
+        let rs = store
+            .sql("SELECT name, MAX(dur_us) FROM trace_spans GROUP BY name ORDER BY name")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[1][0], Value::text("request"));
+        assert_eq!(rs.rows[1][1], Value::Int(100));
+    }
+
+    #[test]
+    fn metrics_snapshots_get_monotonic_ids() {
+        let mut store = EvalStore::new();
+        let a = store.insert_metrics_snapshot(10, &[("completed", 5), ("failed", 1)]).unwrap();
+        let b = store.insert_metrics_snapshot(20, &[("completed", 9), ("failed", 1)]).unwrap();
+        assert_eq!((a, b), (1, 2));
+        let rs = store
+            .sql("SELECT value FROM metrics_history WHERE name = 'completed' ORDER BY snapshot_id")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(5)], vec![Value::Int(9)]]);
+        // latest snapshot is MAX(snapshot_id)
+        let rs = store.sql("SELECT MAX(at_ms) FROM metrics_history").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(20));
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub struct SpanEvent {
     /// Microseconds since the recorder epoch.
     pub start_us: u64,
     pub dur_us: u64,
+    /// Request trace this span belongs to (0 = not part of a trace).
+    pub trace_id: u64,
+    /// Recorder-assigned span id within the trace (0 when untraced).
+    pub span_id: u64,
+    /// Span id of the enclosing span (0 = trace root / untraced).
+    pub parent_id: u64,
+    /// Key=value attributes attached via [`Span::attr`].
+    pub attrs: Vec<(&'static str, u64)>,
 }
 
 #[derive(Debug, Default)]
@@ -160,6 +168,73 @@ pub fn enable() -> EnableGuard {
 }
 
 // ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-request trace context: which trace the calling code is working for
+/// and which span is the current parent. `(0, 0)` means "no trace"; spans
+/// started under it stay anonymous exactly as before this layer existed.
+///
+/// The context is thread-local and explicitly installed via [`with_ctx`],
+/// so it crosses threads (and processes) only where a caller deliberately
+/// carries it — e.g. serve's worker loop adopting the context minted at
+/// admission, or a cluster worker adopting the scheduler's context from a
+/// `serve::proto` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Request trace id (0 = none).
+    pub trace_id: u64,
+    /// Parent span id for the next span started under this context.
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The empty context: spans started under it carry no trace.
+    pub const NONE: TraceCtx = TraceCtx { trace_id: 0, span_id: 0 };
+
+    /// Does this context name a trace?
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+thread_local! {
+    static CURRENT_CTX: std::cell::Cell<TraceCtx> = const { std::cell::Cell::new(TraceCtx::NONE) };
+}
+
+/// The calling thread's current trace context.
+pub fn current_ctx() -> TraceCtx {
+    CURRENT_CTX.with(|c| c.get())
+}
+
+/// Restores the previous thread-local trace context on drop.
+#[must_use = "the previous trace context is restored when the guard drops"]
+pub struct CtxGuard {
+    prev: TraceCtx,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT_CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Install `ctx` as the calling thread's trace context until the guard
+/// drops. Spans started meanwhile inherit `ctx.trace_id` and link to
+/// `ctx.span_id` as their parent.
+pub fn with_ctx(ctx: TraceCtx) -> CtxGuard {
+    CURRENT_CTX.with(|c| CtxGuard { prev: c.replace(ctx) })
+}
+
+/// Mint a fresh recorder-unique span id (for callers that assemble their
+/// own span records, e.g. serve's per-request trace store).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
 
@@ -172,6 +247,11 @@ pub fn enable() -> EnableGuard {
 pub struct Span {
     name: &'static str,
     start: Option<(u64, Instant)>,
+    /// `(own ctx, previous ctx)` when this span joined a trace; the own
+    /// ctx was installed thread-locally so child spans link to it, and
+    /// the previous one is restored on drop.
+    ctx: Option<(TraceCtx, TraceCtx)>,
+    attrs: Vec<(&'static str, u64)>,
 }
 
 impl Span {
@@ -179,25 +259,65 @@ impl Span {
     pub fn name(&self) -> &'static str {
         self.name
     }
+
+    /// Attach a key=value attribute. Inert on spans that are not
+    /// recording.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// The trace context this span recorded under ([`TraceCtx::NONE`]
+    /// when the span is inert or untraced).
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx.map(|(own, _)| own).unwrap_or(TraceCtx::NONE)
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        let (trace_id, span_id, parent_id) = match self.ctx {
+            Some((own, prev)) => {
+                CURRENT_CTX.with(|c| c.set(prev));
+                (own.trace_id, own.span_id, prev.span_id)
+            }
+            None => (0, 0, 0),
+        };
         if let Some((start_us, started)) = self.start {
             let dur_us = started.elapsed().as_micros() as u64;
-            record_event(SpanEvent { name: self.name, tid: current_tid(), start_us, dur_us });
+            record_event(SpanEvent {
+                name: self.name,
+                tid: current_tid(),
+                start_us,
+                dur_us,
+                trace_id,
+                span_id,
+                parent_id,
+                attrs: std::mem::take(&mut self.attrs),
+            });
         }
     }
 }
 
 /// Start an RAII span; the interval is recorded when the guard drops.
 /// Near-free when the recorder is disabled.
+///
+/// When the calling thread carries a trace context (see [`with_ctx`]) the
+/// span joins that trace: it gets a fresh span id, links to the context's
+/// span as its parent, and becomes the context for spans nested under it.
 #[inline]
 pub fn span(name: &'static str) -> Span {
     if !enabled() {
-        return Span { name, start: None };
+        return Span { name, start: None, ctx: None, attrs: Vec::new() };
     }
-    Span { name, start: Some((now_us(), Instant::now())) }
+    let cur = current_ctx();
+    let ctx = cur.is_traced().then(|| {
+        let own = TraceCtx { trace_id: cur.trace_id, span_id: next_span_id() };
+        CURRENT_CTX.with(|c| c.set(own));
+        (own, cur)
+    });
+    Span { name, start: Some((now_us(), Instant::now())), ctx, attrs: Vec::new() }
 }
 
 /// The recorder-assigned logical id of the calling thread.
@@ -242,12 +362,17 @@ pub fn exit(name: &'static str) {
                 count("obs.span_mismatch", mismatched);
             }
             let tid = current_tid();
+            let ctx = current_ctx();
             for (n, start_us) in frames.into_iter().rev() {
                 record_event(SpanEvent {
                     name: n,
                     tid,
                     start_us,
                     dur_us: end.saturating_sub(start_us),
+                    trace_id: ctx.trace_id,
+                    span_id: 0,
+                    parent_id: ctx.span_id,
+                    attrs: Vec::new(),
                 });
             }
         }

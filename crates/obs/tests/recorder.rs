@@ -81,6 +81,58 @@ fn exit_without_enter_records_nothing() {
 }
 
 #[test]
+fn spans_inherit_the_installed_trace_context() {
+    let snap = with_recorder(|| {
+        {
+            let _ctx = obs::with_ctx(obs::TraceCtx { trace_id: 42, span_id: 9 });
+            let mut outer = obs::span("outer");
+            outer.attr("batch", 3);
+            {
+                let _inner = obs::span("inner");
+            }
+            drop(outer);
+        }
+        // context restored: spans after the guard are untraced
+        {
+            let _after = obs::span("after");
+        }
+        obs::snapshot()
+    });
+    let outer = snap.events.iter().find(|e| e.name == "outer").unwrap();
+    let inner = snap.events.iter().find(|e| e.name == "inner").unwrap();
+    let after = snap.events.iter().find(|e| e.name == "after").unwrap();
+    assert_eq!(outer.trace_id, 42);
+    assert_eq!(outer.parent_id, 9, "outer links to the installed context");
+    assert!(outer.span_id != 0);
+    assert_eq!(inner.trace_id, 42);
+    assert_eq!(inner.parent_id, outer.span_id, "inner nests under outer");
+    assert_eq!(outer.attrs, vec![("batch", 3)]);
+    assert_eq!(after.trace_id, 0);
+    assert_eq!(after.span_id, 0);
+}
+
+#[test]
+fn untraced_spans_stay_anonymous_and_ctx_is_cheap_when_disabled() {
+    let snap = with_recorder(|| {
+        {
+            let _s = obs::span("plain");
+        }
+        obs::snapshot()
+    });
+    let plain = snap.events.iter().find(|e| e.name == "plain").unwrap();
+    assert_eq!((plain.trace_id, plain.span_id, plain.parent_id), (0, 0, 0));
+    assert!(plain.attrs.is_empty());
+
+    // disabled spans never touch the thread-local context
+    obs::set_enabled(false);
+    let _ctx = obs::with_ctx(obs::TraceCtx { trace_id: 7, span_id: 1 });
+    let mut s = obs::span("off");
+    s.attr("k", 1);
+    assert_eq!(s.ctx(), obs::TraceCtx::NONE);
+    assert_eq!(obs::current_ctx().trace_id, 7, "inert span leaves the context alone");
+}
+
+#[test]
 fn counters_and_histograms_accumulate() {
     let snap = with_recorder(|| {
         obs::count("hits", 2);

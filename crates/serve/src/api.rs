@@ -32,6 +32,7 @@ pub(crate) enum Endpoint {
     EvalStart,
     EvalStatus,
     EvalList,
+    Trace,
 }
 
 /// The one route table serving both the admin plane and the `/v1` API.
@@ -45,6 +46,7 @@ pub(crate) const ROUTES: &[Route<Endpoint>] = &[
     Route { method: "POST", path: PathSpec::Prefix("/v1/evals/"), handler: Endpoint::EvalStart },
     Route { method: "GET", path: PathSpec::Prefix("/v1/evals/"), handler: Endpoint::EvalStatus },
     Route { method: "GET", path: PathSpec::Exact("/v1/evals"), handler: Endpoint::EvalList },
+    Route { method: "GET", path: PathSpec::Prefix("/v1/traces/"), handler: Endpoint::Trace },
 ];
 
 /// Route and serve one request.
@@ -72,6 +74,7 @@ pub(crate) fn respond(req: &Request, inner: &Inner, ctx: &EvalContext<'_>) -> Re
             Response::json(200, serde_json::to_string(&entries).unwrap_or_else(|_| "[]".into()))
         }
         Endpoint::Sql => post_sql(req, inner, ctx),
+        Endpoint::Trace => get_trace(suffix, inner),
         Endpoint::EvalStart => post_eval(req, suffix, inner, ctx),
         Endpoint::EvalStatus => get_eval(suffix, inner),
         Endpoint::EvalList => {
@@ -181,6 +184,7 @@ fn nl_query(body: &serde::Value, inner: &Inner, ctx: &EvalContext<'_>) -> Respon
         db_id: db_id.to_string(),
         question: question.to_string(),
         deadline,
+        trace: None,
     };
     let ticket = match inner.submit(request) {
         Ok(t) => t,
@@ -220,7 +224,31 @@ fn nl_query(body: &serde::Value, inner: &Inner, ctx: &EvalContext<'_>) -> Respon
         "latency_us".to_string(),
         serde::Value::Int(resp.latency.as_micros() as i64),
     ));
+    if !resp.trace_id.is_empty() {
+        out.push(("trace_id".to_string(), serde::Value::Str(resp.trace_id.clone())));
+    }
     Response::json(200, serde_json::to_string(&serde::Value::Map(out)).unwrap_or_default())
+}
+
+/// `GET /v1/traces/<id>`: the assembled span tree of one traced request,
+/// as flat spans plus a parent-nested tree (see [`crate::trace::trace_json`]).
+fn get_trace(suffix: &str, inner: &Inner) -> Response {
+    let Some(store) = inner.traces.as_ref() else {
+        return Response::json_error(404, "request tracing is not enabled on this service");
+    };
+    let Some(id) = crate::trace::parse_trace_id(suffix) else {
+        return Response::json_error(404, &format!("bad trace id: {suffix}"));
+    };
+    match store.spans(id) {
+        Some(spans) => {
+            let hex = crate::trace::format_trace_id(id);
+            Response::json(
+                200,
+                serde_json::to_string(&crate::trace::trace_json(&hex, &spans)).unwrap_or_default(),
+            )
+        }
+        None => Response::json_error(404, &format!("no trace with id {suffix} (unknown or evicted)")),
+    }
 }
 
 /// `POST /v1/evals/<corpus>`: validate, register a queued run, hand it to
@@ -355,28 +383,4 @@ fn usize_field(v: &serde::Value, key: &str) -> Result<Option<usize>, Response> {
     }
 }
 
-/// A [`minidb::ResultSet`] as plain JSON:
-/// `{"columns": [...], "rows": [[...]], "row_count": N, "work": N}`.
-fn result_set_json(rs: &minidb::ResultSet) -> serde::Value {
-    let columns = rs.columns.iter().map(|c| serde::Value::Str(c.clone())).collect();
-    let rows = rs
-        .rows
-        .iter()
-        .map(|row| serde::Value::Array(row.iter().map(db_value_json).collect()))
-        .collect();
-    serde::Value::Map(vec![
-        ("columns".to_string(), serde::Value::Array(columns)),
-        ("rows".to_string(), serde::Value::Array(rows)),
-        ("row_count".to_string(), serde::Value::Int(rs.rows.len() as i64)),
-        ("work".to_string(), serde::Value::Int(rs.work as i64)),
-    ])
-}
-
-fn db_value_json(v: &minidb::Value) -> serde::Value {
-    match v {
-        minidb::Value::Null => serde::Value::Null,
-        minidb::Value::Int(i) => serde::Value::Int(*i),
-        minidb::Value::Real(f) => serde::Value::Float(*f),
-        minidb::Value::Text(s) => serde::Value::Str(s.clone()),
-    }
-}
+pub(crate) use crate::http::result_set_json;

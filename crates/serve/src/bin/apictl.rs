@@ -22,11 +22,15 @@ const USAGE: &str = "serve-apictl: one-shot client for the serve HTTP API
 USAGE:
     serve-apictl --addr ADDR [--expect N] get PATH
     serve-apictl --addr ADDR [--expect N] post PATH JSON_BODY
+    serve-apictl --addr ADDR trace TRACE_ID
 
 OPTIONS:
     --addr ADDR      the server's admin/API address (required)
     --expect N       require this exact status instead of any 2xx
     -h, --help       print this help
+
+`trace` fetches GET /v1/traces/TRACE_ID and pretty-prints the span tree
+with per-stage durations (works against a serve engine or a scheduler).
 ";
 
 fn main() {
@@ -70,8 +74,12 @@ fn main() {
     let outcome = match rest.as_slice() {
         [verb, path] if verb == "get" => http_get(addr, path),
         [verb, path, body] if verb == "post" => http_post(addr, path, body),
+        [verb, id] if verb == "trace" => {
+            print_trace(addr, id);
+            return;
+        }
         _ => {
-            eprintln!("expected 'get PATH' or 'post PATH JSON_BODY'\n\n{USAGE}");
+            eprintln!("expected 'get PATH', 'post PATH JSON_BODY', or 'trace ID'\n\n{USAGE}");
             std::process::exit(2);
         }
     };
@@ -91,4 +99,53 @@ fn main() {
         });
         std::process::exit(1);
     }
+}
+
+/// Fetch one trace and print its span tree as indented text. The flat
+/// `spans` array in the JSON reply carries everything
+/// [`serve::trace::render_tree_text`] needs, so the rendering here is
+/// byte-identical to what the service itself would produce.
+fn print_trace(addr: SocketAddr, id: &str) {
+    let (status, body) = http_get(addr, &format!("/v1/traces/{id}")).unwrap_or_else(|e| {
+        eprintln!("request to {addr} failed: {e}");
+        std::process::exit(1);
+    });
+    if status != 200 {
+        eprintln!("GET /v1/traces/{id}: status {status}: {body}");
+        std::process::exit(1);
+    }
+    let parsed: serde::Value = serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!("bad JSON from /v1/traces/{id}: {e}");
+        std::process::exit(1);
+    });
+    let hex = match parsed.get("trace_id") {
+        Some(serde::Value::Str(s)) => s.clone(),
+        _ => id.to_string(),
+    };
+    let spans = match parsed.get("spans") {
+        Some(serde::Value::Array(items)) => items.iter().filter_map(span_from_json).collect(),
+        _ => Vec::new(),
+    };
+    print!("{}", serve::trace::render_tree_text(&hex, &spans));
+}
+
+fn span_from_json(v: &serde::Value) -> Option<serve::SpanRecord> {
+    let int = |key: &str| match v.get(key) {
+        Some(serde::Value::Int(i)) => Some(*i as u64),
+        _ => None,
+    };
+    let text = |key: &str| match v.get(key) {
+        Some(serde::Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Some(serve::SpanRecord {
+        trace_id: String::new(),
+        span_id: int("span_id")?,
+        parent_id: int("parent_id")?,
+        name: text("name")?,
+        process: text("process")?,
+        start_us: int("start_us")?,
+        dur_us: int("dur_us")?,
+        attrs: text("attrs").unwrap_or_default(),
+    })
 }

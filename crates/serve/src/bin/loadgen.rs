@@ -35,6 +35,10 @@ struct Args {
     deadline_ms: Option<u64>,
     open_loop: bool,
     scrape: bool,
+    /// In-process mode: enable request tracing on the embedded engine so
+    /// responses carry trace ids and the report can name exemplar traces.
+    /// Remote modes report exemplars whenever the server traces.
+    trace: bool,
     /// With `--endpoints`: drive `POST /v1/sql` over HTTP instead of the
     /// binary cluster protocol. Endpoints are then admin/API addresses
     /// (a worker's or the scheduler's), not Execute listeners.
@@ -60,6 +64,7 @@ impl Default for Args {
             deadline_ms: None,
             open_loop: false,
             scrape: false,
+            trace: false,
             http: false,
             endpoints: Vec::new(),
             scrape_addrs: Vec::new(),
@@ -73,7 +78,7 @@ fn parse_args() -> Args {
     let mut i = 0;
     let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
                  [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
-                 [--deadline-ms N] [--open] [--scrape] [--http] \
+                 [--deadline-ms N] [--open] [--scrape] [--trace] [--http] \
                  [--endpoints ADDR,ADDR,...] [--scrape-addr ADDR,ADDR,...]";
     while i < argv.len() {
         let need_value = |i: usize| -> &str {
@@ -115,6 +120,11 @@ fn parse_args() -> Args {
                 i += 1;
                 continue;
             }
+            "--trace" => {
+                args.trace = true;
+                i += 1;
+                continue;
+            }
             "--http" => {
                 args.http = true;
                 i += 1;
@@ -134,7 +144,11 @@ fn parse_args() -> Args {
     args
 }
 
-/// Outcome tally; everything here is seed-deterministic.
+/// How many exemplar slow traces the report names.
+const EXEMPLARS: usize = 5;
+
+/// Outcome tally; everything here is seed-deterministic except
+/// `exemplars`, which belongs to the timing-dependent report section.
 #[derive(Default)]
 struct Tally {
     ok: u64,
@@ -145,6 +159,10 @@ struct Tally {
     deadline: u64,
     refused: u64,
     other_err: u64,
+    /// `(latency_us, trace_id)` of the slowest traced requests seen,
+    /// slowest first, at most [`EXEMPLARS`] entries. Empty when the
+    /// server does not trace.
+    exemplars: Vec<(u64, String)>,
 }
 
 impl Tally {
@@ -155,12 +173,22 @@ impl Tally {
                 self.ex += resp.ex as u64;
                 self.em += resp.em as u64;
                 self.cache_hits += resp.cache_hit as u64;
+                if !resp.trace_id.is_empty() {
+                    self.note_exemplar(resp.latency.as_micros() as u64, &resp.trace_id);
+                }
             }
             Err(QueryError::Overloaded) => self.overloaded += 1,
             Err(QueryError::DeadlineExceeded) => self.deadline += 1,
             Err(QueryError::TranslationRefused) => self.refused += 1,
             Err(_) => self.other_err += 1,
         }
+    }
+
+    /// Keep the top-[`EXEMPLARS`] slowest traced requests.
+    fn note_exemplar(&mut self, latency_us: u64, trace_id: &str) {
+        self.exemplars.push((latency_us, trace_id.to_string()));
+        self.exemplars.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        self.exemplars.truncate(EXEMPLARS);
     }
 
     fn merge(&mut self, other: Tally) {
@@ -172,10 +200,29 @@ impl Tally {
         self.deadline += other.deadline;
         self.refused += other.refused;
         self.other_err += other.other_err;
+        for (latency_us, trace_id) in other.exemplars {
+            self.note_exemplar(latency_us, &trace_id);
+        }
     }
 
     fn resolved(&self) -> u64 {
         self.ok + self.overloaded + self.deadline + self.refused + self.other_err
+    }
+}
+
+/// Print the slowest traced requests so an operator can jump straight to
+/// `serve-apictl trace <id>` / `GET /v1/traces/<id>`. Quiet when the
+/// server did not trace anything.
+fn print_exemplars(tally: &Tally) {
+    if tally.exemplars.is_empty() {
+        return;
+    }
+    println!("  slowest traced requests (exemplars):");
+    for (latency_us, trace_id) in &tally.exemplars {
+        println!(
+            "    {} trace={trace_id}  (serve-apictl trace {trace_id})",
+            fmt_duration(Some(Duration::from_micros(*latency_us)))
+        );
     }
 }
 
@@ -247,6 +294,11 @@ fn run_http(args: &Args, requests: &[QueryRequest]) -> Tally {
                 tally.ex += flag("ex") as u64;
                 tally.em += flag("em") as u64;
                 tally.cache_hits += flag("cache_hit") as u64;
+                if let (Some(serde::Value::Int(us)), Some(serde::Value::Str(id))) =
+                    (parsed.get("latency_us"), parsed.get("trace_id"))
+                {
+                    tally.note_exemplar((*us).max(0) as u64, id);
+                }
             }
             503 => tally.overloaded += 1,
             504 => tally.deadline += 1,
@@ -409,6 +461,7 @@ fn main() {
                 db_id: sample.db_id.clone(),
                 question: sample.variants[variant].clone(),
                 deadline,
+                trace: None,
             }
         })
         .collect();
@@ -470,6 +523,7 @@ fn main() {
             wall.as_secs_f64(),
             tally.resolved() as f64 / wall.as_secs_f64().max(1e-9)
         );
+        print_exemplars(&tally);
         scrape_admin_endpoints(&args.scrape_addrs);
         assert_eq!(
             tally.resolved(),
@@ -488,6 +542,9 @@ fn main() {
     };
     if args.scrape {
         config.admin_addr = Some("127.0.0.1:0".parse().expect("loopback addr"));
+    }
+    if args.trace {
+        config.request_tracing = true;
     }
 
     let started = Instant::now();
@@ -647,6 +704,7 @@ fn main() {
         100.0 * metrics.cache_hit_rate,
         metrics.mean_batch_size
     );
+    print_exemplars(&tally);
     println!("  windowed (sampled at shutdown):");
     for w in &windows {
         print_window(w);

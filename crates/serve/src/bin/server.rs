@@ -34,6 +34,9 @@ OPTIONS:
     --workers N           engine worker threads [default: cores]
     --queue N             admission-queue capacity [default: 256]
     --static-check        enable the sqlcheck admission gate
+    --trace               mint per-request trace ids, serve GET /v1/traces/<id>,
+                          and run the telemetry warehouse (trace_spans +
+                          metrics_history queryable via POST /v1/sql)
     -h, --help            print this help
 ";
 
@@ -83,6 +86,10 @@ fn parse_args() -> Args {
             "--workers" => out.config.workers = parse_num(&value("--workers")) as usize,
             "--queue" => out.config.queue_capacity = parse_num(&value("--queue")) as usize,
             "--static-check" => out.config.static_check = true,
+            "--trace" => {
+                out.config.request_tracing = true;
+                out.config.warehouse = true;
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);

@@ -327,6 +327,34 @@ fn read_reply(mut stream: TcpStream) -> std::io::Result<(u16, String)> {
     Ok((status, body))
 }
 
+/// A [`minidb::ResultSet`] as plain JSON:
+/// `{"columns": [...], "rows": [[...]], "row_count": N, "work": N}`.
+/// Shared by the per-engine API (`POST /v1/sql`) and the scheduler admin
+/// endpoint so both answer raw SQL in the same shape.
+pub fn result_set_json(rs: &minidb::ResultSet) -> serde::Value {
+    let columns = rs.columns.iter().map(|c| serde::Value::Str(c.clone())).collect();
+    let rows = rs
+        .rows
+        .iter()
+        .map(|row| serde::Value::Array(row.iter().map(db_value_json).collect()))
+        .collect();
+    serde::Value::Map(vec![
+        ("columns".to_string(), serde::Value::Array(columns)),
+        ("rows".to_string(), serde::Value::Array(rows)),
+        ("row_count".to_string(), serde::Value::Int(rs.rows.len() as i64)),
+        ("work".to_string(), serde::Value::Int(rs.work as i64)),
+    ])
+}
+
+fn db_value_json(v: &minidb::Value) -> serde::Value {
+    match v {
+        minidb::Value::Null => serde::Value::Null,
+        minidb::Value::Int(i) => serde::Value::Int(*i),
+        minidb::Value::Real(f) => serde::Value::Float(*f),
+        minidb::Value::Text(s) => serde::Value::Str(s.clone()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod proto;
 pub mod slowlog;
 pub(crate) mod telemetry;
+pub mod trace;
 pub mod window;
 
 use cache::{ExecCache, ExecOutcome};
@@ -71,6 +72,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use telemetry::Telemetry;
+use trace::{RequestTrace, TraceStore};
+pub use trace::{SpanRecord, TraceContext};
 pub use window::{WindowReport, WindowRing};
 
 /// Service tuning knobs. Prefer [`ServeConfig::builder`], which rejects
@@ -128,6 +131,27 @@ pub struct ServeConfig {
     /// `Content-Length` is refused with `413 Payload Too Large` before any
     /// body bytes are read. Default 64 KiB.
     pub max_body_bytes: usize,
+    /// Mint a `trace_id` per admitted request and record per-stage spans
+    /// into an in-memory trace store, served back on `GET /v1/traces/<id>`
+    /// and echoed on responses and slow-log entries. Outcome-neutral by
+    /// construction: tracing only ever *observes* the pipeline. Off by
+    /// default.
+    pub request_tracing: bool,
+    /// Traces the in-memory store retains before evicting the oldest.
+    pub trace_capacity: usize,
+    /// Run the telemetry warehouse: a background flusher persisting
+    /// completed span trees (`trace_spans`) and periodic metrics snapshots
+    /// (`metrics_history`) into the eval store, queryable through
+    /// `POST /v1/sql`. Implies nothing about `request_tracing` — without
+    /// it the warehouse only accrues metrics history. Off by default.
+    pub warehouse: bool,
+    /// Warehouse flush interval, milliseconds.
+    pub warehouse_flush_ms: u64,
+    /// Process label stamped on every span this service records, and the
+    /// seed of its span-id range (see [`trace`] module docs). Cluster
+    /// workers set their worker id here so a cross-process tree shows
+    /// which worker executed, and two workers' span ids never collide.
+    pub trace_process: String,
 }
 
 impl Default for ServeConfig {
@@ -148,6 +172,11 @@ impl Default for ServeConfig {
             unready_queue_pct: 90,
             static_check: false,
             max_body_bytes: 64 * 1024,
+            request_tracing: false,
+            trace_capacity: 1024,
+            warehouse: false,
+            warehouse_flush_ms: 250,
+            trace_process: "serve".to_string(),
         }
     }
 }
@@ -187,6 +216,15 @@ impl ServeConfig {
         if self.max_body_bytes == 0 {
             return Err(ServeConfigError::ZeroMaxBody);
         }
+        if self.trace_capacity == 0 {
+            return Err(ServeConfigError::ZeroTraceCapacity);
+        }
+        if self.warehouse_flush_ms == 0 {
+            return Err(ServeConfigError::ZeroWarehouseFlush);
+        }
+        if self.trace_process.is_empty() {
+            return Err(ServeConfigError::EmptyTraceProcess);
+        }
         if let Some(addr) = self.admin_addr {
             if !addr.ip().is_loopback() {
                 return Err(ServeConfigError::NonLoopbackAdmin);
@@ -217,6 +255,12 @@ pub enum ServeConfigError {
     BadUnreadyQueuePct,
     /// `max_body_bytes` was zero — no request body could ever be accepted.
     ZeroMaxBody,
+    /// `trace_capacity` was zero — the trace store could hold nothing.
+    ZeroTraceCapacity,
+    /// `warehouse_flush_ms` was zero — the flusher would spin.
+    ZeroWarehouseFlush,
+    /// `trace_process` was empty — spans would carry no process label.
+    EmptyTraceProcess,
     /// `admin_addr` was not a loopback address; the admin endpoint speaks
     /// unauthenticated plaintext HTTP and must not be reachable off-host.
     NonLoopbackAdmin,
@@ -238,6 +282,13 @@ impl fmt::Display for ServeConfigError {
                 write!(f, "unready_queue_pct must be in 1..=100")
             }
             ServeConfigError::ZeroMaxBody => write!(f, "max_body_bytes must be >= 1"),
+            ServeConfigError::ZeroTraceCapacity => write!(f, "trace_capacity must be >= 1"),
+            ServeConfigError::ZeroWarehouseFlush => {
+                write!(f, "warehouse_flush_ms must be >= 1")
+            }
+            ServeConfigError::EmptyTraceProcess => {
+                write!(f, "trace_process must be non-empty")
+            }
             ServeConfigError::NonLoopbackAdmin => {
                 write!(f, "admin_addr must be a loopback address")
             }
@@ -343,6 +394,36 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Mint per-request trace ids and record stage spans (default off).
+    pub fn request_tracing(mut self, on: bool) -> Self {
+        self.config.request_tracing = on;
+        self
+    }
+
+    /// Traces retained in memory before the oldest is evicted.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
+        self
+    }
+
+    /// Run the telemetry warehouse flusher (default off).
+    pub fn warehouse(mut self, on: bool) -> Self {
+        self.config.warehouse = on;
+        self
+    }
+
+    /// Warehouse flush interval in milliseconds.
+    pub fn warehouse_flush_ms(mut self, ms: u64) -> Self {
+        self.config.warehouse_flush_ms = ms;
+        self
+    }
+
+    /// Process label spans carry (default `"serve"`).
+    pub fn trace_process(mut self, process: &str) -> Self {
+        self.config.trace_process = process.to_string();
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServeConfig, ServeConfigError> {
         self.config.validate()?;
@@ -362,6 +443,14 @@ pub struct QueryRequest {
     /// Optional deadline relative to submission; requests still queued
     /// past it are dropped with [`QueryError::DeadlineExceeded`].
     pub deadline: Option<Duration>,
+    /// Incoming trace context: when a traced upstream (the cluster
+    /// scheduler) forwards this request, the local root span adopts its
+    /// trace id and links to its parent span, so one trace crosses the
+    /// process boundary. `None` (and ignored when tracing is off) for
+    /// direct requests — the service mints a fresh id. Defaulted so
+    /// pre-tracing frames and logs still deserialize.
+    #[serde(default)]
+    pub trace: Option<TraceContext>,
 }
 
 /// Successful service answer for one request.
@@ -387,6 +476,11 @@ pub struct QueryResponse {
     pub batch_size: usize,
     /// Submission-to-response latency.
     pub latency: Duration,
+    /// External (hex) trace id of this request's span tree, fetchable via
+    /// `GET /v1/traces/<id>`; empty when tracing is off. Defaulted so
+    /// pre-tracing logs still deserialize.
+    #[serde(default)]
+    pub trace_id: String,
 }
 
 /// Why a request got no [`QueryResponse`].
@@ -472,6 +566,16 @@ struct Pending {
     enqueued: Instant,
     deadline: Option<Duration>,
     reply: channel::Sender<QueryReply>,
+    /// Trace identity minted (or adopted) at admission; `None` when
+    /// tracing is off.
+    trace: Option<PendingTrace>,
+}
+
+/// The trace identity a queued request carries to its worker.
+struct PendingTrace {
+    trace_id: u64,
+    /// Remote parent for the local root span; 0 when minted here.
+    parent_span: u64,
 }
 
 struct QueueState {
@@ -563,6 +667,9 @@ pub(crate) struct Inner {
     pub(crate) evals: EvalPlane,
     metrics: Metrics,
     pub(crate) telemetry: Telemetry,
+    /// Per-request span store behind `GET /v1/traces/<id>`; present iff
+    /// `config.request_tracing` is on.
+    pub(crate) traces: Option<TraceStore>,
     /// Readiness flag behind `/readyz`; true from start until drain.
     ready: AtomicBool,
     /// Service epoch: windows and the slow log timestamp against this.
@@ -611,6 +718,21 @@ impl Inner {
                 }
             };
 
+        // Trace identity is fixed at admission: adopt a forwarded context
+        // (the scheduler's trace crossing into this process) or mint a
+        // fresh id. Resolution failures above get no trace — they never
+        // reach the pipeline the spans describe.
+        let trace = self.traces.as_ref().map(|store| {
+            match req.trace.as_ref().and_then(|t| {
+                trace::parse_trace_id(&t.trace_id).map(|id| (id, t.parent_span))
+            }) {
+                Some((trace_id, parent_span)) => PendingTrace { trace_id, parent_span },
+                None => PendingTrace {
+                    trace_id: store.mint(&req.db_id, &req.question, &req.method),
+                    parent_span: 0,
+                },
+            }
+        });
         let pending = Pending {
             method_idx,
             sample_idx,
@@ -618,6 +740,7 @@ impl Inner {
             enqueued: Instant::now(),
             deadline: req.deadline,
             reply: tx,
+            trace,
         };
         {
             let mut q = self.queue.lock().expect("queue lock poisoned");
@@ -781,6 +904,31 @@ impl ServiceHandle<'_> {
     pub fn metrics_text(&self) -> String {
         self.inner.metrics_text()
     }
+
+    /// All recorded spans of one trace, by external (hex) id — what
+    /// `GET /v1/traces/<id>` serves. `None` when tracing is off, the id
+    /// does not parse, or the trace is unknown/evicted. Cluster workers
+    /// use this to ship a request's local spans back to the scheduler.
+    pub fn trace_spans(&self, trace_id: &str) -> Option<Vec<SpanRecord>> {
+        let store = self.inner.traces.as_ref()?;
+        store.spans(trace::parse_trace_id(trace_id)?)
+    }
+
+    /// Run raw SQL against the eval/telemetry store — the same tables
+    /// `POST /v1/sql` queries (`eval_runs`, `eval_results`, `trace_spans`,
+    /// `metrics_history`).
+    pub fn store_sql(&self, sql: &str) -> Result<minidb::ResultSet, minidb::ExecError> {
+        self.inner.evals.store.lock().expect("eval store lock poisoned").sql(sql)
+    }
+
+    /// Force one warehouse flush (completed span trees + a metrics
+    /// snapshot) right now. No-op when the warehouse is off — tests and
+    /// scripts use this instead of sleeping out `warehouse_flush_ms`.
+    pub fn flush_warehouse(&self) {
+        if self.inner.config.warehouse {
+            flush_warehouse_tick(self.inner);
+        }
+    }
 }
 
 /// The service. Scoped-run API: [`Service::run`] starts the worker pool,
@@ -854,9 +1002,14 @@ impl Service {
         } else {
             HashMap::new()
         };
+        let started = Instant::now();
+        let traces = config
+            .request_tracing
+            .then(|| TraceStore::new(&config.trace_process, config.trace_capacity, started));
         let inner = Inner {
             cache: ExecCache::new(config.cache_shards, config.cache_capacity_per_shard),
             evals: EvalPlane::new(config.static_check),
+            traces,
             config,
             catalogs,
             queue: Mutex::new(QueueState { items: VecDeque::new(), shutdown: false }),
@@ -867,7 +1020,7 @@ impl Service {
             metrics: Metrics::default(),
             telemetry,
             ready: AtomicBool::new(true),
-            started: Instant::now(),
+            started,
             admin_stop: AtomicBool::new(false),
             admin_addr,
         };
@@ -876,6 +1029,10 @@ impl Service {
             for _ in 0..inner.config.workers {
                 let inner_ref = &inner;
                 scope.spawn(move |_| worker_loop(inner_ref, ctx));
+            }
+            if inner.config.warehouse {
+                let inner_ref = &inner;
+                scope.spawn(move |_| warehouse_flusher(inner_ref));
             }
             if let Some(listener) = admin_listener {
                 let inner_ref = &inner;
@@ -979,6 +1136,68 @@ fn run_eval_job<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, idx: usize) {
     inner.evals.runs.lock().expect("runs lock poisoned")[idx].status = status;
 }
 
+/// Warehouse flusher thread: every `warehouse_flush_ms` it persists
+/// completed span trees into the eval store's `trace_spans` table and one
+/// metrics snapshot into `metrics_history`, so both are queryable through
+/// `POST /v1/sql` while the service runs. On shutdown it performs one
+/// final flush before exiting; traces completed by workers draining after
+/// that final tick remain readable on `GET /v1/traces/<id>` but are not
+/// persisted — the warehouse is a live-telemetry sink, not a WAL.
+fn warehouse_flusher(inner: &Inner) {
+    let interval = Duration::from_millis(inner.config.warehouse_flush_ms);
+    loop {
+        let stopping = inner.admin_stop.load(Ordering::Acquire);
+        flush_warehouse_tick(inner);
+        if stopping {
+            return;
+        }
+        // Sleep in short slices so shutdown is never blocked on a long
+        // flush interval.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !inner.admin_stop.load(Ordering::Acquire) {
+            let step = Duration::from_millis(20).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// One warehouse flush: completed traces, then a metrics snapshot.
+fn flush_warehouse_tick(inner: &Inner) {
+    let mut store = inner.evals.store.lock().expect("eval store lock poisoned");
+    if let Some(traces) = &inner.traces {
+        for spans in traces.drain_completed(usize::MAX) {
+            let rows: Vec<nl2sql360::TraceSpanRow> = spans.iter().map(trace::span_row).collect();
+            if store.insert_trace_spans(&rows).is_err() {
+                obs::count("serve.warehouse.trace_insert_error", 1);
+            }
+        }
+    }
+    let m = inner.metrics.snapshot();
+    let us = |d: Option<Duration>| d.map_or(0, |d| d.as_micros() as i64);
+    let values = [
+        ("submitted", m.submitted as i64),
+        ("completed", m.completed as i64),
+        ("rejected_overloaded", m.rejected_overloaded as i64),
+        ("deadline_exceeded", m.deadline_exceeded as i64),
+        ("failed", m.failed as i64),
+        ("static_rejected", m.static_rejected as i64),
+        ("cache_hits", m.cache_hits as i64),
+        ("cache_misses", m.cache_misses as i64),
+        ("queue_depth", inner.queue_len() as i64),
+        ("latency_p50_us", us(m.p50)),
+        ("latency_p95_us", us(m.p95)),
+        ("latency_p99_us", us(m.p99)),
+        ("queue_wait_p99_us", us(m.queue_p99)),
+        ("exec_p99_us", us(m.exec_p99)),
+    ];
+    let at_ms = inner.started.elapsed().as_millis() as i64;
+    if store.insert_metrics_snapshot(at_ms, &values).is_err() {
+        obs::count("serve.warehouse.metrics_insert_error", 1);
+    }
+}
+
+
 /// Worker: block for work, drain a same-method batch, serve it.
 fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
     loop {
@@ -1020,11 +1239,31 @@ fn worker_loop<'a>(inner: &Inner, ctx: &'a EvalContext<'a>) {
 }
 
 fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size: usize) {
+    // Per-request tracing: the root span starts at enqueue time and is
+    // parented to the forwarding process's span when one was carried in.
+    // Span recording happens strictly *before* the reply is sent, so a
+    // caller that has the response can immediately read the full trace.
+    let rt = match (&p.trace, &inner.traces) {
+        (Some(pt), Some(store)) => {
+            Some(RequestTrace::begin(store, pt.trace_id, pt.parent_span, p.enqueued))
+        }
+        _ => None,
+    };
+    let traced = rt.is_some();
+    let trace_hex = rt.as_ref().map(|t| t.hex().to_string()).unwrap_or_default();
+    // Obs spans opened under this request join the same trace id, so a
+    // warehouse trace and a chrome-trace dump line up by id.
+    let _obs_ctx = rt
+        .as_ref()
+        .map(|t| obs::with_ctx(obs::TraceCtx { trace_id: t.trace_id(), span_id: t.root_span() }));
     let _span = obs::span("serve.request");
     // End of the queued phase: everything before `started` is queue wait,
     // everything after is this worker's own processing time.
     let queue_wait = p.enqueued.elapsed();
     let started = Instant::now();
+    if let Some(t) = &rt {
+        t.child("queue", p.enqueued, started, String::new());
+    }
     inner.metrics.queue_wait.record_duration(queue_wait);
     obs::observe_duration("serve.queue_wait", queue_wait);
     // All telemetry cells were pre-registered at startup: the hot path
@@ -1044,19 +1283,35 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
                 c.latency.record_duration(latency);
                 t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
             }
+            if let Some(t) = rt {
+                t.finish("request", "deadline_exceeded", format!("batch={batch_size}"));
+            }
             let _ = p.reply.send(Err(QueryError::DeadlineExceeded));
             return;
         }
     }
     let sample = &ctx.corpus.dev[p.sample_idx];
     let task = ctx.task(sample, p.variant);
-    let Some(pred) = inner.models[p.method_idx].translate(&task) else {
+    let translated = inner.models[p.method_idx].translate(&task);
+    let translate_end = traced.then(Instant::now);
+    if let (Some(t), Some(end)) = (&rt, translate_end) {
+        t.child(
+            "translate",
+            started,
+            end,
+            format!("method={}", inner.models[p.method_idx].name()),
+        );
+    }
+    let Some(pred) = translated else {
         Metrics::inc(&inner.metrics.failed);
         if let Some(c) = cells {
             c.refused.inc();
             let latency = p.enqueued.elapsed();
             c.latency.record_duration(latency);
             t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
+        }
+        if let Some(t) = rt {
+            t.finish("request", "refused", format!("batch={batch_size}"));
         }
         let _ = p.reply.send(Err(QueryError::TranslationRefused));
         return;
@@ -1075,6 +1330,14 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
                 .collect();
             fired.sort_by_key(|&r| r as usize);
             fired.dedup();
+            if let (Some(t), Some(start)) = (&rt, translate_end) {
+                t.child(
+                    "static_check",
+                    start,
+                    Instant::now(),
+                    format!("rules_fired={}", fired.len()),
+                );
+            }
             if !fired.is_empty() {
                 Metrics::inc(&inner.metrics.failed);
                 Metrics::inc(&inner.metrics.static_rejected);
@@ -1088,12 +1351,16 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
                     t.windows.record(inner.started.elapsed(), latency.as_micros() as u64, true);
                 }
                 let rules = fired.into_iter().map(|r| r.id().to_string()).collect();
+                if let Some(t) = rt {
+                    t.finish("request", "static_rejected", format!("batch={batch_size}"));
+                }
                 let _ = p.reply.send(Err(QueryError::StaticRejected(rules)));
                 return;
             }
         }
     }
 
+    let exec_start = traced.then(Instant::now);
     let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query));
     let sql_hash = if t.enabled { slowlog::fnv1a64(&normalized) } else { 0 };
     let key = (sample.db_id.clone(), normalized);
@@ -1117,6 +1384,10 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     if t.enabled {
         if cache_hit { &t.cache_hit } else { &t.cache_miss }.inc();
     }
+    let exec_end = traced.then(Instant::now);
+    if let (Some(t), Some(start), Some(end)) = (&rt, exec_start, exec_end) {
+        t.child("execute", start, end, format!("cache_hit={}", u64::from(cache_hit)));
+    }
 
     let gold = ctx.gold_result(p.sample_idx);
     let (ex, pred_work, exec_failure) = match &*outcome {
@@ -1130,6 +1401,9 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
         }
     };
     let em = sqlkit::exact_match(&sample.query, &pred.query);
+    if let (Some(t), Some(start)) = (&rt, exec_end) {
+        t.child("compare", start, Instant::now(), format!("ex={} em={}", ex as u8, em as u8));
+    }
     let exec_time = started.elapsed();
     let latency = p.enqueued.elapsed();
     Metrics::inc(&inner.metrics.completed);
@@ -1153,7 +1427,15 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
                 exec_us: exec_time.as_micros() as u64,
                 cache_hit,
                 at_ms: now.as_millis() as u64,
+                trace_id: trace_hex.clone(),
             },
+        );
+    }
+    if let Some(t) = rt {
+        t.finish(
+            "request",
+            "ok",
+            format!("batch={batch_size} cache_hit={}", u64::from(cache_hit)),
         );
     }
     let _ = p.reply.send(Ok(QueryResponse {
@@ -1165,6 +1447,7 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
         cache_hit,
         batch_size,
         latency,
+        trace_id: trace_hex,
     }));
 }
 
@@ -1185,6 +1468,7 @@ mod tests {
             db_id: sample.db_id.clone(),
             question: sample.variants[variant].clone(),
             deadline: None,
+            trace: None,
         }
     }
 
@@ -1277,6 +1561,14 @@ mod tests {
             ServeConfig::builder().unready_queue_pct(101).build(),
             Err(ServeConfigError::BadUnreadyQueuePct)
         );
+        assert_eq!(
+            ServeConfig::builder().trace_capacity(0).build(),
+            Err(ServeConfigError::ZeroTraceCapacity)
+        );
+        assert_eq!(
+            ServeConfig::builder().warehouse_flush_ms(0).build(),
+            Err(ServeConfigError::ZeroWarehouseFlush)
+        );
         // the admin endpoint is unauthenticated plaintext — loopback only
         assert_eq!(
             ServeConfig::builder().admin_addr("192.0.2.1:9090".parse().unwrap()).build(),
@@ -1302,6 +1594,10 @@ mod tests {
             .slow_log(16, 32)
             .unready_queue_pct(75)
             .static_check(true)
+            .request_tracing(true)
+            .trace_capacity(64)
+            .warehouse(true)
+            .warehouse_flush_ms(100)
             .build()
             .expect("all sizes nonzero");
         assert_eq!(config.workers, 3);
@@ -1318,7 +1614,14 @@ mod tests {
         assert_eq!(config.slow_log_rate_per_sec, 32);
         assert_eq!(config.unready_queue_pct, 75);
         assert!(config.static_check);
+        assert!(config.request_tracing && config.warehouse);
+        assert_eq!(config.trace_capacity, 64);
+        assert_eq!(config.warehouse_flush_ms, 100);
         assert!(!ServeConfig::default().static_check, "static check must be opt-in");
+        assert!(
+            !ServeConfig::default().request_tracing && !ServeConfig::default().warehouse,
+            "tracing and the warehouse must be opt-in"
+        );
         assert!(config.validate().is_ok());
         assert!(ServeConfig::default().validate().is_ok());
     }
@@ -1346,6 +1649,7 @@ mod tests {
             cache_hit: true,
             batch_size: 3,
             latency: Duration::from_micros(1234),
+            trace_id: "00000000000000ab".into(),
         };
         let json = serde_json::to_string(&resp).expect("serializes");
         let back: QueryResponse = serde_json::from_str(&json).expect("parses");

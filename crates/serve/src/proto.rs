@@ -99,6 +99,13 @@ pub enum Message {
         /// The reply, byte-identical to what the worker's in-process
         /// handle produced.
         reply: QueryReply,
+        /// The worker-side spans of this request's trace, when the
+        /// forwarded request carried a trace context and the worker runs
+        /// with tracing on; the scheduler merges them into its own store
+        /// so one trace spans both processes. Empty (and absent on the
+        /// wire from pre-tracing workers) otherwise.
+        #[serde(default)]
+        spans: Vec<crate::SpanRecord>,
     },
     /// Client → scheduler: serve this request somewhere.
     Submit {
@@ -237,6 +244,7 @@ mod tests {
             db_id: "concert_singer".into(),
             question: "How many singers are there?".into(),
             deadline: Some(Duration::from_millis(250)),
+            trace: None,
         }
     }
 
@@ -251,6 +259,7 @@ mod tests {
             cache_hit: true,
             batch_size: 3,
             latency: Duration::from_micros(1234),
+            trace_id: "00000000000000ab".into(),
         });
         let failed_reply: QueryReply = Ok(QueryResponse {
             ex: false,
@@ -260,6 +269,23 @@ mod tests {
         });
         let err_reply: QueryReply =
             Err(QueryError::StaticRejected(vec!["unknown-column".into()]));
+        let traced_request = QueryRequest {
+            trace: Some(crate::TraceContext {
+                trace_id: "00000000000000ab".into(),
+                parent_span: 512_000_000_007,
+            }),
+            ..request()
+        };
+        let worker_spans = vec![crate::SpanRecord {
+            trace_id: "00000000000000ab".into(),
+            span_id: 7_000_000_001,
+            parent_id: 512_000_000_007,
+            name: "request".into(),
+            process: "w0".into(),
+            start_us: 10,
+            dur_us: 950,
+            attrs: "outcome=ok batch=1".into(),
+        }];
         let messages = [
             Message::Register {
                 worker_id: "w0".into(),
@@ -273,15 +299,42 @@ mod tests {
                 queue_depth: 230,
                 completed: 10_411,
             },
-            Message::Execute { id: 7, request: request() },
-            Message::ExecuteResult { id: 7, reply: ok_reply },
-            Message::ExecuteResult { id: 8, reply: failed_reply },
+            Message::Execute { id: 7, request: traced_request },
+            Message::ExecuteResult { id: 7, reply: ok_reply, spans: worker_spans },
+            Message::ExecuteResult { id: 8, reply: failed_reply, spans: Vec::new() },
             Message::Submit { id: 9, request: request() },
             Message::SubmitResult { id: 9, reply: err_reply },
         ];
         for msg in &messages {
             assert_eq!(&roundtrip(msg), msg);
         }
+    }
+
+    #[test]
+    fn pre_tracing_frames_still_parse() {
+        // an ExecuteResult written before the `spans` field existed
+        let old = br#"{"ExecuteResult":{"id":3,"reply":{"Err":"Overloaded"}}}"#;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(old.len() as u32).to_be_bytes());
+        buf.extend_from_slice(old);
+        let msg = read_frame(&mut &buf[..]).expect("old frame parses");
+        assert_eq!(
+            msg,
+            Message::ExecuteResult {
+                id: 3,
+                reply: Err(QueryError::Overloaded),
+                spans: Vec::new()
+            }
+        );
+        // a request without a trace context parses with trace = None
+        let old_req = br#"{"Submit":{"id":1,"request":{"method":"C3SQL","db_id":"d","question":"q","deadline":null}}}"#;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(old_req.len() as u32).to_be_bytes());
+        buf.extend_from_slice(old_req);
+        let Message::Submit { request, .. } = read_frame(&mut &buf[..]).expect("parses") else {
+            panic!("expected Submit");
+        };
+        assert_eq!(request.trace, None);
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct SlowQueryEntry {
     pub cache_hit: bool,
     /// Service-relative completion time in milliseconds.
     pub at_ms: u64,
+    /// External (hex) trace id of the request's span tree, linking this
+    /// entry to `GET /v1/traces/<id>`; empty when tracing was off.
+    /// Defaulted so entries logged before tracing still deserialize.
+    #[serde(default)]
+    pub trace_id: String,
 }
 
 /// Bounded top-K slow-query log; see the module docs.
@@ -179,6 +184,7 @@ mod tests {
             exec_us: latency_us - latency_us / 4,
             cache_hit: false,
             at_ms,
+            trace_id: String::new(),
         }
     }
 

@@ -34,6 +34,7 @@ fn request(sample: &Sample, variant: usize, method: &str) -> QueryRequest {
         db_id: sample.db_id.clone(),
         question: sample.variants[variant].clone(),
         deadline: None,
+        trace: None,
     }
 }
 

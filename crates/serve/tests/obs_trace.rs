@@ -18,6 +18,7 @@ fn request(sample: &datagen::Sample, variant: usize, method: &str) -> QueryReque
         db_id: sample.db_id.clone(),
         question: sample.variants[variant].clone(),
         deadline: None,
+        trace: None,
     }
 }
 

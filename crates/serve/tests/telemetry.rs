@@ -25,6 +25,7 @@ fn request(sample: &Sample, variant: usize, method: &str) -> QueryRequest {
         db_id: sample.db_id.clone(),
         question: sample.variants[variant].clone(),
         deadline: None,
+        trace: None,
     }
 }
 
@@ -238,4 +239,76 @@ fn outcomes_identical_with_telemetry_on_and_off() {
     let on = run(true);
     let off = run(false);
     assert_eq!(on, off, "telemetry recording must not influence outcomes");
+}
+
+/// The tracing + warehouse plane is strictly passive too: serve outcomes
+/// AND a full eval run's persisted `EvalLog` rows are byte-identical with
+/// both on and both off. The eval run races the serve traffic in each
+/// configuration, so the pin also covers plane interference.
+#[test]
+fn outcomes_and_eval_logs_identical_with_tracing_and_warehouse_on_and_off() {
+    let corpus = corpus();
+    let run = |traced: bool| {
+        let ctx = EvalContext::new(&corpus);
+        let config = ServeConfig::builder()
+            .workers(3)
+            .request_tracing(traced)
+            .warehouse(traced)
+            .admin_addr("127.0.0.1:0".parse().expect("loopback addr"))
+            .build()
+            .unwrap();
+        Service::run_with_methods(config, &ctx, &["C3SQL", "DAILSQL"], |handle| {
+            let admin = handle.admin_addr().expect("admin bound");
+            let (status, body) = serve::admin::http_post(
+                admin,
+                "/v1/evals/spider",
+                "{\"method\":\"C3SQL\",\"subset\":8}",
+            )
+            .expect("eval submits");
+            assert_eq!(status, 202, "{body}");
+            let outcomes: Vec<_> = corpus
+                .dev
+                .iter()
+                .enumerate()
+                .take(20)
+                .map(|(i, sample)| {
+                    let method = if i % 2 == 0 { "C3SQL" } else { "DAILSQL" };
+                    match handle.query(request(sample, 0, method)) {
+                        Ok(r) => Ok((r.ex, r.em, r.pred_sql, r.pred_work, r.exec_failure)),
+                        Err(e) => Err(format!("{e}")),
+                    }
+                })
+                .collect();
+            // wait for the racing eval run to persist its log
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            let completed = loop {
+                let (status, body) =
+                    serve::admin::http_get(admin, "/v1/evals/1").expect("eval status");
+                assert_eq!(status, 200, "{body}");
+                if body.contains("\"status\":\"completed\"") {
+                    break true;
+                }
+                if body.contains("\"status\":\"failed\"") || std::time::Instant::now() > deadline
+                {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            };
+            assert!(completed, "eval run never completed");
+            // the persisted EvalLog, rendered byte-for-byte
+            let rows = handle
+                .store_sql(
+                    "SELECT run_id, sample_id, variant, db_id, ex, em, pred_sql, \
+                     exec_failure_label FROM eval_results ORDER BY sample_id, variant",
+                )
+                .expect("eval_results query");
+            let rendered =
+                serde_json::to_string(&serve::http::result_set_json(&rows)).expect("renders");
+            let m = handle.metrics();
+            (outcomes, rendered, m.submitted, m.completed, m.failed)
+        })
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on, off, "tracing + warehouse must be strictly passive");
 }

@@ -128,8 +128,10 @@ fi
 if [ "$api" -eq 1 ]; then
   # HTTP API smoke: boot a standalone serve engine as a real process on an
   # ephemeral loopback port, then exercise the full /v1 surface with the
-  # one-shot client — one NL translation, one raw-SQL query, a small eval
-  # run submitted over POST /v1/evals/spider and polled to completion, and
+  # one-shot client — one NL translation (traced: the response's trace id
+  # is followed through /slow, GET /v1/traces/<id>, and a SELECT over the
+  # persisted trace_spans table), one raw-SQL query, a small eval run
+  # submitted over POST /v1/evals/spider and polled to completion, and
   # finally the persisted run queried back through POST /v1/sql. A loadgen
   # burst over --http closes it out; the trap kills the server either way.
   echo "==> HTTP API smoke (serve-server + serve-apictl + loadgen --http)"
@@ -143,7 +145,7 @@ if [ "$api" -eq 1 ]; then
   trap cleanup_api EXIT
 
   api_banner=$(mktemp)
-  ./target/release/serve-server --static-check > "$api_banner" &
+  ./target/release/serve-server --static-check --trace > "$api_banner" &
   api_pid=$!
   for _ in $(seq 1 300); do
     grep -q 'serve-server sample' "$api_banner" && break
@@ -157,9 +159,30 @@ if [ "$api" -eq 1 ]; then
   apictl=./target/release/serve-apictl
 
   echo "  POST /v1/sql (NL) db_id=$sample_db"
-  "$apictl" --addr "$api_addr" post /v1/sql \
-    "{\"question\":\"$sample_q\",\"db_id\":\"$sample_db\",\"method\":\"C3SQL\"}" \
-    | grep -q '"pred_sql"' || { echo "NL request failed" >&2; exit 1; }
+  nl_reply=$("$apictl" --addr "$api_addr" post /v1/sql \
+    "{\"question\":\"$sample_q\",\"db_id\":\"$sample_db\",\"method\":\"C3SQL\"}")
+  echo "$nl_reply" | grep -q '"pred_sql"' || { echo "NL request failed" >&2; exit 1; }
+
+  # follow the trace id out of the response, through the slow log, the
+  # trace endpoint, and finally the warehouse's trace_spans table
+  trace_id=$(echo "$nl_reply" | sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p')
+  [ -n "$trace_id" ] || { echo "traced response carried no trace_id: $nl_reply" >&2; exit 1; }
+  echo "  GET /slow (entry carries trace_id=$trace_id)"
+  "$apictl" --addr "$api_addr" get /slow | grep -q "$trace_id" \
+    || { echo "slow log lost the trace id" >&2; exit 1; }
+  echo "  GET /v1/traces/$trace_id (serve-apictl trace)"
+  "$apictl" --addr "$api_addr" trace "$trace_id" | grep -q 'request' \
+    || { echo "trace endpoint returned no span tree" >&2; exit 1; }
+  echo "  POST /v1/sql (SELECT over trace_spans)"
+  trace_rows=""
+  for _ in $(seq 1 100); do
+    trace_rows=$("$apictl" --addr "$api_addr" post /v1/sql \
+      "{\"sql\":\"SELECT COUNT(*) FROM trace_spans WHERE trace_id = '$trace_id'\"}")
+    echo "$trace_rows" | grep -q '"rows":\[\[0\]\]' || break
+    sleep 0.1
+  done
+  echo "$trace_rows" | grep -q '"rows":\[\[[1-9]' \
+    || { echo "trace never reached the warehouse: $trace_rows" >&2; exit 1; }
 
   echo "  POST /v1/sql (raw SQL over the eval store)"
   "$apictl" --addr "$api_addr" post /v1/sql '{"sql":"SELECT COUNT(*) FROM eval_runs"}' \
