@@ -332,6 +332,7 @@ fn time_serve(
     requests: &[QueryRequest],
     telemetry: bool,
     static_check: bool,
+    canonical_key: bool,
     tracing: bool,
     reps: usize,
 ) -> f64 {
@@ -341,6 +342,7 @@ fn time_serve(
             .workers(2)
             .telemetry(telemetry)
             .static_check(static_check)
+            .canonical_cache_key(canonical_key)
             .request_tracing(tracing)
             .warehouse(tracing)
             .build()
@@ -421,15 +423,15 @@ fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
     // on/off pairs (drift cancels within a pair) and gate on the median of
     // the per-pair ratios (outlier passes drop out).
     let requests = build_requests(corpus);
-    time_serve(ctx, &requests, false, true, false, 1); // warmup
-    time_serve(ctx, &requests, false, false, false, 1); // warmup
+    time_serve(ctx, &requests, false, true, false, false, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, false, 1); // warmup
     let pairs = reps.max(9);
     let mut ratios = Vec::with_capacity(pairs);
     let mut on_secs = f64::INFINITY;
     let mut off_secs = f64::INFINITY;
     for _ in 0..pairs {
-        let on = time_serve(ctx, &requests, false, true, false, 1);
-        let off = time_serve(ctx, &requests, false, false, false, 1);
+        let on = time_serve(ctx, &requests, false, true, false, false, 1);
+        let off = time_serve(ctx, &requests, false, false, false, false, 1);
         on_secs = on_secs.min(on);
         off_secs = off_secs.min(off);
         ratios.push(on / off);
@@ -442,6 +444,81 @@ fn bench_sqlcheck(iters: usize, reps: usize) -> SqlcheckPoint {
         off_qps: requests.len() as f64 / off_secs,
         on_qps: requests.len() as f64 / on_secs,
         static_check_overhead_pct: (median_ratio - 1.0) * 100.0,
+    }
+}
+
+struct EquivPoint {
+    /// ns to canonicalize one gold query under the full rule set with its
+    /// catalog (the cost `sqlcheck equiv` and the match-kind recorder pay).
+    canonicalize_ns_per_query: f64,
+    requests: usize,
+    off_qps: f64,
+    on_qps: f64,
+    /// Median over back-to-back pairs of (canonical-key secs / normalized-key
+    /// secs) - 1 as a percentage; what canonical cache keys cost per served
+    /// request on a cold-cache workload.
+    canonical_key_overhead_pct: f64,
+}
+
+fn bench_equiv(iters: usize, reps: usize) -> EquivPoint {
+    // Same corpus shape as bench_sqlcheck: ~500 distinct requests stretch
+    // each closed-loop pass far enough for a 5% ratio gate.
+    let config = CorpusConfig { dev_samples: 300, ..CorpusConfig::tiny(5) };
+    let corpus = generate_corpus(CorpusKind::Spider, &config);
+    let corpus = &corpus;
+    let ctx = &EvalContext::new(corpus);
+
+    // --- micro: full-rule canonicalization per gold query ---
+    let catalogs: std::collections::HashMap<&str, sqlcheck::Catalog> = corpus
+        .databases
+        .iter()
+        .map(|(id, db)| (id.as_str(), sqlcheck::Catalog::from_database(&db.database)))
+        .collect();
+    let per_pass = corpus.dev.len();
+    let pass_ns = time_ns(iters, || {
+        corpus
+            .dev
+            .iter()
+            .map(|s| {
+                sqlcheck::equiv::canonicalize(
+                    &s.query,
+                    sqlcheck::equiv::RuleSet::full(),
+                    catalogs.get(s.db_id.as_str()),
+                )
+                .fired
+                .len()
+            })
+            .sum()
+    });
+    let canonicalize_ns_per_query = pass_ns / per_pass as f64;
+
+    // --- macro: closed-loop serving with canonical vs normalized cache
+    // keys. Every request is distinct, so the cache never hits either way
+    // and the ratio isolates the extra key-derivation cost. Same paired-
+    // median scheme as bench_sqlcheck: back-to-back on/off pairs, gate on
+    // the median per-pair ratio. ---
+    let requests = build_requests(corpus);
+    time_serve(ctx, &requests, false, false, true, false, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, false, 1); // warmup
+    let pairs = reps.max(9);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut on_secs = f64::INFINITY;
+    let mut off_secs = f64::INFINITY;
+    for _ in 0..pairs {
+        let on = time_serve(ctx, &requests, false, false, true, false, 1);
+        let off = time_serve(ctx, &requests, false, false, false, false, 1);
+        on_secs = on_secs.min(on);
+        off_secs = off_secs.min(off);
+        ratios.push(on / off);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median_ratio = ratios[pairs / 2];
+    EquivPoint {
+        canonicalize_ns_per_query,
+        requests: requests.len(),
+        off_qps: requests.len() as f64 / off_secs,
+        on_qps: requests.len() as f64 / on_secs,
+        canonical_key_overhead_pct: (median_ratio - 1.0) * 100.0,
     }
 }
 
@@ -508,15 +585,15 @@ fn bench_request_tracing(iters: usize, reps: usize) -> TracingPoint {
     let corpus = &corpus;
     let ctx = &EvalContext::new(corpus);
     let requests = build_requests(corpus);
-    time_serve(ctx, &requests, false, false, true, 1); // warmup
-    time_serve(ctx, &requests, false, false, false, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, true, 1); // warmup
+    time_serve(ctx, &requests, false, false, false, false, 1); // warmup
     let pairs = reps.max(9);
     let mut ratios = Vec::with_capacity(pairs);
     let mut on_secs = f64::INFINITY;
     let mut off_secs = f64::INFINITY;
     for _ in 0..pairs {
-        let on = time_serve(ctx, &requests, false, false, true, 1);
-        let off = time_serve(ctx, &requests, false, false, false, 1);
+        let on = time_serve(ctx, &requests, false, false, false, true, 1);
+        let off = time_serve(ctx, &requests, false, false, false, false, 1);
         on_secs = on_secs.min(on);
         off_secs = off_secs.min(off);
         ratios.push(on / off);
@@ -725,9 +802,9 @@ fn bench_registry(
 
     // --- macro: closed-loop serving with the plane on vs off ---
     let requests = build_requests(corpus);
-    time_serve(ctx, &requests, true, false, false, 1); // warmup
-    let on_secs = time_serve(ctx, &requests, true, false, false, reps);
-    let off_secs = time_serve(ctx, &requests, false, false, false, reps);
+    time_serve(ctx, &requests, true, false, false, false, 1); // warmup
+    let on_secs = time_serve(ctx, &requests, true, false, false, false, reps);
+    let off_secs = time_serve(ctx, &requests, false, false, false, false, reps);
     RegistryPoint {
         cell_pair_ns,
         lookup_inc_ns,
@@ -840,6 +917,17 @@ fn main() {
         check.requests, check.off_qps, check.on_qps, check.static_check_overhead_pct
     );
 
+    eprintln!("bench_eval: equivalence engine (canonicalizer + canonical cache keys) ...");
+    let equiv = bench_equiv(if args.quick { 40 } else { 200 }, ratio_reps);
+    eprintln!(
+        "  micro: canonicalize {:.0}ns per gold query (full rule set)",
+        equiv.canonicalize_ns_per_query
+    );
+    eprintln!(
+        "  serve ({} requests): off {:>7.0} qps  on {:>7.0} qps  canonical-key overhead {:+.1}%",
+        equiv.requests, equiv.off_qps, equiv.on_qps, equiv.canonical_key_overhead_pct
+    );
+
     eprintln!("bench_eval: request-tracing + warehouse overhead (spans on/off) ...");
     let tracing =
         bench_request_tracing(if args.quick { 20_000 } else { 200_000 }, ratio_reps);
@@ -943,6 +1031,18 @@ fn main() {
         json,
         "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"static_check_overhead_pct\": {:.2}",
         check.off_qps, check.on_qps, check.static_check_overhead_pct
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"equiv\": {{");
+    let _ = writeln!(
+        json,
+        "    \"canonicalize_ns_per_query\": {:.1}, \"serve_requests\": {},",
+        equiv.canonicalize_ns_per_query, equiv.requests
+    );
+    let _ = writeln!(
+        json,
+        "    \"serve_off_qps\": {:.1}, \"serve_on_qps\": {:.1}, \"canonical_key_overhead_pct\": {:.2}",
+        equiv.off_qps, equiv.on_qps, equiv.canonical_key_overhead_pct
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"tracing\": {{");
@@ -1050,6 +1150,13 @@ fn main() {
             eprintln!(
                 "FAIL: static-check admission costs {:.1}% of serve throughput (budget: 5%)",
                 check.static_check_overhead_pct
+            );
+            failed = true;
+        }
+        if equiv.canonical_key_overhead_pct > 5.0 {
+            eprintln!(
+                "FAIL: canonical cache keys cost {:.1}% of serve throughput (budget: 5%)",
+                equiv.canonical_key_overhead_pct
             );
             failed = true;
         }

@@ -285,6 +285,11 @@ fn generate_split(
     rng: &mut StdRng,
 ) -> Vec<Sample> {
     let mut out = Vec::with_capacity(n_samples);
+    // Reject gold SQL that normalizes identically to an earlier sample on
+    // the same database: duplicate gold samples double-count one query in
+    // every metric and make cross-method comparisons noisier.
+    let mut seen: std::collections::HashSet<(String, String)> =
+        std::collections::HashSet::with_capacity(n_samples);
     let mut attempts = 0usize;
     let max_attempts = n_samples * 30;
     while out.len() < n_samples && attempts < max_attempts {
@@ -299,6 +304,10 @@ fn generate_split(
         };
         // gold must execute
         if db.database.run_query(&g.query).is_err() {
+            continue;
+        }
+        let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&g.query));
+        if !seen.insert((db_id.clone(), normalized)) {
             continue;
         }
         let n_variants = if rng.gen_bool(variant_prob) { rng.gen_range(2..=4) } else { 1 };

@@ -398,7 +398,7 @@ fn cmd_diagnose(opts: &HashMap<String, String>) -> Result<(), String> {
     let ctx = EvalContext::new(&corpus);
     let trace = trace_start(opts);
     let log = ctx
-        .evaluate_with(&model, &EvalOptions::new().workers(workers))
+        .evaluate_with(&model, &EvalOptions::new().workers(workers).match_kind(true))
         .ok_or_else(|| format!("{method} does not run on {}", corpus.kind.name()))?;
     trace_finish(trace)?;
 
@@ -432,5 +432,33 @@ fn cmd_diagnose(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         println!("{}", table.render());
     }
+
+    // EM-vs-EX disagreement: semantically-right predictions the exact
+    // matcher rejects, and how many the canonicalizer proves equivalent
+    println!("-- EM-vs-EX disagreement (canonical variant) --");
+    let mut table = TextTable::new(&[
+        "Subset",
+        "EX-pass",
+        "EM-fail",
+        "Disagree%",
+        "Equiv-proven",
+        "Explained%",
+    ]);
+    let mut subsets = vec![("all".to_string(), Filter::all())];
+    for h in sqlkit::Hardness::ALL {
+        subsets.push((h.label().to_string(), Filter::all().hardness(h)));
+    }
+    for (label, f) in subsets {
+        let d = nl2sql360::em_ex_disagreement(&log, &f);
+        table.row(vec![
+            label,
+            d.ex_pass.to_string(),
+            d.ex_pass_em_fail.to_string(),
+            nl2sql360::fmt_opt(d.disagreement_rate(), 1),
+            d.equiv_explained.to_string(),
+            nl2sql360::fmt_opt(d.explained_share(), 1),
+        ]);
+    }
+    println!("{}", table.render());
     Ok(())
 }

@@ -233,6 +233,72 @@ pub fn static_failure_profile(
     counts.into_iter().map(|((rule, kind), n)| (rule, kind, n)).collect()
 }
 
+/// EM-vs-EX disagreement counts over one filtered subset of a log
+/// (canonical variants). The paper's headline tension, quantified: EX
+/// passes while EM fails exactly when the prediction is semantically
+/// right but syntactically different — or when the execution match is a
+/// coincidence. The `equiv`-explained slice separates the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmExDisagreement {
+    /// Samples in the subset.
+    pub samples: usize,
+    /// Samples whose prediction passed execution accuracy.
+    pub ex_pass: usize,
+    /// EX-pass samples the exact matcher nevertheless rejected.
+    pub ex_pass_em_fail: usize,
+    /// Of those, how many [`sqlcheck::equiv`] proves equivalent by
+    /// canonical form — EM false negatives with a rewrite-rule proof.
+    pub equiv_explained: usize,
+}
+
+impl EmExDisagreement {
+    /// EX-pass-but-EM-fail rate in percent of EX passes (`None` when no
+    /// prediction passed EX).
+    pub fn disagreement_rate(&self) -> Option<f64> {
+        (self.ex_pass > 0)
+            .then(|| self.ex_pass_em_fail as f64 / self.ex_pass as f64 * 100.0)
+    }
+
+    /// Share of the disagreement the canonicalizer explains, in percent
+    /// (`None` when EM and EX never disagreed).
+    pub fn explained_share(&self) -> Option<f64> {
+        (self.ex_pass_em_fail > 0)
+            .then(|| self.equiv_explained as f64 / self.ex_pass_em_fail as f64 * 100.0)
+    }
+}
+
+/// Cross-tabulate EM against EX over the filtered subset of a log
+/// (canonical variants). Uses the recorded [`crate::MatchKind`] when the
+/// run stored one ([`crate::EvalOptions::match_kind`]); for older logs it
+/// falls back to re-parsing the stored SQL and canonicalizing catalog-free,
+/// so the profile stays total over any log.
+pub fn em_ex_disagreement(log: &crate::EvalLog, filter: &crate::Filter) -> EmExDisagreement {
+    let mut out = EmExDisagreement::default();
+    for record in log.records.iter().filter(|r| filter.matches(r)) {
+        out.samples += 1;
+        let v = record.canonical();
+        if !v.ex {
+            continue;
+        }
+        out.ex_pass += 1;
+        if v.em {
+            continue;
+        }
+        out.ex_pass_em_fail += 1;
+        let explained = match v.match_kind {
+            Some(kind) => kind == crate::MatchKind::Canonical,
+            None => matches!(
+                (sqlkit::parse_query(&record.gold_sql), sqlkit::parse_query(&v.pred_sql)),
+                (Ok(gold), Ok(pred)) if sqlcheck::equiv::canonically_equal(&gold, &pred, None)
+            ),
+        };
+        if explained {
+            out.equiv_explained += 1;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +436,76 @@ mod tests {
             .sum();
         let total: usize = profile.iter().map(|(_, _, n)| n).sum();
         assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn em_ex_disagreement_counts_and_explains() {
+        use crate::executor::{MatchKind, SampleRecord, VariantRecord};
+        use crate::{EvalLog, Filter};
+        use sqlkit::hardness::{BirdDifficulty, Hardness};
+
+        fn variant(ex: bool, em: bool, kind: Option<MatchKind>, pred: &str) -> VariantRecord {
+            VariantRecord {
+                ex,
+                em,
+                pred_sql: pred.to_string(),
+                pred_work: Some(1),
+                exec_failure: None,
+                static_verdict: None,
+                match_kind: kind,
+                prompt_tokens: 0,
+                completion_tokens: 0,
+                cost_usd: 0.0,
+                latency_s: 0.0,
+            }
+        }
+        fn record(id: usize, gold: &str, v: VariantRecord) -> SampleRecord {
+            SampleRecord {
+                sample_id: id,
+                db_id: "d".into(),
+                domain: "College".into(),
+                hardness: Hardness::Easy,
+                bird_difficulty: BirdDifficulty::Simple,
+                features: sqlkit::SqlFeatures::default(),
+                gold_sql: gold.to_string(),
+                gold_work: 1,
+                variants: vec![v],
+            }
+        }
+        let gold = "SELECT a FROM t WHERE 5 < a";
+        let log = EvalLog {
+            method: "M".into(),
+            class_label: "LLM (P)".into(),
+            dataset: "Spider".into(),
+            records: vec![
+                // EX+EM agree → no disagreement
+                record(0, gold, variant(true, true, Some(MatchKind::Syntactic), gold)),
+                // recorded kind explains the disagreement
+                record(
+                    1,
+                    gold,
+                    variant(true, false, Some(MatchKind::Canonical), "SELECT a FROM t WHERE a > 5"),
+                ),
+                // recorded kind says coincidental EX
+                record(2, gold, variant(true, false, Some(MatchKind::Unmatched), "SELECT a FROM x")),
+                // no recorded kind → fallback re-parses and proves this one
+                record(3, gold, variant(true, false, None, "SELECT a FROM t WHERE a > 5")),
+                // EX fail never enters the disagreement set
+                record(4, gold, variant(false, false, None, "SELECT a FROM t")),
+            ],
+        };
+        let d = em_ex_disagreement(&log, &Filter::all());
+        assert_eq!(d.samples, 5);
+        assert_eq!(d.ex_pass, 4);
+        assert_eq!(d.ex_pass_em_fail, 3);
+        assert_eq!(d.equiv_explained, 2);
+        assert_eq!(d.disagreement_rate(), Some(75.0));
+        let share = d.explained_share().unwrap();
+        assert!((share - 200.0 / 3.0).abs() < 1e-9, "{share}");
+        // empty subset → rates are None
+        let none = em_ex_disagreement(&log, &Filter::all().hardness(Hardness::Extra));
+        assert_eq!(none.disagreement_rate(), None);
+        assert_eq!(none.explained_share(), None);
     }
 
     #[test]

@@ -106,6 +106,33 @@ pub struct StaticVerdict {
     pub rules: Vec<String>,
 }
 
+/// How a predicted query matched the gold query, on a ladder from strict
+/// surface equality to semantic equality the canonicalizer can prove.
+/// Recorded next to the boolean `em` so EM false negatives — pairs the
+/// exact matcher rejects but [`sqlcheck::equiv`] proves equivalent —
+/// become a measured quantity instead of an anecdote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Spider-style exact match ([`sqlkit::exact_match`]).
+    Syntactic,
+    /// Not an exact match, but the [`sqlcheck::equiv`] canonical forms
+    /// are identical: a proven EM false negative.
+    Canonical,
+    /// Neither — the canonicalizer cannot prove the pair equal.
+    Unmatched,
+}
+
+impl MatchKind {
+    /// Short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatchKind::Syntactic => "syntactic",
+            MatchKind::Canonical => "canonical",
+            MatchKind::Unmatched => "unmatched",
+        }
+    }
+}
+
 /// Outcome of one NL variant of one sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VariantRecord {
@@ -127,6 +154,12 @@ pub struct VariantRecord {
     /// written before this field deserialize.
     #[serde(default)]
     pub static_verdict: Option<StaticVerdict>,
+    /// Where the prediction sits on the syntactic → semantic match
+    /// ladder, present only when the run asked for it
+    /// ([`EvalOptions::match_kind`]). Defaulted so logs written before
+    /// this field deserialize.
+    #[serde(default)]
+    pub match_kind: Option<MatchKind>,
     /// Prompt tokens spent.
     pub prompt_tokens: u64,
     /// Completion tokens spent.
@@ -197,6 +230,7 @@ pub struct EvalOptions {
     workers: Option<usize>,
     trace: bool,
     static_check: bool,
+    match_kind: bool,
 }
 
 impl EvalOptions {
@@ -252,6 +286,29 @@ impl EvalOptions {
     pub fn static_check_enabled(&self) -> bool {
         self.static_check
     }
+
+    /// Record a [`MatchKind`] for every predicted query: the boolean `em`
+    /// refined by the [`sqlcheck::equiv`] canonicalizer (no witness
+    /// search — this stays cheap enough for the hot loop). Purely
+    /// additive: every other field of the log is byte-identical with
+    /// recording off (test-enforced).
+    pub fn match_kind(mut self, on: bool) -> Self {
+        self.match_kind = on;
+        self
+    }
+
+    /// Whether match kinds will be recorded.
+    pub fn match_kind_enabled(&self) -> bool {
+        self.match_kind
+    }
+}
+
+/// Which optional per-variant extras an evaluation records; derived from
+/// [`EvalOptions`] once and threaded through the worker fan-out.
+#[derive(Clone, Copy)]
+struct Recording {
+    static_check: bool,
+    match_kind: bool,
 }
 
 /// Evaluation context over one corpus: gold executions cached, few-shot
@@ -406,7 +463,9 @@ impl<'a> EvalContext<'a> {
         let _span = obs::span("eval.run");
         let n = opts.subset.unwrap_or(usize::MAX).min(self.corpus.dev.len());
         let workers = opts.workers.unwrap_or_else(default_workers);
-        self.run_eval(model, n, workers, opts.static_check)
+        let recording =
+            Recording { static_check: opts.static_check, match_kind: opts.match_kind };
+        self.run_eval(model, n, workers, recording)
     }
 
     /// Evaluation core shared by every [`evaluate_with`] path. Samples are
@@ -422,13 +481,13 @@ impl<'a> EvalContext<'a> {
         model: &dyn Nl2SqlModel,
         n: usize,
         workers: usize,
-        static_check: bool,
+        recording: Recording,
     ) -> Option<EvalLog> {
         let records = if workers <= 1 || n < 2 {
             let mut records = Vec::with_capacity(n);
             for i in 0..n {
                 obs::count("eval.claim", 1);
-                records.push(self.eval_sample(model, i, static_check)?);
+                records.push(self.eval_sample(model, i, recording)?);
             }
             obs::observe("eval.samples_per_worker", n as u64);
             records
@@ -457,7 +516,7 @@ impl<'a> EvalContext<'a> {
                             }
                             claimed += 1;
                             obs::count("eval.claim", 1);
-                            match self.eval_sample(model, i, static_check) {
+                            match self.eval_sample(model, i, recording) {
                                 Some(rec) => *slots[i].lock().expect("slot poisoned") = Some(rec),
                                 None => {
                                     // model refuses this dataset: the whole
@@ -501,7 +560,7 @@ impl<'a> EvalContext<'a> {
         &self,
         model: &dyn Nl2SqlModel,
         i: usize,
-        static_check: bool,
+        recording: Recording,
     ) -> Option<SampleRecord> {
         let _span = obs::span("eval.sample");
         let sample = &self.corpus.dev[i];
@@ -517,7 +576,10 @@ impl<'a> EvalContext<'a> {
             }
             let em = sqlkit::exact_match(&sample.query, &pred.query);
             let static_verdict =
-                static_check.then(|| self.static_verdict(&sample.db_id, &pred.query));
+                recording.static_check.then(|| self.static_verdict(&sample.db_id, &pred.query));
+            let match_kind = recording
+                .match_kind
+                .then(|| self.match_kind(&sample.db_id, &sample.query, &pred.query, em));
             variants.push(VariantRecord {
                 ex,
                 em,
@@ -525,6 +587,7 @@ impl<'a> EvalContext<'a> {
                 pred_work,
                 exec_failure,
                 static_verdict,
+                match_kind,
                 prompt_tokens: pred.prompt_tokens,
                 completion_tokens: pred.completion_tokens,
                 cost_usd: pred.cost_usd,
@@ -555,6 +618,26 @@ impl<'a> EvalContext<'a> {
         fired.sort_by_key(|&r| r as usize);
         fired.dedup();
         StaticVerdict { clean, rules: fired.into_iter().map(|r| r.id().to_string()).collect() }
+    }
+
+    /// Classify a prediction on the match ladder. `em` is the already-
+    /// computed exact-match outcome; only EM failures pay for a
+    /// canonicalization, and no witness search runs here — this is the
+    /// static, hot-loop-safe slice of [`sqlcheck::equiv`].
+    pub fn match_kind(
+        &self,
+        db_id: &str,
+        gold: &sqlkit::Query,
+        pred: &sqlkit::Query,
+        em: bool,
+    ) -> MatchKind {
+        if em {
+            MatchKind::Syntactic
+        } else if sqlcheck::equiv::canonically_equal(gold, pred, self.catalogs.get(db_id)) {
+            MatchKind::Canonical
+        } else {
+            MatchKind::Unmatched
+        }
     }
 
     /// Does the prediction match gold on every test-suite instance?
@@ -837,6 +920,43 @@ mod tests {
             }
             assert!(verdicts > 0);
             assert!(flagged > 0, "corrupted predictions must trip at least one rule");
+        }
+    }
+
+    #[test]
+    fn match_kinds_are_recorded_and_leave_the_rest_byte_identical() {
+        let corpus = ctx_corpus();
+        let ctx = EvalContext::new(&corpus);
+        let m = SimulatedModel::new(method_by_name("C3SQL").unwrap());
+        let base = ctx.evaluate_with(&m, &EvalOptions::new().subset(30).workers(1)).unwrap();
+        for r in &base.records {
+            for v in &r.variants {
+                assert!(v.match_kind.is_none(), "off by default");
+            }
+        }
+        // recording is additive at any worker count
+        for workers in [1usize, 4] {
+            let opts = EvalOptions::new().subset(30).workers(workers).match_kind(true);
+            let log = ctx.evaluate_with(&m, &opts).unwrap();
+            let mut kinds = [0usize; 3];
+            for (rb, rc) in base.records.iter().zip(&log.records) {
+                for (vb, vc) in rb.variants.iter().zip(&rc.variants) {
+                    let kind = vc.match_kind.expect("kind recorded");
+                    kinds[kind as usize] += 1;
+                    // the kind refines `em`, never contradicts it
+                    assert_eq!(kind == MatchKind::Syntactic, vc.em, "{}", vc.pred_sql);
+                    // neutrality: strip the kind and the variant is
+                    // byte-identical to the uninstrumented run
+                    let mut stripped = vc.clone();
+                    stripped.match_kind = None;
+                    assert_eq!(
+                        serde_json::to_string(&stripped).unwrap(),
+                        serde_json::to_string(vb).unwrap(),
+                    );
+                }
+            }
+            assert!(kinds.iter().sum::<usize>() > 0);
+            assert!(kinds[MatchKind::Syntactic as usize] > 0, "some exact matches expected");
         }
     }
 

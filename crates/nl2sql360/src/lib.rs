@@ -48,8 +48,8 @@ pub mod store;
 
 pub use aas::{search, search_with_workers, AasConfig, AasResult};
 pub use diagnose::{
-    diagnose as diagnose_queries, error_profile, exec_failure_profile, static_failure_profile,
-    Mismatch,
+    diagnose as diagnose_queries, em_ex_disagreement, error_profile, exec_failure_profile,
+    static_failure_profile, EmExDisagreement, Mismatch,
 };
 pub use extensions::{adaptive_plan, evaluate_with_rewriter, DomainDeficit};
 pub use evaluator::{
@@ -57,7 +57,7 @@ pub use evaluator::{
     LeaderboardRow,
 };
 pub use executor::{
-    default_workers, EvalContext, EvalLog, EvalOptions, ExecFailureKind, SampleRecord,
+    default_workers, EvalContext, EvalLog, EvalOptions, ExecFailureKind, MatchKind, SampleRecord,
     StaticVerdict, VariantRecord,
 };
 pub use filter::{CountBucket, Filter};

@@ -105,6 +105,7 @@ mod tests {
                     pred_work: Some(3),
                     exec_failure: None,
                     static_verdict: None,
+                    match_kind: None,
                     prompt_tokens: 10,
                     completion_tokens: 2,
                     cost_usd: 0.001,

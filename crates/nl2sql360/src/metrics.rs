@@ -140,6 +140,7 @@ mod tests {
             pred_work: Some(work),
             exec_failure: None,
             static_verdict: None,
+            match_kind: None,
             prompt_tokens: 100,
             completion_tokens: 20,
             cost_usd: 0.01,

@@ -43,6 +43,10 @@ struct Args {
     /// binary cluster protocol. Endpoints are then admin/API addresses
     /// (a worker's or the scheduler's), not Execute listeners.
     http: bool,
+    /// In-process mode: key the execution cache on canonical SQL form, so
+    /// the report's hit rate shows how many restyled duplicates the
+    /// `sqlcheck::equiv` canonicalizer unifies (outcomes are unchanged).
+    canonical_key: bool,
     /// Remote mode: drive these scheduler endpoints over TCP instead of
     /// an in-process service (clients round-robin across them).
     endpoints: Vec<String>,
@@ -66,6 +70,7 @@ impl Default for Args {
             scrape: false,
             trace: false,
             http: false,
+            canonical_key: false,
             endpoints: Vec::new(),
             scrape_addrs: Vec::new(),
         }
@@ -79,7 +84,8 @@ fn parse_args() -> Args {
     let usage = "usage: serve-loadgen [--requests N] [--workers N] [--seed N] \
                  [--corpus-seed N] [--clients N] [--queue N] [--batch N] \
                  [--deadline-ms N] [--open] [--scrape] [--trace] [--http] \
-                 [--endpoints ADDR,ADDR,...] [--scrape-addr ADDR,ADDR,...]";
+                 [--canonical-key] [--endpoints ADDR,ADDR,...] \
+                 [--scrape-addr ADDR,ADDR,...]";
     while i < argv.len() {
         let need_value = |i: usize| -> &str {
             argv.get(i + 1).unwrap_or_else(|| {
@@ -127,6 +133,11 @@ fn parse_args() -> Args {
             }
             "--http" => {
                 args.http = true;
+                i += 1;
+                continue;
+            }
+            "--canonical-key" => {
+                args.canonical_key = true;
                 i += 1;
                 continue;
             }
@@ -545,6 +556,9 @@ fn main() {
     }
     if args.trace {
         config.request_tracing = true;
+    }
+    if args.canonical_key {
+        config.canonical_cache_key = true;
     }
 
     let started = Instant::now();

@@ -127,6 +127,14 @@ pub struct ServeConfig {
     /// raises a minidb binding error, so enabling the check never changes
     /// the outcome of valid SQL. Off by default.
     pub static_check: bool,
+    /// Key the execution cache on the `sqlcheck::equiv` *canonical form*
+    /// of the predicted SQL instead of its alias/case-normalized text, so
+    /// surface restylings of the same query (flipped comparisons,
+    /// expanded BETWEENs, reordered conjuncts) share one cache entry.
+    /// Only name-preserving, observationally-safe rewrites participate
+    /// ([`sqlcheck::equiv::RuleSet::cache_safe`]), so a hit returns a
+    /// byte-identical outcome to a miss. Off by default.
+    pub canonical_cache_key: bool,
     /// Largest request body the HTTP endpoint accepts; a larger
     /// `Content-Length` is refused with `413 Payload Too Large` before any
     /// body bytes are read. Default 64 KiB.
@@ -171,6 +179,7 @@ impl Default for ServeConfig {
             slow_log_rate_per_sec: 64,
             unready_queue_pct: 90,
             static_check: false,
+            canonical_cache_key: false,
             max_body_bytes: 64 * 1024,
             request_tracing: false,
             trace_capacity: 1024,
@@ -385,6 +394,12 @@ impl ServeConfigBuilder {
     /// (default off).
     pub fn static_check(mut self, on: bool) -> Self {
         self.config.static_check = on;
+        self
+    }
+
+    /// Key the execution cache on canonical SQL form (default off).
+    pub fn canonical_cache_key(mut self, on: bool) -> Self {
+        self.config.canonical_cache_key = on;
         self
     }
 
@@ -992,8 +1007,9 @@ impl Service {
             .as_ref()
             .map(|l| l.local_addr().expect("admin endpoint has a local addr"));
         // Schema catalogs are derived once at startup so the static check
-        // costs one hash lookup plus an AST walk per request, no locks.
-        let catalogs = if config.static_check {
+        // and the canonical cache key cost one hash lookup plus an AST
+        // walk per request, no locks.
+        let catalogs = if config.static_check || config.canonical_cache_key {
             ctx.corpus
                 .databases
                 .iter()
@@ -1361,7 +1377,14 @@ fn serve_one<'a>(inner: &Inner, ctx: &'a EvalContext<'a>, p: Pending, batch_size
     }
 
     let exec_start = traced.then(Instant::now);
-    let normalized = sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query));
+    // The cache key: canonical form unifies surface restylings of the same
+    // query into one entry; the name-preserving cache-safe rule set keeps
+    // hit outcomes byte-identical to misses.
+    let normalized = if inner.config.canonical_cache_key {
+        sqlcheck::equiv::cache_key_canonical_sql(&pred.query, inner.catalogs.get(&sample.db_id))
+    } else {
+        sqlkit::to_sql(&sqlkit::normalize::normalize(&pred.query))
+    };
     let sql_hash = if t.enabled { slowlog::fnv1a64(&normalized) } else { 0 };
     let key = (sample.db_id.clone(), normalized);
     let (outcome, cache_hit) = match inner.cache.get(&key) {
@@ -1524,6 +1547,48 @@ mod tests {
     }
 
     #[test]
+    fn canonical_cache_key_raises_hit_rate_with_identical_outcomes() {
+        // The loadgen dedup workload in miniature: every method answers the
+        // same questions, and correct predictions differ from gold (and
+        // each other) only by surface restyling — flipped comparisons,
+        // expanded BETWEENs, qualified columns. The canonical key must
+        // unify strictly more of those than the normalized-text key while
+        // returning byte-identical outcomes per request.
+        let ctx = EvalContext::new(corpus());
+        let methods = ["C3SQL", "DINSQL", "DAILSQL", "SFT CodeS-7B", "RESDSQL-3B"];
+        let mut plan = Vec::new();
+        for i in 0..corpus().dev.len().min(40) {
+            for m in &methods {
+                plan.push((i, *m));
+            }
+        }
+        let run = |canonical: bool| {
+            let config = ServeConfig::builder()
+                .workers(1)
+                .canonical_cache_key(canonical)
+                .build()
+                .expect("valid config");
+            let mut outcomes = Vec::new();
+            let mut hits = 0usize;
+            Service::run_with_methods(config, &ctx, &methods, |handle| {
+                for &(i, m) in &plan {
+                    let r = handle.query(request(&corpus().dev[i], 0, m)).expect("served");
+                    hits += r.cache_hit as usize;
+                    outcomes.push((r.ex, r.em, r.pred_sql, r.pred_work, r.exec_failure));
+                }
+            });
+            (outcomes, hits)
+        };
+        let (base_outcomes, base_hits) = run(false);
+        let (canon_outcomes, canon_hits) = run(true);
+        assert_eq!(base_outcomes, canon_outcomes, "cache key must be outcome-neutral");
+        assert!(
+            canon_hits > base_hits,
+            "canonical key must unify restyled predictions: {canon_hits} vs {base_hits}"
+        );
+    }
+
+    #[test]
     fn builder_rejects_zero_sizes_at_construction() {
         assert_eq!(
             ServeConfig::builder().workers(0).build(),
@@ -1594,6 +1659,7 @@ mod tests {
             .slow_log(16, 32)
             .unready_queue_pct(75)
             .static_check(true)
+            .canonical_cache_key(true)
             .request_tracing(true)
             .trace_capacity(64)
             .warehouse(true)
@@ -1614,6 +1680,7 @@ mod tests {
         assert_eq!(config.slow_log_rate_per_sec, 32);
         assert_eq!(config.unready_queue_pct, 75);
         assert!(config.static_check);
+        assert!(config.canonical_cache_key);
         assert!(config.request_tracing && config.warehouse);
         assert_eq!(config.trace_capacity, 64);
         assert_eq!(config.warehouse_flush_ms, 100);

@@ -833,7 +833,7 @@ fn render_expr(e: &Expr) -> String {
 /// Mirror of `minidb::eval::known_function` — the executor's exact scalar
 /// function surface (names are uppercase post-parse; programmatically
 /// built lowercase names are unknown at runtime too).
-fn known_function(name: &str) -> bool {
+pub(crate) fn known_function(name: &str) -> bool {
     matches!(
         name,
         "ABS"
@@ -851,7 +851,7 @@ fn known_function(name: &str) -> bool {
 }
 
 /// Mirror of `minidb::eval::check_function_arity`.
-fn arity_violation(name: &str, n: usize) -> Option<String> {
+pub(crate) fn arity_violation(name: &str, n: usize) -> Option<String> {
     match name {
         "ABS" | "LENGTH" | "UPPER" | "LOWER" if n != 1 => {
             Some(format!("{name} expects 1 argument, got {n}"))

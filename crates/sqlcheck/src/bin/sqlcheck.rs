@@ -4,43 +4,64 @@
 //! sqlcheck gold [--corpus spider|bird] [--size tiny|quick|full] [--seed N]
 //! sqlcheck file <path.sql> --db <db_id> [--corpus ...] [--size ...] [--seed N]
 //! sqlcheck log  <evallog.json> [--corpus ...] [--size ...] [--seed N]
+//! sqlcheck equiv <a.sql> <b.sql> --db <db_id> [--corpus ...] [--size ...]
+//! sqlcheck equiv --log <evallog.json> [--corpus ...] [--size ...] [--seed N]
 //! ```
 //!
 //! `gold` analyzes every gold query (train + dev) of a freshly generated
 //! corpus and exits nonzero on any diagnostic — the hygiene smoke used by
-//! `scripts/check.sh --lint`. `file` lints a SQL file (one statement per
-//! line; blank lines and `--` comments skipped) against one database.
-//! `log` lints the predicted SQL recorded in an `EvalLog` JSON file,
-//! regenerating the corpus named by the flags to obtain the schemas; the
-//! log file is read loosely (only `records[].db_id` and
-//! `records[].variants[].pred_sql` are required), so logs written by
-//! older builds lint fine.
+//! `scripts/check.sh --lint` — and additionally sweeps each split for
+//! samples whose gold SQL is canonical-form-identical under the
+//! `sqlcheck::equiv` rewrite rules (duplicate samples inflate metrics).
+//! `file` lints a SQL file (one statement per line; blank lines and `--`
+//! comments skipped) against one database. `log` lints the predicted SQL
+//! recorded in an `EvalLog` JSON file, regenerating the corpus named by
+//! the flags to obtain the schemas; the log file is read loosely (only
+//! `records[].db_id` and `records[].variants[].pred_sql` are required),
+//! so logs written by older builds lint fine.
+//!
+//! `equiv` decides semantic equivalence. With two SQL files it prints the
+//! full verdict lattice — `equivalent(syntactic)`,
+//! `equivalent(normalized)` with the rewrite rules that fired,
+//! `distinct` with an executed counterexample seed, or `unknown` — and
+//! exits 0/1/3 respectively. With `--log` it sweeps an `EvalLog` for
+//! exact-match false negatives (EX passed, EM failed) that the
+//! canonicalizer proves equivalent, reporting per-rule upgrade counts.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use datagen::{generate_corpus, Corpus, CorpusConfig, CorpusKind};
 use serde::Value;
 use sqlcheck::{Catalog, Diagnostic, Rule, Severity};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: sqlcheck <gold|file|log> [args] [options]
-  gold                     lint every gold query of a generated corpus
-  file <path.sql> --db ID  lint a SQL file against one database
-  log <evallog.json>       lint the predictions recorded in an EvalLog
+const USAGE: &str = "usage: sqlcheck <gold|file|log|equiv> [args] [options]
+  gold                       lint every gold query of a generated corpus
+                             and sweep for canonical-duplicate samples
+  file <path.sql> --db ID    lint a SQL file against one database
+  log <evallog.json>         lint the predictions recorded in an EvalLog
+  equiv <a.sql> <b.sql> --db ID
+                             decide semantic equivalence of two queries
+                             (exit 0 equivalent, 1 distinct, 3 unknown)
+  equiv --log <evallog.json> sweep an EvalLog for EM false negatives the
+                             canonicalizer proves equivalent
 options:
   --corpus spider|bird     corpus family to generate (default spider)
   --size tiny|quick|full   corpus size (default tiny)
   --seed N                 corpus generator seed (default 42)
-  --db ID                  database id (required for `file`)";
+  --db ID                  database id (required for `file` and 2-file `equiv`)
+  --log <evallog.json>     EvalLog sweep mode for `equiv`";
 
 struct Args {
     command: String,
     path: Option<String>,
+    path2: Option<String>,
     corpus: String,
     size: String,
     seed: u64,
     db: Option<String>,
+    log: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,10 +76,12 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         command,
         path: None,
+        path2: None,
         corpus: "spider".into(),
         size: "tiny".into(),
         seed: 42,
         db: None,
+        log: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -73,12 +96,16 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = v.parse().map_err(|_| format!("not a number: {v}"))?;
             }
             "--db" => args.db = Some(value(i)?),
+            "--log" => args.log = Some(value(i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}")),
             positional => {
-                if args.path.is_some() {
+                if args.path.is_none() {
+                    args.path = Some(positional.to_string());
+                } else if args.path2.is_none() {
+                    args.path2 = Some(positional.to_string());
+                } else {
                     return Err(format!("unexpected argument: {positional}"));
                 }
-                args.path = Some(positional.to_string());
                 i += 1;
                 continue;
             }
@@ -182,6 +209,28 @@ impl Tally {
     }
 }
 
+/// Find samples within one split whose gold SQL shares a canonical form
+/// on the same database. Returns `(db_id, canonical SQL, sample ids)` per
+/// duplicate group.
+fn canonical_duplicates(
+    samples: &[datagen::Sample],
+    catalogs: &HashMap<String, Catalog>,
+) -> Vec<(String, String, Vec<usize>)> {
+    let mut groups: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    for sample in samples {
+        let canonical =
+            sqlcheck::equiv::canonical_sql(&sample.query, catalogs.get(&sample.db_id));
+        groups.entry((sample.db_id.clone(), canonical)).or_default().push(sample.id);
+    }
+    let mut dupes: Vec<(String, String, Vec<usize>)> = groups
+        .into_iter()
+        .filter(|(_, ids)| ids.len() > 1)
+        .map(|((db_id, sql), ids)| (db_id, sql, ids))
+        .collect();
+    dupes.sort();
+    dupes
+}
+
 fn lint_gold(args: &Args) -> Result<ExitCode, String> {
     let corpus = build_corpus(args)?;
     let catalogs = catalogs_of(&corpus);
@@ -193,7 +242,21 @@ fn lint_gold(args: &Args) -> Result<ExitCode, String> {
         tally.absorb(&sqlcheck::analyze(catalog, &sample.query));
     }
     tally.print();
-    Ok(if tally.total() == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+    let mut dupe_total = 0usize;
+    for (split, samples) in [("train", &corpus.train), ("dev", &corpus.dev)] {
+        let dupes = canonical_duplicates(samples, &catalogs);
+        for (db_id, sql, ids) in &dupes {
+            println!("{split}: canonical duplicate on {db_id} (samples {ids:?}): {sql}");
+            dupe_total += 1;
+        }
+    }
+    if dupe_total > 0 {
+        println!("{dupe_total} canonical-duplicate gold group(s)");
+    } else {
+        println!("no canonical-duplicate gold samples");
+    }
+    let failed = tally.total() > 0 || dupe_total > 0;
+    Ok(if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS })
 }
 
 fn lint_file(args: &Args) -> Result<ExitCode, String> {
@@ -244,6 +307,13 @@ fn as_str(v: &Value) -> Option<&str> {
     }
 }
 
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
 fn lint_log(args: &Args) -> Result<ExitCode, String> {
     let path = args.path.as_deref().ok_or("log: missing <evallog.json>")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -281,6 +351,132 @@ fn lint_log(args: &Args) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// First non-comment, non-blank statement of a SQL file, parsed.
+fn read_query(path: &str) -> Result<sqlkit::Query, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    for line in text.lines() {
+        let sql = line.trim().trim_end_matches(';');
+        if sql.is_empty() || sql.starts_with("--") {
+            continue;
+        }
+        return sqlkit::parse_query(sql).map_err(|e| format!("{path}: parse error: {e}"));
+    }
+    Err(format!("{path}: no SQL statement found"))
+}
+
+/// Two-file mode: full verdict lattice with counterexample search over
+/// regenerated witness databases.
+fn equiv_files(args: &Args) -> Result<ExitCode, String> {
+    let (Some(path_a), Some(path_b)) = (args.path.as_deref(), args.path2.as_deref()) else {
+        return Err("equiv: need two SQL files (or --log <evallog.json>)".into());
+    };
+    let db_id = args.db.as_deref().ok_or("equiv: missing --db <db_id>")?;
+    let gold = read_query(path_a)?;
+    let pred = read_query(path_b)?;
+    let corpus = build_corpus(args)?;
+    let db = corpus.databases.get(db_id).ok_or_else(|| {
+        format!("no database {db_id}; corpus has: {:?}", corpus.databases.keys().collect::<Vec<_>>())
+    })?;
+    let catalog = Catalog::from_database(&db.database);
+    let profile = match corpus.kind {
+        CorpusKind::Spider => datagen::SchemaProfile::spider(),
+        CorpusKind::Bird => datagen::SchemaProfile::bird(),
+    };
+    let make_db =
+        |seed: u64| Some(datagen::regenerate_content(db, &profile, seed).database);
+    let verdict = sqlcheck::equiv::equivalence(
+        &gold,
+        &pred,
+        Some(&catalog),
+        &sqlcheck::equiv::SearchBudget::default(),
+        &make_db,
+    );
+    println!("{}", verdict.label());
+    match &verdict {
+        sqlcheck::equiv::Equivalence::Equivalent(sqlcheck::equiv::Match::Normalized {
+            rules,
+        }) => {
+            for rule in rules {
+                println!("  rule: {}", rule.id());
+            }
+        }
+        sqlcheck::equiv::Equivalence::Distinct(witness) => {
+            println!("  {}", witness.detail);
+        }
+        _ => {}
+    }
+    Ok(match verdict {
+        sqlcheck::equiv::Equivalence::Equivalent(_) => ExitCode::SUCCESS,
+        sqlcheck::equiv::Equivalence::Distinct(_) => ExitCode::FAILURE,
+        sqlcheck::equiv::Equivalence::Unknown => ExitCode::from(3),
+    })
+}
+
+/// `--log` mode: find exact-match false negatives (EX passed, EM failed)
+/// that share a canonical form with the gold query, and count which
+/// rewrite rules were needed to prove each one.
+fn equiv_log(args: &Args, path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let records = log
+        .get("records")
+        .and_then(as_array)
+        .ok_or_else(|| format!("{path}: no `records` array — not an EvalLog?"))?;
+    let corpus = build_corpus(args)?;
+    let catalogs = catalogs_of(&corpus);
+    let full = sqlcheck::equiv::RuleSet::full();
+    let mut pairs = 0usize;
+    let mut em_false = 0usize;
+    let mut upgraded = 0usize;
+    let mut by_rule: HashMap<sqlcheck::equiv::RewriteRule, usize> = HashMap::new();
+    for record in records {
+        let Some(db_id) = record.get("db_id").and_then(as_str) else { continue };
+        let Some(gold_sql) = record.get("gold_sql").and_then(as_str) else { continue };
+        let Ok(gold) = sqlkit::parse_query(gold_sql) else { continue };
+        let catalog = catalogs.get(db_id);
+        for variant in record.get("variants").and_then(as_array).unwrap_or(&[]) {
+            let Some(pred_sql) = variant.get("pred_sql").and_then(as_str) else { continue };
+            pairs += 1;
+            if variant.get("em").and_then(as_bool).unwrap_or(true) {
+                continue;
+            }
+            em_false += 1;
+            let Ok(pred) = sqlkit::parse_query(pred_sql) else { continue };
+            let gc = sqlcheck::equiv::canonicalize(&gold, full, catalog);
+            let pc = sqlcheck::equiv::canonicalize(&pred, full, catalog);
+            if sqlkit::to_sql(&gc.query) == sqlkit::to_sql(&pc.query) {
+                upgraded += 1;
+                for rule in gc.fired.iter().chain(pc.fired.iter()).collect::<BTreeSet<_>>() {
+                    *by_rule.entry(*rule).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    if let Some(method) = log.get("method").and_then(as_str) {
+        println!("method: {method}");
+    }
+    println!(
+        "{pairs} prediction(s), {em_false} EM-false, {upgraded} proven equivalent by canonicalization"
+    );
+    if !by_rule.is_empty() {
+        println!("{:<24} {:>8}", "rule", "upgrades");
+        for rule in sqlcheck::equiv::RewriteRule::ALL {
+            if let Some(n) = by_rule.get(&rule) {
+                println!("{:<24} {n:>8}", rule.id());
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_equiv(args: &Args) -> Result<ExitCode, String> {
+    match args.log.as_deref() {
+        Some(path) => equiv_log(args, path),
+        None => equiv_files(args),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -293,6 +489,7 @@ fn main() -> ExitCode {
         "gold" => lint_gold(&args),
         "file" => lint_file(&args),
         "log" => lint_log(&args),
+        "equiv" => cmd_equiv(&args),
         other => Err(format!("unknown command: {other}")),
     };
     match result {

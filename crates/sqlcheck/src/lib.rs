@@ -27,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod catalog;
+pub mod equiv;
 
 mod analyze;
 

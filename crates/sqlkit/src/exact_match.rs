@@ -44,13 +44,44 @@ fn queries_match(g: &Query, p: &Query) -> bool {
     if g.set_ops.len() != p.set_ops.len() {
         return false;
     }
-    if !cores_match(&g.body, &p.body) {
-        return false;
-    }
-    for ((go, gc), (po, pc)) in g.set_ops.iter().zip(&p.set_ops) {
-        if go != po || !cores_match(gc, pc) {
-            return false;
+    // A chain built from a single commutative set operator (UNION,
+    // UNION ALL, INTERSECT) is order-insensitive: compare the cores as an
+    // unordered collection, mirroring how WHERE conjuncts are compared.
+    // EXCEPT and mixed-operator chains stay strictly positional.
+    let commutative_chain = |q: &Query| {
+        let first = q.set_ops.first().map(|(op, _)| *op)?;
+        if !matches!(first, SetOp::Union | SetOp::UnionAll | SetOp::Intersect) {
+            return None;
         }
+        q.set_ops.iter().all(|(op, _)| *op == first).then_some(first)
+    };
+    match (commutative_chain(g), commutative_chain(p)) {
+        (Some(go), Some(po)) => {
+            if go != po {
+                return false;
+            }
+            let g_cores: Vec<&SelectCore> = g.cores().collect();
+            let mut p_cores: Vec<&SelectCore> = p.cores().collect();
+            for gc in g_cores {
+                match p_cores.iter().position(|pc| cores_match(gc, pc)) {
+                    Some(i) => {
+                        p_cores.swap_remove(i);
+                    }
+                    None => return false,
+                }
+            }
+        }
+        (None, None) => {
+            if !cores_match(&g.body, &p.body) {
+                return false;
+            }
+            for ((go, gc), (po, pc)) in g.set_ops.iter().zip(&p.set_ops) {
+                if go != po || !cores_match(gc, pc) {
+                    return false;
+                }
+            }
+        }
+        _ => return false,
     }
     // ORDER BY is a sequence; compare rendered keys in order.
     if g.order_by.len() != p.order_by.len() {
@@ -127,9 +158,12 @@ fn from_match(g: &FromClause, p: &FromClause) -> bool {
 fn opt_pred_match(g: &Option<Expr>, p: &Option<Expr>) -> bool {
     match (g, p) {
         (None, None) => true,
-        (Some(ge), Some(pe)) => {
-            multiset_eq(conjuncts(ge).into_iter().map(expr_key), conjuncts(pe).into_iter().map(expr_key))
-        }
+        (Some(ge), Some(pe)) => multiset_eq(
+            // Same key as JOIN ... ON conjuncts: symmetric equality, so
+            // `a.id = b.id` matches `b.id = a.id` in WHERE and HAVING too.
+            conjuncts(ge).into_iter().map(symmetric_eq_key),
+            conjuncts(pe).into_iter().map(symmetric_eq_key),
+        ),
         _ => false,
     }
 }
@@ -415,6 +449,61 @@ mod tests {
     fn select_aliases_ignored() {
         assert!(em("SELECT a AS x FROM t", "SELECT a AS y FROM t"));
         assert!(em("SELECT a AS x FROM t", "SELECT a FROM t"));
+    }
+
+    #[test]
+    fn where_equality_operand_order_insensitive() {
+        // WHERE conjuncts use the same symmetric-equality key as ON.
+        assert!(em(
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid WHERE t.b = u.c",
+            "SELECT t.a FROM t JOIN u ON t.id = u.tid WHERE u.c = t.b"
+        ));
+        // Non-equality comparisons stay directional.
+        assert!(!em(
+            "SELECT a FROM t WHERE a > b",
+            "SELECT a FROM t WHERE b > a"
+        ));
+    }
+
+    #[test]
+    fn having_conjuncts_are_a_set_with_symmetric_equality() {
+        assert!(em(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1 AND SUM(b) = MAX(c)",
+            "SELECT a FROM t GROUP BY a HAVING MAX(c) = SUM(b) AND COUNT(*) > 1"
+        ));
+        assert!(!em(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1",
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2 AND 1 = 1"
+        ));
+    }
+
+    #[test]
+    fn commutative_set_op_core_order_insensitive() {
+        assert!(em(
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT b FROM u UNION SELECT a FROM t"
+        ));
+        assert!(em(
+            "SELECT a FROM t INTERSECT SELECT b FROM u",
+            "SELECT b FROM u INTERSECT SELECT a FROM t"
+        ));
+        assert!(em(
+            "SELECT a FROM t UNION ALL SELECT b FROM u",
+            "SELECT b FROM u UNION ALL SELECT a FROM t"
+        ));
+    }
+
+    #[test]
+    fn except_core_order_is_positional() {
+        assert!(!em(
+            "SELECT a FROM t EXCEPT SELECT b FROM u",
+            "SELECT b FROM u EXCEPT SELECT a FROM t"
+        ));
+        // UNION vs UNION ALL never match.
+        assert!(!em(
+            "SELECT a FROM t UNION SELECT b FROM u",
+            "SELECT a FROM t UNION ALL SELECT b FROM u"
+        ));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! assert_eq!(Hardness::classify(&q), Hardness::Medium);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod ast;
 pub mod error;
 pub mod exact_match;

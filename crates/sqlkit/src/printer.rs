@@ -178,6 +178,15 @@ pub(crate) fn write_expr_for_key(out: &mut String, e: &Expr) {
     write_expr(out, e);
 }
 
+/// Render a single expression as SQL text. Useful as a deterministic
+/// comparison key for expressions (the equivalence engine sorts commutative
+/// operand lists by this rendering).
+pub fn expr_to_sql(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e);
+    out
+}
+
 fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
     match e {
         Expr::Literal(lit) => write_literal(out, lit),

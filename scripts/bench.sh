@@ -2,9 +2,12 @@
 # Evaluation performance benchmark: parallel corpus evaluation across
 # worker counts, compiled query plans vs the AST interpreter,
 # observability overhead (the same evaluation traced vs untraced — the
-# trace-on/off delta lands in BENCH_eval.json under "trace"), and
-# registry recording overhead (labeled-cell ns/op plus a closed-loop
-# serve run with the telemetry plane on vs off, under "registry").
+# trace-on/off delta lands in BENCH_eval.json under "trace"), registry
+# recording overhead (labeled-cell ns/op plus a closed-loop serve run
+# with the telemetry plane on vs off, under "registry"), and the
+# equivalence engine (full-rule canonicalization ns/query plus a
+# closed-loop serve run with canonical vs normalized cache keys, under
+# "equiv" — gated at <= 5% overhead).
 #
 #   ./scripts/bench.sh             # full run, writes BENCH_eval.json
 #   ./scripts/bench.sh --quick     # reduced smoke run

@@ -38,15 +38,25 @@ if [ "$lint" -eq 1 ]; then
   echo "==> cargo clippy (-D warnings)"
   cargo clippy --offline --workspace --all-targets -- -D warnings
 
-  # Panic hygiene: sqlcheck and serve deny clippy::unwrap_used in non-test
-  # code (crate-level #![cfg_attr(not(test), deny(...))] attributes; this
-  # run compiles the non-test targets so the deny is active).
-  echo "==> cargo clippy (sqlcheck + serve, unwrap_used denied)"
-  cargo clippy --offline -p sqlcheck -p serve --lib --bins -- -D warnings
+  # Panic hygiene: sqlkit, sqlcheck and serve deny clippy::unwrap_used in
+  # non-test code (crate-level #![cfg_attr(not(test), deny(...))]
+  # attributes; this run compiles the non-test targets so the deny is
+  # active).
+  echo "==> cargo clippy (sqlkit + sqlcheck + serve, unwrap_used denied)"
+  cargo clippy --offline -p sqlkit -p sqlcheck -p serve --lib --bins -- -D warnings
+
+  # Equivalence-engine self-test: the per-rule rewrite unit tests plus the
+  # execution-soundness suite (canonical form == original by execution on
+  # normal, NULL-dense, and empty content; every rule non-vacuous).
+  echo "==> equiv self-test (rewrite rules + soundness suite)"
+  cargo test --offline --release -p sqlcheck -q equiv::
+  cargo test --offline --release -p sqlcheck -q --test equiv_soundness
 
   # Gold-SQL hygiene: the static analyzer must find zero diagnostics in
-  # the generated corpora's gold queries (nonzero exit otherwise).
-  echo "==> sqlcheck gold smoke (spider + bird)"
+  # the generated corpora's gold queries, and the canonical-duplicate
+  # sweep must find no two gold samples sharing a canonical form on the
+  # same database (nonzero exit otherwise).
+  echo "==> sqlcheck gold smoke (spider + bird, lint + canonical-dup sweep)"
   cargo run --offline --release -p sqlcheck --bin sqlcheck -- gold --corpus spider
   cargo run --offline --release -p sqlcheck --bin sqlcheck -- gold --corpus bird
 

@@ -61,7 +61,13 @@ fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
             if !f.is_finite() {
                 return Err(Error::new("cannot serialize non-finite float"));
             }
-            out.push_str(&f.to_string());
+            // Integral floats must keep a fractional marker so the value
+            // round-trips as Float, not Int (serde_json writes `50.0`).
+            let text = f.to_string();
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
         }
         Value::Str(s) => write_string(s, out),
         Value::Array(items) => {
